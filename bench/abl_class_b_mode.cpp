@@ -1,0 +1,46 @@
+// Ablation: class B execution mode — ship to central (the paper's design)
+// vs run-at-home with remote function calls (the §3 alternative the paper
+// mentions and declines to analyze).
+//
+// Expected: shipping dominates decisively whenever class B touches several
+// entities per transaction — each remote call pays a WAN round trip, while
+// shipping pays the round trip once. This quantifies why the paper "does
+// not analyze this possibility".
+#include "bench_common.hpp"
+
+int main() {
+  using namespace hls;
+  const RunOptions opts = bench::scaled_options();
+  SystemConfig base = bench::paper_baseline(0.2);
+  bench::banner(
+      "Ablation — class B execution: ship vs remote function calls (§3)",
+      "shipping dominates once class B touches several entities; remote "
+      "calls pay one WAN round trip per DB call",
+      base, opts);
+
+  Table table({"total_tps", "db_calls", "rt_B_ship", "rt_B_rfc",
+               "rt_all_ship", "rt_all_rfc"});
+  for (double tps : {8.0, 16.0}) {
+    for (int calls : {2, 5, 10}) {
+      SystemConfig ship = base;
+      ship.arrival_rate_per_site = tps / ship.num_sites;
+      ship.db_calls_per_txn = calls;
+      SystemConfig rfc = ship;
+      rfc.class_b_mode = ClassBMode::RemoteCalls;
+      const RunResult rs =
+          run_simulation(ship, {StrategyKind::MinAverageNsys, 0.0}, opts);
+      const RunResult rr =
+          run_simulation(rfc, {StrategyKind::MinAverageNsys, 0.0}, opts);
+      table.begin_row()
+          .add_num(tps, 0)
+          .add_int(calls)
+          .add_num(rs.metrics.rt_class_b.mean(), 3)
+          .add_num(rr.metrics.rt_class_b.mean(), 3)
+          .add_num(rs.metrics.rt_all.mean(), 3)
+          .add_num(rr.metrics.rt_all.mean(), 3);
+      std::fprintf(stderr, "  tps=%g calls=%d done\n", tps, calls);
+    }
+  }
+  bench::emit(table);
+  return 0;
+}

@@ -1,0 +1,44 @@
+// Ablation: fraction of local (class A) transactions.
+//
+// §5: the optimal threshold — and load-sharing benefit in general — depends
+// on "the fraction of local transactions". The paper fixes p_loc = 0.75
+// ("often a significant fraction ... typically of the order of 75%"); here
+// we sweep it. Less locality shifts work to the central site structurally,
+// shrinking the room load sharing has to play with; more locality makes the
+// local sites the bottleneck and load sharing essential.
+#include "bench_common.hpp"
+
+int main() {
+  using namespace hls;
+  const RunOptions opts = bench::scaled_options();
+  SystemConfig base = bench::paper_baseline(0.2);
+  base.arrival_rate_per_site = 2.4;  // 24 tps
+  bench::banner("Ablation — class A (local) transaction fraction",
+                "load sharing matters most when locality is high", base, opts);
+
+  Table table({"p_loc", "rt_noLS", "rt_static", "p_ship_static", "rt_dynamic",
+               "ship_dynamic", "dyn_gain_vs_noLS_%"});
+  for (double p_loc : {0.55, 0.65, 0.75, 0.85, 0.95}) {
+    SystemConfig cfg = base;
+    cfg.prob_class_a = p_loc;
+    const RunResult none =
+        run_simulation(cfg, {StrategyKind::NoLoadSharing, 0.0}, opts);
+    const RunResult stat =
+        run_simulation(cfg, {StrategyKind::StaticOptimal, 0.0}, opts);
+    const RunResult dyn =
+        run_simulation(cfg, {StrategyKind::MinAverageNsys, 0.0}, opts);
+    const double gain =
+        100.0 * (none.metrics.rt_all.mean() / dyn.metrics.rt_all.mean() - 1.0);
+    table.begin_row()
+        .add_num(p_loc, 2)
+        .add_num(none.metrics.rt_all.mean(), 3)
+        .add_num(stat.metrics.rt_all.mean(), 3)
+        .add_num(stat.static_p_ship, 3)
+        .add_num(dyn.metrics.rt_all.mean(), 3)
+        .add_num(dyn.metrics.ship_fraction(), 3)
+        .add_num(gain, 1);
+    std::fprintf(stderr, "  p_loc=%.2f done\n", p_loc);
+  }
+  bench::emit(table);
+  return 0;
+}

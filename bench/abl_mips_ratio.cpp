@@ -1,0 +1,53 @@
+// Ablation: central-to-local MIPS ratio.
+//
+// §5: the optimal threshold of the queue-length heuristic depends on the
+// "MIPS at local and central site". With a weaker central complex shipping
+// buys less (and saturates the central site sooner); with a stronger one
+// the negative-threshold region widens. We sweep the central MIPS at the
+// paper's 0.2 s delay and report both the best threshold found over a small
+// grid and the best dynamic strategy's result.
+#include "bench_common.hpp"
+
+int main() {
+  using namespace hls;
+  const RunOptions opts = bench::scaled_options();
+  SystemConfig base = bench::paper_baseline(0.2);
+  base.arrival_rate_per_site = 2.4;  // 24 tps
+  bench::banner("Ablation — central/local MIPS ratio",
+                "the dynamic strategy's ship fraction tracks the MIPS ratio; "
+                "threshold differences are mild at this moderate load (§5's "
+                "threshold sensitivity shows near saturation, Figure 4.4)",
+                base, opts);
+
+  const std::vector<double> thresholds{0.2, 0.1, 0.0, -0.1, -0.2, -0.3};
+  Table table({"central_mips", "best_threshold", "rt_at_best_threshold",
+               "rt_dynamic", "ship_dynamic", "rt_noLS"});
+  for (double mips : {5.0, 10.0, 15.0, 25.0}) {
+    SystemConfig cfg = base;
+    cfg.central_mips = mips;
+    double best_threshold = thresholds.front();
+    double best_rt = 1e18;
+    for (double t : thresholds) {
+      const RunResult r =
+          run_simulation(cfg, {StrategyKind::UtilThreshold, t}, opts);
+      if (r.metrics.rt_all.mean() < best_rt) {
+        best_rt = r.metrics.rt_all.mean();
+        best_threshold = t;
+      }
+    }
+    const RunResult dyn =
+        run_simulation(cfg, {StrategyKind::MinAverageNsys, 0.0}, opts);
+    const RunResult none =
+        run_simulation(cfg, {StrategyKind::NoLoadSharing, 0.0}, opts);
+    table.begin_row()
+        .add_num(mips, 0)
+        .add_num(best_threshold, 1)
+        .add_num(best_rt, 3)
+        .add_num(dyn.metrics.rt_all.mean(), 3)
+        .add_num(dyn.metrics.ship_fraction(), 3)
+        .add_num(none.metrics.rt_all.mean(), 3);
+    std::fprintf(stderr, "  central_mips=%.0f done\n", mips);
+  }
+  bench::emit(table);
+  return 0;
+}

@@ -1,0 +1,29 @@
+// Figure 4.1: average transaction response time vs total throughput for
+// no load sharing, optimal static load sharing, and the best dynamic
+// strategy (min-average on number-in-system), at 0.2 s communication delay.
+//
+// Paper shape: no load sharing saturates at about 20 tps; static load
+// sharing supports about 30 tps with markedly better response times; the
+// best dynamic strategy does better still.
+#include "bench_common.hpp"
+
+int main() {
+  using namespace hls;
+  const SystemConfig cfg = bench::paper_baseline(0.2);
+  const RunOptions opts = bench::scaled_options();
+  bench::banner("Figure 4.1 — response time vs throughput (delay 0.2 s)",
+                "no-LS saturates ~20 tps; static ~30 tps; best dynamic ahead",
+                cfg, opts);
+
+  ExperimentRunner runner(cfg, opts);
+  const auto rates = default_rate_grid();
+  std::vector<Series> series;
+  series.push_back(
+      runner.sweep_rates({StrategyKind::NoLoadSharing, 0.0}, "no-LS", rates));
+  series.push_back(
+      runner.sweep_rates({StrategyKind::StaticOptimal, 0.0}, "static", rates));
+  series.push_back(runner.sweep_rates({StrategyKind::MinAverageNsys, 0.0},
+                                      "best-dynamic", rates));
+  bench::emit(response_time_table(series));
+  return 0;
+}

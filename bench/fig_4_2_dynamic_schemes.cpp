@@ -1,0 +1,41 @@
+// Figure 4.2: average response time vs throughput for the dynamic schemes,
+// at 0.2 s communication delay.
+//
+// Curves (paper labels):
+//   A measured response time      — worst dynamic scheme
+//   B queue length                — slightly worse than optimal static
+//   C min incoming RT (queue)     — a little better than static
+//   D min incoming RT (in-system) — slightly better than C
+//   E min average RT (queue)      — better than C/D
+//   F min average RT (in-system)  — best overall
+// Optimal static is included as the reference.
+#include "bench_common.hpp"
+
+int main() {
+  using namespace hls;
+  const SystemConfig cfg = bench::paper_baseline(0.2);
+  const RunOptions opts = bench::scaled_options();
+  bench::banner(
+      "Figure 4.2 — dynamic load sharing schemes (delay 0.2 s)",
+      "ordering A worst, then B ~ static, then C < D < E < F (best)", cfg, opts);
+
+  ExperimentRunner runner(cfg, opts);
+  const auto rates = default_rate_grid();
+  std::vector<Series> series;
+  series.push_back(
+      runner.sweep_rates({StrategyKind::StaticOptimal, 0.0}, "static", rates));
+  series.push_back(
+      runner.sweep_rates({StrategyKind::MeasuredRt, 0.0}, "A-measured", rates));
+  series.push_back(
+      runner.sweep_rates({StrategyKind::QueueLength, 0.0}, "B-qlen", rates));
+  series.push_back(runner.sweep_rates({StrategyKind::MinIncomingQueue, 0.0},
+                                      "C-minin-q", rates));
+  series.push_back(runner.sweep_rates({StrategyKind::MinIncomingNsys, 0.0},
+                                      "D-minin-n", rates));
+  series.push_back(runner.sweep_rates({StrategyKind::MinAverageQueue, 0.0},
+                                      "E-minavg-q", rates));
+  series.push_back(runner.sweep_rates({StrategyKind::MinAverageNsys, 0.0},
+                                      "F-minavg-n", rates));
+  bench::emit(response_time_table(series));
+  return 0;
+}

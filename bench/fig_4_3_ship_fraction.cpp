@@ -1,0 +1,35 @@
+// Figure 4.3: fraction of class A transactions shipped to the central site
+// vs total transaction rate, for the static and dynamic schemes (0.2 s).
+//
+// Paper shape: the static scheme ships nothing below ~5 tps, an increasing
+// fraction up to ~25 tps, then a gradually decreasing fraction as the
+// central site starts to saturate. The measured-RT heuristic ships the most.
+// The other dynamic schemes ship a smaller fraction than static (except at
+// very small rates) yet achieve better response times — they ship at the
+// right moments.
+#include "bench_common.hpp"
+
+int main() {
+  using namespace hls;
+  const SystemConfig cfg = bench::paper_baseline(0.2);
+  const RunOptions opts = bench::scaled_options();
+  bench::banner("Figure 4.3 — fraction of class A shipped vs rate (delay 0.2 s)",
+                "static: 0 then rise then fall; dynamic ship less but smarter",
+                cfg, opts);
+
+  ExperimentRunner runner(cfg, opts);
+  std::vector<double> rates{2.0, 5.0, 8.0, 12.0, 16.0, 20.0, 24.0, 28.0, 32.0, 36.0, 40.0};
+  std::vector<Series> series;
+  series.push_back(
+      runner.sweep_rates({StrategyKind::StaticOptimal, 0.0}, "static", rates));
+  series.push_back(
+      runner.sweep_rates({StrategyKind::MeasuredRt, 0.0}, "A-measured", rates));
+  series.push_back(
+      runner.sweep_rates({StrategyKind::QueueLength, 0.0}, "B-qlen", rates));
+  series.push_back(runner.sweep_rates({StrategyKind::MinIncomingNsys, 0.0},
+                                      "D-minin-n", rates));
+  series.push_back(runner.sweep_rates({StrategyKind::MinAverageNsys, 0.0},
+                                      "F-minavg-n", rates));
+  bench::emit(ship_fraction_table(series));
+  return 0;
+}

@@ -1,0 +1,31 @@
+// Figure 4.4: tuning the queue-length heuristic's utilization threshold at
+// 0.2 s communication delay, against the best dynamic strategy.
+//
+// The heuristic ships when util_local - util_central > threshold. Paper
+// finding: the best threshold is about -0.2 (the faster central CPU makes
+// shipping attractive even when the local site looks *less* utilized);
+// -0.3 overshoots and performance degrades; the best dynamic strategy still
+// beats the tuned heuristic slightly.
+#include "bench_common.hpp"
+
+int main() {
+  using namespace hls;
+  const SystemConfig cfg = bench::paper_baseline(0.2);
+  const RunOptions opts = bench::scaled_options();
+  bench::banner("Figure 4.4 — utilization threshold tuning (delay 0.2 s)",
+                "best threshold ~ -0.2; best dynamic strategy still ahead",
+                cfg, opts);
+
+  ExperimentRunner runner(cfg, opts);
+  const auto rates = default_rate_grid();
+  std::vector<Series> series;
+  for (double threshold : {0.0, -0.1, -0.2, -0.3}) {
+    series.push_back(runner.sweep_rates(
+        {StrategyKind::UtilThreshold, threshold},
+        "T=" + format_double(threshold, 1), rates));
+  }
+  series.push_back(runner.sweep_rates({StrategyKind::MinAverageNsys, 0.0},
+                                      "best-dynamic", rates));
+  bench::emit(response_time_table(series));
+  return 0;
+}

@@ -1,0 +1,27 @@
+// Figure 4.5: average response time vs throughput at the larger 0.5 s
+// communication delay.
+//
+// Paper finding: the benefit of static load sharing is much smaller than at
+// 0.2 s, but dynamic load sharing continues to offer a significant
+// improvement in response time and maximum supportable rate.
+#include "bench_common.hpp"
+
+int main() {
+  using namespace hls;
+  const SystemConfig cfg = bench::paper_baseline(0.5);
+  const RunOptions opts = bench::scaled_options();
+  bench::banner("Figure 4.5 — response time vs throughput (delay 0.5 s)",
+                "static gains shrink vs 0.2 s; dynamic stays strong", cfg, opts);
+
+  ExperimentRunner runner(cfg, opts);
+  const auto rates = default_rate_grid();
+  std::vector<Series> series;
+  series.push_back(
+      runner.sweep_rates({StrategyKind::NoLoadSharing, 0.0}, "no-LS", rates));
+  series.push_back(
+      runner.sweep_rates({StrategyKind::StaticOptimal, 0.0}, "static", rates));
+  series.push_back(runner.sweep_rates({StrategyKind::MinAverageNsys, 0.0},
+                                      "best-dynamic", rates));
+  bench::emit(response_time_table(series));
+  return 0;
+}

@@ -1,0 +1,29 @@
+// Figure 4.6: fraction of class A transactions shipped vs rate at 0.5 s
+// communication delay.
+//
+// Paper shape: the static curve has a point of inflection — a small shipped
+// fraction at low rates (large penalty per shipped transaction), a rapid
+// rise once the local sites begin to overload, then saturation as the
+// central site fills up.
+#include "bench_common.hpp"
+
+int main() {
+  using namespace hls;
+  const SystemConfig cfg = bench::paper_baseline(0.5);
+  const RunOptions opts = bench::scaled_options();
+  bench::banner("Figure 4.6 — fraction of class A shipped vs rate (delay 0.5 s)",
+                "static curve shows an inflection; dynamic ships less", cfg,
+                opts);
+
+  ExperimentRunner runner(cfg, opts);
+  std::vector<double> rates{2.0, 5.0, 8.0, 12.0, 16.0, 20.0, 24.0, 28.0, 32.0, 36.0, 40.0};
+  std::vector<Series> series;
+  series.push_back(
+      runner.sweep_rates({StrategyKind::StaticOptimal, 0.0}, "static", rates));
+  series.push_back(runner.sweep_rates({StrategyKind::MinIncomingNsys, 0.0},
+                                      "D-minin-n", rates));
+  series.push_back(runner.sweep_rates({StrategyKind::MinAverageNsys, 0.0},
+                                      "F-minavg-n", rates));
+  bench::emit(ship_fraction_table(series));
+  return 0;
+}

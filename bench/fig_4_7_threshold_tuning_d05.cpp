@@ -1,0 +1,29 @@
+// Figure 4.7: utilization-threshold tuning at the larger 0.5 s delay.
+//
+// Paper finding: the optimal threshold moves from ~-0.2 (at 0.2 s) toward
+// ~-0.1/0 — the larger communication delay penalizes centrally run
+// transactions even though the central CPU is faster, so the heuristic must
+// demand a larger utilization difference before shipping. The gap between
+// the best dynamic strategy and the tuned heuristic grows with the delay.
+#include "bench_common.hpp"
+
+int main() {
+  using namespace hls;
+  const SystemConfig cfg = bench::paper_baseline(0.5);
+  const RunOptions opts = bench::scaled_options();
+  bench::banner("Figure 4.7 — utilization threshold tuning (delay 0.5 s)",
+                "optimum moves toward -0.1/0; dynamic's edge grows", cfg, opts);
+
+  ExperimentRunner runner(cfg, opts);
+  const auto rates = default_rate_grid();
+  std::vector<Series> series;
+  for (double threshold : {0.1, 0.0, -0.1, -0.2}) {
+    series.push_back(runner.sweep_rates(
+        {StrategyKind::UtilThreshold, threshold},
+        "T=" + format_double(threshold, 1), rates));
+  }
+  series.push_back(runner.sweep_rates({StrategyKind::MinAverageNsys, 0.0},
+                                      "best-dynamic", rates));
+  bench::emit(response_time_table(series));
+  return 0;
+}

@@ -1,0 +1,138 @@
+// Microbenchmarks of the simulation substrate (google-benchmark).
+//
+// These support the paper's practicality claim for dynamic strategies: the
+// routing decision must be cheap relative to transaction pathlengths. We
+// measure the event queue, the lock manager, the analytic estimator that
+// the dynamic strategies evaluate per arrival, and end-to-end simulation
+// throughput (events/second).
+#include <benchmark/benchmark.h>
+
+#include "core/api.hpp"
+#include "db/lock_manager.hpp"
+#include "sim/event_queue.hpp"
+#include "util/random.hpp"
+
+namespace {
+
+using namespace hls;
+
+void BM_EventQueuePushPop(benchmark::State& state) {
+  const std::size_t depth = state.range(0);
+  Rng rng(1);
+  EventQueue q;
+  for (std::size_t i = 0; i < depth; ++i) {
+    q.push(rng.next_double(), [] {});
+  }
+  for (auto _ : state) {
+    q.push(rng.next_double(), [] {});
+    benchmark::DoNotOptimize(q.pop());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EventQueuePushPop)->Arg(64)->Arg(1024)->Arg(16384);
+
+void BM_LockManagerRequestRelease(benchmark::State& state) {
+  Simulator sim;
+  LockManager lm(sim, "bench");
+  Rng rng(2);
+  TxnId txn = 1;
+  for (auto _ : state) {
+    const LockId lock = static_cast<LockId>(rng.next_below(4096));
+    lm.request(txn, lock, LockMode::Exclusive, nullptr);
+    lm.release_all(txn);
+    ++txn;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_LockManagerRequestRelease);
+
+void BM_LockManagerContendedGrant(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    Simulator sim;
+    LockManager lm(sim, "bench");
+    lm.request(1, 7, LockMode::Exclusive, nullptr);
+    for (TxnId t = 2; t <= 17; ++t) {
+      lm.request(t, 7, LockMode::Exclusive, [] {});
+    }
+    state.ResumeTiming();
+    for (TxnId t = 1; t <= 17; ++t) {
+      lm.release_all(t);
+      sim.run();
+    }
+  }
+}
+BENCHMARK(BM_LockManagerContendedGrant);
+
+void BM_DeadlockDetectionChain(benchmark::State& state) {
+  const int chain = state.range(0);
+  for (auto _ : state) {
+    state.PauseTiming();
+    Simulator sim;
+    LockManager lm(sim, "bench");
+    // txn i holds lock i and waits for lock i+1 -> chain of waits.
+    for (int i = 0; i < chain; ++i) {
+      lm.request(i + 1, static_cast<LockId>(i), LockMode::Exclusive, nullptr);
+    }
+    for (int i = 0; i < chain - 1; ++i) {
+      lm.request(i + 1, static_cast<LockId>(i + 1), LockMode::Exclusive, [] {});
+    }
+    state.ResumeTiming();
+    // Closing request walks the whole chain and reports a deadlock.
+    benchmark::DoNotOptimize(
+        lm.request(chain, 0, LockMode::Exclusive, [] {}));
+  }
+}
+BENCHMARK(BM_DeadlockDetectionChain)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_DynamicEstimatorDecision(benchmark::State& state) {
+  // The per-arrival cost of the paper's best strategy: one estimate() call.
+  SystemConfig cfg;
+  const ModelParams params = ModelParams::from_config(cfg);
+  DynamicEstimator est(params, UtilSource::NumInSystem);
+  SystemStateView view;
+  view.config = &cfg;
+  view.local_cpu_queue = 3;
+  view.central_cpu_queue = 8;
+  view.local_num_txns = 5;
+  view.central_num_txns = 20;
+  view.local_locks_held = 40;
+  view.central_locks_held = 250;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(est.estimate(view));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DynamicEstimatorDecision);
+
+void BM_AnalyticModelSolve(benchmark::State& state) {
+  SystemConfig cfg;
+  cfg.arrival_rate_per_site = 2.4;
+  ModelParams params = ModelParams::from_config(cfg);
+  params.p_ship = 0.4;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(AnalyticModel().solve(params));
+  }
+}
+BENCHMARK(BM_AnalyticModelSolve);
+
+void BM_EndToEndSimulation(benchmark::State& state) {
+  // Whole-system throughput: simulated events per wall second at 24 tps.
+  for (auto _ : state) {
+    SystemConfig cfg;
+    cfg.arrival_rate_per_site = 2.4;
+    cfg.seed = 5;
+    HybridSystem sys(cfg,
+                     std::make_unique<StaticProbabilisticStrategy>(0.5, 5));
+    sys.enable_arrivals();
+    sys.run_for(20.0);
+    benchmark::DoNotOptimize(sys.metrics().completions);
+    state.SetItemsProcessed(state.items_processed() +
+                            sys.simulator().executed_events());
+  }
+}
+BENCHMARK(BM_EndToEndSimulation)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

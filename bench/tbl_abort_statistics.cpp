@@ -1,0 +1,28 @@
+// Abort/rerun statistics underlying the response-time curves (§4.2).
+//
+// The paper explains the curve shapes through data contention: collisions
+// between local and central transactions manifest as aborts of one side,
+// and reruns inflate CPU load and queue lengths. This table exposes those
+// internals per offered rate for the static and best dynamic strategies.
+#include "bench_common.hpp"
+
+int main() {
+  using namespace hls;
+  const SystemConfig cfg = bench::paper_baseline(0.2);
+  const RunOptions opts = bench::scaled_options();
+  bench::banner("Abort statistics table (delay 0.2 s)",
+                "aborts/reruns grow with load; dynamic keeps reruns lower",
+                cfg, opts);
+
+  ExperimentRunner runner(cfg, opts);
+  const std::vector<double> rates{10.0, 20.0, 28.0, 36.0};
+  for (const auto& [spec, label] :
+       std::vector<std::pair<StrategySpec, std::string>>{
+           {{StrategyKind::StaticOptimal, 0.0}, "optimal static"},
+           {{StrategyKind::MinAverageNsys, 0.0}, "best dynamic (F)"}}) {
+    std::printf("\n--- %s ---\n", label.c_str());
+    const Series s = runner.sweep_rates(spec, label, rates);
+    bench::emit(abort_table(s));
+  }
+  return 0;
+}

@@ -1,0 +1,75 @@
+// Architecture comparison: hybrid vs fully centralized vs fully distributed
+// (§1 of the paper).
+//
+// "The performance of the fully distributed system ... is better than the
+// centralized system if the number of remote calls per transaction is
+// significantly less than one, but is much worse otherwise. The hybrid
+// architecture provides the advantages of distributed systems for
+// transactions that refer principally to local data, and also the advantage
+// of centralized systems for transactions that access a lot of non-local
+// data."
+//
+// We sweep the class A fraction (locality) at a fixed offered load and
+// compare mean response times across the three architectures. Expected
+// shape: distributed wins at very high locality, centralized wins at low
+// locality, and the hybrid (with its best dynamic strategy) tracks the
+// better of the two everywhere.
+#include "bench_common.hpp"
+
+#include "baseline/centralized_system.hpp"
+#include "baseline/distributed_system.hpp"
+
+namespace {
+
+template <typename System>
+hls::BaselineMetrics run_baseline(System& sys, const hls::RunOptions& opts) {
+  sys.enable_arrivals();
+  sys.run_for(opts.warmup_seconds);
+  sys.begin_measurement();
+  sys.run_for(opts.measure_seconds);
+  sys.end_measurement();
+  return sys.metrics();
+}
+
+}  // namespace
+
+int main() {
+  using namespace hls;
+  const RunOptions opts = bench::scaled_options();
+  // 0.5 s links, 12 tps: the regime the paper's introduction describes,
+  // where the WAN delay (not raw MIPS) decides centralized vs distributed.
+  SystemConfig base = bench::paper_baseline(0.5);
+  base.arrival_rate_per_site = 1.2;
+  bench::banner(
+      "Architecture comparison — hybrid vs centralized vs distributed (§1)",
+      "distributed wins at high locality, centralized at low, hybrid tracks "
+      "the better of the two",
+      base, opts);
+
+  Table table({"p_loc", "rt_central", "rt_distrib", "remote_calls/txn",
+               "rt_hybrid", "hybrid_ship_frac"});
+  for (double p_loc : {0.50, 0.65, 0.75, 0.85, 0.95, 1.00}) {
+    SystemConfig cfg = base;
+    cfg.prob_class_a = p_loc;
+
+    CentralizedSystem central(cfg);
+    const BaselineMetrics cm = run_baseline(central, opts);
+
+    DistributedSystem distributed(cfg);
+    const BaselineMetrics dm = run_baseline(distributed, opts);
+
+    const RunResult hybrid =
+        run_simulation(cfg, {StrategyKind::MinAverageNsys, 0.0}, opts);
+
+    table.begin_row()
+        .add_num(p_loc, 2)
+        .add_num(cm.rt_all.mean(), 3)
+        .add_num(dm.rt_all.mean(), 3)
+        .add_num(dm.remote_calls_per_txn(), 2)
+        .add_num(hybrid.metrics.rt_all.mean(), 3)
+        .add_num(hybrid.metrics.ship_fraction(), 3);
+    std::fprintf(stderr, "  p_loc=%.2f done\n", p_loc);
+  }
+  bench::emit(table);
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Maximum supportable transaction rate (§4.2's headline numbers) computed
+// by the CapacityAnalyzer from the analytic model and cross-checked with a
+// simulation run at each predicted capacity.
+//
+// Paper: "the maximum transaction rate supportable is limited to about 20
+// transactions per second" without load sharing; static load sharing
+// "allows about 30 transactions per second to be supported" (0.2 s delay).
+#include "bench_common.hpp"
+
+#include "model/capacity.hpp"
+
+int main() {
+  using namespace hls;
+  const RunOptions opts = bench::scaled_options();
+  const SystemConfig base = bench::paper_baseline(0.2);
+  bench::banner("Capacity table — maximum supportable total rate",
+                "no sharing ~20 tps; optimal static ~30+; scales with delay",
+                base, opts);
+
+  const CapacityAnalyzer analyzer;
+  Table table({"delay_s", "policy", "max_tps_model", "p_ship", "rt_at_cap",
+               "sim_tput_at_cap", "sim_rt_at_cap"});
+  for (double delay : {0.2, 0.5}) {
+    SystemConfig cfg = base;
+    cfg.comm_delay = delay;
+    const ModelParams params = ModelParams::from_config(cfg);
+
+    struct Row {
+      const char* name;
+      CapacityAnalyzer::Result cap;
+      StrategySpec spec;
+    };
+    std::vector<Row> rows;
+    rows.push_back({"no sharing", analyzer.capacity_fixed_ship(params, 0.0),
+                    {StrategyKind::NoLoadSharing, 0.0}});
+    rows.push_back({"all central", analyzer.capacity_fixed_ship(params, 1.0),
+                    {StrategyKind::AlwaysCentral, 0.0}});
+    rows.push_back({"optimal static", analyzer.capacity_static_optimal(params),
+                    {StrategyKind::StaticOptimal, 0.0}});
+
+    for (const Row& row : rows) {
+      SystemConfig at_cap = cfg;
+      at_cap.arrival_rate_per_site = row.cap.max_total_tps / cfg.num_sites;
+      const RunResult sim = run_simulation(at_cap, row.spec, opts);
+      table.begin_row()
+          .add_num(delay, 1)
+          .add_cell(row.name)
+          .add_num(row.cap.max_total_tps, 2)
+          .add_num(row.cap.p_ship_at_capacity, 3)
+          .add_num(row.cap.rt_at_capacity, 3)
+          .add_num(sim.metrics.throughput(), 2)
+          .add_num(sim.metrics.rt_all.mean(), 3);
+      std::fprintf(stderr, "  delay=%.1f %s done\n", delay, row.name);
+    }
+  }
+  bench::emit(table);
+  return 0;
+}

@@ -1,0 +1,45 @@
+// Analytical-model validation: model-predicted response times and
+// utilizations vs discrete-event simulation, across load and shipping
+// probability (the validation step [CIC87B] performed for the §3.1 model).
+//
+// Expectation: the model tracks the simulation's response-time growth and
+// utilizations; absolute agreement tightens at low-to-moderate load where
+// the M/M/1-style expansion assumptions hold.
+#include "bench_common.hpp"
+
+int main() {
+  using namespace hls;
+  const SystemConfig base = bench::paper_baseline(0.2);
+  const RunOptions opts = bench::scaled_options();
+  bench::banner("Model validation — analytic §3.1 vs simulation",
+                "model tracks simulated RT/utilization across load and p_ship",
+                base, opts);
+
+  Table table({"total_tps", "p_ship", "rt_model", "rt_sim", "rho_l_model",
+               "rho_l_sim", "rho_c_model", "rho_c_sim", "p_abort_c_model",
+               "runs_per_txn_sim"});
+  for (double tps : {5.0, 10.0, 15.0, 20.0, 25.0, 30.0}) {
+    for (double p_ship : {0.0, 0.3, 0.6}) {
+      SystemConfig cfg = base;
+      cfg.arrival_rate_per_site = tps / cfg.num_sites;
+      ModelParams params = ModelParams::from_config(cfg);
+      params.p_ship = p_ship;
+      const ModelSolution model = AnalyticModel().solve(params);
+      const RunResult sim =
+          run_simulation(cfg, {StrategyKind::StaticProbability, p_ship}, opts);
+      table.begin_row()
+          .add_num(tps, 0)
+          .add_num(p_ship, 1)
+          .add_num(model.r_avg, 3)
+          .add_num(sim.metrics.rt_all.mean(), 3)
+          .add_num(model.rho_local, 3)
+          .add_num(sim.metrics.mean_local_utilization, 3)
+          .add_num(model.rho_central, 3)
+          .add_num(sim.metrics.central_utilization, 3)
+          .add_num(model.p_abort_central, 4)
+          .add_num(sim.metrics.runs_per_txn(), 4);
+    }
+  }
+  bench::emit(table);
+  return 0;
+}

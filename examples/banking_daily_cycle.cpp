@@ -1,0 +1,98 @@
+// Branch banking under a daily load cycle — the paper's second motivating
+// application (banking exhibits regional locality and load fluctuations).
+//
+// Branches process local transactions (deposits/withdrawals: class A)
+// against their regional accounts; inter-region transfers and corporate
+// queries (class B) run at the head-office complex. The offered load
+// follows a sinusoidal "business day": quiet overnight, a morning ramp, a
+// lunchtime peak near system capacity, and an evening tail.
+//
+// The example sweeps the full cycle under three strategies and reports the
+// response time by phase of day, demonstrating the paper's conclusion that
+// a static scheme — necessarily tuned for one operating point — loses to a
+// dynamic scheme across a varying day.
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+
+#include "core/api.hpp"
+
+int main() {
+  using namespace hls;
+
+  constexpr double kDay = 3600.0;          // one compressed "day", seconds
+  constexpr double kQuietTotalTps = 6.0;   // overnight
+  constexpr double kPeakTotalTps = 34.0;   // lunchtime peak
+
+  SystemConfig cfg;
+  cfg.seed = 11;
+  // Static optimization must pick one operating point; give it the daily
+  // mean (the natural choice for a static scheme).
+  const double mean_total = (kQuietTotalTps + kPeakTotalTps) / 2.0;
+  cfg.arrival_rate_per_site = mean_total / cfg.num_sites;
+  const ModelParams base = ModelParams::from_config(cfg);
+
+  auto rate_at = [=](SimTime t) {
+    // Sinusoid between quiet and peak over the day, per site.
+    const double phase = 2.0 * M_PI * (t / kDay);
+    const double total =
+        kQuietTotalTps +
+        (kPeakTotalTps - kQuietTotalTps) * 0.5 * (1.0 - std::cos(phase));
+    return total / 10.0;
+  };
+
+  std::printf(
+      "Banking daily cycle: offered load swings %.0f..%.0f tps over a %.0f s"
+      " day\n\n",
+      kQuietTotalTps, kPeakTotalTps, kDay);
+
+  const StrategySpec specs[] = {
+      {StrategyKind::NoLoadSharing, 0.0},
+      {StrategyKind::StaticOptimal, 0.0},
+      {StrategyKind::MinAverageNsys, 0.0},
+  };
+
+  Table table({"strategy", "night_rt", "ramp_rt", "peak_rt", "evening_rt",
+               "day_avg_rt", "day_ship_frac"});
+  for (const StrategySpec& spec : specs) {
+    auto strategy = make_strategy(spec, base, cfg.seed);
+    const std::string name = strategy->name();
+    HybridSystem sys(cfg, std::move(strategy));
+    for (int s = 0; s < cfg.num_sites; ++s) {
+      sys.set_arrival_rate_function(s, rate_at, kPeakTotalTps / 10.0);
+    }
+    sys.enable_arrivals();
+
+    // Quarter-day phases: night [0,.25), ramp [.25,.5), peak [.5,.75),
+    // evening [.75,1).
+    double phase_rt[4] = {0, 0, 0, 0};
+    double prev_sum = 0.0;
+    std::uint64_t prev_n = 0;
+    for (int q = 0; q < 4; ++q) {
+      sys.run_for(kDay / 4.0);
+      const Metrics& m = sys.metrics();
+      const std::uint64_t n = m.rt_all.count();
+      phase_rt[q] = n > prev_n
+                        ? (m.rt_all.sum() - prev_sum) / static_cast<double>(n - prev_n)
+                        : 0.0;
+      prev_sum = m.rt_all.sum();
+      prev_n = n;
+    }
+    const Metrics& m = sys.metrics();
+    table.begin_row()
+        .add_cell(name)
+        .add_num(phase_rt[0], 3)
+        .add_num(phase_rt[1], 3)
+        .add_num(phase_rt[2], 3)
+        .add_num(phase_rt[3], 3)
+        .add_num(m.rt_all.mean(), 3)
+        .add_num(m.ship_fraction(), 3);
+  }
+  table.print(std::cout);
+  std::printf(
+      "\nThe peak quarter separates the strategies: the dynamic scheme keeps\n"
+      "the lunchtime response time closest to the off-peak level, while the\n"
+      "static scheme ships even at night (paying the WAN for nothing) and\n"
+      "no load sharing drowns at the peak.\n");
+  return 0;
+}

@@ -1,0 +1,87 @@
+// capacity_planner: sizing tool built on the analytic model.
+//
+//   ./capacity_planner [--set key=value ...]
+//
+// Given a system configuration (any core/config_io.hpp override), prints:
+//   * the maximum supportable total rate without load sharing, with
+//     everything shipped, and with optimal static load sharing;
+//   * the modeled response-time curve (and the optimizer's p_ship) across
+//     offered loads up to that capacity — the quickest way to answer
+//     "how many regional sites / how much central MIPS do I need".
+//
+// Everything here is the analytic model (§3.1): instant, no simulation.
+// Cross-check any operating point with strategy_explorer.
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/api.hpp"
+#include "core/config_io.hpp"
+#include "model/capacity.hpp"
+
+int main(int argc, char** argv) {
+  using namespace hls;
+  SystemConfig cfg;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--set" && i + 1 < argc) {
+      std::string error;
+      if (!apply_config_override(cfg, argv[++i], &error)) {
+        std::fprintf(stderr, "--set: %s\n", error.c_str());
+        return 1;
+      }
+    } else {
+      std::fprintf(stderr, "usage: %s [--set key=value ...]\n", argv[0]);
+      return 1;
+    }
+  }
+  cfg.validate();
+
+  const ModelParams params = ModelParams::from_config(cfg);
+  std::printf(
+      "capacity_planner: %d sites x %.1f MIPS + %.0f MIPS central, %.2f s "
+      "links, p_loc=%.2f\n\n",
+      cfg.num_sites, cfg.local_mips, cfg.central_mips, cfg.comm_delay,
+      cfg.prob_class_a);
+
+  const CapacityAnalyzer analyzer;
+  const auto none = analyzer.capacity_fixed_ship(params, 0.0);
+  const auto all = analyzer.capacity_fixed_ship(params, 1.0);
+  const auto opt = analyzer.capacity_static_optimal(params);
+
+  Table cap({"policy", "max_total_tps", "p_ship", "rt_at_capacity"});
+  cap.begin_row().add_cell("no load sharing").add_num(none.max_total_tps, 1)
+      .add_num(0.0, 2).add_num(none.rt_at_capacity, 3);
+  cap.begin_row().add_cell("everything central").add_num(all.max_total_tps, 1)
+      .add_num(1.0, 2).add_num(all.rt_at_capacity, 3);
+  cap.begin_row().add_cell("optimal static").add_num(opt.max_total_tps, 1)
+      .add_num(opt.p_ship_at_capacity, 2).add_num(opt.rt_at_capacity, 3);
+  cap.print(std::cout);
+
+  std::printf("\nModeled response-time curve (optimal static at each load):\n\n");
+  Table curve({"total_tps", "p_ship*", "rt_noLS", "rt_static*", "rho_local",
+               "rho_central"});
+  const double top = opt.max_total_tps;
+  for (int i = 1; i <= 8; ++i) {
+    const double tps = top * i / 8.0;
+    ModelParams p = params;
+    p.lambda_site = tps / p.num_sites;
+    const StaticOptimum point = StaticOptimizer().optimize(p);
+    ModelParams p0 = p;
+    p0.p_ship = 0.0;
+    const ModelSolution none_sol = AnalyticModel().solve(p0);
+    curve.begin_row()
+        .add_num(tps, 1)
+        .add_num(point.p_ship, 3)
+        .add_num(none_sol.saturated ? -1.0 : none_sol.r_avg, 3)
+        .add_num(point.solution.r_avg, 3)
+        .add_num(point.solution.rho_local, 3)
+        .add_num(point.solution.rho_central, 3);
+  }
+  curve.print(std::cout);
+  std::printf(
+      "\n(-1.000 marks a saturated point. Dynamic strategies typically beat\n"
+      "the static column by 5-20%% — confirm with strategy_explorer.)\n");
+  return 0;
+}

@@ -1,0 +1,166 @@
+// strategy_explorer: command-line what-if tool over the full public API.
+//
+//   ./strategy_explorer [--key=value ...] [strategy ...]
+//
+// Options (defaults in brackets = the paper's baseline):
+//   --tps=<total offered load, txn/s>            [24]
+//   --sites=<number of local sites>              [10]
+//   --central-mips=<central CPU, MIPS>           [15]
+//   --local-mips=<local CPU, MIPS>               [1]
+//   --delay=<one-way comm delay, s>              [0.2]
+//   --ploc=<fraction of class A transactions>    [0.75]
+//   --pwrite=<exclusive-lock probability>        [0.25]
+//   --lockspace=<lockable entities>              [32768]
+//   --warmup=<s> --measure=<s>                   [150 / 800]
+//   --seed=<rng seed>                            [1]
+//   --set <key>=<value>                          raw SystemConfig override
+//                                                (any core/config_io.hpp key,
+//                                                e.g. --set class_b_mode=remote-calls)
+//   --model                                      also print the analytic
+//                                                model's prediction
+//   --dump-config                                print the resolved config
+//                                                (reloadable via --set lines)
+//
+// Strategies are named as in routing/factory.hpp, e.g.:
+//   ./strategy_explorer --tps=30 no-load-sharing static-optimal \
+//       util-threshold:-0.2 min-average-nsys
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/api.hpp"
+#include "core/config_io.hpp"
+
+namespace {
+
+bool parse_flag(const std::string& arg, const char* key, double* out) {
+  const std::string prefix = std::string("--") + key + "=";
+  if (arg.rfind(prefix, 0) != 0) {
+    return false;
+  }
+  *out = std::stod(arg.substr(prefix.size()));
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace hls;
+
+  double tps = 24.0;
+  double sites = 10;
+  double central_mips = 15.0;
+  double local_mips = 1.0;
+  double delay = 0.2;
+  double ploc = 0.75;
+  double pwrite = 0.25;
+  double lockspace = 32768;
+  double warmup = 150.0;
+  double measure = 800.0;
+  double seed = 1;
+  bool with_model = false;
+  bool dump_config = false;
+  std::vector<std::string> overrides;
+  std::vector<std::string> strategy_names;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (parse_flag(arg, "tps", &tps) || parse_flag(arg, "sites", &sites) ||
+        parse_flag(arg, "central-mips", &central_mips) ||
+        parse_flag(arg, "local-mips", &local_mips) ||
+        parse_flag(arg, "delay", &delay) || parse_flag(arg, "ploc", &ploc) ||
+        parse_flag(arg, "pwrite", &pwrite) ||
+        parse_flag(arg, "lockspace", &lockspace) ||
+        parse_flag(arg, "warmup", &warmup) ||
+        parse_flag(arg, "measure", &measure) || parse_flag(arg, "seed", &seed)) {
+      continue;
+    }
+    if (arg == "--model") {
+      with_model = true;
+      continue;
+    }
+    if (arg == "--dump-config") {
+      dump_config = true;
+      continue;
+    }
+    if (arg == "--set" && i + 1 < argc) {
+      overrides.push_back(argv[++i]);
+      continue;
+    }
+    if (arg.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "unknown option: %s (see header comment)\n",
+                   arg.c_str());
+      return 1;
+    }
+    strategy_names.push_back(arg);
+  }
+  if (strategy_names.empty()) {
+    strategy_names = {"no-load-sharing", "static-optimal", "queue-length",
+                      "min-average-nsys"};
+  }
+
+  SystemConfig cfg;
+  cfg.num_sites = static_cast<int>(sites);
+  cfg.arrival_rate_per_site = tps / cfg.num_sites;
+  cfg.central_mips = central_mips;
+  cfg.local_mips = local_mips;
+  cfg.comm_delay = delay;
+  cfg.prob_class_a = ploc;
+  cfg.prob_write_lock = pwrite;
+  cfg.lockspace = static_cast<std::uint32_t>(lockspace);
+  cfg.seed = static_cast<std::uint64_t>(seed);
+  for (const std::string& assignment : overrides) {
+    std::string error;
+    if (!apply_config_override(cfg, assignment, &error)) {
+      std::fprintf(stderr, "--set %s: %s\n", assignment.c_str(), error.c_str());
+      return 1;
+    }
+  }
+  cfg.validate();
+  if (dump_config) {
+    describe_config(std::cout, cfg);
+    std::printf("\n");
+  }
+
+  RunOptions opts;
+  opts.warmup_seconds = warmup;
+  opts.measure_seconds = measure;
+
+  std::printf(
+      "strategy_explorer: %.1f tps over %d sites, %.0f/%.0f MIPS, %.2f s "
+      "delay, p_loc=%.2f, p_write=%.2f, lockspace=%u\n\n",
+      tps, cfg.num_sites, cfg.local_mips, cfg.central_mips, cfg.comm_delay,
+      cfg.prob_class_a, cfg.prob_write_lock, cfg.lockspace);
+
+  if (with_model) {
+    const StaticOptimum opt =
+        StaticOptimizer().optimize(ModelParams::from_config(cfg));
+    std::printf(
+        "analytic model: optimal p_ship=%.3f, predicted avg rt %.3f s "
+        "(vs %.3f s with no sharing)\n\n",
+        opt.p_ship, opt.solution.r_avg, opt.r_avg_no_sharing);
+  }
+
+  Table table({"strategy", "tput", "avg_rt", "p95_rt", "rt_local", "rt_shipped",
+               "rt_classB", "ship_frac", "runs/txn", "util_loc", "util_cen"});
+  for (const std::string& name : strategy_names) {
+    const RunResult r = run_simulation(cfg, parse_strategy_spec(name), opts);
+    const Metrics& m = r.metrics;
+    table.begin_row()
+        .add_cell(r.strategy_name)
+        .add_num(m.throughput(), 2)
+        .add_num(m.rt_all.mean(), 3)
+        .add_num(m.rt_histogram.quantile(0.95), 2)
+        .add_num(m.rt_local_a.mean(), 3)
+        .add_num(m.rt_shipped_a.mean(), 3)
+        .add_num(m.rt_class_b.mean(), 3)
+        .add_num(m.ship_fraction(), 3)
+        .add_num(m.runs_per_txn(), 3)
+        .add_num(m.mean_local_utilization, 3)
+        .add_num(m.central_utilization, 3);
+  }
+  table.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,105 @@
+#!/usr/bin/env python3
+"""Split hybridls bench output into per-table CSV files (and, when
+matplotlib is installed, line plots).
+
+Every bench prints its machine-readable rows prefixed with "csv,". This
+script groups consecutive csv blocks, writes each as <outdir>/<name>_<k>.csv,
+and — with matplotlib available — renders series with a numeric first column
+as <name>_<k>.png.
+
+Usage:
+    ./build/bench/fig_4_1_response_time | scripts/extract_csv.py -o plots/
+    scripts/extract_csv.py -o plots/ bench_output.txt
+"""
+
+import argparse
+import csv
+import os
+import re
+import sys
+
+
+def read_blocks(lines):
+    """Yields (context_title, rows) for each csv block in the input."""
+    title = "table"
+    rows = []
+    for line in lines:
+        line = line.rstrip("\n")
+        if line.startswith("csv,"):
+            rows.append(line[4:].split(","))
+            continue
+        if rows:
+            yield title, rows
+            rows = []
+        # Bench banners name their figure with an em-dash ("Figure 4.1 — ...");
+        # use the most recent such line to name the block.
+        stripped = line.strip()
+        if "—" in stripped or stripped.lower().startswith(("figure", "table")):
+            title = stripped
+    if rows:
+        yield title, rows
+
+
+def slug(text, fallback):
+    text = re.sub(r"[^A-Za-z0-9]+", "_", text).strip("_").lower()
+    return (text[:60] or fallback)
+
+
+def maybe_plot(path_base, header, rows):
+    try:
+        import matplotlib
+
+        matplotlib.use("Agg")
+        import matplotlib.pyplot as plt
+    except ImportError:
+        return False
+    try:
+        xs = [float(r[0]) for r in rows]
+    except ValueError:
+        return False  # non-numeric first column: nothing sensible to plot
+    fig, ax = plt.subplots(figsize=(7, 4.5))
+    for col in range(1, len(header)):
+        try:
+            ys = [float(r[col]) for r in rows]
+        except (ValueError, IndexError):
+            continue
+        ax.plot(xs, ys, marker="o", label=header[col])
+    ax.set_xlabel(header[0])
+    ax.legend(fontsize=8)
+    ax.grid(True, alpha=0.3)
+    fig.tight_layout()
+    fig.savefig(path_base + ".png", dpi=130)
+    plt.close(fig)
+    return True
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("input", nargs="?", help="bench output file (default stdin)")
+    parser.add_argument("-o", "--outdir", default="plots", help="output directory")
+    args = parser.parse_args()
+
+    source = open(args.input) if args.input else sys.stdin
+    os.makedirs(args.outdir, exist_ok=True)
+
+    count = 0
+    for index, (title, rows) in enumerate(read_blocks(source)):
+        header, data = rows[0], rows[1:]
+        base = os.path.join(args.outdir, f"{slug(title, 'table')}_{index}")
+        with open(base + ".csv", "w", newline="") as f:
+            writer = csv.writer(f)
+            writer.writerow(header)
+            writer.writerows(data)
+        plotted = maybe_plot(base, header, data)
+        print(f"wrote {base}.csv ({len(data)} rows)"
+              + (" + .png" if plotted else ""))
+        count += 1
+    if count == 0:
+        print("no csv blocks found (expected lines starting with 'csv,')",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

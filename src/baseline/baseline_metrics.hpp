@@ -1,0 +1,40 @@
+// Shared metrics container for the two baseline architectures.
+#pragma once
+
+#include <cstdint>
+
+#include "util/stats.hpp"
+
+namespace hls {
+
+struct BaselineMetrics {
+  SampleStat rt_all;
+  SampleStat rt_class_a;
+  SampleStat rt_class_b;
+  std::uint64_t arrivals = 0;
+  std::uint64_t completions = 0;
+  std::uint64_t remote_calls = 0;    ///< distributed only: cross-site data calls
+  std::uint64_t deadlock_aborts = 0; ///< waits-for cycles (either baseline)
+  std::uint64_t timeout_aborts = 0;  ///< distributed only: cross-site waits
+  double measure_start = 0.0;
+  double measure_end = 0.0;
+
+  [[nodiscard]] double throughput() const {
+    const double w = measure_end - measure_start;
+    return w > 0 ? static_cast<double>(completions) / w : 0.0;
+  }
+
+  [[nodiscard]] double remote_calls_per_txn() const {
+    return completions > 0 ? static_cast<double>(remote_calls) /
+                                 static_cast<double>(completions)
+                           : 0.0;
+  }
+
+  void reset(double now) {
+    *this = BaselineMetrics{};
+    measure_start = now;
+    measure_end = now;
+  }
+};
+
+}  // namespace hls

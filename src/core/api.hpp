@@ -1,0 +1,23 @@
+// Umbrella header: everything a library user needs.
+//
+//   #include "core/api.hpp"
+//
+//   hls::SystemConfig cfg;                       // paper baseline defaults
+//   cfg.arrival_rate_per_site = 2.5;
+//   auto r = hls::run_simulation(
+//       cfg, {hls::StrategyKind::MinAverageNsys, 0.0});
+//   std::cout << r.metrics.rt_all.mean() << "\n";
+#pragma once
+
+#include "core/driver.hpp"        // IWYU pragma: export
+#include "core/experiment.hpp"    // IWYU pragma: export
+#include "hybrid/config.hpp"      // IWYU pragma: export
+#include "hybrid/hybrid_system.hpp"  // IWYU pragma: export
+#include "hybrid/metrics.hpp"     // IWYU pragma: export
+#include "model/analytic_model.hpp"   // IWYU pragma: export
+#include "model/dynamic_estimator.hpp"  // IWYU pragma: export
+#include "model/static_optimizer.hpp"   // IWYU pragma: export
+#include "routing/analytic_strategies.hpp"  // IWYU pragma: export
+#include "routing/basic_strategies.hpp"     // IWYU pragma: export
+#include "routing/factory.hpp"    // IWYU pragma: export
+#include "routing/heuristics.hpp" // IWYU pragma: export

@@ -1,0 +1,195 @@
+#include "core/config_io.hpp"
+
+#include <cstdlib>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+namespace hls {
+
+namespace {
+
+bool fail(std::string* error, const std::string& message) {
+  if (error != nullptr) {
+    *error = message;
+  }
+  return false;
+}
+
+bool parse_double(const std::string& text, double* out) {
+  char* end = nullptr;
+  const double v = std::strtod(text.c_str(), &end);
+  if (end != text.c_str() + text.size() || text.empty()) {
+    return false;
+  }
+  *out = v;
+  return true;
+}
+
+}  // namespace
+
+bool apply_config_override(SystemConfig& cfg, const std::string& assignment,
+                           std::string* error) {
+  const auto eq = assignment.find('=');
+  if (eq == std::string::npos) {
+    return fail(error, "expected key=value: " + assignment);
+  }
+  const std::string key = assignment.substr(0, eq);
+  const std::string value = assignment.substr(eq + 1);
+
+  // Enumerations first.
+  if (key == "deadlock_victim") {
+    if (value == "requester") {
+      cfg.deadlock_victim = DeadlockVictim::Requester;
+    } else if (value == "youngest") {
+      cfg.deadlock_victim = DeadlockVictim::Youngest;
+    } else {
+      return fail(error, "deadlock_victim must be requester|youngest");
+    }
+    return true;
+  }
+  if (key == "class_b_mode") {
+    if (value == "ship") {
+      cfg.class_b_mode = ClassBMode::Ship;
+    } else if (value == "remote-calls") {
+      cfg.class_b_mode = ClassBMode::RemoteCalls;
+    } else {
+      return fail(error, "class_b_mode must be ship|remote-calls");
+    }
+    return true;
+  }
+
+  double v = 0.0;
+  if (!parse_double(value, &v)) {
+    return fail(error, "bad numeric value for " + key + ": " + value);
+  }
+
+  if (key == "num_sites") {
+    cfg.num_sites = static_cast<int>(v);
+  } else if (key == "local_mips") {
+    cfg.local_mips = v;
+  } else if (key == "central_mips") {
+    cfg.central_mips = v;
+  } else if (key == "comm_delay") {
+    cfg.comm_delay = v;
+  } else if (key == "arrival_rate_per_site") {
+    cfg.arrival_rate_per_site = v;
+  } else if (key == "prob_class_a") {
+    cfg.prob_class_a = v;
+  } else if (key == "db_calls_per_txn") {
+    cfg.db_calls_per_txn = static_cast<int>(v);
+  } else if (key == "instr_per_call") {
+    cfg.instr_per_call = v;
+  } else if (key == "instr_msg_init") {
+    cfg.instr_msg_init = v;
+  } else if (key == "instr_msg_commit") {
+    cfg.instr_msg_commit = v;
+  } else if (key == "setup_io_time") {
+    cfg.setup_io_time = v;
+  } else if (key == "call_io_time") {
+    cfg.call_io_time = v;
+  } else if (key == "prob_call_io") {
+    cfg.prob_call_io = v;
+  } else if (key == "prob_write_lock") {
+    cfg.prob_write_lock = v;
+  } else if (key == "lockspace") {
+    cfg.lockspace = static_cast<std::uint32_t>(v);
+  } else if (key == "instr_ship_forward") {
+    cfg.instr_ship_forward = v;
+  } else if (key == "instr_apply_update") {
+    cfg.instr_apply_update = v;
+  } else if (key == "instr_apply_update_item") {
+    cfg.instr_apply_update_item = v;
+  } else if (key == "instr_recv_ack") {
+    cfg.instr_recv_ack = v;
+  } else if (key == "instr_auth_local") {
+    cfg.instr_auth_local = v;
+  } else if (key == "instr_commit_apply_local") {
+    cfg.instr_commit_apply_local = v;
+  } else if (key == "instr_send_async") {
+    cfg.instr_send_async = v;
+  } else if (key == "instr_remote_call") {
+    cfg.instr_remote_call = v;
+  } else if (key == "async_batch_window") {
+    cfg.async_batch_window = v;
+  } else if (key == "seed") {
+    cfg.seed = static_cast<std::uint64_t>(v);
+  } else if (key == "abort_restart_delay") {
+    cfg.abort_restart_delay = v;
+  } else if (key == "max_reruns") {
+    cfg.max_reruns = static_cast<int>(v);
+  } else if (key == "ideal_state_info") {
+    cfg.ideal_state_info = v != 0.0;
+  } else if (key == "geometric_call_count") {
+    cfg.geometric_call_count = v != 0.0;
+  } else {
+    return fail(error, "unknown config key: " + key);
+  }
+  return true;
+}
+
+std::optional<SystemConfig> parse_config_file(std::istream& in,
+                                              const SystemConfig& base,
+                                              std::string* error) {
+  SystemConfig cfg = base;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const auto first = line.find_first_not_of(" \t");
+    if (first == std::string::npos || line[first] == '#') {
+      continue;
+    }
+    const auto last = line.find_last_not_of(" \t\r");
+    if (!apply_config_override(cfg, line.substr(first, last - first + 1),
+                               error)) {
+      if (error != nullptr) {
+        *error = "line " + std::to_string(line_no) + ": " + *error;
+      }
+      return std::nullopt;
+    }
+  }
+  return cfg;
+}
+
+void describe_config(std::ostream& out, const SystemConfig& cfg) {
+  out << "# hybridls system configuration\n";
+  out << "num_sites=" << cfg.num_sites << '\n';
+  out << "local_mips=" << cfg.local_mips << '\n';
+  out << "central_mips=" << cfg.central_mips << '\n';
+  out << "comm_delay=" << cfg.comm_delay << '\n';
+  out << "arrival_rate_per_site=" << cfg.arrival_rate_per_site << '\n';
+  out << "prob_class_a=" << cfg.prob_class_a << '\n';
+  out << "db_calls_per_txn=" << cfg.db_calls_per_txn << '\n';
+  out << "instr_per_call=" << cfg.instr_per_call << '\n';
+  out << "instr_msg_init=" << cfg.instr_msg_init << '\n';
+  out << "instr_msg_commit=" << cfg.instr_msg_commit << '\n';
+  out << "setup_io_time=" << cfg.setup_io_time << '\n';
+  out << "call_io_time=" << cfg.call_io_time << '\n';
+  out << "prob_call_io=" << cfg.prob_call_io << '\n';
+  out << "prob_write_lock=" << cfg.prob_write_lock << '\n';
+  out << "lockspace=" << cfg.lockspace << '\n';
+  out << "instr_ship_forward=" << cfg.instr_ship_forward << '\n';
+  out << "instr_apply_update=" << cfg.instr_apply_update << '\n';
+  out << "instr_apply_update_item=" << cfg.instr_apply_update_item << '\n';
+  out << "instr_recv_ack=" << cfg.instr_recv_ack << '\n';
+  out << "instr_auth_local=" << cfg.instr_auth_local << '\n';
+  out << "instr_commit_apply_local=" << cfg.instr_commit_apply_local << '\n';
+  out << "instr_send_async=" << cfg.instr_send_async << '\n';
+  out << "instr_remote_call=" << cfg.instr_remote_call << '\n';
+  out << "async_batch_window=" << cfg.async_batch_window << '\n';
+  out << "deadlock_victim="
+      << (cfg.deadlock_victim == DeadlockVictim::Requester ? "requester"
+                                                           : "youngest")
+      << '\n';
+  out << "class_b_mode="
+      << (cfg.class_b_mode == ClassBMode::Ship ? "ship" : "remote-calls")
+      << '\n';
+  out << "seed=" << cfg.seed << '\n';
+  out << "abort_restart_delay=" << cfg.abort_restart_delay << '\n';
+  out << "max_reruns=" << cfg.max_reruns << '\n';
+  out << "ideal_state_info=" << (cfg.ideal_state_info ? 1 : 0) << '\n';
+  out << "geometric_call_count=" << (cfg.geometric_call_count ? 1 : 0) << '\n';
+}
+
+}  // namespace hls

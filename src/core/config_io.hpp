@@ -1,0 +1,41 @@
+// SystemConfig serialization helpers: key=value overrides (CLI flags,
+// config files) and a human-readable description. Keeps experiment scripts
+// and the strategy_explorer example free of hand-rolled parsing.
+//
+// Recognized keys mirror the SystemConfig field names:
+//   num_sites local_mips central_mips comm_delay arrival_rate_per_site
+//   prob_class_a db_calls_per_txn instr_per_call instr_msg_init
+//   instr_msg_commit setup_io_time call_io_time prob_call_io
+//   prob_write_lock lockspace instr_ship_forward instr_apply_update
+//   instr_apply_update_item instr_recv_ack instr_auth_local
+//   instr_commit_apply_local instr_send_async instr_remote_call
+//   async_batch_window deadlock_victim (requester|youngest)
+//   class_b_mode (ship|remote-calls) seed abort_restart_delay max_reruns
+//   ideal_state_info (0|1) geometric_call_count (0|1)
+//   (local_mips_per_site is programmatic-only: set it in code)
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "hybrid/config.hpp"
+
+namespace hls {
+
+/// Applies one `key=value` override. Returns false (and fills `error` when
+/// non-null) for unknown keys or unparseable values; the config is only
+/// modified on success.
+bool apply_config_override(SystemConfig& cfg, const std::string& assignment,
+                           std::string* error = nullptr);
+
+/// Parses a config file: one `key=value` per line, '#' comments and blank
+/// lines ignored. Returns std::nullopt on the first bad line.
+[[nodiscard]] std::optional<SystemConfig> parse_config_file(
+    std::istream& in, const SystemConfig& base, std::string* error = nullptr);
+
+/// One-line-per-field description (valid input to parse_config_file).
+void describe_config(std::ostream& out, const SystemConfig& cfg);
+
+}  // namespace hls

@@ -1,0 +1,55 @@
+#include "core/driver.hpp"
+
+#include <cstdlib>
+
+#include "model/static_optimizer.hpp"
+#include "routing/basic_strategies.hpp"
+#include "util/assert.hpp"
+
+namespace hls {
+
+RunResult run_simulation(const SystemConfig& config,
+                         std::unique_ptr<RoutingStrategy> strategy,
+                         const RunOptions& options) {
+  HLS_ASSERT(options.warmup_seconds >= 0.0, "negative warmup");
+  HLS_ASSERT(options.measure_seconds > 0.0, "measurement window must be positive");
+
+  RunResult result;
+  result.config = config;
+
+  HybridSystem system(config, std::move(strategy));
+  result.strategy_name = system.strategy().name();
+  system.enable_arrivals();
+  system.run_for(options.warmup_seconds);
+  system.begin_measurement();
+  system.run_for(options.measure_seconds);
+  system.end_measurement();
+  result.metrics = system.metrics();
+  return result;
+}
+
+RunResult run_simulation(const SystemConfig& config, const StrategySpec& spec,
+                         const RunOptions& options) {
+  const ModelParams base = ModelParams::from_config(config);
+  double static_p = -1.0;
+  if (spec.kind == StrategyKind::StaticOptimal) {
+    static_p = StaticOptimizer().optimize(base).p_ship;
+  } else if (spec.kind == StrategyKind::StaticProbability) {
+    static_p = spec.parameter;
+  }
+  auto strategy = make_strategy(spec, base, config.seed ^ 0x51CA5EEDULL);
+  RunResult result = run_simulation(config, std::move(strategy), options);
+  result.static_p_ship = static_p;
+  return result;
+}
+
+double time_scale_from_env() {
+  const char* raw = std::getenv("HLS_TIME_SCALE");
+  if (raw == nullptr) {
+    return 1.0;
+  }
+  const double v = std::atof(raw);
+  return v > 0.0 ? v : 1.0;
+}
+
+}  // namespace hls

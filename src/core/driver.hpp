@@ -1,0 +1,42 @@
+// Simulation driver: builds a HybridSystem for a configuration + strategy,
+// runs warmup and measurement windows, and returns the collected metrics.
+// This is the top-level entry point most users of the library need.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "hybrid/hybrid_system.hpp"
+#include "routing/factory.hpp"
+
+namespace hls {
+
+struct RunOptions {
+  double warmup_seconds = 200.0;   ///< discarded transient
+  double measure_seconds = 1200.0; ///< measurement window
+};
+
+struct RunResult {
+  Metrics metrics;
+  std::string strategy_name;
+  SystemConfig config;
+  double static_p_ship = -1.0;  ///< p_ship chosen when strategy is static (-1 otherwise)
+};
+
+/// Builds the strategy from `spec` (running the static optimization when the
+/// spec asks for the optimal static strategy), simulates warmup+measurement,
+/// and returns the metrics.
+[[nodiscard]] RunResult run_simulation(const SystemConfig& config,
+                                       const StrategySpec& spec,
+                                       const RunOptions& options = {});
+
+/// Convenience overload for a caller-constructed strategy.
+[[nodiscard]] RunResult run_simulation(const SystemConfig& config,
+                                       std::unique_ptr<RoutingStrategy> strategy,
+                                       const RunOptions& options = {});
+
+/// Scale factor for experiment durations taken from the HLS_TIME_SCALE
+/// environment variable (default 1.0; set to e.g. 0.2 for quick smoke runs).
+[[nodiscard]] double time_scale_from_env();
+
+}  // namespace hls

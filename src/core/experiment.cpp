@@ -1,0 +1,100 @@
+#include "core/experiment.hpp"
+
+#include <cstdio>
+
+#include "util/assert.hpp"
+
+namespace hls {
+
+Series ExperimentRunner::sweep_rates(const StrategySpec& spec,
+                                     const std::string& label,
+                                     const std::vector<double>& total_rates) const {
+  Series series;
+  series.label = label;
+  series.spec = spec;
+  series.points.reserve(total_rates.size());
+  for (double rate : total_rates) {
+    SystemConfig cfg = base_;
+    cfg.arrival_rate_per_site = rate / cfg.num_sites;
+    SweepPoint point;
+    point.total_rate = rate;
+    point.result = run_simulation(cfg, spec, options_);
+    std::fprintf(stderr, "  [%s] rate=%.1f tps -> rt=%.3f s, ship=%.3f\n",
+                 label.c_str(), rate, point.result.metrics.rt_all.mean(),
+                 point.result.metrics.ship_fraction());
+    series.points.push_back(std::move(point));
+  }
+  return series;
+}
+
+std::vector<double> default_rate_grid() {
+  return {5.0, 10.0, 15.0, 20.0, 24.0, 28.0, 32.0, 36.0, 40.0};
+}
+
+Table response_time_table(const std::vector<Series>& series) {
+  std::vector<std::string> headers{"offered_tps"};
+  for (const Series& s : series) {
+    headers.push_back(s.label + ":tput");
+    headers.push_back(s.label + ":rt");
+  }
+  Table table(std::move(headers));
+  if (series.empty()) {
+    return table;
+  }
+  const std::size_t rows = series.front().points.size();
+  for (std::size_t r = 0; r < rows; ++r) {
+    table.begin_row().add_num(series.front().points[r].total_rate, 1);
+    for (const Series& s : series) {
+      HLS_ASSERT(s.points.size() == rows, "series swept different rate grids");
+      const Metrics& m = s.points[r].result.metrics;
+      table.add_num(m.throughput(), 2);
+      table.add_num(m.rt_all.mean(), 3);
+    }
+  }
+  return table;
+}
+
+Table ship_fraction_table(const std::vector<Series>& series) {
+  std::vector<std::string> headers{"offered_tps"};
+  for (const Series& s : series) {
+    headers.push_back(s.label);
+  }
+  Table table(std::move(headers));
+  if (series.empty()) {
+    return table;
+  }
+  const std::size_t rows = series.front().points.size();
+  for (std::size_t r = 0; r < rows; ++r) {
+    table.begin_row().add_num(series.front().points[r].total_rate, 1);
+    for (const Series& s : series) {
+      HLS_ASSERT(s.points.size() == rows, "series swept different rate grids");
+      table.add_num(s.points[r].result.metrics.ship_fraction(), 3);
+    }
+  }
+  return table;
+}
+
+Table abort_table(const Series& series) {
+  Table table({"offered_tps", "tput", "rt", "ship_frac", "runs_per_txn",
+               "local_preempt", "central_invalid", "auth_refused", "deadlock"});
+  for (const SweepPoint& p : series.points) {
+    const Metrics& m = p.result.metrics;
+    table.begin_row()
+        .add_num(p.total_rate, 1)
+        .add_num(m.throughput(), 2)
+        .add_num(m.rt_all.mean(), 3)
+        .add_num(m.ship_fraction(), 3)
+        .add_num(m.runs_per_txn(), 4)
+        .add_int(static_cast<long long>(
+            m.aborts[static_cast<int>(AbortCause::LocalPreempted)]))
+        .add_int(static_cast<long long>(
+            m.aborts[static_cast<int>(AbortCause::CentralInvalidated)]))
+        .add_int(static_cast<long long>(
+            m.aborts[static_cast<int>(AbortCause::AuthRefused)]))
+        .add_int(static_cast<long long>(
+            m.aborts[static_cast<int>(AbortCause::Deadlock)]));
+  }
+  return table;
+}
+
+}  // namespace hls

@@ -1,0 +1,57 @@
+// Experiment harness: rate sweeps across strategies, threshold sweeps, and
+// the table printers the figure benches share. Each paper figure is "one
+// sweep, several series"; this module turns that into data.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/driver.hpp"
+#include "util/table.hpp"
+
+namespace hls {
+
+struct SweepPoint {
+  double total_rate = 0.0;  ///< offered load, transactions/second over all sites
+  RunResult result;
+};
+
+struct Series {
+  std::string label;
+  StrategySpec spec;
+  std::vector<SweepPoint> points;
+};
+
+class ExperimentRunner {
+ public:
+  ExperimentRunner(SystemConfig base, RunOptions options)
+      : base_(base), options_(options) {}
+
+  /// Runs `spec` at every offered total rate; rates are divided evenly over
+  /// the sites. Progress lines go to stderr so stdout stays machine-clean.
+  [[nodiscard]] Series sweep_rates(const StrategySpec& spec,
+                                   const std::string& label,
+                                   const std::vector<double>& total_rates) const;
+
+  [[nodiscard]] const SystemConfig& base() const { return base_; }
+  [[nodiscard]] const RunOptions& options() const { return options_; }
+
+ private:
+  SystemConfig base_;
+  RunOptions options_;
+};
+
+/// Default offered-load grid used by the figure benches (total txn/s).
+[[nodiscard]] std::vector<double> default_rate_grid();
+
+/// Average-response-time-vs-throughput table (one row per rate, one column
+/// pair per series): the layout of Figures 4.1 / 4.2 / 4.4 / 4.5 / 4.7.
+[[nodiscard]] Table response_time_table(const std::vector<Series>& series);
+
+/// Ship-fraction-vs-offered-rate table: Figures 4.3 / 4.6.
+[[nodiscard]] Table ship_fraction_table(const std::vector<Series>& series);
+
+/// Abort/rerun statistics table for one series (per rate).
+[[nodiscard]] Table abort_table(const Series& series);
+
+}  // namespace hls

@@ -1,0 +1,54 @@
+#include "core/replication.hpp"
+
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace hls {
+
+double student_t_975(int dof) {
+  // Two-sided 95% critical values; exact table for small dof, normal
+  // approximation beyond.
+  static constexpr double kTable[] = {
+      0,     12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262,
+      2.228, 2.201,  2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093,
+      2.086, 2.080,  2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045,
+      2.042};
+  if (dof <= 0) {
+    return 0.0;
+  }
+  if (dof <= 30) {
+    return kTable[dof];
+  }
+  return 1.96;
+}
+
+double ReplicationSummary::rt_ci_halfwidth() const {
+  const auto n = response_time.count();
+  if (n < 2) {
+    return 0.0;
+  }
+  return student_t_975(static_cast<int>(n) - 1) * response_time.stddev() /
+         std::sqrt(static_cast<double>(n));
+}
+
+ReplicationSummary run_replicated(const SystemConfig& config,
+                                  const StrategySpec& spec,
+                                  const RunOptions& options, int replications,
+                                  std::uint64_t base_seed) {
+  HLS_ASSERT(replications >= 1, "need at least one replication");
+  ReplicationSummary summary;
+  summary.replications = replications;
+  for (int i = 0; i < replications; ++i) {
+    SystemConfig cfg = config;
+    cfg.seed = base_seed + static_cast<std::uint64_t>(i);
+    const RunResult r = run_simulation(cfg, spec, options);
+    summary.response_time.add(r.metrics.rt_all.mean());
+    summary.throughput.add(r.metrics.throughput());
+    summary.ship_fraction.add(r.metrics.ship_fraction());
+    summary.runs_per_txn.add(r.metrics.runs_per_txn());
+  }
+  return summary;
+}
+
+}  // namespace hls

@@ -1,0 +1,39 @@
+// Replicated runs with confidence intervals.
+//
+// A single simulation run yields one point estimate per metric; replicating
+// across independent seeds gives a mean and a Student-t confidence interval
+// — standard practice for reporting simulation results, and how
+// EXPERIMENTS.md quotes its numbers.
+#pragma once
+
+#include <cstdint>
+
+#include "core/driver.hpp"
+#include "util/stats.hpp"
+
+namespace hls {
+
+struct ReplicationSummary {
+  int replications = 0;
+  SampleStat response_time;  ///< mean RT of each replication
+  SampleStat throughput;
+  SampleStat ship_fraction;
+  SampleStat runs_per_txn;
+
+  /// Half-width of the two-sided 95% confidence interval of the mean
+  /// response time (0 for fewer than two replications).
+  [[nodiscard]] double rt_ci_halfwidth() const;
+};
+
+/// 97.5% Student-t quantile for `dof` degrees of freedom (asymptote 1.96).
+[[nodiscard]] double student_t_975(int dof);
+
+/// Runs `replications` independent simulations (seeds base_seed, base_seed+1,
+/// ...) and aggregates the headline metrics.
+[[nodiscard]] ReplicationSummary run_replicated(const SystemConfig& config,
+                                                const StrategySpec& spec,
+                                                const RunOptions& options,
+                                                int replications,
+                                                std::uint64_t base_seed);
+
+}  // namespace hls

@@ -1,0 +1,33 @@
+#include "core/trace.hpp"
+
+#include <ostream>
+
+namespace hls {
+
+const char* TraceWriter::header() {
+  return "txn_id,class,route,home_site,arrival,completion,response_time,runs,"
+         "aborts_preempted,aborts_invalidated,aborts_auth_refused,"
+         "aborts_deadlock";
+}
+
+TraceWriter::TraceWriter(std::ostream& out) : out_(out) { out_ << header() << '\n'; }
+
+void TraceWriter::attach(HybridSystem& system) {
+  system.set_completion_hook(
+      [this](const TxnCompletionRecord& record) { write(record); });
+}
+
+void TraceWriter::write(const TxnCompletionRecord& record) {
+  out_ << record.id << ',' << (record.cls == TxnClass::A ? 'A' : 'B') << ','
+       << (record.route == Route::Local ? "local" : "central") << ','
+       << record.home_site << ',' << record.arrival_time << ','
+       << record.completion_time << ',' << record.response_time << ','
+       << record.runs;
+  for (int i = 0; i < static_cast<int>(AbortCause::kCount); ++i) {
+    out_ << ',' << record.aborts[i];
+  }
+  out_ << '\n';
+  ++rows_;
+}
+
+}  // namespace hls

@@ -1,0 +1,40 @@
+// Transaction-completion tracing.
+//
+// Attaches to a HybridSystem's completion hook and writes one CSV row per
+// completed transaction — class, route, timings, runs, abort breakdown.
+// Useful for distribution-level analysis beyond the aggregate Metrics
+// (e.g. tail latencies of shipped vs local transactions) and for feeding
+// external plotting tools.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+
+#include "hybrid/hybrid_system.hpp"
+
+namespace hls {
+
+class TraceWriter {
+ public:
+  /// Writes the CSV header immediately; rows follow as transactions
+  /// complete after attach(). The stream must outlive the writer.
+  explicit TraceWriter(std::ostream& out);
+
+  /// Registers this writer as `system`'s completion hook (replacing any
+  /// previous hook). The writer must outlive the system's run.
+  void attach(HybridSystem& system);
+
+  /// Writes one record (also usable without attach, e.g. for filtering).
+  void write(const TxnCompletionRecord& record);
+
+  [[nodiscard]] std::uint64_t rows_written() const { return rows_; }
+
+  /// Column header, exposed for readers of the produced files.
+  static const char* header();
+
+ private:
+  std::ostream& out_;
+  std::uint64_t rows_ = 0;
+};
+
+}  // namespace hls

@@ -1,0 +1,402 @@
+#include "db/lock_manager.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/assert.hpp"
+#include "util/logging.hpp"
+
+namespace hls {
+
+LockManager::LockManager(Simulator& sim, std::string name)
+    : sim_(sim), name_(std::move(name)) {}
+
+bool LockManager::grantable(const Entry& entry, TxnId txn, LockMode mode) {
+  for (const Holder& h : entry.holders) {
+    if (h.txn == txn) {
+      continue;  // self-compatibility: upgrade path
+    }
+    if (mode == LockMode::Exclusive || h.mode == LockMode::Exclusive) {
+      return false;
+    }
+  }
+  return true;
+}
+
+LockRequestOutcome LockManager::request(TxnId txn, LockId lock, LockMode mode,
+                                        GrantCallback on_grant,
+                                        std::vector<TxnId>* cycle_out) {
+  HLS_ASSERT(txn != kInvalidTxn, "invalid transaction id");
+  HLS_ASSERT(waiting_on_.count(txn) == 0, "transaction already blocked on a lock");
+  Entry& entry = table_[lock];
+
+  // Already-held fast path.
+  for (Holder& h : entry.holders) {
+    if (h.txn != txn) {
+      continue;
+    }
+    if (h.mode == LockMode::Exclusive || mode == LockMode::Shared) {
+      return LockRequestOutcome::AlreadyHeld;
+    }
+    break;  // shared -> exclusive upgrade falls through to grant/queue logic
+  }
+
+  const bool is_upgrade = holds(txn, lock);
+  // Strict FIFO: a new request is granted immediately only when it is
+  // compatible with the holders and nobody is queued ahead of it.
+  if (entry.queue.empty() && grantable(entry, txn, mode)) {
+    if (is_upgrade) {
+      for (Holder& h : entry.holders) {
+        if (h.txn == txn) {
+          h.mode = LockMode::Exclusive;
+        }
+      }
+    } else {
+      entry.holders.push_back(Holder{txn, mode});
+      held_index_[txn].push_back(lock);
+      ++holds_total_;
+    }
+    return LockRequestOutcome::Granted;
+  }
+
+  std::vector<TxnId> cycle = find_cycle(txn, lock);
+  if (!cycle.empty()) {
+    ++deadlocks_;
+    if (cycle_out != nullptr) {
+      *cycle_out = std::move(cycle);
+    }
+    drop_entry_if_empty(lock);
+    return LockRequestOutcome::Deadlock;
+  }
+
+  entry.queue.push_back(Waiter{txn, mode, std::move(on_grant)});
+  waiting_on_[txn] = lock;
+  ++waiters_total_;
+  return LockRequestOutcome::Queued;
+}
+
+void LockManager::release(TxnId txn, LockId lock) {
+  auto it = table_.find(lock);
+  HLS_ASSERT(it != table_.end(), "releasing a lock with no table entry");
+  erase_holder(it->second, txn);
+  auto held_it = held_index_.find(txn);
+  HLS_ASSERT(held_it != held_index_.end(), "release: txn holds nothing");
+  auto& vec = held_it->second;
+  auto pos = std::find(vec.begin(), vec.end(), lock);
+  HLS_ASSERT(pos != vec.end(), "release: txn does not hold this lock");
+  vec.erase(pos);
+  if (vec.empty()) {
+    held_index_.erase(held_it);
+  }
+  pump_queue(lock, it->second);
+  drop_entry_if_empty(lock);
+}
+
+void LockManager::release_all(TxnId txn) {
+  cancel_waits(txn);
+  auto held_it = held_index_.find(txn);
+  if (held_it == held_index_.end()) {
+    return;
+  }
+  std::vector<LockId> locks = std::move(held_it->second);
+  held_index_.erase(held_it);
+  for (LockId lock : locks) {
+    auto it = table_.find(lock);
+    HLS_ASSERT(it != table_.end(), "held lock missing from table");
+    erase_holder(it->second, txn);
+    pump_queue(lock, it->second);
+    drop_entry_if_empty(lock);
+  }
+}
+
+std::vector<LockId> LockManager::cancel_waits(TxnId txn) {
+  std::vector<LockId> cancelled;
+  auto wait_it = waiting_on_.find(txn);
+  if (wait_it == waiting_on_.end()) {
+    return cancelled;
+  }
+  const LockId lock = wait_it->second;
+  auto it = table_.find(lock);
+  HLS_ASSERT(it != table_.end(), "waiting on a lock with no table entry");
+  auto& queue = it->second.queue;
+  for (auto q = queue.begin(); q != queue.end();) {
+    if (q->txn == txn) {
+      q = queue.erase(q);
+      --waiters_total_;
+      cancelled.push_back(lock);
+    } else {
+      ++q;
+    }
+  }
+  waiting_on_.erase(wait_it);
+  // Removing a queued request can unblock the head (e.g. an X request that
+  // was queued behind the cancelled one).
+  pump_queue(lock, it->second);
+  drop_entry_if_empty(lock);
+  return cancelled;
+}
+
+bool LockManager::holds(TxnId txn, LockId lock) const {
+  auto it = held_index_.find(txn);
+  if (it == held_index_.end()) {
+    return false;
+  }
+  return std::find(it->second.begin(), it->second.end(), lock) != it->second.end();
+}
+
+bool LockManager::is_waiting(TxnId txn) const { return waiting_on_.count(txn) != 0; }
+
+std::optional<LockId> LockManager::waiting_lock(TxnId txn) const {
+  auto it = waiting_on_.find(txn);
+  return it == waiting_on_.end() ? std::nullopt : std::optional<LockId>(it->second);
+}
+
+std::vector<LockManager::HolderInfo> LockManager::holders_of(LockId lock) const {
+  std::vector<HolderInfo> out;
+  auto it = table_.find(lock);
+  if (it == table_.end()) {
+    return out;
+  }
+  out.reserve(it->second.holders.size());
+  for (const Holder& h : it->second.holders) {
+    out.push_back(HolderInfo{h.txn, h.mode});
+  }
+  return out;
+}
+
+std::vector<LockId> LockManager::held_locks(TxnId txn) const {
+  auto it = held_index_.find(txn);
+  return it == held_index_.end() ? std::vector<LockId>{} : it->second;
+}
+
+LockManager::GrabResult LockManager::grab_for_authentication(TxnId grabber, LockId lock,
+                                                             LockMode mode) {
+  GrabResult result;
+  Entry& entry = table_[lock];
+  if (entry.coherence != 0) {
+    // In-flight asynchronous update: the central copy is stale, refuse.
+    drop_entry_if_empty(lock);
+    return result;
+  }
+  result.granted = true;
+
+  bool grabber_holds = false;
+  for (auto it = entry.holders.begin(); it != entry.holders.end();) {
+    if (it->txn == grabber) {
+      grabber_holds = true;
+      if (mode == LockMode::Exclusive) {
+        it->mode = LockMode::Exclusive;
+      }
+      ++it;
+      continue;
+    }
+    const bool conflict =
+        mode == LockMode::Exclusive || it->mode == LockMode::Exclusive;
+    if (conflict) {
+      // Preempt the local holder: it is marked for abort by the caller and
+      // must reacquire the lock on its rerun.
+      const TxnId victim = it->txn;
+      result.aborted.push_back(victim);
+      it = entry.holders.erase(it);
+      --holds_total_;
+      auto held_it = held_index_.find(victim);
+      HLS_ASSERT(held_it != held_index_.end(), "preempted holder not in index");
+      auto& vec = held_it->second;
+      auto pos = std::find(vec.begin(), vec.end(), lock);
+      HLS_ASSERT(pos != vec.end(), "preempted holder index mismatch");
+      vec.erase(pos);
+      if (vec.empty()) {
+        held_index_.erase(held_it);
+      }
+    } else {
+      ++it;
+    }
+  }
+
+  if (!grabber_holds) {
+    entry.holders.push_back(Holder{grabber, mode});
+    held_index_[grabber].push_back(lock);
+    ++holds_total_;
+  }
+  // A shared grab that evicted an exclusive holder may let queued shared
+  // requests through.
+  pump_queue(lock, entry);
+  return result;
+}
+
+void LockManager::increment_coherence(LockId lock) {
+  Entry& entry = table_[lock];
+  if (entry.coherence == 0) {
+    ++coherence_nonzero_;
+  }
+  ++entry.coherence;
+}
+
+void LockManager::decrement_coherence(LockId lock) {
+  auto it = table_.find(lock);
+  HLS_ASSERT(it != table_.end() && it->second.coherence > 0,
+             "coherence count underflow");
+  --it->second.coherence;
+  if (it->second.coherence == 0) {
+    --coherence_nonzero_;
+    drop_entry_if_empty(lock);
+  }
+}
+
+std::uint32_t LockManager::coherence_count(LockId lock) const {
+  auto it = table_.find(lock);
+  return it == table_.end() ? 0 : it->second.coherence;
+}
+
+void LockManager::pump_queue(LockId lock, Entry& entry) {
+  while (!entry.queue.empty()) {
+    Waiter& head = entry.queue.front();
+    if (!grantable(entry, head.txn, head.mode)) {
+      return;
+    }
+    // Grant: upgrade in place or append a new holder.
+    bool upgraded = false;
+    for (Holder& h : entry.holders) {
+      if (h.txn == head.txn) {
+        h.mode = LockMode::Exclusive;  // only upgrades re-request while holding
+        upgraded = true;
+      }
+    }
+    if (!upgraded) {
+      entry.holders.push_back(Holder{head.txn, head.mode});
+      held_index_[head.txn].push_back(lock);
+      ++holds_total_;
+    }
+    waiting_on_.erase(head.txn);
+    --waiters_total_;
+    GrantCallback cb = std::move(head.on_grant);
+    entry.queue.pop_front();
+    if (cb) {
+      // Dispatch through the simulator so release paths cannot reenter
+      // transaction logic synchronously.
+      sim_.schedule_after(0.0, std::move(cb));
+    }
+  }
+}
+
+std::vector<TxnId> LockManager::find_cycle(TxnId waiter, LockId lock) const {
+  auto it = table_.find(lock);
+  if (it == table_.end()) {
+    return {};
+  }
+  // Recursive DFS over the waits-for relation with path tracking. A
+  // transaction blocks on at most one lock, so the graph is sparse; the
+  // visited set keeps the walk linear.
+  std::vector<TxnId> visited;
+  std::vector<TxnId> path{waiter};
+
+  // Returns true when a path back to `waiter` is found; `path` then holds
+  // the cycle members in order.
+  auto dfs = [&](auto&& self, const Entry& entry, TxnId upto) -> bool {
+    std::vector<TxnId> blockers;
+    collect_blockers(entry, upto, blockers);
+    for (TxnId t : blockers) {
+      if (t == waiter) {
+        return true;
+      }
+      if (std::find(visited.begin(), visited.end(), t) != visited.end()) {
+        continue;
+      }
+      visited.push_back(t);
+      auto wait_it = waiting_on_.find(t);
+      if (wait_it == waiting_on_.end()) {
+        continue;  // a holder that is not itself waiting: dead end
+      }
+      auto entry_it = table_.find(wait_it->second);
+      if (entry_it == table_.end()) {
+        continue;
+      }
+      path.push_back(t);
+      if (self(self, entry_it->second, t)) {
+        return true;
+      }
+      path.pop_back();
+    }
+    return false;
+  };
+
+  if (dfs(dfs, it->second, waiter)) {
+    return path;
+  }
+  return {};
+}
+
+void LockManager::collect_blockers(const Entry& entry, TxnId upto_waiter,
+                                   std::vector<TxnId>& out) const {
+  // FIFO queuing means a waiter effectively waits for current holders and
+  // for every request queued ahead of it. Including all queued requests is
+  // slightly conservative for the incoming request (which joins the tail)
+  // but matches the FIFO grant discipline.
+  for (const Holder& h : entry.holders) {
+    if (h.txn != upto_waiter) {
+      out.push_back(h.txn);
+    }
+  }
+  for (const Waiter& w : entry.queue) {
+    if (w.txn == upto_waiter) {
+      break;
+    }
+    out.push_back(w.txn);
+  }
+}
+
+void LockManager::erase_holder(Entry& entry, TxnId txn) {
+  auto pos = std::find_if(entry.holders.begin(), entry.holders.end(),
+                          [txn](const Holder& h) { return h.txn == txn; });
+  HLS_ASSERT(pos != entry.holders.end(), "erase_holder: txn is not a holder");
+  entry.holders.erase(pos);
+  --holds_total_;
+}
+
+void LockManager::drop_entry_if_empty(LockId lock) {
+  auto it = table_.find(lock);
+  if (it != table_.end() && it->second.holders.empty() && it->second.queue.empty() &&
+      it->second.coherence == 0) {
+    table_.erase(it);
+  }
+}
+
+void LockManager::check_invariants() const {
+  std::size_t holds_count = 0;
+  std::size_t waits = 0;
+  std::size_t coherent = 0;
+  for (const auto& [lock, entry] : table_) {
+    holds_count += entry.holders.size();
+    waits += entry.queue.size();
+    if (entry.coherence != 0) {
+      ++coherent;
+    }
+    // At most one exclusive holder; exclusive implies sole holder.
+    std::size_t exclusive = 0;
+    for (const Holder& h : entry.holders) {
+      if (h.mode == LockMode::Exclusive) {
+        ++exclusive;
+      }
+      HLS_ASSERT(holds(h.txn, lock), "holder missing from index");
+    }
+    HLS_ASSERT(exclusive <= 1, "multiple exclusive holders");
+    if (exclusive == 1) {
+      HLS_ASSERT(entry.holders.size() == 1, "exclusive holder is not alone");
+    }
+    for (const Waiter& w : entry.queue) {
+      auto wit = waiting_on_.find(w.txn);
+      HLS_ASSERT(wit != waiting_on_.end() && wit->second == lock,
+                 "waiter not registered in waiting_on_");
+    }
+  }
+  HLS_ASSERT(holds_count == holds_total_, "holds_total_ out of sync");
+  HLS_ASSERT(waits == waiters_total_, "waiters_total_ out of sync");
+  HLS_ASSERT(coherent == coherence_nonzero_, "coherence_nonzero_ out of sync");
+  std::size_t index_holds = 0;
+  for (const auto& [txn, locks] : held_index_) {
+    index_holds += locks.size();
+  }
+  HLS_ASSERT(index_holds == holds_total_, "held_index_ out of sync");
+}
+
+}  // namespace hls

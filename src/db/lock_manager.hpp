@@ -1,0 +1,196 @@
+// Lock manager with the paper's dual-field lock entries (§2):
+//
+//   * a CONCURRENCY field — classic shared/exclusive granting with a FIFO
+//     wait queue, used among transactions running at the same site, and
+//   * a COHERENCE field — a counter of asynchronous updates that have been
+//     shipped to the central site but not yet acknowledged. A non-zero
+//     count means the central copy of the entity is stale; the
+//     authentication phase of a central/shipped transaction must then be
+//     refused (negative acknowledgement).
+//
+// Two grant paths exist:
+//   * request()                — normal pessimistic path: grant, queue, or
+//                                report a deadlock (waits-for cycle).
+//   * grab_for_authentication() — optimistic cross-tier path: the central
+//                                transaction preempts incompatible local
+//                                holders (they are reported back so the
+//                                caller can mark them for abort) and never
+//                                waits, exactly as §2 prescribes.
+//
+// Grant callbacks for queued requests are dispatched through the simulator
+// at the current time rather than invoked inline, so release paths cannot
+// reenter transaction logic mid-update.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "db/lock_types.hpp"
+#include "sim/simulator.hpp"
+
+namespace hls {
+
+enum class LockRequestOutcome : std::uint8_t {
+  Granted,   ///< lock granted synchronously
+  AlreadyHeld,  ///< requester already holds the lock in a sufficient mode
+  Queued,    ///< requester blocked; the on_grant callback fires later
+  Deadlock,  ///< waiting would close a waits-for cycle; caller must abort
+};
+
+class LockManager {
+ public:
+  using GrantCallback = std::function<void()>;
+
+  LockManager(Simulator& sim, std::string name);
+
+  LockManager(const LockManager&) = delete;
+  LockManager& operator=(const LockManager&) = delete;
+
+  // ---- concurrency field ----
+
+  /// Requests `lock` in `mode` for `txn`. If the result is Queued, `on_grant`
+  /// fires (via the simulator, at the grant time) once the lock is granted.
+  /// A Shared request by a transaction already holding Exclusive is
+  /// AlreadyHeld; an Exclusive request by a Shared holder is an upgrade and
+  /// follows the normal grant/queue/deadlock rules.
+  ///
+  /// On Deadlock, `cycle_out` (when non-null) receives the transactions on
+  /// the detected waits-for cycle (the requester first), so the caller can
+  /// apply a victim-selection policy other than abort-the-requester.
+  LockRequestOutcome request(TxnId txn, LockId lock, LockMode mode,
+                             GrantCallback on_grant,
+                             std::vector<TxnId>* cycle_out = nullptr);
+
+  /// Releases one lock held by `txn`; grants queued compatible waiters.
+  void release(TxnId txn, LockId lock);
+
+  /// Releases every lock held by `txn` and removes any queued requests it
+  /// still has pending (used on deadlock abort and at commit).
+  void release_all(TxnId txn);
+
+  /// Removes `txn`'s queued (not yet granted) requests without touching the
+  /// locks it holds. Returns the lock ids of the cancelled requests.
+  std::vector<LockId> cancel_waits(TxnId txn);
+
+  [[nodiscard]] bool holds(TxnId txn, LockId lock) const;
+  [[nodiscard]] bool is_waiting(TxnId txn) const;
+
+  /// The lock `txn` is currently blocked on, or nullopt. Lets timeout logic
+  /// verify a wait is still the SAME wait it armed for.
+  [[nodiscard]] std::optional<LockId> waiting_lock(TxnId txn) const;
+
+  /// Current holders of `lock` (empty when unheld). Used by the protocol
+  /// engine to find victims when an asynchronous update invalidates central
+  /// locks, and to classify holders during authentication.
+  struct HolderInfo {
+    TxnId txn;
+    LockMode mode;
+  };
+  [[nodiscard]] std::vector<HolderInfo> holders_of(LockId lock) const;
+
+  /// Locks currently held by `txn` (order unspecified).
+  [[nodiscard]] std::vector<LockId> held_locks(TxnId txn) const;
+
+  // ---- optimistic cross-tier path (authentication phase) ----
+
+  struct GrabResult {
+    bool granted = false;             ///< false iff refused by coherence count
+    std::vector<TxnId> aborted;       ///< local holders preempted by the grab
+  };
+
+  /// Authentication-phase grab by central/shipped transaction `grabber`:
+  ///   * if the entity's coherence count is non-zero, the grab is refused
+  ///     (negative acknowledgement) and nothing changes;
+  ///   * otherwise incompatible local holders lose the lock and are returned
+  ///     in `aborted` (the caller marks them for abort), and `grabber`
+  ///     becomes a holder. The grab never waits.
+  GrabResult grab_for_authentication(TxnId grabber, LockId lock, LockMode mode);
+
+  // ---- coherence field ----
+
+  /// Marks one in-flight asynchronous update of `lock` (local commit shipped
+  /// an update whose acknowledgement is pending).
+  void increment_coherence(LockId lock);
+
+  /// Acknowledges one in-flight update; count must be positive.
+  void decrement_coherence(LockId lock);
+
+  [[nodiscard]] std::uint32_t coherence_count(LockId lock) const;
+
+  // ---- observability (routing strategies / tests) ----
+
+  /// Total number of (txn, lock) holds in the table — the paper's "number of
+  /// locks held at the site" input to the dynamic strategies.
+  [[nodiscard]] std::size_t locks_held() const { return holds_total_; }
+
+  /// Number of queued (blocked) requests.
+  [[nodiscard]] std::size_t waiters() const { return waiters_total_; }
+
+  /// Number of entities with a non-zero coherence count.
+  [[nodiscard]] std::size_t pending_coherence_entities() const {
+    return coherence_nonzero_;
+  }
+
+  [[nodiscard]] std::uint64_t deadlocks_detected() const { return deadlocks_; }
+  [[nodiscard]] const std::string& name() const { return name_; }
+
+  /// DFS over the waits-for relation: if blocking `waiter` on `lock` would
+  /// close a cycle back to `waiter`, returns the cycle's members (waiter
+  /// first, then the chain of transactions it would transitively wait on);
+  /// empty when waiting is safe. Exposed for diagnostics; request() invokes
+  /// it internally before queueing a blocked request.
+  [[nodiscard]] std::vector<TxnId> find_cycle(TxnId waiter, LockId lock) const;
+
+  /// Internal-consistency check used by tests: every index entry matches the
+  /// table and counters match reality. Aborts on violation.
+  void check_invariants() const;
+
+ private:
+  struct Holder {
+    TxnId txn;
+    LockMode mode;
+  };
+  struct Waiter {
+    TxnId txn;
+    LockMode mode;
+    GrantCallback on_grant;
+  };
+  struct Entry {
+    std::vector<Holder> holders;
+    std::deque<Waiter> queue;
+    std::uint32_t coherence = 0;
+  };
+
+  /// True when `txn` may be granted `mode` on `entry` right now, considering
+  /// both holders and FIFO fairness (no earlier incompatible waiter).
+  [[nodiscard]] static bool grantable(const Entry& entry, TxnId txn, LockMode mode);
+
+  /// Grants queue-head requests while they are grantable.
+  void pump_queue(LockId lock, Entry& entry);
+
+  void collect_blockers(const Entry& entry, TxnId upto_waiter,
+                        std::vector<TxnId>& out) const;
+
+  void erase_holder(Entry& entry, TxnId txn);
+  void drop_entry_if_empty(LockId lock);
+
+  Simulator& sim_;
+  std::string name_;
+  std::unordered_map<LockId, Entry> table_;
+  // txn -> set of held lock ids (vector: txns hold ~10 locks)
+  std::unordered_map<TxnId, std::vector<LockId>> held_index_;
+  // txn -> lock id it is currently blocked on (a txn waits on one lock)
+  std::unordered_map<TxnId, LockId> waiting_on_;
+  std::size_t holds_total_ = 0;
+  std::size_t waiters_total_ = 0;
+  std::size_t coherence_nonzero_ = 0;
+  std::uint64_t deadlocks_ = 0;
+};
+
+}  // namespace hls

@@ -1,0 +1,23 @@
+// Shared identifiers and enums for the database layer.
+#pragma once
+
+#include <cstdint>
+
+namespace hls {
+
+/// Identifies one lockable entity (the paper's "lock space" element).
+using LockId = std::uint32_t;
+
+/// Globally unique transaction identifier.
+using TxnId = std::uint64_t;
+
+inline constexpr TxnId kInvalidTxn = 0;
+
+enum class LockMode : std::uint8_t { Shared, Exclusive };
+
+/// True when a holder in `held` is compatible with a request in `requested`.
+[[nodiscard]] constexpr bool compatible(LockMode held, LockMode requested) {
+  return held == LockMode::Shared && requested == LockMode::Shared;
+}
+
+}  // namespace hls

@@ -1,0 +1,158 @@
+// System configuration for the hybrid distributed-centralized architecture.
+//
+// Defaults reproduce the paper's baseline (§4.1): 10 local sites of 1 MIPS,
+// a 15-MIPS central complex, 0.2 s one-way links, 75% class A transactions,
+// a 32K-element global lock space of which each site masters one tenth, and
+// the [YU87] pathlengths quoted in §3.1 (10 DB calls x 30K instructions,
+// 150K instructions of message handling / initiation per transaction).
+//
+// I/O constants are not printed in the paper (they come from the authors'
+// trace); the defaults below are typical late-1980s disk times and are
+// documented as a substitution in DESIGN.md.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "db/lock_types.hpp"
+#include "util/assert.hpp"
+
+namespace hls {
+
+/// Which transaction aborts when a waits-for cycle is detected.
+enum class DeadlockVictim : std::uint8_t {
+  Requester,  ///< the transaction whose request closed the cycle (paper §4.1)
+  Youngest,   ///< the most recently arrived transaction on the cycle — it has
+              ///< the least work to redo (ablation)
+};
+
+/// How class B (global-data) transactions execute. The paper ships them to
+/// the central site and notes the alternative without analyzing it
+/// (§3: "potentially, these transactions could be run at a local site,
+/// making remote function calls to the central site to obtain required
+/// data; however, we do not analyze this possibility here"). RemoteCalls
+/// implements that alternative: processing stays at the home site and every
+/// database call round-trips to the central copy, after which commit uses
+/// the normal authentication phase.
+enum class ClassBMode : std::uint8_t {
+  Ship,         ///< ship the whole transaction to the central site (paper)
+  RemoteCalls,  ///< run at home; one round trip per database call
+};
+
+struct SystemConfig {
+  // ---- topology ----
+  int num_sites = 10;
+  double local_mips = 1.0;     ///< local CPU speed, millions of instr/s
+  double central_mips = 15.0;  ///< central CPU speed, millions of instr/s
+  double comm_delay = 0.2;     ///< one-way local<->central delay, seconds
+
+  /// Optional per-site CPU speed override (heterogeneous regions); empty =
+  /// every site runs at local_mips. When set, must have num_sites entries.
+  /// §5 lists the local/central MIPS among the factors the threshold
+  /// heuristic must be retuned for; heterogeneity makes that concrete.
+  std::vector<double> local_mips_per_site;
+
+  // ---- workload ----
+  double arrival_rate_per_site = 1.0;  ///< Poisson arrivals per site, txn/s
+  double prob_class_a = 0.75;          ///< fraction of purely-local (class A) txns
+
+  // ---- transaction shape (per §3.1 / [YU87]) ----
+  int db_calls_per_txn = 10;
+  /// When true, the number of DB calls is geometric with mean
+  /// db_calls_per_txn (truncated to [1, 8x mean]) instead of fixed —
+  /// a variable-length workload extension for sensitivity studies.
+  bool geometric_call_count = false;
+  double instr_per_call = 30e3;    ///< database call processing
+  double instr_msg_init = 75e3;    ///< arrival-side half of the 150K message path
+  double instr_msg_commit = 75e3;  ///< commit-side half of the 150K message path
+  double setup_io_time = 0.035;    ///< initial I/O before any lock is held, s
+  double call_io_time = 0.025;     ///< I/O per database call, s
+  double prob_call_io = 1.0;       ///< fraction of DB calls that do an I/O
+  double prob_write_lock = 0.25;   ///< probability a lock request is exclusive
+
+  // ---- lock space ----
+  std::uint32_t lockspace = 32768;  ///< global number of lockable entities
+
+  // ---- protocol overhead pathlengths (instructions) ----
+  double instr_ship_forward = 15e3;       ///< local: forward a shipped txn's input
+  double instr_apply_update = 10e3;       ///< central: apply one async update msg
+  double instr_apply_update_item = 2e3;   ///< central: extra per batched item
+
+  /// Batching window for asynchronous update propagation (§2: "these
+  /// asynchronous messages may also be batched to reduce the overheads
+  /// involved"). 0 disables batching: every local commit ships its own
+  /// message. With a window w > 0, a site accumulates committed updates and
+  /// flushes them as one message at most w seconds after the first pending
+  /// update. Batching trades central apply overhead against longer
+  /// coherence windows (more authentication refusals).
+  double async_batch_window = 0.0;
+  double instr_recv_ack = 2e3;            ///< local: process an async-update ack
+  double instr_auth_local = 10e3;         ///< local: process an authentication request
+  double instr_commit_apply_local = 5e3;  ///< local: apply a central commit msg
+  double instr_send_async = 5e3;          ///< local: send the async update at commit
+
+  // ---- control ----
+  DeadlockVictim deadlock_victim = DeadlockVictim::Requester;
+  ClassBMode class_b_mode = ClassBMode::Ship;
+  double instr_remote_call = 15e3;  ///< central: serve one remote DB call
+  std::uint64_t seed = 1;
+  double abort_restart_delay = 0.0;  ///< optional backoff before a rerun, s
+  int max_reruns = 1000;             ///< safety valve against livelock bugs
+  bool ideal_state_info = false;     ///< strategies see fresh central state
+
+  /// Lock ids mastered by site s: [s*partition, (s+1)*partition).
+  [[nodiscard]] std::uint32_t partition_size() const {
+    return lockspace / static_cast<std::uint32_t>(num_sites);
+  }
+
+  [[nodiscard]] int owner_site(LockId lock) const {
+    const int site = static_cast<int>(lock / partition_size());
+    return site >= num_sites ? num_sites - 1 : site;  // remainder ids -> last site
+  }
+
+  [[nodiscard]] double local_cpu_seconds(double instructions) const {
+    return instructions / (local_mips * 1e6);
+  }
+
+  /// Site s's CPU speed (the per-site override when present).
+  [[nodiscard]] double site_mips(int s) const {
+    return local_mips_per_site.empty() ? local_mips
+                                       : local_mips_per_site[static_cast<std::size_t>(s)];
+  }
+
+  [[nodiscard]] double site_cpu_seconds(int s, double instructions) const {
+    return instructions / (site_mips(s) * 1e6);
+  }
+
+  [[nodiscard]] double central_cpu_seconds(double instructions) const {
+    return instructions / (central_mips * 1e6);
+  }
+
+  /// Total new-transaction arrival rate over all sites, txn/s.
+  [[nodiscard]] double total_arrival_rate() const {
+    return arrival_rate_per_site * num_sites;
+  }
+
+  /// Aborts if the configuration is internally inconsistent.
+  void validate() const {
+    HLS_ASSERT(num_sites >= 1, "need at least one local site");
+    HLS_ASSERT(local_mips > 0 && central_mips > 0, "MIPS must be positive");
+    HLS_ASSERT(comm_delay >= 0, "negative communications delay");
+    HLS_ASSERT(arrival_rate_per_site >= 0, "negative arrival rate");
+    HLS_ASSERT(prob_class_a >= 0 && prob_class_a <= 1, "prob_class_a out of range");
+    HLS_ASSERT(db_calls_per_txn >= 1, "transactions need at least one DB call");
+    HLS_ASSERT(lockspace >= static_cast<std::uint32_t>(num_sites),
+               "lock space smaller than site count");
+    HLS_ASSERT(prob_write_lock >= 0 && prob_write_lock <= 1,
+               "prob_write_lock out of range");
+    HLS_ASSERT(prob_call_io >= 0 && prob_call_io <= 1, "prob_call_io out of range");
+    HLS_ASSERT(local_mips_per_site.empty() ||
+                   local_mips_per_site.size() == static_cast<std::size_t>(num_sites),
+               "local_mips_per_site must be empty or have num_sites entries");
+    for (double mips : local_mips_per_site) {
+      HLS_ASSERT(mips > 0, "per-site MIPS must be positive");
+    }
+  }
+};
+
+}  // namespace hls

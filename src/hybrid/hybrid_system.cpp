@@ -1,0 +1,991 @@
+#include "hybrid/hybrid_system.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/assert.hpp"
+#include "util/logging.hpp"
+
+namespace hls {
+
+HybridSystem::HybridSystem(SystemConfig cfg, std::unique_ptr<RoutingStrategy> strategy)
+    : cfg_(cfg),
+      strategy_(std::move(strategy)),
+      factory_(cfg_, Rng(cfg.seed)),
+      rng_(cfg.seed ^ 0xA5A5A5A5A5A5A5A5ULL) {
+  cfg_.validate();
+  HLS_ASSERT(strategy_ != nullptr, "HybridSystem requires a routing strategy");
+
+  central_.cpu = std::make_unique<FcfsResource>(sim_, "central-cpu");
+  central_.locks = std::make_unique<LockManager>(sim_, "central-locks");
+
+  sites_.resize(cfg_.num_sites);
+  site_metrics_.resize(cfg_.num_sites);
+  for (int s = 0; s < cfg_.num_sites; ++s) {
+    SiteState& site = sites_[s];
+    site.index = s;
+    const std::string tag = "site" + std::to_string(s);
+    site.cpu = std::make_unique<FcfsResource>(sim_, tag + "-cpu");
+    site.locks = std::make_unique<LockManager>(sim_, tag + "-locks");
+    site.up = std::make_unique<Link>(sim_, cfg_.comm_delay, tag + "-up");
+    site.down = std::make_unique<Link>(sim_, cfg_.comm_delay, tag + "-down");
+    site.arrivals = std::make_unique<ArrivalProcess>(sim_, rng_.fork(),
+                                                     cfg_.arrival_rate_per_site);
+  }
+}
+
+HybridSystem::~HybridSystem() = default;
+
+// --------------------------------------------------------------------------
+// experiment control
+
+void HybridSystem::enable_arrivals() {
+  HLS_ASSERT(!arrivals_enabled_, "arrivals already enabled");
+  arrivals_enabled_ = true;
+  for (SiteState& site : sites_) {
+    site.arrivals->start([this, s = site.index] { on_arrival(s); });
+  }
+}
+
+void HybridSystem::set_arrival_rate_function(int site, RateFunction rate,
+                                             double max_rate) {
+  HLS_ASSERT(!arrivals_enabled_, "cannot replace a running arrival process");
+  HLS_ASSERT(site >= 0 && site < cfg_.num_sites, "site index out of range");
+  sites_[site].arrivals =
+      std::make_unique<ArrivalProcess>(sim_, rng_.fork(), std::move(rate), max_rate);
+}
+
+void HybridSystem::stop_arrivals() {
+  for (SiteState& site : sites_) {
+    site.arrivals->stop();
+  }
+}
+
+void HybridSystem::drain() { sim_.run(); }
+
+void HybridSystem::run_for(double seconds) { sim_.run_until(sim_.now() + seconds); }
+
+void HybridSystem::begin_measurement() {
+  metrics_.reset(sim_.now());
+  central_.cpu->reset_stats();
+  for (SiteState& site : sites_) {
+    site.cpu->reset_stats();
+  }
+  for (SiteMetrics& sm : site_metrics_) {
+    sm = SiteMetrics{};
+  }
+}
+
+void HybridSystem::end_measurement() {
+  metrics_.measure_end = sim_.now();
+  metrics_.central_utilization = central_.cpu->utilization();
+  metrics_.central_avg_queue = central_.cpu->average_queue_length();
+  double util_sum = 0.0;
+  double queue_sum = 0.0;
+  for (const SiteState& site : sites_) {
+    util_sum += site.cpu->utilization();
+    queue_sum += site.cpu->average_queue_length();
+  }
+  metrics_.mean_local_utilization = util_sum / static_cast<double>(cfg_.num_sites);
+  metrics_.mean_local_avg_queue = queue_sum / static_cast<double>(cfg_.num_sites);
+}
+
+TxnId HybridSystem::inject(TxnClass cls, int site) {
+  return inject_transaction(factory_.make_of_class(cls, site, sim_.now()));
+}
+
+TxnId HybridSystem::inject_transaction(Transaction txn) {
+  HLS_ASSERT(txn.id != kInvalidTxn, "transaction must have a valid id");
+  HLS_ASSERT(txn.home_site >= 0 && txn.home_site < cfg_.num_sites,
+             "home site out of range");
+  const TxnId id = txn.id;
+  txn.arrival_time = sim_.now();
+  admit(std::move(txn));
+  return id;
+}
+
+// --------------------------------------------------------------------------
+// plumbing
+
+Transaction* HybridSystem::find(TxnId id, std::uint64_t epoch) {
+  auto it = live_.find(id);
+  if (it == live_.end() || it->second->epoch != epoch) {
+    return nullptr;  // completed, or aborted+rerun since the event was armed
+  }
+  return it->second.get();
+}
+
+void HybridSystem::cpu_burst(FcfsResource& cpu, double seconds, TxnId id,
+                             std::uint64_t epoch,
+                             void (HybridSystem::*next)(Transaction*)) {
+  cpu.submit(seconds, [this, id, epoch, next] {
+    if (Transaction* txn = find(id, epoch)) {
+      (this->*next)(txn);
+    }
+  });
+}
+
+void HybridSystem::wait(double seconds, TxnId id, std::uint64_t epoch,
+                        void (HybridSystem::*next)(Transaction*)) {
+  sim_.schedule_after(seconds, [this, id, epoch, next] {
+    if (Transaction* txn = find(id, epoch)) {
+      (this->*next)(txn);
+    }
+  });
+}
+
+void HybridSystem::send_up(int site, std::function<void()> deliver) {
+  sites_[site].up->send(std::move(deliver));
+}
+
+void HybridSystem::send_down(int site, std::function<void()> deliver) {
+  // Every central->site message piggybacks the central state as of send
+  // time; this is the (delayed) information the dynamic strategies see.
+  CentralSnapshot snap;
+  snap.taken_at = sim_.now();
+  snap.cpu_queue = static_cast<int>(central_.cpu->queue_length());
+  snap.num_txns = central_.resident_txns;
+  snap.locks_held = static_cast<int>(central_.locks->locks_held());
+  sites_[site].down->send([this, site, snap, cb = std::move(deliver)] {
+    sites_[site].central_view = snap;
+    cb();
+  });
+}
+
+void HybridSystem::complete(Transaction* txn, SimTime completion_time) {
+  const double rt = completion_time - txn->arrival_time;
+  HLS_ASSERT(rt >= 0.0, "negative response time");
+  metrics_.rt_all.add(rt);
+  metrics_.rt_histogram.add(rt);
+  ++metrics_.completions;
+  if (txn->run_count == 0) {
+    metrics_.rt_first_try.add(rt);
+  } else {
+    metrics_.rt_rerun.add(rt);
+  }
+  metrics_.max_reruns_seen = std::max(metrics_.max_reruns_seen, txn->run_count);
+
+  SiteState& home = sites_[txn->home_site];
+  SiteMetrics& home_metrics = site_metrics_[txn->home_site];
+  if (txn->cls == TxnClass::B) {
+    metrics_.rt_class_b.add(rt);
+    ++metrics_.completions_class_b;
+    --central_.resident_txns;
+  } else if (txn->route == Route::Central) {
+    metrics_.rt_shipped_a.add(rt);
+    ++metrics_.completions_shipped_a;
+    --central_.resident_txns;
+    --home.shipped_in_flight;
+    home.last_shipped_rt = rt;
+    home_metrics.rt_shipped_a.add(rt);
+  } else {
+    metrics_.rt_local_a.add(rt);
+    ++metrics_.completions_local_a;
+    --home.resident_txns;
+    home.last_local_rt = rt;
+    home_metrics.rt_local_a.add(rt);
+  }
+  HLS_ASSERT(central_.resident_txns >= 0, "central residency underflow");
+  HLS_ASSERT(home.resident_txns >= 0 && home.shipped_in_flight >= 0,
+             "site residency underflow");
+
+  if (completion_hook_) {
+    TxnCompletionRecord record;
+    record.id = txn->id;
+    record.cls = txn->cls;
+    record.route = txn->route;
+    record.home_site = txn->home_site;
+    record.arrival_time = txn->arrival_time;
+    record.completion_time = completion_time;
+    record.response_time = rt;
+    record.runs = txn->run_count + 1;
+    for (int i = 0; i < static_cast<int>(AbortCause::kCount); ++i) {
+      record.aborts[i] = txn->aborts[i];
+    }
+    completion_hook_(record);
+  }
+  live_.erase(txn->id);
+}
+
+void HybridSystem::prepare_rerun(Transaction* txn, AbortCause cause) {
+  txn->count_abort(cause);
+  ++metrics_.aborts[static_cast<int>(cause)];
+  ++metrics_.reruns;
+  ++txn->run_count;
+  ++txn->epoch;
+  txn->call_index = 0;
+  txn->marked_abort = false;
+  txn->auth_pending_acks = 0;
+  txn->auth_any_negative = false;
+  txn->auth_sites.clear();
+  HLS_ASSERT(txn->run_count <= cfg_.max_reruns,
+             "transaction exceeded max_reruns: livelock or protocol bug");
+}
+
+Transaction* HybridSystem::choose_deadlock_victim(Transaction* requester,
+                                                  const std::vector<TxnId>& cycle) {
+  if (cfg_.deadlock_victim == DeadlockVictim::Requester) {
+    return requester;
+  }
+  // Youngest: the most recently arrived live cycle member. A member that is
+  // mid-authentication never appears here (authenticating transactions do
+  // not wait on locks), so force-aborting any candidate is safe.
+  Transaction* youngest = requester;
+  for (TxnId id : cycle) {
+    auto it = live_.find(id);
+    if (it == live_.end()) {
+      continue;
+    }
+    Transaction* t = it->second.get();
+    if (t->arrival_time > youngest->arrival_time) {
+      youngest = t;
+    }
+  }
+  return youngest;
+}
+
+void HybridSystem::force_abort_victim(Transaction* victim) {
+  HLS_ASSERT(victim->auth_pending_acks == 0,
+             "deadlock victim cannot be mid-authentication");
+  if (victim->cls == TxnClass::A && victim->route == Route::Local) {
+    local_abort(victim, AbortCause::Deadlock, /*release_everything=*/true);
+  } else {
+    central_abort_rerun(victim, AbortCause::Deadlock,
+                        /*release_everything=*/true);
+  }
+}
+
+// --------------------------------------------------------------------------
+// arrivals / routing
+
+void HybridSystem::on_arrival(int site) { admit(factory_.make(site, sim_.now())); }
+
+void HybridSystem::admit(Transaction txn) {
+  auto owned = std::make_unique<Transaction>(std::move(txn));
+  Transaction* t = owned.get();
+  HLS_ASSERT(live_.emplace(t->id, std::move(owned)).second, "duplicate txn id");
+
+  SiteState& home = sites_[t->home_site];
+  if (t->cls == TxnClass::B) {
+    ++metrics_.arrivals_class_b;
+    t->route = Route::Central;
+    if (is_rfc(*t)) {
+      // Remote-call mode: processing stays home, data stays central.
+      ++central_.resident_txns;
+      rfc_start_run(t);
+    } else {
+      ship_to_central(t);
+    }
+    return;
+  }
+
+  ++metrics_.arrivals_class_a;
+  ++site_metrics_[t->home_site].arrivals_class_a;
+  t->route = strategy_->decide(*t, make_state_view(t->home_site));
+  if (t->route == Route::Central) {
+    ++metrics_.shipped_class_a;
+    ++site_metrics_[t->home_site].shipped_class_a;
+    ++home.shipped_in_flight;
+    ship_to_central(t);
+  } else {
+    ++home.resident_txns;
+    local_start_run(t);
+  }
+}
+
+SystemStateView HybridSystem::make_state_view(int site) const {
+  HLS_ASSERT(site >= 0 && site < cfg_.num_sites, "site index out of range");
+  const SiteState& s = sites_[site];
+  SystemStateView view;
+  view.config = &cfg_;
+  view.now = sim_.now();
+  view.site = site;
+  view.local_cpu_queue = static_cast<int>(s.cpu->queue_length());
+  view.local_num_txns = s.resident_txns;
+  view.local_locks_held = static_cast<int>(s.locks->locks_held());
+  view.shipped_in_flight = s.shipped_in_flight;
+  view.last_local_rt = s.last_local_rt;
+  view.last_shipped_rt = s.last_shipped_rt;
+  if (cfg_.ideal_state_info) {
+    view.central_info_age = 0.0;
+    view.central_cpu_queue = static_cast<int>(central_.cpu->queue_length());
+    view.central_num_txns = central_.resident_txns;
+    view.central_locks_held = static_cast<int>(central_.locks->locks_held());
+  } else {
+    view.central_info_age = sim_.now() - s.central_view.taken_at;
+    view.central_cpu_queue = s.central_view.cpu_queue;
+    view.central_num_txns = s.central_view.num_txns;
+    view.central_locks_held = s.central_view.locks_held;
+  }
+  return view;
+}
+
+// --------------------------------------------------------------------------
+// local class A execution
+
+void HybridSystem::local_start_run(Transaction* txn) {
+  cpu_burst(*sites_[txn->home_site].cpu, cfg_.site_cpu_seconds(txn->home_site, cfg_.instr_msg_init),
+            txn->id, txn->epoch, &HybridSystem::local_after_init);
+}
+
+void HybridSystem::local_after_init(Transaction* txn) {
+  if (txn->is_rerun()) {
+    // Re-referenced data is memory resident: skip the setup I/O.
+    local_do_call(txn);
+  } else {
+    wait(cfg_.setup_io_time, txn->id, txn->epoch, &HybridSystem::local_do_call);
+  }
+}
+
+void HybridSystem::local_do_call(Transaction* txn) {
+  if (txn->call_index >= static_cast<int>(txn->locks.size())) {
+    local_commit(txn);
+    return;
+  }
+  cpu_burst(*sites_[txn->home_site].cpu, cfg_.site_cpu_seconds(txn->home_site, cfg_.instr_per_call),
+            txn->id, txn->epoch, &HybridSystem::local_after_call_cpu);
+}
+
+void HybridSystem::local_after_call_cpu(Transaction* txn) {
+  LockManager& lm = *sites_[txn->home_site].locks;
+  // Retry loop: when the victim policy aborts another cycle member, the
+  // requester's lock request is re-issued (each force-abort removes one
+  // waiter, so this terminates).
+  for (;;) {
+    const LockNeed& need = txn->locks[txn->call_index];
+    std::vector<TxnId> cycle;
+    const auto outcome =
+        lm.request(txn->id, need.id, need.mode,
+                   [this, id = txn->id, epoch = txn->epoch] {
+                     if (Transaction* t = find(id, epoch)) {
+                       local_lock_granted(t);
+                     }
+                   },
+                   &cycle);
+    switch (outcome) {
+      case LockRequestOutcome::Granted:
+      case LockRequestOutcome::AlreadyHeld:
+        local_lock_granted(txn);
+        return;
+      case LockRequestOutcome::Queued:
+        return;  // local_lock_granted fires on grant
+      case LockRequestOutcome::Deadlock: {
+        Transaction* victim = choose_deadlock_victim(txn, cycle);
+        if (victim == txn) {
+          local_abort(txn, AbortCause::Deadlock, /*release_everything=*/true);
+          return;
+        }
+        force_abort_victim(victim);
+        continue;
+      }
+    }
+  }
+}
+
+void HybridSystem::local_lock_granted(Transaction* txn) {
+  const bool do_io = !txn->is_rerun() && txn->call_io[txn->call_index];
+  ++txn->call_index;
+  if (do_io) {
+    wait(cfg_.call_io_time, txn->id, txn->epoch, &HybridSystem::local_do_call);
+  } else {
+    local_do_call(txn);
+  }
+}
+
+void HybridSystem::local_commit(Transaction* txn) {
+  if (txn->marked_abort) {
+    // Preempted by an authenticating central transaction; abort and rerun.
+    // Surviving locks are kept (§3.1: locks are not released after an abort).
+    local_abort(txn, AbortCause::LocalPreempted, /*release_everything=*/false);
+    return;
+  }
+  double instr = cfg_.instr_msg_commit;
+  if (txn->writes_anything()) {
+    instr += cfg_.instr_send_async;
+  }
+  cpu_burst(*sites_[txn->home_site].cpu,
+            cfg_.site_cpu_seconds(txn->home_site, instr), txn->id,
+            txn->epoch, &HybridSystem::local_after_commit_cpu);
+}
+
+void HybridSystem::local_after_commit_cpu(Transaction* txn) {
+  if (txn->marked_abort) {
+    // Marked while commit processing was queued/in service.
+    local_abort(txn, AbortCause::LocalPreempted, /*release_everything=*/false);
+    return;
+  }
+  local_finalize(txn);
+}
+
+void HybridSystem::local_finalize(Transaction* txn) {
+  SiteState& home = sites_[txn->home_site];
+  LockManager& lm = *home.locks;
+
+  // Updated entities: the exclusive locks this transaction holds. (If it is
+  // unmarked at commit it still holds every lock it acquired.)
+  std::vector<LockId> updated;
+  for (const LockNeed& need : txn->locks) {
+    if (need.mode != LockMode::Exclusive) {
+      continue;
+    }
+    HLS_ASSERT(lm.holds(txn->id, need.id), "unmarked committer lost a lock");
+    if (std::find(updated.begin(), updated.end(), need.id) == updated.end()) {
+      updated.push_back(need.id);
+    }
+  }
+
+  // Release the concurrency fields and flag the pending update propagation
+  // in the coherence fields, then ship one asynchronous update message. The
+  // transaction completes without waiting for any acknowledgement.
+  lm.release_all(txn->id);
+  for (LockId item : updated) {
+    lm.increment_coherence(item);
+  }
+  if (!updated.empty()) {
+    queue_async_update(txn->home_site, std::move(updated));
+  }
+  complete(txn, sim_.now());
+}
+
+void HybridSystem::local_abort(Transaction* txn, AbortCause cause,
+                               bool release_everything) {
+  LockManager& lm = *sites_[txn->home_site].locks;
+  if (release_everything) {
+    lm.release_all(txn->id);
+  } else {
+    lm.cancel_waits(txn->id);  // defensive: commit-time aborts never wait
+  }
+  prepare_rerun(txn, cause);
+  if (cfg_.abort_restart_delay > 0.0) {
+    wait(cfg_.abort_restart_delay, txn->id, txn->epoch,
+         &HybridSystem::local_start_run);
+  } else {
+    local_start_run(txn);
+  }
+}
+
+// --------------------------------------------------------------------------
+// asynchronous update propagation
+
+void HybridSystem::queue_async_update(int site, std::vector<LockId> items) {
+  if (cfg_.async_batch_window <= 0.0) {
+    send_async_update(site, std::move(items));
+    return;
+  }
+  SiteState& s = sites_[site];
+  s.pending_updates.insert(s.pending_updates.end(), items.begin(), items.end());
+  if (s.flush_armed) {
+    return;  // a flush is already scheduled; this commit rides along
+  }
+  s.flush_armed = true;
+  sim_.schedule_after(cfg_.async_batch_window, [this, site] {
+    SiteState& st = sites_[site];
+    st.flush_armed = false;
+    if (!st.pending_updates.empty()) {
+      std::vector<LockId> batch;
+      batch.swap(st.pending_updates);
+      send_async_update(site, std::move(batch));
+    }
+  });
+}
+
+void HybridSystem::send_async_update(int site, std::vector<LockId> items) {
+  ++metrics_.async_updates_sent;
+  // Apply cost: fixed per-message overhead plus a per-item component — the
+  // saving that §2's batching suggestion is after.
+  const double apply_cpu = cfg_.central_cpu_seconds(
+      cfg_.instr_apply_update +
+      cfg_.instr_apply_update_item * static_cast<double>(items.size()));
+  send_up(site, [this, site, apply_cpu, items = std::move(items)] {
+    // Delivered at the central site: queue the apply work on the central CPU.
+    central_.cpu->submit(apply_cpu,
+                         [this, site, items] { central_apply_update(site, items); });
+  });
+}
+
+void HybridSystem::central_apply_update(int site, const std::vector<LockId>& items) {
+  // Invalidate central locks on the updated entities: holders are marked for
+  // abort and lose the lock, so later central transactions see fresh data.
+  for (LockId item : items) {
+    for (const auto& holder : central_.locks->holders_of(item)) {
+      auto it = live_.find(holder.txn);
+      HLS_ASSERT(it != live_.end(), "central lock held by a dead transaction");
+      it->second->marked_abort = true;
+      central_.locks->release(holder.txn, item);
+    }
+  }
+  // Acknowledge back to the master site; the ack processing decrements the
+  // coherence counts that were raised at local commit.
+  send_down(site, [this, site, items] {
+    sites_[site].cpu->submit(
+        cfg_.site_cpu_seconds(site, cfg_.instr_recv_ack), [this, site, items] {
+          for (LockId item : items) {
+            sites_[site].locks->decrement_coherence(item);
+          }
+        });
+  });
+}
+
+// --------------------------------------------------------------------------
+// central execution (class B and shipped class A)
+
+void HybridSystem::ship_to_central(Transaction* txn) {
+  // Input-message forwarding consumes home-site CPU, then the transaction
+  // travels one link delay to the central complex.
+  SiteState& home = sites_[txn->home_site];
+  home.cpu->submit(cfg_.site_cpu_seconds(txn->home_site, cfg_.instr_ship_forward),
+                   [this, id = txn->id, epoch = txn->epoch] {
+                     Transaction* t = find(id, epoch);
+                     if (t == nullptr) {
+                       return;
+                     }
+                     send_up(t->home_site, [this, id, epoch] {
+                       if (Transaction* t2 = find(id, epoch)) {
+                         ++central_.resident_txns;
+                         central_start_run(t2);
+                       }
+                     });
+                   });
+}
+
+void HybridSystem::central_start_run(Transaction* txn) {
+  cpu_burst(*central_.cpu, cfg_.central_cpu_seconds(cfg_.instr_msg_init), txn->id,
+            txn->epoch, &HybridSystem::central_after_init);
+}
+
+void HybridSystem::central_after_init(Transaction* txn) {
+  if (txn->is_rerun()) {
+    central_do_call(txn);
+  } else {
+    wait(cfg_.setup_io_time, txn->id, txn->epoch, &HybridSystem::central_do_call);
+  }
+}
+
+void HybridSystem::central_do_call(Transaction* txn) {
+  if (txn->call_index >= static_cast<int>(txn->locks.size())) {
+    central_commit(txn);
+    return;
+  }
+  cpu_burst(*central_.cpu, cfg_.central_cpu_seconds(cfg_.instr_per_call), txn->id,
+            txn->epoch, &HybridSystem::central_after_call_cpu);
+}
+
+void HybridSystem::central_after_call_cpu(Transaction* txn) {
+  for (;;) {
+    const LockNeed& need = txn->locks[txn->call_index];
+    std::vector<TxnId> cycle;
+    const auto outcome =
+        central_.locks->request(txn->id, need.id, need.mode,
+                                [this, id = txn->id, epoch = txn->epoch] {
+                                  if (Transaction* t = find(id, epoch)) {
+                                    central_lock_granted(t);
+                                  }
+                                },
+                                &cycle);
+    switch (outcome) {
+      case LockRequestOutcome::Granted:
+      case LockRequestOutcome::AlreadyHeld:
+        central_lock_granted(txn);
+        return;
+      case LockRequestOutcome::Queued:
+        return;
+      case LockRequestOutcome::Deadlock: {
+        Transaction* victim = choose_deadlock_victim(txn, cycle);
+        if (victim == txn) {
+          central_abort_rerun(txn, AbortCause::Deadlock,
+                              /*release_everything=*/true);
+          return;
+        }
+        force_abort_victim(victim);
+        continue;
+      }
+    }
+  }
+}
+
+void HybridSystem::central_lock_granted(Transaction* txn) {
+  const bool do_io = !txn->is_rerun() && txn->call_io[txn->call_index];
+  ++txn->call_index;
+  if (do_io) {
+    wait(cfg_.call_io_time, txn->id, txn->epoch, &HybridSystem::central_do_call);
+  } else {
+    central_do_call(txn);
+  }
+}
+
+void HybridSystem::central_commit(Transaction* txn) {
+  if (txn->marked_abort) {
+    // Invalidated by an asynchronous update during execution.
+    central_abort_rerun(txn, AbortCause::CentralInvalidated,
+                        /*release_everything=*/false);
+    return;
+  }
+  cpu_burst(*central_.cpu, cfg_.central_cpu_seconds(cfg_.instr_msg_commit), txn->id,
+            txn->epoch, &HybridSystem::central_after_commit_cpu);
+}
+
+void HybridSystem::central_after_commit_cpu(Transaction* txn) {
+  if (txn->marked_abort) {
+    central_abort_rerun(txn, AbortCause::CentralInvalidated,
+                        /*release_everything=*/false);
+    return;
+  }
+  central_begin_auth(txn);
+}
+
+void HybridSystem::central_begin_auth(Transaction* txn) {
+  // Send the lock list to every master site of the data locked; for shipped
+  // class A transactions that is just the home site.
+  ++metrics_.auth_rounds;
+  std::vector<int> involved;
+  for (const LockNeed& need : txn->locks) {
+    const int owner = cfg_.owner_site(need.id);
+    if (std::find(involved.begin(), involved.end(), owner) == involved.end()) {
+      involved.push_back(owner);
+    }
+  }
+  HLS_ASSERT(!involved.empty(), "authentication with no involved sites");
+  txn->auth_pending_acks = static_cast<int>(involved.size());
+  txn->auth_any_negative = false;
+  txn->auth_sites.clear();
+
+  for (int site : involved) {
+    std::vector<LockNeed> needs;
+    for (const LockNeed& need : txn->locks) {
+      if (cfg_.owner_site(need.id) == site) {
+        needs.push_back(need);
+      }
+    }
+    send_down(site, [this, site, id = txn->id, epoch = txn->epoch,
+                     needs = std::move(needs)] {
+      local_process_auth(site, id, epoch, needs);
+    });
+  }
+}
+
+void HybridSystem::local_process_auth(int site, TxnId txn_id, std::uint64_t epoch,
+                                      std::vector<LockNeed> needs) {
+  // Authentication processing consumes home-site CPU before the checks run.
+  sites_[site].cpu->submit(
+      cfg_.site_cpu_seconds(site, cfg_.instr_auth_local),
+      [this, site, txn_id, epoch, needs = std::move(needs)] {
+        LockManager& lm = *sites_[site].locks;
+
+        // Refuse when any requested entity has in-flight asynchronous
+        // updates (stale central copy), or is held by a holder we may not
+        // preempt: only class A transactions running locally are
+        // preemptible. A lingering auth hold of another central transaction
+        // (commit message still in flight) also forces a refusal.
+        bool refuse = false;
+        for (const LockNeed& need : needs) {
+          if (lm.coherence_count(need.id) != 0) {
+            refuse = true;
+            break;
+          }
+          for (const auto& holder : lm.holders_of(need.id)) {
+            if (holder.txn == txn_id) {
+              continue;
+            }
+            const bool conflict = need.mode == LockMode::Exclusive ||
+                                  holder.mode == LockMode::Exclusive;
+            if (!conflict) {
+              continue;
+            }
+            auto it = live_.find(holder.txn);
+            const bool preemptible = it != live_.end() &&
+                                     it->second->cls == TxnClass::A &&
+                                     it->second->route == Route::Local;
+            if (!preemptible) {
+              refuse = true;
+              break;
+            }
+          }
+          if (refuse) {
+            break;
+          }
+        }
+
+        bool granted = false;
+        if (!refuse) {
+          for (const LockNeed& need : needs) {
+            auto grab = lm.grab_for_authentication(txn_id, need.id, need.mode);
+            HLS_ASSERT(grab.granted, "auth grab refused after precheck");
+            for (TxnId victim : grab.aborted) {
+              auto it = live_.find(victim);
+              HLS_ASSERT(it != live_.end(), "preempted a dead transaction");
+              it->second->marked_abort = true;
+            }
+          }
+          granted = true;
+        }
+
+        send_up(site, [this, txn_id, epoch, site, positive = !refuse, granted] {
+          central_auth_ack(txn_id, epoch, site, positive, granted);
+        });
+      });
+}
+
+void HybridSystem::central_auth_ack(TxnId txn_id, std::uint64_t epoch, int site,
+                                    bool positive, bool granted) {
+  Transaction* txn = find(txn_id, epoch);
+  // The transaction always waits for the full ack set before moving on, so
+  // it must still exist with the same epoch.
+  HLS_ASSERT(txn != nullptr, "auth ack for a missing transaction");
+  HLS_ASSERT(txn->auth_pending_acks > 0, "unexpected auth ack");
+  if (granted) {
+    txn->auth_sites.push_back(site);
+  }
+  if (!positive) {
+    txn->auth_any_negative = true;
+  }
+  if (--txn->auth_pending_acks == 0) {
+    central_auth_done(txn);
+  }
+}
+
+void HybridSystem::central_auth_done(Transaction* txn) {
+  if (txn->auth_any_negative || txn->marked_abort) {
+    if (txn->auth_any_negative) {
+      ++metrics_.auth_negative_acks;
+    }
+    const AbortCause cause = txn->auth_any_negative ? AbortCause::AuthRefused
+                                                    : AbortCause::CentralInvalidated;
+    release_auth_grants(txn);
+    central_abort_rerun(txn, cause, /*release_everything=*/false);
+    return;
+  }
+
+  // Commit: release the authentication grants at the involved sites and the
+  // concurrency locks at the central site; the response travels one link
+  // delay back to the user's region.
+  for (int site : txn->auth_sites) {
+    send_down(site, [this, site, id = txn->id] {
+      sites_[site].cpu->submit(
+          cfg_.site_cpu_seconds(site, cfg_.instr_commit_apply_local),
+          [this, site, id] { sites_[site].locks->release_all(id); });
+    });
+  }
+  central_.locks->release_all(txn->id);
+  complete(txn, sim_.now() + cfg_.comm_delay);
+}
+
+void HybridSystem::release_auth_grants(Transaction* txn) {
+  for (int site : txn->auth_sites) {
+    send_down(site, [this, site, id = txn->id] {
+      sites_[site].cpu->submit(
+          cfg_.site_cpu_seconds(site, cfg_.instr_commit_apply_local),
+          [this, site, id] { sites_[site].locks->release_all(id); });
+    });
+  }
+  txn->auth_sites.clear();
+}
+
+void HybridSystem::central_abort_rerun(Transaction* txn, AbortCause cause,
+                                       bool release_everything) {
+  if (release_everything) {
+    central_.locks->release_all(txn->id);
+  } else {
+    central_.locks->cancel_waits(txn->id);  // defensive
+  }
+  prepare_rerun(txn, cause);
+  schedule_central_restart(txn);
+}
+
+void HybridSystem::schedule_central_restart(Transaction* txn) {
+  if (is_rfc(*txn)) {
+    // The abort outcome travels back to the home site before the rerun.
+    wait(cfg_.comm_delay + cfg_.abort_restart_delay, txn->id, txn->epoch,
+         &HybridSystem::rfc_start_run);
+    return;
+  }
+  if (cfg_.abort_restart_delay > 0.0) {
+    wait(cfg_.abort_restart_delay, txn->id, txn->epoch,
+         &HybridSystem::central_start_run);
+  } else {
+    central_start_run(txn);
+  }
+}
+
+// --------------------------------------------------------------------------
+// class B via remote function calls (ClassBMode::RemoteCalls)
+
+void HybridSystem::rfc_start_run(Transaction* txn) {
+  cpu_burst(*sites_[txn->home_site].cpu,
+            cfg_.site_cpu_seconds(txn->home_site, cfg_.instr_msg_init),
+            txn->id, txn->epoch, &HybridSystem::rfc_after_init);
+}
+
+void HybridSystem::rfc_after_init(Transaction* txn) {
+  if (txn->is_rerun()) {
+    rfc_do_call(txn);
+  } else {
+    wait(cfg_.setup_io_time, txn->id, txn->epoch, &HybridSystem::rfc_do_call);
+  }
+}
+
+void HybridSystem::rfc_do_call(Transaction* txn) {
+  if (txn->call_index >= static_cast<int>(txn->locks.size())) {
+    rfc_commit(txn);
+    return;
+  }
+  cpu_burst(*sites_[txn->home_site].cpu,
+            cfg_.site_cpu_seconds(txn->home_site, cfg_.instr_per_call),
+            txn->id, txn->epoch, &HybridSystem::rfc_after_call_cpu);
+}
+
+void HybridSystem::rfc_after_call_cpu(Transaction* txn) {
+  // One remote function call: request travels to the central copy.
+  send_up(txn->home_site, [this, id = txn->id, epoch = txn->epoch] {
+    central_.cpu->submit(cfg_.central_cpu_seconds(cfg_.instr_remote_call),
+                         [this, id, epoch] { rfc_central_request(id, epoch); });
+  });
+}
+
+void HybridSystem::rfc_central_request(TxnId id, std::uint64_t epoch) {
+  Transaction* txn = find(id, epoch);
+  if (txn == nullptr) {
+    return;  // aborted while the request was in flight; rerun re-requests
+  }
+  for (;;) {
+    const LockNeed& need = txn->locks[txn->call_index];
+    std::vector<TxnId> cycle;
+    const auto outcome = central_.locks->request(
+        txn->id, need.id, need.mode,
+        [this, id, epoch] {
+          if (Transaction* t = find(id, epoch)) {
+            rfc_central_after_lock(t);
+          }
+        },
+        &cycle);
+    switch (outcome) {
+      case LockRequestOutcome::Granted:
+      case LockRequestOutcome::AlreadyHeld:
+        rfc_central_after_lock(txn);
+        return;
+      case LockRequestOutcome::Queued:
+        return;
+      case LockRequestOutcome::Deadlock: {
+        Transaction* victim = choose_deadlock_victim(txn, cycle);
+        if (victim == txn) {
+          central_abort_rerun(txn, AbortCause::Deadlock,
+                              /*release_everything=*/true);
+          return;
+        }
+        force_abort_victim(victim);
+        continue;
+      }
+    }
+  }
+}
+
+void HybridSystem::rfc_central_after_lock(Transaction* txn) {
+  // The data call's I/O happens at the central copy, then the reply goes
+  // home (the home-site CPU books the reply handling).
+  const bool do_io = !txn->is_rerun() && txn->call_io[txn->call_index];
+  const double io = do_io ? cfg_.call_io_time : 0.0;
+  sim_.schedule_after(io, [this, id = txn->id, epoch = txn->epoch] {
+    Transaction* t = find(id, epoch);
+    if (t == nullptr) {
+      return;
+    }
+    send_down(t->home_site, [this, id, epoch] {
+      Transaction* t2 = find(id, epoch);
+      if (t2 == nullptr) {
+        return;
+      }
+      cpu_burst(*sites_[t2->home_site].cpu,
+                cfg_.site_cpu_seconds(t2->home_site, cfg_.instr_recv_ack), id, epoch,
+                &HybridSystem::rfc_reply_received);
+    });
+  });
+}
+
+void HybridSystem::rfc_reply_received(Transaction* txn) {
+  ++txn->call_index;
+  rfc_do_call(txn);
+}
+
+void HybridSystem::rfc_commit(Transaction* txn) {
+  if (txn->marked_abort) {
+    central_abort_rerun(txn, AbortCause::CentralInvalidated,
+                        /*release_everything=*/false);
+    return;
+  }
+  cpu_burst(*sites_[txn->home_site].cpu,
+            cfg_.site_cpu_seconds(txn->home_site, cfg_.instr_msg_commit), txn->id,
+            txn->epoch, &HybridSystem::rfc_after_commit_cpu);
+}
+
+void HybridSystem::rfc_after_commit_cpu(Transaction* txn) {
+  // Commit request travels to the central site, which runs the normal
+  // authentication phase against the master sites.
+  send_up(txn->home_site, [this, id = txn->id, epoch = txn->epoch] {
+    central_.cpu->submit(cfg_.central_cpu_seconds(cfg_.instr_msg_commit),
+                         [this, id, epoch] {
+                           if (Transaction* t = find(id, epoch)) {
+                             rfc_central_commit(t);
+                           }
+                         });
+  });
+}
+
+void HybridSystem::rfc_central_commit(Transaction* txn) {
+  if (txn->marked_abort) {
+    // Invalidated while the commit request was in flight.
+    central_abort_rerun(txn, AbortCause::CentralInvalidated,
+                        /*release_everything=*/false);
+    return;
+  }
+  central_begin_auth(txn);
+}
+
+// --------------------------------------------------------------------------
+// accessors
+
+const LockManager& HybridSystem::local_locks(int site) const {
+  HLS_ASSERT(site >= 0 && site < cfg_.num_sites, "site index out of range");
+  return *sites_[site].locks;
+}
+
+const FcfsResource& HybridSystem::local_cpu(int site) const {
+  HLS_ASSERT(site >= 0 && site < cfg_.num_sites, "site index out of range");
+  return *sites_[site].cpu;
+}
+
+int HybridSystem::local_resident(int site) const {
+  HLS_ASSERT(site >= 0 && site < cfg_.num_sites, "site index out of range");
+  return sites_[site].resident_txns;
+}
+
+const SiteMetrics& HybridSystem::site_metrics(int site) const {
+  HLS_ASSERT(site >= 0 && site < cfg_.num_sites, "site index out of range");
+  return site_metrics_[site];
+}
+
+int HybridSystem::shipped_in_flight(int site) const {
+  HLS_ASSERT(site >= 0 && site < cfg_.num_sites, "site index out of range");
+  return sites_[site].shipped_in_flight;
+}
+
+void HybridSystem::check_invariants() const {
+  central_.locks->check_invariants();
+  HLS_ASSERT(central_.resident_txns >= 0, "negative central residency");
+  int resident = 0;
+  int shipped = 0;
+  for (const SiteState& site : sites_) {
+    site.locks->check_invariants();
+    HLS_ASSERT(site.resident_txns >= 0, "negative site residency");
+    HLS_ASSERT(site.shipped_in_flight >= 0, "negative shipped count");
+    resident += site.resident_txns;
+    shipped += site.shipped_in_flight;
+  }
+  // Every live transaction is accounted for somewhere: running locally,
+  // resident at central, or in flight toward the central site.
+  HLS_ASSERT(static_cast<int>(live_.size()) >= resident,
+             "more resident transactions than live ones");
+  HLS_ASSERT(static_cast<int>(live_.size()) >=
+                 resident + central_.resident_txns,
+             "residency bookkeeping exceeds live transactions");
+}
+
+}  // namespace hls

@@ -1,0 +1,260 @@
+// HybridSystem: the full hybrid distributed-centralized database simulator.
+//
+// Wires together N local sites (CPU + lock table + duplex link) and the
+// central complex (CPU + global lock table), drives Poisson transaction
+// arrivals, executes the paper's protocol (§2), and consults a pluggable
+// RoutingStrategy for every class A arrival (§3).
+//
+// Protocol summary as implemented:
+//   * Local class A execution: initiation CPU, setup I/O (first run only),
+//     then db_calls_per_txn rounds of [call CPU, lock request on the local
+//     table, call I/O]. At commit, an abort mark (set when an authenticating
+//     central transaction preempted one of this transaction's locks) forces
+//     a rerun; otherwise the transaction releases its locks, increments the
+//     coherence count of every updated entity, ships one asynchronous update
+//     message to the central site, and completes immediately — it never
+//     waits for the central acknowledgement.
+//   * Central execution (class B and shipped class A): same shape against
+//     the central lock table. At commit the transaction runs the
+//     authentication phase: lock lists go to the master site(s); a master
+//     refuses (negative ack) if any entity has in-flight asynchronous
+//     updates or is held by a non-preemptible holder, otherwise it preempts
+//     incompatible local holders (marking them for abort) and grants. On all
+//     positive acks — and if no asynchronous update invalidated the
+//     transaction meanwhile — commit messages release the granted locks and
+//     the transaction completes; otherwise it releases its grants and reruns
+//     at the central site.
+//   * Asynchronous updates delivered in order (net::Link) invalidate central
+//     locks on the updated entities: central holders are marked for abort
+//     and lose those locks; an acknowledgement flows back and decrements the
+//     coherence counts.
+//   * Deadlocks (waits-for cycle within one site) abort the requester, which
+//     releases everything and reruns.
+//
+// Reruns model re-referenced data as memory-resident: all CPU is re-spent,
+// all I/O is skipped, and surviving locks are kept (per §3.1).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "db/lock_manager.hpp"
+#include "hybrid/config.hpp"
+#include "hybrid/metrics.hpp"
+#include "hybrid/transaction.hpp"
+#include "net/link.hpp"
+#include "routing/strategy.hpp"
+#include "sim/resource.hpp"
+#include "sim/simulator.hpp"
+#include "util/random.hpp"
+#include "workload/arrivals.hpp"
+#include "workload/txn_factory.hpp"
+
+namespace hls {
+
+class HybridSystem {
+ public:
+  HybridSystem(SystemConfig cfg, std::unique_ptr<RoutingStrategy> strategy);
+  ~HybridSystem();
+
+  HybridSystem(const HybridSystem&) = delete;
+  HybridSystem& operator=(const HybridSystem&) = delete;
+
+  // ---- experiment control ----
+
+  /// Starts the per-site Poisson arrival processes.
+  void enable_arrivals();
+
+  /// Replaces site `site`'s arrival process with a time-varying one
+  /// (must be called before enable_arrivals).
+  void set_arrival_rate_function(int site, RateFunction rate, double max_rate);
+
+  /// Stops all arrival processes; in-flight transactions keep running. Used
+  /// to drain the system (liveness tests) and by open-ended examples.
+  void stop_arrivals();
+
+  /// Runs the simulation until no events remain (all in-flight transactions
+  /// have completed). Call stop_arrivals() first or this never returns.
+  void drain();
+
+  /// Advances simulated time by `seconds`.
+  void run_for(double seconds);
+
+  /// Discards statistics gathered so far (end of warmup).
+  void begin_measurement();
+
+  /// Stamps the window end and fills utilization summaries into metrics().
+  void end_measurement();
+
+  // ---- manual injection (tests, examples) ----
+
+  /// Generates and immediately admits one transaction of the given class.
+  TxnId inject(TxnClass cls, int site);
+
+  /// Admits a fully specified transaction (access pattern chosen by caller).
+  TxnId inject_transaction(Transaction txn);
+
+  // ---- accessors ----
+
+  Simulator& simulator() { return sim_; }
+  [[nodiscard]] const SystemConfig& config() const { return cfg_; }
+  Metrics& metrics() { return metrics_; }
+  [[nodiscard]] const Metrics& metrics() const { return metrics_; }
+  [[nodiscard]] RoutingStrategy& strategy() { return *strategy_; }
+
+  [[nodiscard]] const LockManager& central_locks() const { return *central_.locks; }
+  [[nodiscard]] const LockManager& local_locks(int site) const;
+  [[nodiscard]] const FcfsResource& central_cpu() const { return *central_.cpu; }
+  [[nodiscard]] const FcfsResource& local_cpu(int site) const;
+  [[nodiscard]] int central_resident() const { return central_.resident_txns; }
+  [[nodiscard]] int local_resident(int site) const;
+  [[nodiscard]] int shipped_in_flight(int site) const;
+  [[nodiscard]] int live_transactions() const {
+    return static_cast<int>(live_.size());
+  }
+
+  /// Per-site response-time / shipping breakdown (same measurement window
+  /// as metrics()).
+  [[nodiscard]] const SiteMetrics& site_metrics(int site) const;
+
+  /// Registers a hook invoked on every transaction completion (tracing,
+  /// custom analyses). Pass nullptr to clear.
+  using CompletionHook = std::function<void(const TxnCompletionRecord&)>;
+  void set_completion_hook(CompletionHook hook) {
+    completion_hook_ = std::move(hook);
+  }
+
+  /// Builds the state view a class A arrival at `site` would see right now
+  /// (exposed for strategy unit tests).
+  [[nodiscard]] SystemStateView make_state_view(int site) const;
+
+  /// Cross-checks internal bookkeeping; aborts on violation (tests).
+  void check_invariants() const;
+
+ private:
+  struct CentralSnapshot {
+    double taken_at = 0.0;
+    int cpu_queue = 0;
+    int num_txns = 0;
+    int locks_held = 0;
+  };
+
+  struct SiteState {
+    int index = 0;
+    std::unique_ptr<FcfsResource> cpu;
+    std::unique_ptr<LockManager> locks;
+    std::unique_ptr<Link> up;    ///< site -> central
+    std::unique_ptr<Link> down;  ///< central -> site
+    std::unique_ptr<ArrivalProcess> arrivals;
+    int resident_txns = 0;      ///< class A txns currently executing here
+    int shipped_in_flight = 0;  ///< class A txns from here now at central
+    double last_local_rt = 0.0;
+    double last_shipped_rt = 0.0;
+    CentralSnapshot central_view;  ///< last central state learned from messages
+    // Asynchronous-update batching (config::async_batch_window > 0).
+    std::vector<LockId> pending_updates;
+    bool flush_armed = false;
+  };
+
+  struct CentralState {
+    std::unique_ptr<FcfsResource> cpu;
+    std::unique_ptr<LockManager> locks;
+    int resident_txns = 0;  ///< class B + shipped class A currently at central
+  };
+
+  // ---- plumbing ----
+  Transaction* find(TxnId id, std::uint64_t epoch);
+  void cpu_burst(FcfsResource& cpu, double seconds, TxnId id, std::uint64_t epoch,
+                 void (HybridSystem::*next)(Transaction*));
+  void wait(double seconds, TxnId id, std::uint64_t epoch,
+            void (HybridSystem::*next)(Transaction*));
+  void send_up(int site, std::function<void()> deliver);
+  void send_down(int site, std::function<void()> deliver);
+  void complete(Transaction* txn, SimTime completion_time);
+  void prepare_rerun(Transaction* txn, AbortCause cause);
+
+  /// Applies config::deadlock_victim to a detected cycle: returns the
+  /// transaction to abort (the requester when policy says so, or when no
+  /// other cycle member is eligible).
+  Transaction* choose_deadlock_victim(Transaction* requester,
+                                      const std::vector<TxnId>& cycle);
+  /// Force-aborts a waiting victim (not the requester): releases its locks,
+  /// preps a rerun and restarts it on its execution tier.
+  void force_abort_victim(Transaction* victim);
+
+  // ---- arrivals / routing ----
+  void on_arrival(int site);
+  void admit(Transaction txn);
+
+  // ---- local class A execution ----
+  void local_start_run(Transaction* txn);
+  void local_after_init(Transaction* txn);
+  void local_do_call(Transaction* txn);
+  void local_after_call_cpu(Transaction* txn);
+  void local_lock_granted(Transaction* txn);
+  void local_commit(Transaction* txn);
+  void local_after_commit_cpu(Transaction* txn);
+  void local_finalize(Transaction* txn);
+  void local_abort(Transaction* txn, AbortCause cause, bool release_everything);
+
+  // ---- central execution (class B and shipped class A) ----
+  void ship_to_central(Transaction* txn);
+  void central_start_run(Transaction* txn);
+  void central_after_init(Transaction* txn);
+  void central_do_call(Transaction* txn);
+  void central_after_call_cpu(Transaction* txn);
+  void central_lock_granted(Transaction* txn);
+  void central_commit(Transaction* txn);
+  void central_after_commit_cpu(Transaction* txn);
+  void central_begin_auth(Transaction* txn);
+  /// Restarts a central-data transaction's next run on the right tier
+  /// (central for shipped/class B, home for remote-call class B).
+  void schedule_central_restart(Transaction* txn);
+
+  // ---- class B via remote function calls (ClassBMode::RemoteCalls) ----
+  void rfc_start_run(Transaction* txn);
+  void rfc_after_init(Transaction* txn);
+  void rfc_do_call(Transaction* txn);
+  void rfc_after_call_cpu(Transaction* txn);
+  void rfc_central_request(TxnId id, std::uint64_t epoch);
+  void rfc_central_after_lock(Transaction* txn);
+  void rfc_reply_received(Transaction* txn);
+  void rfc_commit(Transaction* txn);
+  void rfc_after_commit_cpu(Transaction* txn);
+  void rfc_central_commit(Transaction* txn);
+  [[nodiscard]] bool is_rfc(const Transaction& txn) const {
+    return txn.cls == TxnClass::B && cfg_.class_b_mode == ClassBMode::RemoteCalls;
+  }
+  void local_process_auth(int site, TxnId txn_id, std::uint64_t epoch,
+                          std::vector<LockNeed> needs);
+  void central_auth_ack(TxnId txn_id, std::uint64_t epoch, int site, bool positive,
+                        bool granted);
+  void central_auth_done(Transaction* txn);
+  void release_auth_grants(Transaction* txn);
+  void central_abort_rerun(Transaction* txn, AbortCause cause,
+                           bool release_everything);
+
+  // ---- asynchronous update propagation ----
+  /// Entry point from local commit: ships immediately, or appends to the
+  /// site's batch and arms the flush timer when batching is configured.
+  void queue_async_update(int site, std::vector<LockId> items);
+  void send_async_update(int site, std::vector<LockId> items);
+  void central_apply_update(int site, const std::vector<LockId>& items);
+
+  SystemConfig cfg_;
+  Simulator sim_;
+  std::unique_ptr<RoutingStrategy> strategy_;
+  TxnFactory factory_;
+  Rng rng_;
+  std::vector<SiteState> sites_;
+  CentralState central_;
+  Metrics metrics_;
+  std::vector<SiteMetrics> site_metrics_;
+  CompletionHook completion_hook_;
+  std::unordered_map<TxnId, std::unique_ptr<Transaction>> live_;
+  bool arrivals_enabled_ = false;
+};
+
+}  // namespace hls

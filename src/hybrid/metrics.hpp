@@ -1,0 +1,118 @@
+// Measurement container for one simulation run.
+//
+// Collected by HybridSystem during the measurement window (after warmup is
+// discarded) and summarized by the experiment harness. Categories follow the
+// paper's six transaction kinds: local / shipped / central, first-run /
+// rerun, plus abort causes.
+#pragma once
+
+#include <cstdint>
+
+#include "hybrid/transaction.hpp"
+#include "util/stats.hpp"
+
+namespace hls {
+
+/// Immutable record emitted for every transaction completion; the raw
+/// material for traces and custom analyses (see core/trace.hpp).
+struct TxnCompletionRecord {
+  TxnId id = kInvalidTxn;
+  TxnClass cls = TxnClass::A;
+  Route route = Route::Local;
+  int home_site = 0;
+  double arrival_time = 0.0;
+  double completion_time = 0.0;
+  double response_time = 0.0;
+  int runs = 1;  ///< total executions (1 = committed first try)
+  int aborts[static_cast<int>(AbortCause::kCount)] = {0, 0, 0, 0};
+};
+
+/// Per-site breakdown, maintained alongside the global Metrics.
+struct SiteMetrics {
+  SampleStat rt_local_a;    ///< class A from this site run locally
+  SampleStat rt_shipped_a;  ///< class A from this site shipped to central
+  std::uint64_t arrivals_class_a = 0;
+  std::uint64_t shipped_class_a = 0;
+
+  [[nodiscard]] double ship_fraction() const {
+    return arrivals_class_a > 0
+               ? static_cast<double>(shipped_class_a) /
+                     static_cast<double>(arrivals_class_a)
+               : 0.0;
+  }
+};
+
+struct Metrics {
+  // ---- response times (seconds) ----
+  SampleStat rt_all;        ///< the paper's headline: class A and B combined
+  SampleStat rt_local_a;    ///< class A run at the home site
+  SampleStat rt_shipped_a;  ///< class A shipped to the central site
+  SampleStat rt_class_b;
+  SampleStat rt_first_try;  ///< transactions that never aborted
+  SampleStat rt_rerun;      ///< transactions that aborted at least once
+  Histogram rt_histogram{0.1, 400};  ///< 0.1 s bins up to 40 s
+
+  // ---- counts over the measurement window ----
+  std::uint64_t arrivals_class_a = 0;
+  std::uint64_t arrivals_class_b = 0;
+  std::uint64_t shipped_class_a = 0;  ///< class A arrivals routed to central
+  std::uint64_t completions = 0;
+  std::uint64_t completions_local_a = 0;
+  std::uint64_t completions_shipped_a = 0;
+  std::uint64_t completions_class_b = 0;
+  std::uint64_t aborts[static_cast<int>(AbortCause::kCount)] = {0, 0, 0, 0};
+  std::uint64_t reruns = 0;  ///< total re-executions (= sum of aborts)
+  std::uint64_t async_updates_sent = 0;
+  std::uint64_t auth_rounds = 0;
+  std::uint64_t auth_negative_acks = 0;
+  int max_reruns_seen = 0;
+
+  // ---- window ----
+  double measure_start = 0.0;
+  double measure_end = 0.0;
+
+  // ---- utilization (filled in by the driver at window end) ----
+  double central_utilization = 0.0;
+  double mean_local_utilization = 0.0;
+  double central_avg_queue = 0.0;
+  double mean_local_avg_queue = 0.0;
+
+  [[nodiscard]] double window_seconds() const { return measure_end - measure_start; }
+
+  /// Completed transactions per second over the measurement window.
+  [[nodiscard]] double throughput() const {
+    const double w = window_seconds();
+    return w > 0 ? static_cast<double>(completions) / w : 0.0;
+  }
+
+  /// Fraction of class A arrivals that were shipped to the central site.
+  [[nodiscard]] double ship_fraction() const {
+    return arrivals_class_a > 0
+               ? static_cast<double>(shipped_class_a) /
+                     static_cast<double>(arrivals_class_a)
+               : 0.0;
+  }
+
+  [[nodiscard]] std::uint64_t aborts_total() const {
+    std::uint64_t sum = 0;
+    for (std::uint64_t a : aborts) {
+      sum += a;
+    }
+    return sum;
+  }
+
+  /// Average number of runs per completed transaction (1 = no aborts).
+  [[nodiscard]] double runs_per_txn() const {
+    return completions > 0
+               ? 1.0 + static_cast<double>(reruns) / static_cast<double>(completions)
+               : 1.0;
+  }
+
+  void reset(double now) {
+    *this = Metrics{};
+    measure_start = now;
+    measure_end = now;
+  }
+};
+
+}  // namespace hls

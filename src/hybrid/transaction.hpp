@@ -1,0 +1,81 @@
+// Transaction record: the unit of work flowing through the hybrid system.
+//
+// One Transaction object lives from user arrival to final commit, across any
+// number of abort/rerun cycles. The paper's six transaction kinds (§3.1) map
+// onto (cls, shipped/routed, run_count>0).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "db/lock_types.hpp"
+#include "sim/time.hpp"
+
+namespace hls {
+
+enum class TxnClass : std::uint8_t {
+  A,  ///< refers only to home-site data; the load-sharing candidate
+  B,  ///< refers to global data; always runs at the central site
+};
+
+/// Why a transaction aborted and was rerun (statistics).
+enum class AbortCause : std::uint8_t {
+  LocalPreempted,    ///< local txn lost locks to an authenticating central txn
+  CentralInvalidated,///< central txn's lock invalidated by an async update
+  AuthRefused,       ///< authentication negative-acked (coherence in flight)
+  Deadlock,          ///< waits-for cycle at one site
+  kCount,
+};
+
+struct LockNeed {
+  LockId id;
+  LockMode mode;
+};
+
+/// Where a class A transaction was routed.
+enum class Route : std::uint8_t { Local, Central };
+
+struct Transaction {
+  TxnId id = kInvalidTxn;
+  TxnClass cls = TxnClass::A;
+  int home_site = 0;
+
+  // Access pattern, fixed at generation time and identical across reruns
+  // ("a re-run transaction finds all data referenced in its main memory").
+  std::vector<LockNeed> locks;  ///< one lock request per DB call
+  std::vector<bool> call_io;    ///< whether call k performs an I/O (first run)
+
+  SimTime arrival_time = 0.0;
+  Route route = Route::Local;
+
+  // ---- execution state ----
+  int run_count = 0;        ///< 0 on first run; incremented per rerun
+  int call_index = 0;       ///< next DB call to execute
+  bool marked_abort = false;
+  bool active = false;      ///< between start-of-run and commit/abort
+  std::uint64_t epoch = 0;  ///< bumped on each rerun; guards stale callbacks
+
+  // ---- authentication state (central/shipped only) ----
+  int auth_pending_acks = 0;
+  bool auth_any_negative = false;
+  std::vector<int> auth_sites;  ///< sites granted auth locks this round
+
+  // ---- per-txn statistics ----
+  int aborts[static_cast<int>(AbortCause::kCount)] = {0, 0, 0, 0};
+
+  [[nodiscard]] bool is_rerun() const { return run_count > 0; }
+
+  void count_abort(AbortCause cause) { ++aborts[static_cast<int>(cause)]; }
+
+  /// True when call k updates (exclusively locks) its entity.
+  [[nodiscard]] bool writes_anything() const {
+    for (const LockNeed& need : locks) {
+      if (need.mode == LockMode::Exclusive) {
+        return true;
+      }
+    }
+    return false;
+  }
+};
+
+}  // namespace hls

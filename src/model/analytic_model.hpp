@@ -1,0 +1,82 @@
+// Analytical performance model of the hybrid system (§3.1).
+//
+// Estimates steady-state response times of the paper's six transaction
+// kinds via a damped fixed-point iteration over:
+//
+//   * CPU utilizations at the local and central sites (including protocol
+//     overhead work: forwarding, asynchronous update application,
+//     authentication processing),
+//   * lock hold times and contention probabilities, projected — as in the
+//     paper — proportional to (transaction rate per database) x (locks per
+//     transaction) x (mean hold time) / (lock space per database),
+//   * cross-tier collision rates, split into local aborts vs central
+//     aborts/reruns by the residual-time distributions of model/residuals,
+//   * rerun expansion R = R_first + E[reruns] * R_rerun with
+//     E[reruns] = P_abort / (1 - P_abort_rerun).
+//
+// The model is used three ways: (1) the static optimizer sweeps p_ship over
+// it, (2) the model-validation bench compares it against simulation, and
+// (3) the dynamic strategies reuse its response-time equations with
+// utilizations and lock counts replaced by observed state.
+#pragma once
+
+#include "model/params.hpp"
+
+namespace hls {
+
+struct ModelSolution {
+  bool converged = false;
+  bool saturated = false;  ///< a CPU utilization hit the stability clamp
+  int iterations = 0;
+
+  // utilizations
+  double rho_local = 0.0;
+  double rho_central = 0.0;
+
+  // response times, seconds
+  double r_local_first = 0.0;   ///< class A first run at home site
+  double r_local_rerun = 0.0;   ///< class A rerun at home site
+  double r_local = 0.0;         ///< class A local incl. rerun expansion
+  double r_shipped_first = 0.0; ///< shipped class A first run (incl. 2x comm)
+  double r_central_rerun = 0.0; ///< any central rerun
+  double r_shipped = 0.0;       ///< shipped class A incl. reruns
+  double r_class_b = 0.0;       ///< class B (modeled equal to shipped + ship-in leg)
+  double r_avg = 0.0;           ///< mixture over all transaction kinds
+
+  // lock behaviour
+  double beta_local = 0.0;    ///< mean lock hold, local first run
+  double gamma_local = 0.0;   ///< mean lock hold, local rerun
+  double beta_central = 0.0;  ///< mean lock hold, central (incl. auth phase)
+  double p_contention_local = 0.0;   ///< per-request local-local wait prob
+  double p_wait_auth = 0.0;          ///< per-request wait on an auth-held lock
+  double p_contention_central = 0.0; ///< per-request central-central wait prob
+
+  // abort behaviour
+  double p_abort_local = 0.0;        ///< first-run abort prob, local class A
+  double p_abort_local_rerun = 0.0;  ///< rerun abort prob, local class A
+  double p_abort_central = 0.0;      ///< per-run abort prob of a central txn
+  double p_auth_refused = 0.0;       ///< component of p_abort_central from neg-acks
+  double exp_reruns_local = 0.0;
+  double exp_reruns_central = 0.0;
+};
+
+class AnalyticModel {
+ public:
+  struct Options {
+    int max_iterations = 400;
+    double damping = 0.5;       ///< new = damping*new + (1-damping)*old
+    double tolerance = 1e-10;   ///< convergence on max relative change
+    double rho_clamp = 0.995;   ///< utilization ceiling for formula stability
+  };
+
+  AnalyticModel();  // default options
+  explicit AnalyticModel(const Options& opts) : opts_(opts) {}
+
+  /// Solves the fixed point for the given parameters.
+  [[nodiscard]] ModelSolution solve(const ModelParams& params) const;
+
+ private:
+  Options opts_;
+};
+
+}  // namespace hls

@@ -1,0 +1,82 @@
+#include "model/capacity.hpp"
+
+#include <algorithm>
+#include <tuple>
+#include <utility>
+
+#include "util/assert.hpp"
+
+namespace hls {
+
+CapacityAnalyzer::CapacityAnalyzer() : opts_(Options{}) {}
+
+bool CapacityAnalyzer::supportable(const ModelParams& params,
+                                   double rt_unloaded) const {
+  const ModelSolution s = AnalyticModel(opts_.model).solve(params);
+  return !s.saturated && s.r_avg <= opts_.rt_limit_factor * rt_unloaded &&
+         std::max(s.rho_local, s.rho_central) <= opts_.max_utilization;
+}
+
+template <typename EvalRt>
+CapacityAnalyzer::Result CapacityAnalyzer::bisect(const ModelParams& /*base*/,
+                                                  EvalRt eval) const {
+  // eval(rate) -> (r_avg, saturated, max_rho, p_ship) at that offered load.
+  Result result;
+  {
+    const auto [rt0, sat0, rho0, p0] = eval(opts_.rate_low);
+    result.rt_unloaded = rt0;
+    HLS_ASSERT(!sat0, "system saturated even at the bracket's low end");
+  }
+  auto ok = [&](double rate) {
+    const auto [rt, sat, rho, p] = eval(rate);
+    return !sat && rt <= opts_.rt_limit_factor * result.rt_unloaded &&
+           rho <= opts_.max_utilization;
+  };
+  double lo = opts_.rate_low;
+  double hi = opts_.rate_high;
+  if (ok(hi)) {
+    lo = hi;  // bracket never saturates: report the upper bound
+  } else {
+    for (int i = 0; i < opts_.iterations; ++i) {
+      const double mid = (lo + hi) / 2.0;
+      (ok(mid) ? lo : hi) = mid;
+    }
+  }
+  result.max_total_tps = lo;
+  const auto [rt, sat, rho, p] = eval(lo);
+  result.rt_at_capacity = rt;
+  result.p_ship_at_capacity = p;
+  return result;
+}
+
+CapacityAnalyzer::Result CapacityAnalyzer::capacity_fixed_ship(
+    const ModelParams& base, double p_ship) const {
+  return bisect(base, [&](double rate) {
+    ModelParams p = base;
+    p.lambda_site = rate / p.num_sites;
+    p.p_ship = p_ship;
+    const ModelSolution s = AnalyticModel(opts_.model).solve(p);
+    return std::make_tuple(s.r_avg, s.saturated,
+                           std::max(s.rho_local, s.rho_central), p_ship);
+  });
+}
+
+CapacityAnalyzer::Result CapacityAnalyzer::capacity_static_optimal(
+    const ModelParams& base) const {
+  StaticOptimizer::Options opt_opts;
+  opt_opts.grid_points = 21;  // coarser grid: the bisection calls this often
+  opt_opts.refine_iterations = 20;
+  opt_opts.model = opts_.model;
+  const StaticOptimizer optimizer(opt_opts);
+  return bisect(base, [&](double rate) {
+    ModelParams p = base;
+    p.lambda_site = rate / p.num_sites;
+    const StaticOptimum opt = optimizer.optimize(p);
+    return std::make_tuple(opt.solution.r_avg, opt.solution.saturated,
+                           std::max(opt.solution.rho_local,
+                                    opt.solution.rho_central),
+                           opt.p_ship);
+  });
+}
+
+}  // namespace hls

@@ -1,0 +1,60 @@
+// Capacity analysis: the "maximum transaction rate supportable" quantity
+// the paper reads off its figures (no load sharing tops out near 20 tps,
+// static load sharing near 30, §4.2) computed directly from the analytic
+// model by bisection over the offered load.
+//
+// An operating point is *supportable* when the model converges without
+// saturating and the average response time stays within `rt_limit_factor`
+// of the unloaded response time — the same "knee of the curve" criterion
+// one applies visually to the figures.
+#pragma once
+
+#include "model/analytic_model.hpp"
+#include "model/static_optimizer.hpp"
+
+namespace hls {
+
+class CapacityAnalyzer {
+ public:
+  struct Options {
+    double rt_limit_factor = 5.0;  ///< RT knee: supportable while RT <= k*RT0
+    /// Utilization ceiling: steady-state formulas admit rho -> 0.99 points
+    /// whose finite-horizon behaviour is knife-edge unstable; real capacity
+    /// planning leaves headroom.
+    double max_utilization = 0.92;
+    double rate_low = 0.5;         ///< bisection bracket, total txn/s
+    double rate_high = 400.0;
+    int iterations = 48;           ///< bisection steps (~1e-10 relative)
+    AnalyticModel::Options model;
+  };
+
+  CapacityAnalyzer();  // default options
+  explicit CapacityAnalyzer(const Options& opts) : opts_(opts) {}
+
+  struct Result {
+    double max_total_tps = 0.0;   ///< largest supportable offered load
+    double rt_at_capacity = 0.0;  ///< modeled average RT at that load
+    double p_ship_at_capacity = 0.0;
+    double rt_unloaded = 0.0;     ///< reference RT near zero load
+  };
+
+  /// Capacity with a fixed shipping probability (0 = no load sharing).
+  [[nodiscard]] Result capacity_fixed_ship(const ModelParams& base,
+                                           double p_ship) const;
+
+  /// Capacity when p_ship is re-optimized at every offered load (the
+  /// paper's optimal static strategy).
+  [[nodiscard]] Result capacity_static_optimal(const ModelParams& base) const;
+
+  /// True when the operating point passes the supportability criterion.
+  [[nodiscard]] bool supportable(const ModelParams& params,
+                                 double rt_unloaded) const;
+
+ private:
+  template <typename EvalRt>
+  Result bisect(const ModelParams& base, EvalRt eval) const;
+
+  Options opts_;
+};
+
+}  // namespace hls

@@ -1,0 +1,211 @@
+#include "model/dynamic_estimator.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "model/residuals.hpp"
+#include "util/assert.hpp"
+
+namespace hls {
+
+namespace {
+constexpr double kRhoCap = 0.98;
+}
+
+DynamicEstimator::DynamicEstimator(ModelParams base, UtilSource source)
+    : base_(base), source_(source) {
+  // Per-transaction CPU demand and non-CPU residence at each tier, used by
+  // the number-in-system inversion (§3.2.1b: "the fraction of time each
+  // transaction spends at the CPU, times the number of transactions").
+  const double n = base_.n_calls;
+  s_local_ = base_.local_cpu(base_.instr_msg_init) +
+             n * base_.local_cpu(base_.instr_per_call) +
+             base_.local_cpu(base_.instr_msg_commit);
+  dnc_local_ = base_.setup_io + n * base_.prob_call_io * base_.call_io;
+
+  s_central_ = base_.central_cpu(base_.instr_msg_init) +
+               n * base_.central_cpu(base_.instr_per_call) +
+               base_.central_cpu(base_.instr_msg_commit);
+  dnc_central_ = base_.setup_io + n * base_.prob_call_io * base_.call_io +
+                 2.0 * base_.comm_delay;  // authentication round trip
+}
+
+double DynamicEstimator::rho_from_queue(int queue, double extra) const {
+  // M/M/1 inversion: E[N] = rho/(1-rho)  =>  rho = N/(N+1); `extra` adds the
+  // incoming transaction's presence on the candidate side (the paper's
+  // correction terms a / alpha in §3.2.1).
+  const double q = std::max(0.0, static_cast<double>(queue)) + extra;
+  return std::min(kRhoCap, q / (q + 1.0));
+}
+
+double DynamicEstimator::rho_from_count(int count, double extra, double s,
+                                        double d_nc) {
+  // Solve n = rho/(1-rho) + (rho/s) * d_nc for rho: the first term is the
+  // M/M/1 population at the CPU, the second is Little's law over the
+  // non-CPU residence (throughput rho/s times delay d_nc). Monotone in rho,
+  // so bisection converges unconditionally.
+  const double n = std::max(0.0, static_cast<double>(count)) + extra;
+  if (n <= 0.0) {
+    return 0.0;
+  }
+  double lo = 0.0;
+  double hi = kRhoCap;
+  for (int i = 0; i < 60; ++i) {
+    const double mid = (lo + hi) / 2.0;
+    const double predicted = mid / (1.0 - mid) + mid / s * d_nc;
+    if (predicted < n) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return (lo + hi) / 2.0;
+}
+
+std::pair<double, double> DynamicEstimator::utilizations(
+    const SystemStateView& view) const {
+  if (source_ == UtilSource::CpuQueue) {
+    return {rho_from_queue(view.local_cpu_queue, 0.0),
+            rho_from_queue(view.central_cpu_queue, 0.0)};
+  }
+  return {rho_from_count(view.local_num_txns, 0.0, s_local_, dnc_local_),
+          rho_from_count(view.central_num_txns, 0.0, s_central_, dnc_central_)};
+}
+
+double DynamicEstimator::local_speed_factor(const SystemStateView& view) {
+  if (view.config == nullptr || view.config->local_mips_per_site.empty()) {
+    return 1.0;
+  }
+  return view.config->local_mips / view.config->site_mips(view.site);
+}
+
+DynamicEstimator::Rts DynamicEstimator::response_times(
+    double rho_l, double rho_c, double speed, const SystemStateView& view) const {
+  const ModelParams& p = base_;
+  const double n = p.n_calls;
+  const double part = p.partition();
+  const double conflict = p.conflict_factor();
+  const double d = p.comm_delay;
+  const double f_l = 1.0 / (1.0 - rho_l);
+  const double f_c = 1.0 / (1.0 - rho_c);
+
+  // Contention probabilities from the observed lock counts (§3.2.1:
+  // "P = n_lock / lockspace"). Central locks are spread over the whole
+  // space; the share relevant to this site's partition is locks/num_sites.
+  const double p_ll =
+      std::min(1.0, view.local_locks_held / part * conflict);
+  const double p_cc = std::min(
+      1.0, static_cast<double>(view.central_locks_held) / p.lockspace * conflict);
+  const double p_cross =
+      std::min(1.0, view.central_locks_held / static_cast<double>(p.num_sites) /
+                        part * conflict);
+
+  // Two passes stabilize the hold-time / wait-time coupling at fixed rho.
+  double beta_l = 0.5, beta_c = 0.5;
+  double t_exec_l = 0.5, t_exec_c = 0.2, commit_l = 0.0, commit_c = 0.0;
+  for (int pass = 0; pass < 8; ++pass) {
+    const double wait_l = p_ll * beta_l / 2.0 + p_cross * d;
+    const double call_l = speed * p.local_cpu(p.instr_per_call) * f_l +
+                          p.prob_call_io * p.call_io + wait_l;
+    commit_l = speed * p.local_cpu(p.instr_msg_commit) * f_l;
+    t_exec_l = n * call_l;
+    beta_l = (n + 1.0) / 2.0 * call_l + commit_l;
+
+    const double wait_c = p_cc * beta_c / 2.0;
+    const double call_c =
+        p.central_cpu(p.instr_per_call) * f_c + p.prob_call_io * p.call_io + wait_c;
+    commit_c = p.central_cpu(p.instr_msg_commit) * f_c;
+    t_exec_c = n * call_c;
+    beta_c = (n + 1.0) / 2.0 * call_c + commit_c + 2.0 * d;
+  }
+
+  // Abort probabilities via the residual-time split of §3.1, driven by the
+  // observed cross-tier lock densities.
+  const Residual loc_tri{ResidualShape::Triangular, t_exec_l + commit_l};
+  const Residual loc_uni{ResidualShape::Uniform, t_exec_l + commit_l};
+  const Residual cen_tri{ResidualShape::Triangular, t_exec_c + commit_c};
+  const Residual cen_uni{ResidualShape::Uniform, t_exec_c + commit_c};
+  const double p_local_last = prob_first_exceeds(loc_uni, cen_tri, d);
+  const double p_a_l =
+      std::min(0.9, n * p_cross * p_local_last);
+  const double p_local_density =
+      std::min(1.0, view.local_locks_held / part * conflict);
+  const double p_a_c = std::min(
+      0.9, n * p_local_density * (1.0 - prob_first_exceeds(loc_tri, cen_uni, d)));
+
+  const double auth_phase =
+      2.0 * d + speed * p.local_cpu(p.instr_auth_local) * f_l;
+
+  Rts out;
+  const double r_l_first = speed * p.local_cpu(p.instr_msg_init) * f_l +
+                           p.setup_io + t_exec_l + commit_l;
+  const double r_l_rerun = speed * p.local_cpu(p.instr_msg_init) * f_l +
+                           (t_exec_l - n * p.prob_call_io * p.call_io) +
+                           commit_l;
+  out.r_local = r_l_first + p_a_l / (1.0 - std::min(0.9, p_a_l)) * r_l_rerun;
+
+  const double r_c_first = p.central_cpu(p.instr_msg_init) * f_c + p.setup_io +
+                           t_exec_c + commit_c + auth_phase;
+  const double r_c_rerun = p.central_cpu(p.instr_msg_init) * f_c +
+                           (t_exec_c - n * p.prob_call_io * p.call_io) + commit_c +
+                           auth_phase;
+  out.r_central = r_c_first + p_a_c / (1.0 - std::min(0.9, p_a_c)) * r_c_rerun;
+  out.r_shipped = speed * p.local_cpu(p.instr_ship_forward) * f_l + 2.0 * d +
+                  out.r_central;
+  return out;
+}
+
+RouteEstimate DynamicEstimator::estimate(const SystemStateView& view) const {
+  RouteEstimate est;
+  const double speed = local_speed_factor(view);
+
+  // Utilizations excluding the incoming transaction (threshold heuristic).
+  const auto [rho_l0, rho_c0] = utilizations(view);
+  est.rho_local = rho_l0;
+  est.rho_central = rho_c0;
+
+  // Option 1: run locally — the incoming transaction loads the local CPU.
+  // Option 2: ship — it loads the central CPU.
+  double rho_l_opt1;
+  double rho_c_opt1;
+  double rho_l_opt2;
+  double rho_c_opt2;
+  if (source_ == UtilSource::CpuQueue) {
+    // The incoming transaction contributes its CPU-time fraction, not a
+    // whole queued job (it spends most of its residence in I/O and, when
+    // shipped, in communication) — the paper's alpha correction in §3.2.1a.
+    const double a_l = s_local_ / (s_local_ + dnc_local_);
+    const double a_c = s_central_ / (s_central_ + dnc_central_);
+    rho_l_opt1 = rho_from_queue(view.local_cpu_queue, a_l);
+    rho_c_opt1 = rho_from_queue(view.central_cpu_queue, 0.0);
+    rho_l_opt2 = rho_from_queue(view.local_cpu_queue, 0.0);
+    rho_c_opt2 = rho_from_queue(view.central_cpu_queue, a_c);
+  } else {
+    const double s_site = s_local_ * speed;
+    rho_l_opt1 = rho_from_count(view.local_num_txns, 1.0, s_site, dnc_local_);
+    rho_c_opt1 = rho_from_count(view.central_num_txns, 0.0, s_central_, dnc_central_);
+    rho_l_opt2 = rho_from_count(view.local_num_txns, 0.0, s_site, dnc_local_);
+    rho_c_opt2 = rho_from_count(view.central_num_txns, 1.0, s_central_, dnc_central_);
+  }
+
+  const Rts rts1 = response_times(rho_l_opt1, rho_c_opt1, speed, view);
+  const Rts rts2 = response_times(rho_l_opt2, rho_c_opt2, speed, view);
+
+  est.r_incoming_local = rts1.r_local;
+  est.r_incoming_ship = rts2.r_shipped;
+
+  // §3.2.2: estimated average over the currently running transactions plus
+  // the incoming one, for each option. The incoming transaction contributes
+  // its full path cost (including the shipping legs when routed centrally);
+  // residents contribute their remaining-path estimates.
+  const double n_l = std::max(0, view.local_num_txns);
+  const double n_c = std::max(0, view.central_num_txns);
+  const double total = n_l + n_c + 1.0;
+  est.r_avg_if_local =
+      (n_l * rts1.r_local + n_c * rts1.r_central + rts1.r_local) / total;
+  est.r_avg_if_ship =
+      (n_l * rts2.r_local + n_c * rts2.r_central + rts2.r_shipped) / total;
+  return est;
+}
+
+}  // namespace hls

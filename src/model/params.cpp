@@ -1,0 +1,18 @@
+#include "model/params.hpp"
+
+#include <cmath>
+
+namespace hls {
+
+double ModelParams::prob_any_write() const {
+  return 1.0 - std::pow(1.0 - prob_write, n_calls);
+}
+
+double ModelParams::expected_involved_sites() const {
+  // n_calls uniform draws over num_sites equal partitions: the expected
+  // number of non-empty partitions.
+  const double miss = std::pow(1.0 - 1.0 / num_sites, n_calls);
+  return num_sites * (1.0 - miss);
+}
+
+}  // namespace hls

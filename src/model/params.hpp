@@ -1,0 +1,121 @@
+// Input parameters of the analytical performance model (§3.1).
+//
+// ModelParams is deliberately self-contained (plain numbers, no dependency
+// on the simulator) so the model can be unit-tested and reused by the
+// dynamic routing strategies. from_config() lifts a SystemConfig; p_ship is
+// the decision variable the static optimizer searches over.
+#pragma once
+
+#include <cstdint>
+
+#include "hybrid/config.hpp"
+
+namespace hls {
+
+struct ModelParams {
+  // ---- rates / routing ----
+  double lambda_site = 1.0;  ///< new-transaction arrivals per local site, txn/s
+  double p_loc = 0.75;       ///< fraction of class A (locally runnable) txns
+  double p_ship = 0.0;       ///< probability a class A txn is shipped
+  int num_sites = 10;
+
+  // ---- hardware ----
+  double local_mips = 1.0;
+  double central_mips = 15.0;
+  double comm_delay = 0.2;
+
+  // ---- transaction shape ----
+  int n_calls = 10;
+  double instr_per_call = 30e3;
+  double instr_msg_init = 75e3;
+  double instr_msg_commit = 75e3;
+  double setup_io = 0.035;
+  double call_io = 0.025;
+  double prob_call_io = 1.0;
+  double prob_write = 0.25;
+  std::uint32_t lockspace = 32768;
+
+  // ---- protocol overheads ----
+  double instr_ship_forward = 15e3;
+  double instr_apply_update = 10e3;
+  double instr_apply_update_item = 2e3;
+  double instr_recv_ack = 2e3;
+  double instr_auth_local = 10e3;
+  double instr_commit_apply_local = 5e3;
+  double instr_send_async = 5e3;
+
+  [[nodiscard]] static ModelParams from_config(const SystemConfig& cfg) {
+    ModelParams p;
+    p.lambda_site = cfg.arrival_rate_per_site;
+    p.p_loc = cfg.prob_class_a;
+    p.num_sites = cfg.num_sites;
+    p.local_mips = cfg.local_mips;
+    p.central_mips = cfg.central_mips;
+    p.comm_delay = cfg.comm_delay;
+    p.n_calls = cfg.db_calls_per_txn;
+    p.instr_per_call = cfg.instr_per_call;
+    p.instr_msg_init = cfg.instr_msg_init;
+    p.instr_msg_commit = cfg.instr_msg_commit;
+    p.setup_io = cfg.setup_io_time;
+    p.call_io = cfg.call_io_time;
+    p.prob_call_io = cfg.prob_call_io;
+    p.prob_write = cfg.prob_write_lock;
+    p.lockspace = cfg.lockspace;
+    p.instr_ship_forward = cfg.instr_ship_forward;
+    p.instr_apply_update = cfg.instr_apply_update;
+    p.instr_apply_update_item = cfg.instr_apply_update_item;
+    p.instr_recv_ack = cfg.instr_recv_ack;
+    p.instr_auth_local = cfg.instr_auth_local;
+    p.instr_commit_apply_local = cfg.instr_commit_apply_local;
+    p.instr_send_async = cfg.instr_send_async;
+    return p;
+  }
+
+  // ---- derived quantities ----
+
+  [[nodiscard]] double partition() const {
+    return static_cast<double>(lockspace) / num_sites;
+  }
+
+  [[nodiscard]] double local_cpu(double instr) const {
+    return instr / (local_mips * 1e6);
+  }
+  [[nodiscard]] double central_cpu(double instr) const {
+    return instr / (central_mips * 1e6);
+  }
+
+  /// New class A transactions running locally, per site, txn/s.
+  [[nodiscard]] double rate_local_a() const {
+    return lambda_site * p_loc * (1.0 - p_ship);
+  }
+  /// Class A transactions shipped to central, per site, txn/s.
+  [[nodiscard]] double rate_shipped_a() const { return lambda_site * p_loc * p_ship; }
+  /// Class B transactions, per site, txn/s.
+  [[nodiscard]] double rate_class_b() const { return lambda_site * (1.0 - p_loc); }
+  /// New central transactions per central database (= per partition), txn/s
+  /// (the paper's lambda*((1 - P_loc) + P_loc*P_shp)).
+  [[nodiscard]] double rate_central_per_db() const {
+    return rate_class_b() + rate_shipped_a();
+  }
+  /// New central transactions in total, txn/s.
+  [[nodiscard]] double rate_central_total() const {
+    return rate_central_per_db() * num_sites;
+  }
+
+  /// Probability two lock requests on the same entity conflict, given the
+  /// S/X mix: an X request conflicts with everything, an S request only
+  /// with X holders.
+  [[nodiscard]] double conflict_factor() const {
+    return prob_write * (2.0 - prob_write);
+  }
+
+  /// Probability a transaction updates at least one entity (sends an
+  /// asynchronous update at commit).
+  [[nodiscard]] double prob_any_write() const;
+
+  /// Expected number of distinct master sites touched by a class B
+  /// transaction's n_calls uniform lock requests.
+  [[nodiscard]] double expected_involved_sites() const;
+};
+
+}  // namespace hls

@@ -1,0 +1,72 @@
+#include "model/residuals.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace hls {
+
+double residual_survival(const Residual& r, double t) {
+  if (t <= 0.0) {
+    return 1.0;
+  }
+  if (t >= r.length) {
+    return 0.0;
+  }
+  const double u = t / r.length;
+  switch (r.shape) {
+    case ResidualShape::Uniform:
+      return 1.0 - u;
+    case ResidualShape::Triangular:
+      // density 2(T-x)/T^2 -> survival (1-u)^2
+      return (1.0 - u) * (1.0 - u);
+  }
+  return 0.0;
+}
+
+namespace {
+
+double density(const Residual& r, double x) {
+  if (x < 0.0 || x > r.length || r.length <= 0.0) {
+    return 0.0;
+  }
+  switch (r.shape) {
+    case ResidualShape::Uniform:
+      return 1.0 / r.length;
+    case ResidualShape::Triangular:
+      return 2.0 * (r.length - x) / (r.length * r.length);
+  }
+  return 0.0;
+}
+
+}  // namespace
+
+double prob_first_exceeds(const Residual& a, const Residual& b, double offset) {
+  HLS_ASSERT(offset >= 0.0, "negative offset");
+  HLS_ASSERT(a.length >= 0.0 && b.length >= 0.0, "negative residual length");
+
+  if (a.length <= 0.0) {
+    return 0.0;  // A == 0 can never exceed B + offset >= 0
+  }
+  if (b.length <= 0.0) {
+    // A > offset with B degenerate at 0.
+    return residual_survival(a, offset);
+  }
+
+  // P(A > B + offset) = integral over y of f_B(y) * S_A(y + offset) dy.
+  // The integrand is a piecewise polynomial of low degree; composite
+  // Simpson with a fine fixed grid is exact to rounding for our purposes.
+  constexpr int kSteps = 512;  // even
+  const double h = b.length / kSteps;
+  double sum = 0.0;
+  for (int i = 0; i <= kSteps; ++i) {
+    const double y = i * h;
+    const double w = (i == 0 || i == kSteps) ? 1.0 : (i % 2 == 1 ? 4.0 : 2.0);
+    sum += w * density(b, y) * residual_survival(a, y + offset);
+  }
+  const double p = sum * h / 3.0;
+  return std::clamp(p, 0.0, 1.0);
+}
+
+}  // namespace hls

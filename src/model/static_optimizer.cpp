@@ -1,0 +1,73 @@
+#include "model/static_optimizer.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace hls {
+
+StaticOptimizer::StaticOptimizer() : opts_(Options{}) {}
+
+double StaticOptimizer::objective(const ModelParams& params, double p_ship) const {
+  ModelParams p = params;
+  p.p_ship = p_ship;
+  const ModelSolution sol = AnalyticModel(opts_.model).solve(p);
+  // Penalize saturation so the optimizer prefers any stable operating point.
+  return sol.saturated ? sol.r_avg + 1e6 : sol.r_avg;
+}
+
+StaticOptimum StaticOptimizer::optimize(const ModelParams& params) const {
+  HLS_ASSERT(opts_.grid_points >= 2, "grid needs at least two points");
+
+  double best_p = 0.0;
+  double best_v = objective(params, 0.0);
+  const double r_no_sharing = best_v;
+  for (int i = 1; i < opts_.grid_points; ++i) {
+    const double p = static_cast<double>(i) / (opts_.grid_points - 1);
+    const double v = objective(params, p);
+    if (v < best_v) {
+      best_v = v;
+      best_p = p;
+    }
+  }
+
+  // Golden-section refinement on the bracket around the best grid point.
+  const double step = 1.0 / (opts_.grid_points - 1);
+  double lo = std::max(0.0, best_p - step);
+  double hi = std::min(1.0, best_p + step);
+  const double inv_phi = (std::sqrt(5.0) - 1.0) / 2.0;
+  double x1 = hi - inv_phi * (hi - lo);
+  double x2 = lo + inv_phi * (hi - lo);
+  double f1 = objective(params, x1);
+  double f2 = objective(params, x2);
+  for (int i = 0; i < opts_.refine_iterations; ++i) {
+    if (f1 < f2) {
+      hi = x2;
+      x2 = x1;
+      f2 = f1;
+      x1 = hi - inv_phi * (hi - lo);
+      f1 = objective(params, x1);
+    } else {
+      lo = x1;
+      x1 = x2;
+      f1 = f2;
+      x2 = lo + inv_phi * (hi - lo);
+      f2 = objective(params, x2);
+    }
+  }
+  const double refined = (lo + hi) / 2.0;
+  if (objective(params, refined) < best_v) {
+    best_p = refined;
+  }
+
+  StaticOptimum out;
+  out.p_ship = best_p;
+  ModelParams p = params;
+  p.p_ship = best_p;
+  out.solution = AnalyticModel(opts_.model).solve(p);
+  out.r_avg_no_sharing = r_no_sharing;
+  return out;
+}
+
+}  // namespace hls

@@ -1,0 +1,38 @@
+// Optimal static (probabilistic) load sharing (§3.1).
+//
+// Sweeps the shipping probability p_ship over the analytical model and
+// returns the value minimizing the modeled average response time, refined
+// with a golden-section search around the best grid point. This is the
+// paper's "optimal static strategy" baseline.
+#pragma once
+
+#include "model/analytic_model.hpp"
+
+namespace hls {
+
+struct StaticOptimum {
+  double p_ship = 0.0;
+  ModelSolution solution;      ///< model solution at the optimum
+  double r_avg_no_sharing = 0.0;  ///< modeled average RT at p_ship = 0
+};
+
+class StaticOptimizer {
+ public:
+  struct Options {
+    int grid_points = 41;       ///< coarse sweep resolution over [0, 1]
+    int refine_iterations = 40; ///< golden-section steps around the best cell
+    AnalyticModel::Options model;
+  };
+
+  StaticOptimizer();  // default options
+  explicit StaticOptimizer(const Options& opts) : opts_(opts) {}
+
+  [[nodiscard]] StaticOptimum optimize(const ModelParams& params) const;
+
+ private:
+  [[nodiscard]] double objective(const ModelParams& params, double p_ship) const;
+
+  Options opts_;
+};
+
+}  // namespace hls

@@ -1,0 +1,31 @@
+#include "net/link.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/assert.hpp"
+
+namespace hls {
+
+Link::Link(Simulator& sim, double delay_seconds, std::string name)
+    : sim_(sim), delay_(delay_seconds), name_(std::move(name)) {
+  HLS_ASSERT(delay_ >= 0.0, "link delay must be non-negative");
+}
+
+void Link::send(Deliver deliver) {
+  ++sent_;
+  // FIFO hold-back: never deliver before a previously sent message.
+  const SimTime at = std::max(sim_.now() + delay_, last_delivery_time_);
+  last_delivery_time_ = at;
+  sim_.schedule_at(at, [this, cb = std::move(deliver)]() mutable {
+    ++delivered_;
+    cb();
+  });
+}
+
+void Link::set_delay(double delay_seconds) {
+  HLS_ASSERT(delay_seconds >= 0.0, "link delay must be non-negative");
+  delay_ = delay_seconds;
+}
+
+}  // namespace hls

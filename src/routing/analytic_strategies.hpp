@@ -1,0 +1,59 @@
+// Model-driven dynamic strategies (§3.2.1, §3.2.2).
+//
+// Both strategies evaluate the DynamicEstimator at decision time:
+//
+//   * MinIncomingRtStrategy routes the incoming class A transaction to the
+//     side with the smaller estimated response time for that transaction —
+//     the classic approach from the literature (curves C and D of
+//     Figure 4.2, depending on the utilization source).
+//   * MinAverageRtStrategy routes so as to minimize the estimated average
+//     response time over all transactions currently in the system plus the
+//     incoming one — the paper's contribution, found to be the best
+//     strategy (curves E and F).
+#pragma once
+
+#include "model/dynamic_estimator.hpp"
+#include "routing/strategy.hpp"
+
+namespace hls {
+
+class MinIncomingRtStrategy final : public RoutingStrategy {
+ public:
+  MinIncomingRtStrategy(ModelParams base, UtilSource source)
+      : estimator_(base, source) {}
+
+  Route decide(const Transaction&, const SystemStateView& view) override {
+    const RouteEstimate est = estimator_.estimate(view);
+    return est.r_incoming_ship < est.r_incoming_local ? Route::Central
+                                                      : Route::Local;
+  }
+
+  [[nodiscard]] std::string name() const override {
+    return estimator_.source() == UtilSource::CpuQueue ? "min-incoming-queue"
+                                                       : "min-incoming-nsys";
+  }
+
+ private:
+  DynamicEstimator estimator_;
+};
+
+class MinAverageRtStrategy final : public RoutingStrategy {
+ public:
+  MinAverageRtStrategy(ModelParams base, UtilSource source)
+      : estimator_(base, source) {}
+
+  Route decide(const Transaction&, const SystemStateView& view) override {
+    const RouteEstimate est = estimator_.estimate(view);
+    return est.r_avg_if_ship < est.r_avg_if_local ? Route::Central : Route::Local;
+  }
+
+  [[nodiscard]] std::string name() const override {
+    return estimator_.source() == UtilSource::CpuQueue ? "min-average-queue"
+                                                       : "min-average-nsys";
+  }
+
+ private:
+  DynamicEstimator estimator_;
+};
+
+}  // namespace hls

@@ -1,0 +1,23 @@
+#include "routing/basic_strategies.hpp"
+
+#include "util/assert.hpp"
+#include "util/table.hpp"
+
+namespace hls {
+
+StaticProbabilisticStrategy::StaticProbabilisticStrategy(double p_ship,
+                                                         std::uint64_t seed)
+    : p_ship_(p_ship), rng_(seed) {
+  HLS_ASSERT(p_ship >= 0.0 && p_ship <= 1.0, "p_ship out of [0,1]");
+}
+
+Route StaticProbabilisticStrategy::decide(const Transaction&,
+                                          const SystemStateView&) {
+  return rng_.bernoulli(p_ship_) ? Route::Central : Route::Local;
+}
+
+std::string StaticProbabilisticStrategy::name() const {
+  return "static-p" + format_double(p_ship_, 3);
+}
+
+}  // namespace hls

@@ -1,0 +1,46 @@
+// Baseline routing strategies: no load sharing, always-central, and the
+// paper's optimal static probabilistic load sharing (§3.1).
+#pragma once
+
+#include <memory>
+
+#include "routing/strategy.hpp"
+#include "util/random.hpp"
+
+namespace hls {
+
+/// No load sharing: every class A transaction runs at its home site.
+class AlwaysLocalStrategy final : public RoutingStrategy {
+ public:
+  Route decide(const Transaction&, const SystemStateView&) override {
+    return Route::Local;
+  }
+  [[nodiscard]] std::string name() const override { return "no-load-sharing"; }
+};
+
+/// Degenerate fully-centralized operation (used as a sanity baseline).
+class AlwaysCentralStrategy final : public RoutingStrategy {
+ public:
+  Route decide(const Transaction&, const SystemStateView&) override {
+    return Route::Central;
+  }
+  [[nodiscard]] std::string name() const override { return "always-central"; }
+};
+
+/// Static probabilistic load sharing: ship with fixed probability p_ship,
+/// independent of system state. The optimal p_ship comes from the
+/// analytical model via StaticOptimizer.
+class StaticProbabilisticStrategy final : public RoutingStrategy {
+ public:
+  StaticProbabilisticStrategy(double p_ship, std::uint64_t seed);
+
+  Route decide(const Transaction&, const SystemStateView&) override;
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] double p_ship() const { return p_ship_; }
+
+ private:
+  double p_ship_;
+  Rng rng_;
+};
+
+}  // namespace hls

@@ -1,0 +1,94 @@
+#include "routing/factory.hpp"
+
+#include <utility>
+
+#include "model/static_optimizer.hpp"
+#include "routing/analytic_strategies.hpp"
+#include "routing/basic_strategies.hpp"
+#include "routing/heuristics.hpp"
+#include "util/assert.hpp"
+
+namespace hls {
+
+std::unique_ptr<RoutingStrategy> make_strategy(const StrategySpec& spec,
+                                               const ModelParams& base,
+                                               std::uint64_t seed) {
+  switch (spec.kind) {
+    case StrategyKind::NoLoadSharing:
+      return std::make_unique<AlwaysLocalStrategy>();
+    case StrategyKind::AlwaysCentral:
+      return std::make_unique<AlwaysCentralStrategy>();
+    case StrategyKind::StaticOptimal: {
+      const StaticOptimum opt = StaticOptimizer().optimize(base);
+      return std::make_unique<StaticProbabilisticStrategy>(opt.p_ship, seed);
+    }
+    case StrategyKind::StaticProbability:
+      return std::make_unique<StaticProbabilisticStrategy>(spec.parameter, seed);
+    case StrategyKind::MeasuredRt:
+      return std::make_unique<MeasuredResponseTimeStrategy>();
+    case StrategyKind::QueueLength:
+      return std::make_unique<QueueLengthStrategy>();
+    case StrategyKind::UtilThreshold:
+      return std::make_unique<ThresholdUtilizationStrategy>(spec.parameter);
+    case StrategyKind::MinIncomingQueue:
+      return std::make_unique<MinIncomingRtStrategy>(base, UtilSource::CpuQueue);
+    case StrategyKind::MinIncomingNsys:
+      return std::make_unique<MinIncomingRtStrategy>(base, UtilSource::NumInSystem);
+    case StrategyKind::MinAverageQueue:
+      return std::make_unique<MinAverageRtStrategy>(base, UtilSource::CpuQueue);
+    case StrategyKind::MinAverageNsys:
+      return std::make_unique<MinAverageRtStrategy>(base, UtilSource::NumInSystem);
+  }
+  HLS_ASSERT(false, "unknown strategy kind");
+  return nullptr;
+}
+
+StrategySpec parse_strategy_spec(const std::string& text) {
+  const auto colon = text.find(':');
+  const std::string head = text.substr(0, colon);
+  const double param =
+      colon == std::string::npos ? 0.0 : std::stod(text.substr(colon + 1));
+  StrategySpec spec;
+  spec.parameter = param;
+  if (head == "no-load-sharing") {
+    spec.kind = StrategyKind::NoLoadSharing;
+  } else if (head == "always-central") {
+    spec.kind = StrategyKind::AlwaysCentral;
+  } else if (head == "static-optimal") {
+    spec.kind = StrategyKind::StaticOptimal;
+  } else if (head == "static") {
+    spec.kind = StrategyKind::StaticProbability;
+  } else if (head == "measured-rt") {
+    spec.kind = StrategyKind::MeasuredRt;
+  } else if (head == "queue-length") {
+    spec.kind = StrategyKind::QueueLength;
+  } else if (head == "util-threshold") {
+    spec.kind = StrategyKind::UtilThreshold;
+  } else if (head == "min-incoming-queue") {
+    spec.kind = StrategyKind::MinIncomingQueue;
+  } else if (head == "min-incoming-nsys") {
+    spec.kind = StrategyKind::MinIncomingNsys;
+  } else if (head == "min-average-queue") {
+    spec.kind = StrategyKind::MinAverageQueue;
+  } else if (head == "min-average-nsys") {
+    spec.kind = StrategyKind::MinAverageNsys;
+  } else {
+    HLS_ASSERT(false, "unknown strategy name");
+  }
+  return spec;
+}
+
+std::vector<std::pair<StrategySpec, std::string>> paper_strategy_set() {
+  return {
+      {{StrategyKind::NoLoadSharing, 0.0}, "no load sharing"},
+      {{StrategyKind::StaticOptimal, 0.0}, "optimal static"},
+      {{StrategyKind::MeasuredRt, 0.0}, "A: measured response time"},
+      {{StrategyKind::QueueLength, 0.0}, "B: queue length"},
+      {{StrategyKind::MinIncomingQueue, 0.0}, "C: min incoming RT (queue)"},
+      {{StrategyKind::MinIncomingNsys, 0.0}, "D: min incoming RT (in-system)"},
+      {{StrategyKind::MinAverageQueue, 0.0}, "E: min average RT (queue)"},
+      {{StrategyKind::MinAverageNsys, 0.0}, "F: min average RT (in-system)"},
+  };
+}
+
+}  // namespace hls

@@ -1,0 +1,39 @@
+#include "routing/heuristics.hpp"
+
+#include "util/table.hpp"
+
+namespace hls {
+
+Route MeasuredResponseTimeStrategy::decide(const Transaction&,
+                                           const SystemStateView& view) {
+  // Before any completion has been observed on a path, its "last response
+  // time" is zero — which makes the unexplored path look attractive and
+  // bootstraps both measurements, matching the heuristic's intent of
+  // keeping the two response times comparable.
+  return view.last_shipped_rt < view.last_local_rt ? Route::Central : Route::Local;
+}
+
+Route QueueLengthStrategy::decide(const Transaction&, const SystemStateView& view) {
+  return view.central_cpu_queue < view.local_cpu_queue ? Route::Central
+                                                       : Route::Local;
+}
+
+ThresholdUtilizationStrategy::ThresholdUtilizationStrategy(double threshold)
+    : threshold_(threshold) {}
+
+Route ThresholdUtilizationStrategy::decide(const Transaction&,
+                                           const SystemStateView& view) {
+  // M/M/1 inversion of the current queue lengths, excluding the incoming
+  // transaction (§3.2.4).
+  const double ql = view.local_cpu_queue;
+  const double qc = view.central_cpu_queue;
+  const double rho_l = ql / (ql + 1.0);
+  const double rho_c = qc / (qc + 1.0);
+  return (rho_l - rho_c > threshold_) ? Route::Central : Route::Local;
+}
+
+std::string ThresholdUtilizationStrategy::name() const {
+  return "util-threshold" + format_double(threshold_, 2);
+}
+
+}  // namespace hls

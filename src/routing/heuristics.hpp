@@ -1,0 +1,42 @@
+// Heuristic dynamic strategies (§3.2.3, §3.2.4).
+//
+//   * MeasuredResponseTimeStrategy: ship iff the last shipped class A
+//     transaction from this site finished faster than the last locally-run
+//     one. Curve A of Figure 4.2.
+//   * QueueLengthStrategy: ship iff the (delayed) central CPU queue is
+//     shorter than the local one. Curve B of Figure 4.2.
+//   * ThresholdUtilizationStrategy: invert utilizations from the queue
+//     lengths and ship iff util_local - util_central > threshold. The
+//     tuned heuristic of Figures 4.4 / 4.7 — its optimal threshold depends
+//     on the communication delay and the MIPS ratio.
+#pragma once
+
+#include "routing/strategy.hpp"
+
+namespace hls {
+
+class MeasuredResponseTimeStrategy final : public RoutingStrategy {
+ public:
+  Route decide(const Transaction&, const SystemStateView& view) override;
+  [[nodiscard]] std::string name() const override { return "measured-rt"; }
+};
+
+class QueueLengthStrategy final : public RoutingStrategy {
+ public:
+  Route decide(const Transaction&, const SystemStateView& view) override;
+  [[nodiscard]] std::string name() const override { return "queue-length"; }
+};
+
+class ThresholdUtilizationStrategy final : public RoutingStrategy {
+ public:
+  explicit ThresholdUtilizationStrategy(double threshold);
+
+  Route decide(const Transaction&, const SystemStateView& view) override;
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] double threshold() const { return threshold_; }
+
+ private:
+  double threshold_;
+};
+
+}  // namespace hls

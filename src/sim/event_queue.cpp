@@ -1,0 +1,109 @@
+#include "sim/event_queue.hpp"
+
+#include <utility>
+
+#include "util/assert.hpp"
+
+namespace hls {
+
+bool EventQueue::before(const Entry& a, const Entry& b) {
+  if (a.time != b.time) {
+    return a.time < b.time;
+  }
+  return a.seq < b.seq;
+}
+
+EventId EventQueue::push(SimTime time, Callback callback) {
+  const EventId id = next_id_++;
+  heap_.push_back(Entry{time, next_seq_++, id, std::move(callback)});
+  sift_up(heap_.size() - 1);
+  ++live_;
+  return id;
+}
+
+bool EventQueue::cancel(EventId id) {
+  if (id == kInvalidEventId || id >= next_id_) {
+    return false;
+  }
+  // Only mark ids that are plausibly still queued; a linear scan would be
+  // exact but O(n). We accept marking an already-fired id: fired events are
+  // removed from the heap, so the mark is dead weight until pruned below.
+  if (!cancelled_.insert(id).second) {
+    return false;
+  }
+  // Verify the event is actually still pending so the return value and the
+  // live count stay truthful.
+  for (const auto& entry : heap_) {
+    if (entry.id == id) {
+      HLS_ASSERT(live_ > 0, "live event count underflow");
+      --live_;
+      return true;
+    }
+  }
+  cancelled_.erase(id);
+  return false;
+}
+
+SimTime EventQueue::next_time() {
+  drop_cancelled_top();
+  HLS_ASSERT(!heap_.empty(), "next_time() on empty event queue");
+  return heap_.front().time;
+}
+
+EventQueue::Popped EventQueue::pop() {
+  drop_cancelled_top();
+  HLS_ASSERT(!heap_.empty(), "pop() on empty event queue");
+  Entry top = std::move(heap_.front());
+  heap_.front() = std::move(heap_.back());
+  heap_.pop_back();
+  if (!heap_.empty()) {
+    sift_down(0);
+  }
+  HLS_ASSERT(live_ > 0, "live event count underflow");
+  --live_;
+  return Popped{top.time, top.id, std::move(top.callback)};
+}
+
+void EventQueue::drop_cancelled_top() {
+  while (!heap_.empty() && cancelled_.count(heap_.front().id) != 0) {
+    cancelled_.erase(heap_.front().id);
+    heap_.front() = std::move(heap_.back());
+    heap_.pop_back();
+    if (!heap_.empty()) {
+      sift_down(0);
+    }
+  }
+}
+
+void EventQueue::sift_up(std::size_t i) {
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / 2;
+    if (!before(heap_[i], heap_[parent])) {
+      break;
+    }
+    std::swap(heap_[i], heap_[parent]);
+    i = parent;
+  }
+}
+
+void EventQueue::sift_down(std::size_t i) {
+  const std::size_t n = heap_.size();
+  for (;;) {
+    const std::size_t left = 2 * i + 1;
+    const std::size_t right = 2 * i + 2;
+    std::size_t smallest = i;
+    if (left < n && before(heap_[left], heap_[smallest])) {
+      smallest = left;
+    }
+    if (right < n && before(heap_[right], heap_[smallest])) {
+      smallest = right;
+    }
+    if (smallest == i) {
+      return;
+    }
+    std::swap(heap_[i], heap_[smallest]);
+    i = smallest;
+  }
+}
+
+}  // namespace hls

@@ -1,0 +1,72 @@
+// Pending-event set for the discrete-event kernel.
+//
+// A hand-rolled binary min-heap ordered by (time, sequence number). The
+// sequence tiebreak makes same-timestamp events fire in scheduling order,
+// which keeps runs deterministic — essential for reproducible experiments
+// and for the regression tests that pin exact simulation output.
+//
+// Cancellation is lazy: cancelled entries stay in the heap (marked in a side
+// table) and are skipped on pop. The hybrid workload cancels rarely (timeouts
+// that usually don't fire), so lazy deletion wins over sift-based removal.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace hls {
+
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Inserts an event; returns an id usable with cancel().
+  EventId push(SimTime time, Callback callback);
+
+  /// Marks an event cancelled. Returns false if the event already fired,
+  /// was already cancelled, or never existed.
+  bool cancel(EventId id);
+
+  /// True when no live (non-cancelled) events remain.
+  [[nodiscard]] bool empty() const { return live_ == 0; }
+
+  [[nodiscard]] std::size_t size() const { return live_; }
+
+  /// Timestamp of the earliest live event; must not be called when empty.
+  [[nodiscard]] SimTime next_time();
+
+  /// Removes and returns the earliest live event. Must not be called when
+  /// empty. The returned callback is ready to invoke.
+  struct Popped {
+    SimTime time;
+    EventId id;
+    Callback callback;
+  };
+  Popped pop();
+
+ private:
+  struct Entry {
+    SimTime time;
+    std::uint64_t seq;
+    EventId id;
+    Callback callback;
+  };
+
+  /// True when a precedes b in firing order.
+  static bool before(const Entry& a, const Entry& b);
+
+  void sift_up(std::size_t i);
+  void sift_down(std::size_t i);
+  void drop_cancelled_top();
+
+  std::vector<Entry> heap_;
+  std::unordered_set<EventId> cancelled_;
+  std::uint64_t next_seq_ = 0;
+  EventId next_id_ = 1;  // 0 is kInvalidEventId
+  std::size_t live_ = 0;
+};
+
+}  // namespace hls

@@ -1,0 +1,69 @@
+#include "sim/resource.hpp"
+
+#include <utility>
+
+#include "util/assert.hpp"
+
+namespace hls {
+
+FcfsResource::FcfsResource(Simulator& sim, std::string name)
+    : sim_(sim), name_(std::move(name)) {
+  record_state();
+}
+
+void FcfsResource::submit(double service_time, Callback on_complete) {
+  HLS_ASSERT(service_time >= 0.0, "negative CPU service time");
+  queue_.push_back(Job{service_time, std::move(on_complete)});
+  record_state();
+  if (!busy_) {
+    start_next();
+  }
+}
+
+void FcfsResource::start_next() {
+  HLS_ASSERT(!busy_, "starting service while busy");
+  if (queue_.empty()) {
+    record_state();
+    return;
+  }
+  Job job = std::move(queue_.front());
+  queue_.pop_front();
+  busy_ = true;
+  active_completion_ = std::move(job.on_complete);
+  record_state();
+  sim_.schedule_after(job.service_time, [this] { on_service_complete(); });
+}
+
+void FcfsResource::on_service_complete() {
+  HLS_ASSERT(busy_, "completion without a job in service");
+  Callback done = std::move(active_completion_);
+  active_completion_ = nullptr;
+  busy_ = false;
+  ++completed_;
+  record_state();
+  start_next();
+  // Invoke the completion after dequeuing the next job so that work the
+  // callback submits queues behind already-waiting jobs (strict FCFS).
+  if (done) {
+    done();
+  }
+}
+
+void FcfsResource::record_state() {
+  busy_stat_.set(sim_.now(), busy_ ? 1.0 : 0.0);
+  queue_stat_.set(sim_.now(), static_cast<double>(queue_length()));
+}
+
+double FcfsResource::utilization() const { return busy_stat_.average(sim_.now()); }
+
+double FcfsResource::average_queue_length() const {
+  return queue_stat_.average(sim_.now());
+}
+
+void FcfsResource::reset_stats() {
+  busy_stat_.reset(sim_.now());
+  queue_stat_.reset(sim_.now());
+  completed_ = 0;
+}
+
+}  // namespace hls

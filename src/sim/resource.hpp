@@ -1,0 +1,75 @@
+// FCFS single-server resource: models each site's CPU.
+//
+// The paper's simulation serves CPU bursts in FIFO order with deterministic
+// service times derived from instruction pathlengths ("CPU service times
+// correspond to the time to execute the specific instruction pathlengths ...
+// and are not exponentially distributed"). A transaction submits one burst
+// at a time and releases the CPU at every lock wait, I/O and communication,
+// which is exactly the submit/complete interface here.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+
+#include "sim/simulator.hpp"
+#include "util/stats.hpp"
+
+namespace hls {
+
+class FcfsResource {
+ public:
+  using Callback = std::function<void()>;
+
+  FcfsResource(Simulator& sim, std::string name);
+
+  FcfsResource(const FcfsResource&) = delete;
+  FcfsResource& operator=(const FcfsResource&) = delete;
+
+  /// Enqueues a burst of `service_time` seconds; `on_complete` fires when the
+  /// burst finishes service. Zero-length bursts complete via the queue too,
+  /// preserving FIFO ordering with non-zero bursts ahead of them.
+  void submit(double service_time, Callback on_complete);
+
+  /// Jobs waiting plus the one in service (the paper's "CPU queue length").
+  [[nodiscard]] std::size_t queue_length() const {
+    return queue_.size() + (busy_ ? 1 : 0);
+  }
+
+  [[nodiscard]] bool busy() const { return busy_; }
+  [[nodiscard]] const std::string& name() const { return name_; }
+
+  /// Fraction of time busy since the last stats reset.
+  [[nodiscard]] double utilization() const;
+
+  /// Time-averaged queue length (including in service) since last reset.
+  [[nodiscard]] double average_queue_length() const;
+
+  [[nodiscard]] std::uint64_t completed_bursts() const { return completed_; }
+
+  /// Restarts utilization/queue statistics at the current simulation time
+  /// (used to discard warmup).
+  void reset_stats();
+
+ private:
+  struct Job {
+    double service_time;
+    Callback on_complete;
+  };
+
+  void start_next();
+  void on_service_complete();
+  void record_state();
+
+  Simulator& sim_;
+  std::string name_;
+  std::deque<Job> queue_;
+  bool busy_ = false;
+  Callback active_completion_;
+  std::uint64_t completed_ = 0;
+  TimeWeightedStat busy_stat_;
+  TimeWeightedStat queue_stat_;
+};
+
+}  // namespace hls

@@ -1,0 +1,50 @@
+#include "sim/simulator.hpp"
+
+#include <utility>
+
+#include "util/assert.hpp"
+
+namespace hls {
+
+EventId Simulator::schedule_at(SimTime t, Callback callback) {
+  HLS_ASSERT(t >= now_, "cannot schedule an event in the past");
+  return queue_.push(t, std::move(callback));
+}
+
+EventId Simulator::schedule_after(SimTime delay, Callback callback) {
+  HLS_ASSERT(delay >= 0.0, "negative delay");
+  return queue_.push(now_ + delay, std::move(callback));
+}
+
+bool Simulator::cancel(EventId id) { return queue_.cancel(id); }
+
+bool Simulator::step() {
+  if (queue_.empty()) {
+    return false;
+  }
+  auto event = queue_.pop();
+  HLS_ASSERT(event.time >= now_, "event queue returned an out-of-order event");
+  now_ = event.time;
+  ++executed_;
+  event.callback();
+  return true;
+}
+
+void Simulator::run_until(SimTime t) {
+  HLS_ASSERT(t >= now_, "run_until target is in the past");
+  stop_requested_ = false;
+  while (!stop_requested_ && !queue_.empty() && queue_.next_time() <= t) {
+    step();
+  }
+  if (!stop_requested_ && now_ < t) {
+    now_ = t;
+  }
+}
+
+void Simulator::run() {
+  stop_requested_ = false;
+  while (!stop_requested_ && step()) {
+  }
+}
+
+}  // namespace hls

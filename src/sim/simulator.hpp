@@ -1,0 +1,56 @@
+// Discrete-event simulation core: a virtual clock plus the pending-event set.
+//
+// All model components (CPUs, links, lock managers, arrival processes) share
+// one Simulator and advance the world exclusively by scheduling callbacks.
+// Single-threaded by design: determinism matters more than parallel speedup
+// at this model size, and it keeps component code free of synchronization.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+#include "sim/event_queue.hpp"
+#include "sim/time.hpp"
+
+namespace hls {
+
+class Simulator {
+ public:
+  using Callback = EventQueue::Callback;
+
+  [[nodiscard]] SimTime now() const { return now_; }
+
+  /// Schedules `callback` to fire at absolute time `t` (must be >= now()).
+  EventId schedule_at(SimTime t, Callback callback);
+
+  /// Schedules `callback` to fire `delay` seconds from now (delay >= 0).
+  EventId schedule_after(SimTime delay, Callback callback);
+
+  /// Cancels a pending event; false if it already fired or was cancelled.
+  bool cancel(EventId id);
+
+  /// Executes the next event, advancing the clock. False when none remain.
+  bool step();
+
+  /// Runs events until the clock would pass `t`; leaves now() == t.
+  /// Events scheduled exactly at `t` are executed.
+  void run_until(SimTime t);
+
+  /// Runs until the event set is empty.
+  void run();
+
+  /// Requests that run()/run_until() return after the current event; the
+  /// remaining events stay queued.
+  void request_stop() { stop_requested_ = true; }
+
+  [[nodiscard]] std::size_t pending_events() const { return queue_.size(); }
+  [[nodiscard]] std::uint64_t executed_events() const { return executed_; }
+
+ private:
+  EventQueue queue_;
+  SimTime now_ = 0.0;
+  std::uint64_t executed_ = 0;
+  bool stop_requested_ = false;
+};
+
+}  // namespace hls

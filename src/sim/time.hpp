@@ -1,0 +1,17 @@
+// Simulated time. All times are seconds, represented as double: the paper's
+// quantities (0.2 s links, millisecond CPU bursts, hour-long runs) span only
+// ~7 decades, well inside double's 15-16 significant digits.
+#pragma once
+
+#include <cstdint>
+
+namespace hls {
+
+using SimTime = double;
+
+/// Identifies a scheduled event; usable to cancel it before it fires.
+using EventId = std::uint64_t;
+
+inline constexpr EventId kInvalidEventId = 0;
+
+}  // namespace hls

@@ -1,0 +1,28 @@
+// Lightweight always-on assertion macro for invariant checking.
+//
+// Simulation correctness depends on protocol invariants (lock tables
+// consistent, coherence counters non-negative, events in time order).
+// Violations indicate library bugs, never user errors, so we fail fast
+// with a source location instead of limping on with corrupt state.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace hls {
+
+[[noreturn]] inline void assert_fail(const char* expr, const char* file, int line,
+                                     const char* msg) {
+  std::fprintf(stderr, "hybridls invariant violated: %s\n  at %s:%d\n  %s\n", expr, file,
+               line, msg);
+  std::abort();
+}
+
+}  // namespace hls
+
+#define HLS_ASSERT(expr, msg)                               \
+  do {                                                      \
+    if (!(expr)) {                                          \
+      ::hls::assert_fail(#expr, __FILE__, __LINE__, (msg)); \
+    }                                                       \
+  } while (false)

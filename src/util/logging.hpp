@@ -1,0 +1,27 @@
+// Minimal leveled logger.
+//
+// The simulator is hot-path sensitive, so log calls compile down to a level
+// check plus (when enabled) a printf-style write to stderr. The level is a
+// process-wide setting; the default (Warn) keeps benchmark output clean.
+#pragma once
+
+#include <cstdarg>
+
+namespace hls {
+
+enum class LogLevel { Trace = 0, Debug = 1, Info = 2, Warn = 3, Error = 4, Off = 5 };
+
+/// Sets the process-wide log level.
+void set_log_level(LogLevel level);
+[[nodiscard]] LogLevel log_level();
+
+/// printf-style logging; no-op when `level` is below the process level.
+void log(LogLevel level, const char* fmt, ...) __attribute__((format(printf, 2, 3)));
+
+}  // namespace hls
+
+#define HLS_LOG_TRACE(...) ::hls::log(::hls::LogLevel::Trace, __VA_ARGS__)
+#define HLS_LOG_DEBUG(...) ::hls::log(::hls::LogLevel::Debug, __VA_ARGS__)
+#define HLS_LOG_INFO(...) ::hls::log(::hls::LogLevel::Info, __VA_ARGS__)
+#define HLS_LOG_WARN(...) ::hls::log(::hls::LogLevel::Warn, __VA_ARGS__)
+#define HLS_LOG_ERROR(...) ::hls::log(::hls::LogLevel::Error, __VA_ARGS__)

@@ -1,0 +1,77 @@
+#include "util/random.hpp"
+
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace hls {
+
+std::uint64_t SplitMix64::next() {
+  std::uint64_t z = (state_ += 0x9E3779B97F4A7C15ULL);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+namespace {
+inline std::uint64_t rotl(std::uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  SplitMix64 sm(seed);
+  for (auto& word : s_) {
+    word = sm.next();
+  }
+}
+
+Rng Rng::fork() { return Rng(next_u64()); }
+
+std::uint64_t Rng::next_u64() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+double Rng::next_double() {
+  // 53 high bits -> uniform double in [0, 1).
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+std::uint64_t Rng::next_below(std::uint64_t bound) {
+  HLS_ASSERT(bound > 0, "next_below requires a positive bound");
+  // Lemire-style rejection: retry while in the biased zone.
+  const std::uint64_t threshold = (0 - bound) % bound;
+  for (;;) {
+    const std::uint64_t r = next_u64();
+    if (r >= threshold) {
+      return r % bound;
+    }
+  }
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
+  HLS_ASSERT(lo <= hi, "uniform_int requires lo <= hi");
+  const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+  return lo + static_cast<std::int64_t>(next_below(span));
+}
+
+double Rng::uniform(double lo, double hi) {
+  HLS_ASSERT(lo <= hi, "uniform requires lo <= hi");
+  return lo + (hi - lo) * next_double();
+}
+
+double Rng::exponential(double rate) {
+  HLS_ASSERT(rate > 0.0, "exponential requires rate > 0");
+  // 1 - U avoids log(0); U in [0,1) so 1-U in (0,1].
+  return -std::log(1.0 - next_double()) / rate;
+}
+
+bool Rng::bernoulli(double p) { return next_double() < p; }
+
+}  // namespace hls

@@ -1,0 +1,123 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace hls {
+
+void SampleStat::add(double x) {
+  ++n_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+void SampleStat::reset() { *this = SampleStat{}; }
+
+double SampleStat::mean() const { return n_ == 0 ? 0.0 : mean_; }
+
+double SampleStat::variance() const {
+  return n_ < 2 ? 0.0 : m2_ / static_cast<double>(n_ - 1);
+}
+
+double SampleStat::stddev() const { return std::sqrt(variance()); }
+
+void SampleStat::merge(const SampleStat& other) {
+  if (other.n_ == 0) {
+    return;
+  }
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(n_);
+  const double nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double nt = na + nb;
+  mean_ += delta * nb / nt;
+  m2_ += other.m2_ + delta * delta * na * nb / nt;
+  n_ += other.n_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+void TimeWeightedStat::set(double t, double v) {
+  if (!started_) {
+    start_ = t;
+    last_t_ = t;
+    value_ = v;
+    started_ = true;
+    return;
+  }
+  HLS_ASSERT(t >= last_t_, "TimeWeightedStat updates must be in time order");
+  area_ += value_ * (t - last_t_);
+  last_t_ = t;
+  value_ = v;
+}
+
+void TimeWeightedStat::reset(double t) {
+  start_ = t;
+  last_t_ = t;
+  area_ = 0.0;
+  started_ = true;
+}
+
+double TimeWeightedStat::average(double t) const {
+  if (!started_ || t <= start_) {
+    return value_;
+  }
+  HLS_ASSERT(t >= last_t_, "average() time precedes last update");
+  const double area = area_ + value_ * (t - last_t_);
+  return area / (t - start_);
+}
+
+Histogram::Histogram(double bin_width, std::size_t num_bins)
+    : bin_width_(bin_width), bins_(num_bins, 0) {
+  HLS_ASSERT(bin_width > 0.0, "histogram bin width must be positive");
+  HLS_ASSERT(num_bins > 0, "histogram needs at least one bin");
+}
+
+void Histogram::add(double x) {
+  ++total_;
+  if (x < 0.0) {
+    x = 0.0;
+  }
+  const auto bin = static_cast<std::size_t>(x / bin_width_);
+  if (bin >= bins_.size()) {
+    ++overflow_;
+  } else {
+    ++bins_[bin];
+  }
+}
+
+void Histogram::reset() {
+  std::fill(bins_.begin(), bins_.end(), 0);
+  overflow_ = 0;
+  total_ = 0;
+}
+
+double Histogram::quantile(double q) const {
+  HLS_ASSERT(q >= 0.0 && q <= 1.0, "quantile requires q in [0,1]");
+  if (total_ == 0) {
+    return 0.0;
+  }
+  const double target = q * static_cast<double>(total_);
+  double cum = 0.0;
+  for (std::size_t i = 0; i < bins_.size(); ++i) {
+    const double next = cum + static_cast<double>(bins_[i]);
+    if (next >= target && bins_[i] > 0) {
+      const double frac = (target - cum) / static_cast<double>(bins_[i]);
+      return (static_cast<double>(i) + frac) * bin_width_;
+    }
+    cum = next;
+  }
+  return bin_width_ * static_cast<double>(bins_.size());
+}
+
+}  // namespace hls

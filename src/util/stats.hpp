@@ -1,0 +1,100 @@
+// Statistics accumulators used throughout the simulator.
+//
+// Three kinds of estimator cover everything the experiments need:
+//   * SampleStat        — mean/variance/min/max over discrete observations
+//                         (e.g. per-transaction response times), Welford's
+//                         algorithm so long runs stay numerically stable.
+//   * TimeWeightedStat  — time-average of a piecewise-constant signal
+//                         (e.g. CPU queue length, utilization).
+//   * Histogram         — fixed-width bins with overflow, for response-time
+//                         distributions and quantile estimates.
+// All accumulators support reset() so a warmup interval can be discarded.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace hls {
+
+/// Mean / variance / extrema over a stream of double observations.
+class SampleStat {
+ public:
+  void add(double x);
+  void reset();
+
+  [[nodiscard]] std::uint64_t count() const { return n_; }
+  [[nodiscard]] double mean() const;
+  /// Unbiased sample variance; 0 when fewer than two observations.
+  [[nodiscard]] double variance() const;
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const { return min_; }
+  [[nodiscard]] double max() const { return max_; }
+  [[nodiscard]] double sum() const { return sum_; }
+
+  /// Merges another accumulator into this one (parallel-friendly form of
+  /// Welford/Chan et al.).
+  void merge(const SampleStat& other);
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Time-average of a piecewise-constant signal. Call set(t, v) whenever the
+/// signal changes; the value persists until the next change.
+class TimeWeightedStat {
+ public:
+  /// Records that the signal takes value `v` from time `t` onward.
+  /// Times must be non-decreasing.
+  void set(double t, double v);
+
+  /// Discards accumulated area and restarts the average at time `t`,
+  /// keeping the current signal value.
+  void reset(double t);
+
+  /// Time-average over [start, t]; requires t >= last update time.
+  [[nodiscard]] double average(double t) const;
+
+  [[nodiscard]] double current() const { return value_; }
+
+ private:
+  double start_ = 0.0;
+  double last_t_ = 0.0;
+  double value_ = 0.0;
+  double area_ = 0.0;
+  bool started_ = false;
+};
+
+/// Fixed-width histogram over [0, bin_width * num_bins) with an overflow bin.
+class Histogram {
+ public:
+  Histogram(double bin_width, std::size_t num_bins);
+
+  void add(double x);
+  void reset();
+
+  [[nodiscard]] std::uint64_t count() const { return total_; }
+  [[nodiscard]] std::uint64_t bin_count(std::size_t bin) const { return bins_[bin]; }
+  [[nodiscard]] std::uint64_t overflow() const { return overflow_; }
+  [[nodiscard]] std::size_t num_bins() const { return bins_.size(); }
+  [[nodiscard]] double bin_width() const { return bin_width_; }
+
+  /// Linear-interpolated quantile estimate, q in [0, 1]. Observations in the
+  /// overflow bin are treated as sitting at the histogram's upper edge, so
+  /// high quantiles are lower bounds when overflow() > 0.
+  [[nodiscard]] double quantile(double q) const;
+
+ private:
+  double bin_width_;
+  std::vector<std::uint64_t> bins_;
+  std::uint64_t overflow_ = 0;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace hls

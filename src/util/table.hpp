@@ -1,0 +1,46 @@
+// Aligned-table and CSV emitters used by the benchmark harness to print the
+// paper's figure series in a form that is both human-readable and easy to
+// plot (every table is also emitted as CSV rows prefixed with "csv,").
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace hls {
+
+/// Accumulates rows of string cells and renders them either as an aligned
+/// monospace table or as CSV. Numeric helpers format with fixed precision so
+/// series are comparable across runs.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Starts a new row; subsequent add_cell/add_num calls fill it.
+  Table& begin_row();
+  Table& add_cell(std::string value);
+  Table& add_num(double value, int precision = 4);
+  Table& add_int(long long value);
+
+  [[nodiscard]] std::size_t num_rows() const { return rows_.size(); }
+  [[nodiscard]] const std::vector<std::string>& row(std::size_t i) const {
+    return rows_[i];
+  }
+
+  /// Renders the aligned table (with a header underline) to `os`.
+  void print(std::ostream& os) const;
+
+  /// Renders csv with a "csv," sentinel prefix on every line so plotting
+  /// scripts can grep the machine-readable part out of mixed output.
+  void print_csv(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with fixed precision (helper shared with log output).
+std::string format_double(double value, int precision);
+
+}  // namespace hls

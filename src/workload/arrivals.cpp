@@ -1,0 +1,52 @@
+#include "workload/arrivals.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/assert.hpp"
+
+namespace hls {
+
+ArrivalProcess::ArrivalProcess(Simulator& sim, Rng rng, double rate)
+    : sim_(sim),
+      rng_(rng),
+      rate_([rate](SimTime) { return rate; }),
+      max_rate_(rate) {
+  HLS_ASSERT(rate >= 0.0, "negative arrival rate");
+}
+
+ArrivalProcess::ArrivalProcess(Simulator& sim, Rng rng, RateFunction rate,
+                               double max_rate)
+    : sim_(sim), rng_(rng), rate_(std::move(rate)), max_rate_(max_rate) {
+  HLS_ASSERT(max_rate_ >= 0.0, "negative max rate");
+}
+
+void ArrivalProcess::start(std::function<void()> on_arrival) {
+  HLS_ASSERT(!running_, "arrival process already started");
+  on_arrival_ = std::move(on_arrival);
+  running_ = true;
+  if (max_rate_ > 0.0) {
+    schedule_next();
+  }
+}
+
+void ArrivalProcess::schedule_next() {
+  const double gap = rng_.exponential(max_rate_);
+  sim_.schedule_after(gap, [this] {
+    if (!running_) {
+      return;
+    }
+    // Thinning: accept the candidate with probability rate(t)/max_rate.
+    // Rates above the declared ceiling are clamped (arrivals beyond
+    // max_rate cannot be generated), matching the header's contract.
+    const double lambda = std::min(rate_(sim_.now()), max_rate_);
+    const bool accept = lambda >= max_rate_ || rng_.bernoulli(lambda / max_rate_);
+    schedule_next();
+    if (accept) {
+      ++generated_;
+      on_arrival_();
+    }
+  });
+}
+
+}  // namespace hls

@@ -1,0 +1,51 @@
+// Arrival processes.
+//
+// The paper uses homogeneous Poisson arrivals per site. The examples also
+// exercise time-varying rates (regional surges, daily load cycles), so the
+// process accepts an arbitrary rate function lambda(t) and generates it by
+// thinning against a supplied maximum rate.
+#pragma once
+
+#include <functional>
+
+#include "sim/simulator.hpp"
+#include "util/random.hpp"
+
+namespace hls {
+
+/// Rate function: instantaneous arrivals/second at simulation time t.
+using RateFunction = std::function<double(SimTime)>;
+
+class ArrivalProcess {
+ public:
+  /// Homogeneous Poisson process with constant `rate`.
+  ArrivalProcess(Simulator& sim, Rng rng, double rate);
+
+  /// Non-homogeneous Poisson process by thinning; `max_rate` must bound
+  /// `rate(t)` from above for all t or arrivals are silently lost.
+  ArrivalProcess(Simulator& sim, Rng rng, RateFunction rate, double max_rate);
+
+  ArrivalProcess(const ArrivalProcess&) = delete;
+  ArrivalProcess& operator=(const ArrivalProcess&) = delete;
+
+  /// Starts generating arrivals; `on_arrival` fires once per arrival until
+  /// stop() or the simulation ends. A zero-rate process never fires.
+  void start(std::function<void()> on_arrival);
+
+  void stop() { running_ = false; }
+
+  [[nodiscard]] std::uint64_t generated() const { return generated_; }
+
+ private:
+  void schedule_next();
+
+  Simulator& sim_;
+  Rng rng_;
+  RateFunction rate_;
+  double max_rate_;
+  std::function<void()> on_arrival_;
+  bool running_ = false;
+  std::uint64_t generated_ = 0;
+};
+
+}  // namespace hls

@@ -1,0 +1,52 @@
+#include "workload/txn_factory.hpp"
+
+#include "util/assert.hpp"
+
+namespace hls {
+
+TxnFactory::TxnFactory(const SystemConfig& cfg, Rng rng) : cfg_(cfg), rng_(rng) {
+  cfg_.validate();
+}
+
+Transaction TxnFactory::make(int site, SimTime now) {
+  const TxnClass cls =
+      rng_.bernoulli(cfg_.prob_class_a) ? TxnClass::A : TxnClass::B;
+  return make_of_class(cls, site, now);
+}
+
+Transaction TxnFactory::make_of_class(TxnClass cls, int site, SimTime now) {
+  HLS_ASSERT(site >= 0 && site < cfg_.num_sites, "site index out of range");
+  Transaction txn;
+  txn.id = next_id_++;
+  txn.cls = cls;
+  txn.home_site = site;
+  txn.arrival_time = now;
+  txn.locks.reserve(cfg_.db_calls_per_txn);
+  txn.call_io.reserve(cfg_.db_calls_per_txn);
+
+  const std::uint32_t partition = cfg_.partition_size();
+  const std::uint32_t lo =
+      cls == TxnClass::A ? static_cast<std::uint32_t>(site) * partition : 0;
+  const std::uint32_t span = cls == TxnClass::A ? partition : cfg_.lockspace;
+
+  int calls = cfg_.db_calls_per_txn;
+  if (cfg_.geometric_call_count) {
+    // Geometric with mean db_calls_per_txn, truncated to [1, 8x mean]:
+    // success probability 1/mean, support {1, 2, ...}.
+    const double p_stop = 1.0 / cfg_.db_calls_per_txn;
+    calls = 1;
+    while (!rng_.bernoulli(p_stop) && calls < 8 * cfg_.db_calls_per_txn) {
+      ++calls;
+    }
+  }
+  for (int call = 0; call < calls; ++call) {
+    const LockId id = lo + static_cast<LockId>(rng_.next_below(span));
+    const LockMode mode =
+        rng_.bernoulli(cfg_.prob_write_lock) ? LockMode::Exclusive : LockMode::Shared;
+    txn.locks.push_back(LockNeed{id, mode});
+    txn.call_io.push_back(rng_.bernoulli(cfg_.prob_call_io));
+  }
+  return txn;
+}
+
+}  // namespace hls

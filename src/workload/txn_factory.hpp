@@ -1,0 +1,37 @@
+// Transaction generation: samples the access pattern of each arriving
+// transaction per §4.1 of the paper.
+//
+//   * Class A (probability prob_class_a): lock requests uniform over the
+//     home site's tenth of the lock space.
+//   * Class B: lock requests uniform over the entire lock space.
+//   * One lock request per DB call; each request is exclusive with
+//     probability prob_write_lock; each call performs an I/O with
+//     probability prob_call_io.
+#pragma once
+
+#include "hybrid/config.hpp"
+#include "hybrid/transaction.hpp"
+#include "util/random.hpp"
+
+namespace hls {
+
+class TxnFactory {
+ public:
+  TxnFactory(const SystemConfig& cfg, Rng rng);
+
+  /// Builds a fresh transaction arriving at `site` at time `now`.
+  /// Ids are unique across the factory's lifetime and never kInvalidTxn.
+  Transaction make(int site, SimTime now);
+
+  /// Builds a transaction of a forced class (examples/tests).
+  Transaction make_of_class(TxnClass cls, int site, SimTime now);
+
+  [[nodiscard]] TxnId next_id() const { return next_id_; }
+
+ private:
+  const SystemConfig& cfg_;
+  Rng rng_;
+  TxnId next_id_ = 1;
+};
+
+}  // namespace hls

@@ -1,0 +1,85 @@
+// Cross-architecture properties (the §1 motivation): the locality crossover
+// between centralized and distributed, and the hybrid tracking the better
+// of the two.
+#include <gtest/gtest.h>
+
+#include "baseline/centralized_system.hpp"
+#include "baseline/distributed_system.hpp"
+#include "core/driver.hpp"
+
+namespace hls {
+namespace {
+
+SystemConfig wan_config(double p_loc) {
+  SystemConfig cfg;
+  cfg.comm_delay = 0.5;            // the regime where the WAN decides
+  cfg.arrival_rate_per_site = 1.2; // 12 tps: all architectures stable
+  cfg.prob_class_a = p_loc;
+  cfg.seed = 77;
+  return cfg;
+}
+
+template <typename System>
+double baseline_rt(System& sys) {
+  sys.enable_arrivals();
+  sys.run_for(60.0);
+  sys.begin_measurement();
+  sys.run_for(400.0);
+  sys.end_measurement();
+  return sys.metrics().rt_all.mean();
+}
+
+TEST(Architecture, DistributedWinsAtFullLocality) {
+  const SystemConfig cfg = wan_config(1.0);
+  CentralizedSystem central(cfg);
+  DistributedSystem distributed(cfg);
+  EXPECT_LT(baseline_rt(distributed), baseline_rt(central));
+}
+
+TEST(Architecture, CentralizedWinsAtLowLocality) {
+  const SystemConfig cfg = wan_config(0.5);
+  CentralizedSystem central(cfg);
+  DistributedSystem distributed(cfg);
+  // "much worse otherwise": not just worse — a multiple.
+  EXPECT_GT(baseline_rt(distributed), 3.0 * baseline_rt(central));
+}
+
+TEST(Architecture, CentralizedIndifferentToLocality) {
+  CentralizedSystem a{wan_config(0.5)};
+  CentralizedSystem b{wan_config(0.95)};
+  const double rt_low = baseline_rt(a);
+  const double rt_high = baseline_rt(b);
+  EXPECT_NEAR(rt_low, rt_high, 0.05 * rt_low);
+}
+
+TEST(Architecture, DistributedDegradesMonotonicallyWithRemoteCalls) {
+  double prev = 0.0;
+  for (double p_loc : {1.0, 0.85, 0.7, 0.55}) {
+    DistributedSystem sys{wan_config(p_loc)};
+    const double rt = baseline_rt(sys);
+    EXPECT_GT(rt, prev);
+    prev = rt;
+  }
+}
+
+TEST(Architecture, HybridTracksTheBetterArchitecture) {
+  RunOptions opts;
+  opts.warmup_seconds = 60.0;
+  opts.measure_seconds = 400.0;
+  for (double p_loc : {0.5, 1.0}) {
+    const SystemConfig cfg = wan_config(p_loc);
+    CentralizedSystem central(cfg);
+    DistributedSystem distributed(cfg);
+    const double rt_c = baseline_rt(central);
+    const double rt_d = baseline_rt(distributed);
+    const RunResult hybrid =
+        run_simulation(cfg, {StrategyKind::MinAverageNsys, 0.0}, opts);
+    const double best = std::min(rt_c, rt_d);
+    // Within 35% of the better pure architecture at both extremes, while
+    // the worse one is off by 2-7x.
+    EXPECT_LT(hybrid.metrics.rt_all.mean(), 1.35 * best) << "p_loc=" << p_loc;
+  }
+}
+
+}  // namespace
+}  // namespace hls

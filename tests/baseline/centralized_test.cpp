@@ -1,0 +1,89 @@
+#include "baseline/centralized_system.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hls {
+namespace {
+
+SystemConfig quiet_config() {
+  SystemConfig cfg;
+  cfg.arrival_rate_per_site = 0.0;
+  return cfg;
+}
+
+TEST(Centralized, SingleTransactionExactResponseTime) {
+  CentralizedSystem sys(quiet_config());
+  sys.inject(TxnClass::A, 0);
+  sys.simulator().run();
+  // in 0.2 + init 0.005 + setup 0.035 + 10*(0.002 + 0.025) + commit 0.005
+  // + out 0.2 = 0.715. No authentication, no coherence machinery.
+  ASSERT_EQ(sys.metrics().completions, 1u);
+  EXPECT_NEAR(sys.metrics().rt_all.mean(), 0.715, 1e-9);
+}
+
+TEST(Centralized, ClassesCostTheSame) {
+  // The defining property: a centralized system has no locality advantage,
+  // class A pays the WAN exactly like class B.
+  CentralizedSystem a(quiet_config());
+  a.inject(TxnClass::A, 3);
+  a.simulator().run();
+  CentralizedSystem b(quiet_config());
+  b.inject(TxnClass::B, 3);
+  b.simulator().run();
+  EXPECT_NEAR(a.metrics().rt_all.mean(), b.metrics().rt_all.mean(), 1e-9);
+}
+
+TEST(Centralized, LocksReleasedAfterRun) {
+  CentralizedSystem sys(quiet_config());
+  sys.inject(TxnClass::A, 0);
+  sys.inject(TxnClass::B, 5);
+  sys.simulator().run();
+  EXPECT_EQ(sys.locks().locks_held(), 0u);
+  EXPECT_EQ(sys.live_transactions(), 0);
+}
+
+TEST(Centralized, DeadlockResolvedByAbort) {
+  SystemConfig cfg = quiet_config();
+  cfg.lockspace = 40;  // tiny: force collisions between the two txns
+  cfg.prob_write_lock = 1.0;
+  cfg.num_sites = 2;
+  cfg.call_io_time = 0.2;
+  CentralizedSystem sys(cfg);
+  for (int i = 0; i < 6; ++i) {
+    sys.inject(TxnClass::B, i % 2);
+  }
+  sys.simulator().run();
+  EXPECT_EQ(sys.metrics().completions, 6u);
+  EXPECT_EQ(sys.locks().locks_held(), 0u);
+}
+
+TEST(Centralized, ThroughputMatchesOfferedBelowSaturation) {
+  SystemConfig cfg = quiet_config();
+  cfg.arrival_rate_per_site = 2.0;  // 20 tps: central util ~ 0.65
+  cfg.seed = 4;
+  CentralizedSystem sys(cfg);
+  sys.enable_arrivals();
+  sys.run_for(50.0);
+  sys.begin_measurement();
+  sys.run_for(400.0);
+  sys.end_measurement();
+  EXPECT_NEAR(sys.metrics().throughput(), 20.0, 1.5);
+  EXPECT_GT(sys.cpu_utilization(), 0.4);
+}
+
+TEST(Centralized, DrainsCleanly) {
+  SystemConfig cfg = quiet_config();
+  cfg.arrival_rate_per_site = 2.0;
+  cfg.seed = 6;
+  CentralizedSystem sys(cfg);
+  sys.enable_arrivals();
+  sys.run_for(100.0);
+  sys.stop_arrivals();
+  sys.drain();
+  EXPECT_EQ(sys.live_transactions(), 0);
+  EXPECT_EQ(sys.metrics().completions, sys.metrics().arrivals);
+  EXPECT_EQ(sys.locks().locks_held(), 0u);
+}
+
+}  // namespace
+}  // namespace hls

@@ -1,0 +1,108 @@
+#include "core/config_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace hls {
+namespace {
+
+TEST(ConfigIo, AppliesNumericOverrides) {
+  SystemConfig cfg;
+  EXPECT_TRUE(apply_config_override(cfg, "comm_delay=0.5"));
+  EXPECT_TRUE(apply_config_override(cfg, "num_sites=4"));
+  EXPECT_TRUE(apply_config_override(cfg, "lockspace=1024"));
+  EXPECT_TRUE(apply_config_override(cfg, "prob_write_lock=0.4"));
+  EXPECT_DOUBLE_EQ(cfg.comm_delay, 0.5);
+  EXPECT_EQ(cfg.num_sites, 4);
+  EXPECT_EQ(cfg.lockspace, 1024u);
+  EXPECT_DOUBLE_EQ(cfg.prob_write_lock, 0.4);
+}
+
+TEST(ConfigIo, AppliesEnumOverrides) {
+  SystemConfig cfg;
+  EXPECT_TRUE(apply_config_override(cfg, "deadlock_victim=youngest"));
+  EXPECT_EQ(cfg.deadlock_victim, DeadlockVictim::Youngest);
+  EXPECT_TRUE(apply_config_override(cfg, "class_b_mode=remote-calls"));
+  EXPECT_EQ(cfg.class_b_mode, ClassBMode::RemoteCalls);
+  EXPECT_TRUE(apply_config_override(cfg, "class_b_mode=ship"));
+  EXPECT_EQ(cfg.class_b_mode, ClassBMode::Ship);
+  EXPECT_TRUE(apply_config_override(cfg, "ideal_state_info=1"));
+  EXPECT_TRUE(cfg.ideal_state_info);
+}
+
+TEST(ConfigIo, RejectsBadInput) {
+  SystemConfig cfg;
+  std::string error;
+  EXPECT_FALSE(apply_config_override(cfg, "no_equals_sign", &error));
+  EXPECT_FALSE(apply_config_override(cfg, "unknown_key=1", &error));
+  EXPECT_NE(error.find("unknown config key"), std::string::npos);
+  EXPECT_FALSE(apply_config_override(cfg, "comm_delay=abc", &error));
+  EXPECT_FALSE(apply_config_override(cfg, "deadlock_victim=alphabetical", &error));
+  // The config is untouched by failed overrides.
+  EXPECT_DOUBLE_EQ(cfg.comm_delay, 0.2);
+}
+
+TEST(ConfigIo, ParsesFileWithCommentsAndWhitespace) {
+  const std::string text =
+      "# experiment configuration\n"
+      "\n"
+      "  comm_delay=0.5  \n"
+      "arrival_rate_per_site=2.4\n"
+      "deadlock_victim=youngest\n";
+  std::istringstream in(text);
+  const auto cfg = parse_config_file(in, SystemConfig{});
+  ASSERT_TRUE(cfg.has_value());
+  EXPECT_DOUBLE_EQ(cfg->comm_delay, 0.5);
+  EXPECT_DOUBLE_EQ(cfg->arrival_rate_per_site, 2.4);
+  EXPECT_EQ(cfg->deadlock_victim, DeadlockVictim::Youngest);
+  // Untouched fields keep the base values.
+  EXPECT_EQ(cfg->num_sites, 10);
+}
+
+TEST(ConfigIo, FileErrorsCarryLineNumbers) {
+  std::istringstream in("comm_delay=0.5\nbogus_key=1\n");
+  std::string error;
+  EXPECT_FALSE(parse_config_file(in, SystemConfig{}, &error).has_value());
+  EXPECT_NE(error.find("line 2"), std::string::npos);
+}
+
+TEST(ConfigIo, DescribeRoundTrips) {
+  SystemConfig cfg;
+  cfg.comm_delay = 0.5;
+  cfg.num_sites = 7;
+  cfg.class_b_mode = ClassBMode::RemoteCalls;
+  cfg.deadlock_victim = DeadlockVictim::Youngest;
+  cfg.async_batch_window = 0.25;
+  cfg.seed = 777;
+  std::ostringstream out;
+  describe_config(out, cfg);
+  std::istringstream in(out.str());
+  const auto parsed = parse_config_file(in, SystemConfig{});
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_DOUBLE_EQ(parsed->comm_delay, 0.5);
+  EXPECT_EQ(parsed->num_sites, 7);
+  EXPECT_EQ(parsed->class_b_mode, ClassBMode::RemoteCalls);
+  EXPECT_EQ(parsed->deadlock_victim, DeadlockVictim::Youngest);
+  EXPECT_DOUBLE_EQ(parsed->async_batch_window, 0.25);
+  EXPECT_EQ(parsed->seed, 777u);
+}
+
+TEST(ConfigIo, EveryDescribedKeyIsAccepted) {
+  // describe_config must never emit a key apply_config_override rejects.
+  std::ostringstream out;
+  describe_config(out, SystemConfig{});
+  std::istringstream in(out.str());
+  std::string line;
+  SystemConfig cfg;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') {
+      continue;
+    }
+    std::string error;
+    EXPECT_TRUE(apply_config_override(cfg, line, &error)) << line << ": " << error;
+  }
+}
+
+}  // namespace
+}  // namespace hls

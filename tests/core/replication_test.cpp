@@ -1,0 +1,68 @@
+#include "core/replication.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hls {
+namespace {
+
+SystemConfig light_config() {
+  SystemConfig cfg;
+  cfg.arrival_rate_per_site = 1.5;
+  return cfg;
+}
+
+RunOptions quick_options() {
+  RunOptions o;
+  o.warmup_seconds = 10.0;
+  o.measure_seconds = 60.0;
+  return o;
+}
+
+TEST(StudentT, KnownCriticalValues) {
+  EXPECT_NEAR(student_t_975(1), 12.706, 1e-3);
+  EXPECT_NEAR(student_t_975(4), 2.776, 1e-3);
+  EXPECT_NEAR(student_t_975(30), 2.042, 1e-3);
+  EXPECT_NEAR(student_t_975(1000), 1.96, 1e-3);
+  EXPECT_DOUBLE_EQ(student_t_975(0), 0.0);
+}
+
+TEST(Replication, AggregatesAcrossSeeds) {
+  const ReplicationSummary s = run_replicated(
+      light_config(), {StrategyKind::NoLoadSharing, 0.0}, quick_options(), 4, 100);
+  EXPECT_EQ(s.replications, 4);
+  EXPECT_EQ(s.response_time.count(), 4u);
+  EXPECT_GT(s.response_time.mean(), 0.0);
+  // Different seeds produce different estimates.
+  EXPECT_GT(s.response_time.variance(), 0.0);
+  EXPECT_GT(s.rt_ci_halfwidth(), 0.0);
+}
+
+TEST(Replication, SingleRunHasNoInterval) {
+  const ReplicationSummary s = run_replicated(
+      light_config(), {StrategyKind::NoLoadSharing, 0.0}, quick_options(), 1, 7);
+  EXPECT_DOUBLE_EQ(s.rt_ci_halfwidth(), 0.0);
+}
+
+TEST(Replication, CiShrinksWithMoreReplications) {
+  const auto few = run_replicated(light_config(),
+                                  {StrategyKind::NoLoadSharing, 0.0},
+                                  quick_options(), 3, 500);
+  const auto many = run_replicated(light_config(),
+                                   {StrategyKind::NoLoadSharing, 0.0},
+                                   quick_options(), 10, 500);
+  // Not guaranteed pointwise, but with the same seed base and a 3x sample
+  // the interval should not grow substantially.
+  EXPECT_LT(many.rt_ci_halfwidth(), few.rt_ci_halfwidth() * 1.5 + 0.05);
+}
+
+TEST(Replication, MeanTracksSingleRunScale) {
+  const ReplicationSummary s = run_replicated(
+      light_config(), {StrategyKind::NoLoadSharing, 0.0}, quick_options(), 3, 9);
+  const RunResult one = run_simulation(
+      light_config(), {StrategyKind::NoLoadSharing, 0.0}, quick_options());
+  EXPECT_NEAR(s.response_time.mean(), one.metrics.rt_all.mean(), 0.25);
+  EXPECT_NEAR(s.throughput.mean(), 15.0, 2.0);
+}
+
+}  // namespace
+}  // namespace hls

@@ -1,0 +1,100 @@
+#include "core/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "routing/basic_strategies.hpp"
+
+namespace hls {
+namespace {
+
+TEST(TraceWriter, HeaderWrittenOnConstruction) {
+  std::ostringstream out;
+  TraceWriter writer(out);
+  EXPECT_EQ(out.str(), std::string(TraceWriter::header()) + "\n");
+  EXPECT_EQ(writer.rows_written(), 0u);
+}
+
+TEST(TraceWriter, WritesOneRowPerCompletion) {
+  SystemConfig cfg;
+  cfg.arrival_rate_per_site = 1.0;
+  cfg.seed = 2;
+  HybridSystem sys(cfg, std::make_unique<AlwaysLocalStrategy>());
+  std::ostringstream out;
+  TraceWriter writer(out);
+  writer.attach(sys);
+  sys.enable_arrivals();
+  sys.run_for(50.0);
+  sys.stop_arrivals();
+  sys.drain();
+  EXPECT_EQ(writer.rows_written(), sys.metrics().completions);
+  // header + one line per row
+  std::size_t lines = 0;
+  std::istringstream in(out.str());
+  std::string line;
+  while (std::getline(in, line)) {
+    ++lines;
+  }
+  EXPECT_EQ(lines, writer.rows_written() + 1);
+}
+
+TEST(TraceWriter, RecordFieldsRoundTrip) {
+  std::ostringstream out;
+  TraceWriter writer(out);
+  TxnCompletionRecord rec;
+  rec.id = 42;
+  rec.cls = TxnClass::B;
+  rec.route = Route::Central;
+  rec.home_site = 3;
+  rec.arrival_time = 1.5;
+  rec.completion_time = 2.75;
+  rec.response_time = 1.25;
+  rec.runs = 2;
+  rec.aborts[static_cast<int>(AbortCause::AuthRefused)] = 1;
+  writer.write(rec);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("42,B,central,3,1.5,2.75,1.25,2,0,0,1,0"),
+            std::string::npos);
+}
+
+TEST(TraceWriter, HookRecordsMatchMetrics) {
+  SystemConfig cfg;
+  cfg.arrival_rate_per_site = 2.0;
+  cfg.seed = 3;
+  HybridSystem sys(cfg, std::make_unique<StaticProbabilisticStrategy>(0.5, 3));
+  double rt_sum = 0.0;
+  std::uint64_t n = 0;
+  sys.set_completion_hook([&](const TxnCompletionRecord& r) {
+    rt_sum += r.response_time;
+    ++n;
+    EXPECT_GE(r.response_time, 0.0);
+    EXPECT_NEAR(r.completion_time - r.arrival_time, r.response_time, 1e-9);
+    EXPECT_GE(r.runs, 1);
+  });
+  sys.enable_arrivals();
+  sys.run_for(60.0);
+  sys.stop_arrivals();
+  sys.drain();
+  EXPECT_EQ(n, sys.metrics().completions);
+  EXPECT_NEAR(rt_sum / static_cast<double>(n), sys.metrics().rt_all.mean(),
+              1e-9);
+}
+
+TEST(TraceWriter, ClearingHookStopsRecords) {
+  SystemConfig cfg;
+  cfg.arrival_rate_per_site = 0.0;
+  HybridSystem sys(cfg, std::make_unique<AlwaysLocalStrategy>());
+  int called = 0;
+  sys.set_completion_hook([&](const TxnCompletionRecord&) { ++called; });
+  sys.inject(TxnClass::A, 0);
+  sys.simulator().run();
+  EXPECT_EQ(called, 1);
+  sys.set_completion_hook(nullptr);
+  sys.inject(TxnClass::A, 0);
+  sys.simulator().run();
+  EXPECT_EQ(called, 1);
+}
+
+}  // namespace
+}  // namespace hls

@@ -1,0 +1,391 @@
+#include "db/lock_manager.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/random.hpp"
+
+namespace hls {
+namespace {
+
+class LockManagerTest : public ::testing::Test {
+ protected:
+  Simulator sim;
+  LockManager lm{sim, "test"};
+};
+
+// ---- basic granting ----
+
+TEST_F(LockManagerTest, ExclusiveGrantOnFreeLock) {
+  EXPECT_EQ(lm.request(1, 10, LockMode::Exclusive, nullptr),
+            LockRequestOutcome::Granted);
+  EXPECT_TRUE(lm.holds(1, 10));
+  EXPECT_EQ(lm.locks_held(), 1u);
+}
+
+TEST_F(LockManagerTest, SharedLocksCoexist) {
+  EXPECT_EQ(lm.request(1, 10, LockMode::Shared, nullptr),
+            LockRequestOutcome::Granted);
+  EXPECT_EQ(lm.request(2, 10, LockMode::Shared, nullptr),
+            LockRequestOutcome::Granted);
+  EXPECT_TRUE(lm.holds(1, 10));
+  EXPECT_TRUE(lm.holds(2, 10));
+  lm.check_invariants();
+}
+
+TEST_F(LockManagerTest, ExclusiveBlocksShared) {
+  lm.request(1, 10, LockMode::Exclusive, nullptr);
+  bool granted = false;
+  EXPECT_EQ(lm.request(2, 10, LockMode::Shared, [&] { granted = true; }),
+            LockRequestOutcome::Queued);
+  EXPECT_FALSE(granted);
+  EXPECT_EQ(lm.waiters(), 1u);
+  EXPECT_TRUE(lm.is_waiting(2));
+}
+
+TEST_F(LockManagerTest, SharedBlocksExclusive) {
+  lm.request(1, 10, LockMode::Shared, nullptr);
+  EXPECT_EQ(lm.request(2, 10, LockMode::Exclusive, [] {}),
+            LockRequestOutcome::Queued);
+}
+
+TEST_F(LockManagerTest, ReleaseGrantsNextWaiter) {
+  lm.request(1, 10, LockMode::Exclusive, nullptr);
+  bool granted = false;
+  lm.request(2, 10, LockMode::Exclusive, [&] { granted = true; });
+  lm.release(1, 10);
+  sim.run();  // grant callbacks dispatch through the simulator
+  EXPECT_TRUE(granted);
+  EXPECT_TRUE(lm.holds(2, 10));
+  EXPECT_FALSE(lm.holds(1, 10));
+}
+
+TEST_F(LockManagerTest, ReleaseGrantsMultipleCompatibleWaiters) {
+  lm.request(1, 10, LockMode::Exclusive, nullptr);
+  int granted = 0;
+  lm.request(2, 10, LockMode::Shared, [&] { ++granted; });
+  lm.request(3, 10, LockMode::Shared, [&] { ++granted; });
+  lm.release_all(1);
+  sim.run();
+  EXPECT_EQ(granted, 2);
+  EXPECT_TRUE(lm.holds(2, 10));
+  EXPECT_TRUE(lm.holds(3, 10));
+}
+
+TEST_F(LockManagerTest, FifoFairnessSharedDoesNotOvertakeQueuedExclusive) {
+  lm.request(1, 10, LockMode::Shared, nullptr);
+  lm.request(2, 10, LockMode::Exclusive, [] {});  // queued
+  // A new shared request must NOT jump the queued exclusive.
+  EXPECT_EQ(lm.request(3, 10, LockMode::Shared, [] {}),
+            LockRequestOutcome::Queued);
+  lm.check_invariants();
+}
+
+TEST_F(LockManagerTest, AlreadyHeldFastPath) {
+  lm.request(1, 10, LockMode::Exclusive, nullptr);
+  EXPECT_EQ(lm.request(1, 10, LockMode::Exclusive, nullptr),
+            LockRequestOutcome::AlreadyHeld);
+  EXPECT_EQ(lm.request(1, 10, LockMode::Shared, nullptr),
+            LockRequestOutcome::AlreadyHeld);
+  EXPECT_EQ(lm.locks_held(), 1u);
+}
+
+TEST_F(LockManagerTest, SharedToExclusiveUpgradeWhenAlone) {
+  lm.request(1, 10, LockMode::Shared, nullptr);
+  EXPECT_EQ(lm.request(1, 10, LockMode::Exclusive, nullptr),
+            LockRequestOutcome::Granted);
+  // Now exclusive: another shared must queue.
+  EXPECT_EQ(lm.request(2, 10, LockMode::Shared, [] {}),
+            LockRequestOutcome::Queued);
+  EXPECT_EQ(lm.locks_held(), 1u);  // upgrade does not duplicate the hold
+}
+
+TEST_F(LockManagerTest, UpgradeBlockedByOtherSharedHolder) {
+  lm.request(1, 10, LockMode::Shared, nullptr);
+  lm.request(2, 10, LockMode::Shared, nullptr);
+  bool granted = false;
+  EXPECT_EQ(lm.request(1, 10, LockMode::Exclusive, [&] { granted = true; }),
+            LockRequestOutcome::Queued);
+  lm.release(2, 10);
+  sim.run();
+  EXPECT_TRUE(granted);
+  // Upgraded in place: still a single hold, now exclusive.
+  EXPECT_EQ(lm.locks_held(), 1u);
+  EXPECT_EQ(lm.request(3, 10, LockMode::Shared, [] {}),
+            LockRequestOutcome::Queued);
+}
+
+// ---- deadlock detection ----
+
+TEST_F(LockManagerTest, DirectDeadlockDetected) {
+  lm.request(1, 10, LockMode::Exclusive, nullptr);
+  lm.request(2, 20, LockMode::Exclusive, nullptr);
+  EXPECT_EQ(lm.request(1, 20, LockMode::Exclusive, [] {}),
+            LockRequestOutcome::Queued);
+  // 2 -> 10 would close the cycle 2 -> 1 -> 2.
+  EXPECT_EQ(lm.request(2, 10, LockMode::Exclusive, [] {}),
+            LockRequestOutcome::Deadlock);
+  EXPECT_EQ(lm.deadlocks_detected(), 1u);
+}
+
+TEST_F(LockManagerTest, ThreeWayDeadlockDetected) {
+  lm.request(1, 10, LockMode::Exclusive, nullptr);
+  lm.request(2, 20, LockMode::Exclusive, nullptr);
+  lm.request(3, 30, LockMode::Exclusive, nullptr);
+  EXPECT_EQ(lm.request(1, 20, LockMode::Exclusive, [] {}),
+            LockRequestOutcome::Queued);
+  EXPECT_EQ(lm.request(2, 30, LockMode::Exclusive, [] {}),
+            LockRequestOutcome::Queued);
+  EXPECT_EQ(lm.request(3, 10, LockMode::Exclusive, [] {}),
+            LockRequestOutcome::Deadlock);
+}
+
+TEST_F(LockManagerTest, UpgradeDeadlockBetweenTwoSharedHolders) {
+  lm.request(1, 10, LockMode::Shared, nullptr);
+  lm.request(2, 10, LockMode::Shared, nullptr);
+  EXPECT_EQ(lm.request(1, 10, LockMode::Exclusive, [] {}),
+            LockRequestOutcome::Queued);
+  EXPECT_EQ(lm.request(2, 10, LockMode::Exclusive, [] {}),
+            LockRequestOutcome::Deadlock);
+}
+
+TEST_F(LockManagerTest, NoFalseDeadlockOnSimpleWait) {
+  lm.request(1, 10, LockMode::Exclusive, nullptr);
+  EXPECT_EQ(lm.request(2, 10, LockMode::Exclusive, [] {}),
+            LockRequestOutcome::Queued);
+  EXPECT_EQ(lm.deadlocks_detected(), 0u);
+}
+
+TEST_F(LockManagerTest, DeadlockVictimReleaseBreaksCycleForOthers) {
+  lm.request(1, 10, LockMode::Exclusive, nullptr);
+  lm.request(2, 20, LockMode::Exclusive, nullptr);
+  lm.request(1, 20, LockMode::Exclusive, [] {});
+  ASSERT_EQ(lm.request(2, 10, LockMode::Exclusive, [] {}),
+            LockRequestOutcome::Deadlock);
+  // Victim (txn 2) aborts: releases everything; txn 1 proceeds.
+  lm.release_all(2);
+  sim.run();
+  EXPECT_TRUE(lm.holds(1, 20));
+}
+
+// ---- cancel_waits ----
+
+TEST_F(LockManagerTest, CancelWaitsRemovesQueuedRequest) {
+  lm.request(1, 10, LockMode::Exclusive, nullptr);
+  lm.request(2, 10, LockMode::Exclusive, [] {});
+  const auto cancelled = lm.cancel_waits(2);
+  ASSERT_EQ(cancelled.size(), 1u);
+  EXPECT_EQ(cancelled[0], 10u);
+  EXPECT_FALSE(lm.is_waiting(2));
+  EXPECT_EQ(lm.waiters(), 0u);
+}
+
+TEST_F(LockManagerTest, CancelWaitsOnNonWaiterIsNoop) {
+  EXPECT_TRUE(lm.cancel_waits(7).empty());
+}
+
+TEST_F(LockManagerTest, CancelWaitsUnblocksLaterWaiters) {
+  lm.request(1, 10, LockMode::Shared, nullptr);
+  lm.request(2, 10, LockMode::Exclusive, [] {});   // queued
+  bool granted = false;
+  lm.request(3, 10, LockMode::Shared, [&] { granted = true; });  // behind 2
+  lm.cancel_waits(2);
+  sim.run();
+  EXPECT_TRUE(granted);  // head is now the shared request, compatible
+}
+
+// ---- release_all ----
+
+TEST_F(LockManagerTest, ReleaseAllDropsHoldsAndWaits) {
+  lm.request(1, 10, LockMode::Exclusive, nullptr);
+  lm.request(1, 11, LockMode::Shared, nullptr);
+  lm.request(2, 12, LockMode::Exclusive, nullptr);
+  lm.request(1, 12, LockMode::Exclusive, [] {});  // queued
+  lm.release_all(1);
+  EXPECT_EQ(lm.locks_held(), 1u);  // only txn 2's hold remains
+  EXPECT_FALSE(lm.is_waiting(1));
+  EXPECT_TRUE(lm.held_locks(1).empty());
+  lm.check_invariants();
+}
+
+// ---- authentication grabs ----
+
+TEST_F(LockManagerTest, GrabOnFreeLockGrants) {
+  auto grab = lm.grab_for_authentication(100, 10, LockMode::Exclusive);
+  EXPECT_TRUE(grab.granted);
+  EXPECT_TRUE(grab.aborted.empty());
+  EXPECT_TRUE(lm.holds(100, 10));
+}
+
+TEST_F(LockManagerTest, GrabPreemptsIncompatibleHolder) {
+  lm.request(1, 10, LockMode::Exclusive, nullptr);
+  auto grab = lm.grab_for_authentication(100, 10, LockMode::Exclusive);
+  EXPECT_TRUE(grab.granted);
+  ASSERT_EQ(grab.aborted.size(), 1u);
+  EXPECT_EQ(grab.aborted[0], 1u);
+  EXPECT_FALSE(lm.holds(1, 10));
+  EXPECT_TRUE(lm.holds(100, 10));
+  lm.check_invariants();
+}
+
+TEST_F(LockManagerTest, SharedGrabCoexistsWithSharedHolders) {
+  lm.request(1, 10, LockMode::Shared, nullptr);
+  auto grab = lm.grab_for_authentication(100, 10, LockMode::Shared);
+  EXPECT_TRUE(grab.granted);
+  EXPECT_TRUE(grab.aborted.empty());
+  EXPECT_TRUE(lm.holds(1, 10));
+  EXPECT_TRUE(lm.holds(100, 10));
+}
+
+TEST_F(LockManagerTest, SharedGrabPreemptsExclusiveHolder) {
+  lm.request(1, 10, LockMode::Exclusive, nullptr);
+  auto grab = lm.grab_for_authentication(100, 10, LockMode::Shared);
+  EXPECT_TRUE(grab.granted);
+  ASSERT_EQ(grab.aborted.size(), 1u);
+  EXPECT_EQ(grab.aborted[0], 1u);
+}
+
+TEST_F(LockManagerTest, GrabRefusedByPendingCoherence) {
+  lm.increment_coherence(10);
+  auto grab = lm.grab_for_authentication(100, 10, LockMode::Exclusive);
+  EXPECT_FALSE(grab.granted);
+  EXPECT_FALSE(lm.holds(100, 10));
+  lm.decrement_coherence(10);
+  grab = lm.grab_for_authentication(100, 10, LockMode::Exclusive);
+  EXPECT_TRUE(grab.granted);
+}
+
+TEST_F(LockManagerTest, GrabPreemptsMultipleSharedHolders) {
+  lm.request(1, 10, LockMode::Shared, nullptr);
+  lm.request(2, 10, LockMode::Shared, nullptr);
+  lm.request(3, 10, LockMode::Shared, nullptr);
+  auto grab = lm.grab_for_authentication(100, 10, LockMode::Exclusive);
+  EXPECT_TRUE(grab.granted);
+  EXPECT_EQ(grab.aborted.size(), 3u);
+  EXPECT_EQ(lm.locks_held(), 1u);
+  lm.check_invariants();
+}
+
+TEST_F(LockManagerTest, WaitersSurviveGrabAndGetLockAfterGrabberReleases) {
+  lm.request(1, 10, LockMode::Exclusive, nullptr);
+  bool granted = false;
+  lm.request(2, 10, LockMode::Exclusive, [&] { granted = true; });
+  lm.grab_for_authentication(100, 10, LockMode::Exclusive);
+  sim.run();
+  EXPECT_FALSE(granted);  // grabber holds exclusively
+  lm.release_all(100);
+  sim.run();
+  EXPECT_TRUE(granted);
+}
+
+TEST_F(LockManagerTest, SharedGrabEvictingExclusiveUnblocksSharedWaiters) {
+  lm.request(1, 10, LockMode::Exclusive, nullptr);
+  bool granted = false;
+  lm.request(2, 10, LockMode::Shared, [&] { granted = true; });
+  lm.grab_for_authentication(100, 10, LockMode::Shared);
+  sim.run();
+  EXPECT_TRUE(granted);  // exclusive holder evicted, shared waiter compatible
+}
+
+// ---- coherence field ----
+
+TEST_F(LockManagerTest, CoherenceCountsStack) {
+  lm.increment_coherence(5);
+  lm.increment_coherence(5);
+  EXPECT_EQ(lm.coherence_count(5), 2u);
+  EXPECT_EQ(lm.pending_coherence_entities(), 1u);
+  lm.decrement_coherence(5);
+  EXPECT_EQ(lm.coherence_count(5), 1u);
+  EXPECT_EQ(lm.pending_coherence_entities(), 1u);
+  lm.decrement_coherence(5);
+  EXPECT_EQ(lm.coherence_count(5), 0u);
+  EXPECT_EQ(lm.pending_coherence_entities(), 0u);
+}
+
+TEST_F(LockManagerTest, CoherenceDoesNotBlockLocalRequests) {
+  lm.increment_coherence(5);
+  EXPECT_EQ(lm.request(1, 5, LockMode::Exclusive, nullptr),
+            LockRequestOutcome::Granted);
+}
+
+TEST_F(LockManagerTest, CoherenceOnUnknownLockIsZero) {
+  EXPECT_EQ(lm.coherence_count(12345), 0u);
+}
+
+// ---- observability ----
+
+TEST_F(LockManagerTest, HeldLocksLists) {
+  lm.request(1, 10, LockMode::Shared, nullptr);
+  lm.request(1, 20, LockMode::Exclusive, nullptr);
+  auto held = lm.held_locks(1);
+  EXPECT_EQ(held.size(), 2u);
+  EXPECT_TRUE(lm.held_locks(99).empty());
+}
+
+TEST_F(LockManagerTest, HoldersOfReportsModes) {
+  lm.request(1, 10, LockMode::Shared, nullptr);
+  lm.request(2, 10, LockMode::Shared, nullptr);
+  auto holders = lm.holders_of(10);
+  ASSERT_EQ(holders.size(), 2u);
+  EXPECT_EQ(holders[0].mode, LockMode::Shared);
+  EXPECT_TRUE(lm.holders_of(999).empty());
+}
+
+// ---- property test: random workload keeps invariants ----
+
+class LockManagerFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(LockManagerFuzz, RandomOpsPreserveInvariants) {
+  Simulator sim;
+  LockManager lm(sim, "fuzz");
+  Rng rng(GetParam());
+  constexpr int kTxns = 12;
+  constexpr int kLocks = 8;
+
+  std::vector<bool> waiting(kTxns + 1, false);
+  for (int step = 0; step < 4000; ++step) {
+    const TxnId txn = 1 + rng.next_below(kTxns);
+    const LockId lock = static_cast<LockId>(rng.next_below(kLocks));
+    const double roll = rng.next_double();
+    if (roll < 0.5) {
+      if (!lm.is_waiting(txn)) {
+        const LockMode mode =
+            rng.bernoulli(0.3) ? LockMode::Exclusive : LockMode::Shared;
+        const auto outcome = lm.request(txn, lock, mode, [] {});
+        if (outcome == LockRequestOutcome::Deadlock) {
+          lm.release_all(txn);
+        }
+      }
+    } else if (roll < 0.7) {
+      lm.release_all(txn);
+    } else if (roll < 0.8) {
+      lm.cancel_waits(txn);
+    } else if (roll < 0.9) {
+      // Authentication grab by a txn id outside the local range.
+      const TxnId grabber = 1000 + rng.next_below(3);
+      if (!lm.is_waiting(grabber)) {
+        lm.grab_for_authentication(grabber, lock,
+                                   rng.bernoulli(0.5) ? LockMode::Exclusive
+                                                      : LockMode::Shared);
+      }
+    } else if (roll < 0.95) {
+      lm.increment_coherence(lock);
+    } else {
+      if (lm.coherence_count(lock) > 0) {
+        lm.decrement_coherence(lock);
+      }
+    }
+    sim.run();  // flush grant callbacks
+    if (step % 64 == 0) {
+      lm.check_invariants();
+    }
+  }
+  lm.check_invariants();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LockManagerFuzz,
+                         ::testing::Range<std::uint64_t>(1, 11));
+
+}  // namespace
+}  // namespace hls

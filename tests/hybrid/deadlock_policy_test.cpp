@@ -1,0 +1,154 @@
+// Deadlock victim-selection policies (DESIGN.md ablation: requester vs
+// youngest-on-cycle).
+#include <gtest/gtest.h>
+
+#include "hybrid/hybrid_system.hpp"
+#include "model/params.hpp"
+#include "routing/basic_strategies.hpp"
+
+namespace hls {
+namespace {
+
+SystemConfig quiet_config(DeadlockVictim policy) {
+  SystemConfig cfg;
+  cfg.arrival_rate_per_site = 0.0;
+  cfg.deadlock_victim = policy;
+  cfg.call_io_time = 0.2;  // slow calls: the two transactions interleave
+  return cfg;
+}
+
+Transaction two_lock_txn(TxnId id, int site, LockId a, LockId b) {
+  Transaction txn;
+  txn.id = id;
+  txn.cls = TxnClass::A;
+  txn.home_site = site;
+  txn.locks = {{a, LockMode::Exclusive}, {b, LockMode::Exclusive}};
+  txn.call_io = {true, true};
+  return txn;
+}
+
+TEST(DeadlockPolicy, RequesterPolicyAbortsTheRequester) {
+  HybridSystem sys(quiet_config(DeadlockVictim::Requester),
+                   std::make_unique<AlwaysLocalStrategy>());
+  sys.inject_transaction(two_lock_txn(1, 0, 5, 6));
+  sys.inject_transaction(two_lock_txn(2, 0, 6, 5));
+  sys.simulator().run();
+  const Metrics& m = sys.metrics();
+  EXPECT_EQ(m.completions, 2u);
+  EXPECT_GE(m.aborts[static_cast<int>(AbortCause::Deadlock)], 1u);
+  sys.check_invariants();
+}
+
+TEST(DeadlockPolicy, YoungestPolicyResolvesSameDeadlock) {
+  HybridSystem sys(quiet_config(DeadlockVictim::Youngest),
+                   std::make_unique<AlwaysLocalStrategy>());
+  sys.inject_transaction(two_lock_txn(1, 0, 5, 6));
+  HybridSystem* raw = &sys;
+  // Transaction 2 arrives strictly later: with the Youngest policy it must
+  // be the victim regardless of who closes the cycle.
+  sys.simulator().schedule_at(0.01, [raw] {
+    raw->inject_transaction(two_lock_txn(2, 0, 6, 5));
+  });
+  sys.simulator().run();
+  const Metrics& m = sys.metrics();
+  EXPECT_EQ(m.completions, 2u);
+  EXPECT_GE(m.aborts[static_cast<int>(AbortCause::Deadlock)], 1u);
+  // The older transaction (id 1) commits on its first run.
+  EXPECT_EQ(m.rt_first_try.count(), 1u);
+  EXPECT_EQ(m.rt_rerun.count(), 1u);
+  sys.check_invariants();
+}
+
+TEST(DeadlockPolicy, YoungestVictimIsTheWaiterNotTheRequester) {
+  // Arrange the cycle so the YOUNGER transaction blocks first and the OLDER
+  // one closes the cycle: the requester policy would abort the older txn,
+  // the youngest policy must abort the younger (waiting) one instead,
+  // exercising force-abort of a blocked transaction.
+  HybridSystem sys(quiet_config(DeadlockVictim::Youngest),
+                   std::make_unique<AlwaysLocalStrategy>());
+  HybridSystem* raw = &sys;
+  // Old txn: locks 5 then (slowly) 6. Young txn: locks 6 then 5, timed so
+  // the young one waits on 5 first, then the old one requests 6 and closes
+  // the cycle.
+  sys.inject_transaction(two_lock_txn(1, 0, 5, 6));
+  sys.simulator().schedule_at(0.02, [raw] {
+    raw->inject_transaction(two_lock_txn(2, 0, 6, 5));
+  });
+  sys.simulator().run();
+  const Metrics& m = sys.metrics();
+  EXPECT_EQ(m.completions, 2u);
+  EXPECT_GE(m.aborts[static_cast<int>(AbortCause::Deadlock)], 1u);
+  EXPECT_EQ(m.rt_rerun.count(), 1u);
+  sys.check_invariants();
+}
+
+TEST(DeadlockPolicy, BothPoliciesDrainUnderContendedLoad) {
+  for (DeadlockVictim policy :
+       {DeadlockVictim::Requester, DeadlockVictim::Youngest}) {
+    SystemConfig cfg;
+    cfg.arrival_rate_per_site = 2.0;
+    cfg.lockspace = 2000;
+    cfg.prob_write_lock = 0.7;
+    cfg.deadlock_victim = policy;
+    cfg.seed = 77;
+    HybridSystem sys(cfg, std::make_unique<StaticProbabilisticStrategy>(0.4, 77));
+    sys.enable_arrivals();
+    sys.run_for(120.0);
+    sys.stop_arrivals();
+    sys.drain();
+    EXPECT_EQ(sys.live_transactions(), 0);
+    EXPECT_EQ(sys.metrics().completions,
+              sys.metrics().arrivals_class_a + sys.metrics().arrivals_class_b);
+    EXPECT_GT(sys.metrics().aborts[static_cast<int>(AbortCause::Deadlock)], 0u);
+    sys.check_invariants();
+  }
+}
+
+TEST(DeadlockPolicy, CentralDeadlocksHonourThePolicy) {
+  SystemConfig cfg = quiet_config(DeadlockVictim::Youngest);
+  HybridSystem sys(cfg, std::make_unique<AlwaysLocalStrategy>());
+  auto class_b = [](TxnId id, int site, LockId a, LockId b) {
+    Transaction txn;
+    txn.id = id;
+    txn.cls = TxnClass::B;
+    txn.home_site = site;
+    txn.locks = {{a, LockMode::Exclusive}, {b, LockMode::Exclusive}};
+    txn.call_io = {true, true};
+    return txn;
+  };
+  sys.inject_transaction(class_b(1, 0, 100, 200));
+  HybridSystem* raw = &sys;
+  sys.simulator().schedule_at(0.01, [raw, class_b] {
+    raw->inject_transaction(class_b(2, 1, 200, 100));
+  });
+  sys.simulator().run();
+  EXPECT_EQ(sys.metrics().completions, 2u);
+  EXPECT_GE(sys.metrics().aborts[static_cast<int>(AbortCause::Deadlock)], 1u);
+  EXPECT_EQ(sys.central_locks().locks_held(), 0u);
+}
+
+TEST(FindCycle, ReportsMembersInOrder) {
+  Simulator sim;
+  LockManager lm(sim, "t");
+  lm.request(1, 10, LockMode::Exclusive, nullptr);
+  lm.request(2, 20, LockMode::Exclusive, nullptr);
+  lm.request(3, 30, LockMode::Exclusive, nullptr);
+  lm.request(1, 20, LockMode::Exclusive, [] {});
+  lm.request(2, 30, LockMode::Exclusive, [] {});
+  // 3 -> 10 closes 3 -> 1 -> 2 -> 3.
+  const auto cycle = lm.find_cycle(3, 10);
+  ASSERT_EQ(cycle.size(), 3u);
+  EXPECT_EQ(cycle[0], 3u);  // requester first
+  EXPECT_EQ(cycle[1], 1u);
+  EXPECT_EQ(cycle[2], 2u);
+}
+
+TEST(FindCycle, EmptyWhenSafe) {
+  Simulator sim;
+  LockManager lm(sim, "t");
+  lm.request(1, 10, LockMode::Exclusive, nullptr);
+  EXPECT_TRUE(lm.find_cycle(2, 10).empty());
+}
+
+}  // namespace
+}  // namespace hls

@@ -1,0 +1,93 @@
+#include "hybrid/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hls {
+namespace {
+
+TEST(Metrics, FreshMetricsAreZero) {
+  Metrics m;
+  EXPECT_EQ(m.completions, 0u);
+  EXPECT_DOUBLE_EQ(m.throughput(), 0.0);
+  EXPECT_DOUBLE_EQ(m.ship_fraction(), 0.0);
+  EXPECT_DOUBLE_EQ(m.runs_per_txn(), 1.0);
+  EXPECT_EQ(m.aborts_total(), 0u);
+}
+
+TEST(Metrics, ThroughputOverWindow) {
+  Metrics m;
+  m.measure_start = 100.0;
+  m.measure_end = 300.0;
+  m.completions = 500;
+  EXPECT_DOUBLE_EQ(m.throughput(), 2.5);
+  EXPECT_DOUBLE_EQ(m.window_seconds(), 200.0);
+}
+
+TEST(Metrics, ShipFraction) {
+  Metrics m;
+  m.arrivals_class_a = 200;
+  m.shipped_class_a = 50;
+  EXPECT_DOUBLE_EQ(m.ship_fraction(), 0.25);
+}
+
+TEST(Metrics, RunsPerTxn) {
+  Metrics m;
+  m.completions = 100;
+  m.reruns = 25;
+  EXPECT_DOUBLE_EQ(m.runs_per_txn(), 1.25);
+}
+
+TEST(Metrics, AbortsTotalSumsCauses) {
+  Metrics m;
+  m.aborts[static_cast<int>(AbortCause::LocalPreempted)] = 3;
+  m.aborts[static_cast<int>(AbortCause::CentralInvalidated)] = 4;
+  m.aborts[static_cast<int>(AbortCause::AuthRefused)] = 5;
+  m.aborts[static_cast<int>(AbortCause::Deadlock)] = 6;
+  EXPECT_EQ(m.aborts_total(), 18u);
+}
+
+TEST(Metrics, ResetClearsAndRestamps) {
+  Metrics m;
+  m.completions = 10;
+  m.rt_all.add(1.0);
+  m.reset(42.0);
+  EXPECT_EQ(m.completions, 0u);
+  EXPECT_EQ(m.rt_all.count(), 0u);
+  EXPECT_DOUBLE_EQ(m.measure_start, 42.0);
+}
+
+TEST(SiteMetricsStruct, ShipFraction) {
+  SiteMetrics sm;
+  EXPECT_DOUBLE_EQ(sm.ship_fraction(), 0.0);
+  sm.arrivals_class_a = 10;
+  sm.shipped_class_a = 4;
+  EXPECT_DOUBLE_EQ(sm.ship_fraction(), 0.4);
+}
+
+TEST(Transaction, AbortBookkeeping) {
+  Transaction t;
+  EXPECT_FALSE(t.is_rerun());
+  t.count_abort(AbortCause::Deadlock);
+  t.count_abort(AbortCause::Deadlock);
+  EXPECT_EQ(t.aborts[static_cast<int>(AbortCause::Deadlock)], 2);
+  t.run_count = 1;
+  EXPECT_TRUE(t.is_rerun());
+}
+
+TEST(Transaction, WritesAnything) {
+  Transaction t;
+  t.locks = {{1, LockMode::Shared}, {2, LockMode::Shared}};
+  EXPECT_FALSE(t.writes_anything());
+  t.locks.push_back({3, LockMode::Exclusive});
+  EXPECT_TRUE(t.writes_anything());
+}
+
+TEST(LockModes, CompatibilityMatrix) {
+  EXPECT_TRUE(compatible(LockMode::Shared, LockMode::Shared));
+  EXPECT_FALSE(compatible(LockMode::Shared, LockMode::Exclusive));
+  EXPECT_FALSE(compatible(LockMode::Exclusive, LockMode::Shared));
+  EXPECT_FALSE(compatible(LockMode::Exclusive, LockMode::Exclusive));
+}
+
+}  // namespace
+}  // namespace hls

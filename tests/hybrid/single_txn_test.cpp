@@ -1,0 +1,215 @@
+// Exact-lifecycle tests: a single transaction in an otherwise idle system
+// has a fully deterministic schedule, so response times can be asserted to
+// numeric precision from the configuration constants.
+#include <gtest/gtest.h>
+
+#include "hybrid/hybrid_system.hpp"
+#include "routing/basic_strategies.hpp"
+
+namespace hls {
+namespace {
+
+SystemConfig quiet_config() {
+  SystemConfig cfg;
+  cfg.arrival_rate_per_site = 0.0;  // only injected transactions
+  return cfg;
+}
+
+Transaction custom_txn(TxnId id, TxnClass cls, int site,
+                       std::vector<LockNeed> locks, bool io_per_call = true) {
+  Transaction txn;
+  txn.id = id;
+  txn.cls = cls;
+  txn.home_site = site;
+  txn.locks = std::move(locks);
+  txn.call_io.assign(txn.locks.size(), io_per_call);
+  return txn;
+}
+
+TEST(SingleTxn, LocalClassAExactResponseTime) {
+  const SystemConfig cfg = quiet_config();
+  HybridSystem sys(cfg, std::make_unique<AlwaysLocalStrategy>());
+  sys.inject_transaction(
+      custom_txn(1, TxnClass::A, 0, {{5, LockMode::Exclusive}}));
+  sys.simulator().run();
+
+  // init 75K/1M + setup 0.035 + call (30K/1M + 0.025) + commit (75K+5K)/1M.
+  const double expected = 0.075 + 0.035 + (0.030 + 0.025) + 0.080;
+  ASSERT_EQ(sys.metrics().completions, 1u);
+  EXPECT_NEAR(sys.metrics().rt_local_a.mean(), expected, 1e-9);
+  EXPECT_EQ(sys.live_transactions(), 0);
+}
+
+TEST(SingleTxn, ReadOnlyLocalSkipsAsyncSendPathlength) {
+  const SystemConfig cfg = quiet_config();
+  HybridSystem sys(cfg, std::make_unique<AlwaysLocalStrategy>());
+  sys.inject_transaction(custom_txn(1, TxnClass::A, 0, {{5, LockMode::Shared}}));
+  sys.simulator().run();
+  const double expected = 0.075 + 0.035 + 0.055 + 0.075;  // no 5K async send
+  EXPECT_NEAR(sys.metrics().rt_local_a.mean(), expected, 1e-9);
+  EXPECT_EQ(sys.metrics().async_updates_sent, 0u);
+}
+
+TEST(SingleTxn, TenCallBaselineResponseTime) {
+  const SystemConfig cfg = quiet_config();
+  HybridSystem sys(cfg, std::make_unique<AlwaysLocalStrategy>());
+  std::vector<LockNeed> locks;
+  for (LockId i = 0; i < 10; ++i) {
+    locks.push_back({i, LockMode::Shared});
+  }
+  sys.inject_transaction(custom_txn(1, TxnClass::A, 0, std::move(locks)));
+  sys.simulator().run();
+  const double expected = 0.075 + 0.035 + 10 * 0.055 + 0.075;
+  EXPECT_NEAR(sys.metrics().rt_local_a.mean(), expected, 1e-9);
+}
+
+TEST(SingleTxn, ShippedClassAExactResponseTime) {
+  const SystemConfig cfg = quiet_config();
+  HybridSystem sys(cfg, std::make_unique<AlwaysCentralStrategy>());
+  sys.inject_transaction(
+      custom_txn(1, TxnClass::A, 0, {{5, LockMode::Exclusive}}));
+  sys.simulator().run();
+
+  // forward 15K/1M + up 0.2 + init 75K/15M + setup 0.035 + call (2ms + 25ms)
+  // + commit 75K/15M + auth (down 0.2 + 10K/1M + up 0.2) + response leg 0.2.
+  const double expected = 0.015 + 0.2 + 0.005 + 0.035 + (0.002 + 0.025) +
+                          0.005 + (0.2 + 0.010 + 0.2) + 0.2;
+  ASSERT_EQ(sys.metrics().completions_shipped_a, 1u);
+  EXPECT_NEAR(sys.metrics().rt_shipped_a.mean(), expected, 1e-9);
+  EXPECT_EQ(sys.metrics().auth_rounds, 1u);
+}
+
+TEST(SingleTxn, ClassBExactResponseTimeSingleSiteAuth) {
+  const SystemConfig cfg = quiet_config();
+  HybridSystem sys(cfg, std::make_unique<AlwaysLocalStrategy>());
+  sys.inject_transaction(
+      custom_txn(1, TxnClass::B, 3, {{5, LockMode::Exclusive}}));  // owner site 0
+  sys.simulator().run();
+  const double expected = 0.015 + 0.2 + 0.005 + 0.035 + 0.027 + 0.005 +
+                          (0.2 + 0.010 + 0.2) + 0.2;
+  ASSERT_EQ(sys.metrics().completions_class_b, 1u);
+  EXPECT_NEAR(sys.metrics().rt_class_b.mean(), expected, 1e-9);
+}
+
+TEST(SingleTxn, ClassBMultiSiteAuthRunsInParallel) {
+  const SystemConfig cfg = quiet_config();
+  const std::uint32_t part = cfg.partition_size();
+  HybridSystem sys(cfg, std::make_unique<AlwaysLocalStrategy>());
+  // Locks mastered at three different sites: authentication messages fan out
+  // simultaneously, so the round trip costs one round trip, not three.
+  sys.inject_transaction(custom_txn(1, TxnClass::B, 0,
+                                    {{0 * part + 1, LockMode::Exclusive},
+                                     {1 * part + 1, LockMode::Exclusive},
+                                     {2 * part + 1, LockMode::Exclusive}}));
+  sys.simulator().run();
+  const double expected = 0.015 + 0.2 + 0.005 + 0.035 + 3 * 0.027 + 0.005 +
+                          (0.2 + 0.010 + 0.2) + 0.2;
+  EXPECT_NEAR(sys.metrics().rt_class_b.mean(), expected, 1e-9);
+  EXPECT_EQ(sys.metrics().auth_rounds, 1u);
+}
+
+TEST(SingleTxn, CoherenceCycleCompletesAfterLocalCommit) {
+  const SystemConfig cfg = quiet_config();
+  HybridSystem sys(cfg, std::make_unique<AlwaysLocalStrategy>());
+  sys.inject_transaction(
+      custom_txn(1, TxnClass::A, 0, {{7, LockMode::Exclusive}}));
+
+  // Run to just past local commit (t = 0.245): coherence raised, update
+  // still in flight toward the central site (arrives at 0.445).
+  sys.simulator().run_until(0.3);
+  EXPECT_EQ(sys.metrics().completions, 1u);
+  EXPECT_EQ(sys.local_locks(0).coherence_count(7), 1u);
+  EXPECT_EQ(sys.metrics().async_updates_sent, 1u);
+
+  // Drain: apply at central, acknowledgement clears the coherence field.
+  sys.simulator().run();
+  EXPECT_EQ(sys.local_locks(0).coherence_count(7), 0u);
+  EXPECT_EQ(sys.local_locks(0).pending_coherence_entities(), 0u);
+}
+
+TEST(SingleTxn, LocalCommitDoesNotWaitForAcknowledgement) {
+  // The whole point of the hybrid protocol: a purely local transaction
+  // completes in well under one communication delay.
+  SystemConfig cfg = quiet_config();
+  cfg.comm_delay = 5.0;  // brutal WAN latency
+  HybridSystem sys(cfg, std::make_unique<AlwaysLocalStrategy>());
+  sys.inject_transaction(
+      custom_txn(1, TxnClass::A, 0, {{7, LockMode::Exclusive}}));
+  sys.simulator().run_until(1.0);
+  EXPECT_EQ(sys.metrics().completions, 1u);
+  EXPECT_LT(sys.metrics().rt_local_a.mean(), 0.3);
+}
+
+TEST(SingleTxn, LocksReleasedAfterEverything) {
+  const SystemConfig cfg = quiet_config();
+  HybridSystem sys(cfg, std::make_unique<AlwaysLocalStrategy>());
+  sys.inject(TxnClass::A, 2);
+  sys.inject(TxnClass::B, 4);
+  sys.simulator().run();
+  EXPECT_EQ(sys.central_locks().locks_held(), 0u);
+  for (int s = 0; s < cfg.num_sites; ++s) {
+    EXPECT_EQ(sys.local_locks(s).locks_held(), 0u);
+    EXPECT_EQ(sys.local_locks(s).pending_coherence_entities(), 0u);
+  }
+  sys.check_invariants();
+}
+
+TEST(SingleTxn, ResidencyCountersReturnToZero) {
+  const SystemConfig cfg = quiet_config();
+  HybridSystem sys(cfg, std::make_unique<AlwaysCentralStrategy>());
+  sys.inject(TxnClass::A, 1);
+  sys.inject(TxnClass::B, 2);
+  sys.simulator().run();
+  EXPECT_EQ(sys.central_resident(), 0);
+  for (int s = 0; s < cfg.num_sites; ++s) {
+    EXPECT_EQ(sys.local_resident(s), 0);
+    EXPECT_EQ(sys.shipped_in_flight(s), 0);
+  }
+}
+
+TEST(SingleTxn, RerunWouldSkipIo) {
+  // call_io flags all false behave like a rerun's I/O-free profile.
+  const SystemConfig cfg = quiet_config();
+  HybridSystem sys(cfg, std::make_unique<AlwaysLocalStrategy>());
+  sys.inject_transaction(custom_txn(1, TxnClass::A, 0,
+                                    {{5, LockMode::Shared}},
+                                    /*io_per_call=*/false));
+  sys.simulator().run();
+  const double expected = 0.075 + 0.035 + 0.030 + 0.075;  // no 25 ms call I/O
+  EXPECT_NEAR(sys.metrics().rt_local_a.mean(), expected, 1e-9);
+}
+
+TEST(SingleTxn, StateViewReflectsIdleSystem) {
+  const SystemConfig cfg = quiet_config();
+  HybridSystem sys(cfg, std::make_unique<AlwaysLocalStrategy>());
+  const SystemStateView v = sys.make_state_view(0);
+  EXPECT_EQ(v.local_cpu_queue, 0);
+  EXPECT_EQ(v.local_num_txns, 0);
+  EXPECT_EQ(v.central_num_txns, 0);
+  EXPECT_EQ(v.local_locks_held, 0);
+}
+
+TEST(SingleTxn, IdealStateInfoSeesCentralInstantly) {
+  SystemConfig cfg = quiet_config();
+  cfg.ideal_state_info = true;
+  HybridSystem sys(cfg, std::make_unique<AlwaysLocalStrategy>());
+  sys.inject(TxnClass::B, 0);
+  sys.simulator().run_until(0.5);  // class B resident at central
+  const SystemStateView v = sys.make_state_view(3);
+  EXPECT_EQ(v.central_num_txns, 1);
+  EXPECT_DOUBLE_EQ(v.central_info_age, 0.0);
+}
+
+TEST(SingleTxn, DelayedStateInfoLagsWithoutMessages) {
+  const SystemConfig cfg = quiet_config();  // ideal_state_info = false
+  HybridSystem sys(cfg, std::make_unique<AlwaysLocalStrategy>());
+  sys.inject(TxnClass::B, 0);
+  sys.simulator().run_until(0.5);
+  // Site 7 exchanged no messages with the central site: its view is stale.
+  const SystemStateView v = sys.make_state_view(7);
+  EXPECT_EQ(v.central_num_txns, 0);
+  EXPECT_GT(v.central_info_age, 0.4);
+}
+
+}  // namespace
+}  // namespace hls

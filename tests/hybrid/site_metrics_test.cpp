@@ -1,0 +1,83 @@
+#include <gtest/gtest.h>
+
+#include "hybrid/hybrid_system.hpp"
+#include "routing/analytic_strategies.hpp"
+#include "routing/basic_strategies.hpp"
+
+namespace hls {
+namespace {
+
+TEST(SiteMetrics, PerSiteCountsSumToGlobal) {
+  SystemConfig cfg;
+  cfg.arrival_rate_per_site = 2.0;
+  cfg.seed = 17;
+  HybridSystem sys(cfg, std::make_unique<StaticProbabilisticStrategy>(0.4, 17));
+  sys.enable_arrivals();
+  sys.run_for(200.0);
+  sys.stop_arrivals();
+  sys.drain();
+
+  std::uint64_t arrivals = 0;
+  std::uint64_t shipped = 0;
+  std::uint64_t local_completions = 0;
+  std::uint64_t shipped_completions = 0;
+  for (int s = 0; s < cfg.num_sites; ++s) {
+    const SiteMetrics& sm = sys.site_metrics(s);
+    arrivals += sm.arrivals_class_a;
+    shipped += sm.shipped_class_a;
+    local_completions += sm.rt_local_a.count();
+    shipped_completions += sm.rt_shipped_a.count();
+  }
+  const Metrics& m = sys.metrics();
+  EXPECT_EQ(arrivals, m.arrivals_class_a);
+  EXPECT_EQ(shipped, m.shipped_class_a);
+  EXPECT_EQ(local_completions, m.completions_local_a);
+  EXPECT_EQ(shipped_completions, m.completions_shipped_a);
+}
+
+TEST(SiteMetrics, ShipFractionPerSiteNearGlobal) {
+  SystemConfig cfg;
+  cfg.arrival_rate_per_site = 2.0;
+  cfg.seed = 18;
+  HybridSystem sys(cfg, std::make_unique<StaticProbabilisticStrategy>(0.5, 18));
+  sys.enable_arrivals();
+  sys.run_for(500.0);
+  for (int s = 0; s < cfg.num_sites; ++s) {
+    EXPECT_NEAR(sys.site_metrics(s).ship_fraction(), 0.5, 0.1);
+  }
+}
+
+TEST(SiteMetrics, SurgingSiteShipsMoreThanQuietOnes) {
+  SystemConfig cfg;
+  cfg.arrival_rate_per_site = 1.2;
+  cfg.seed = 19;
+  const ModelParams base = ModelParams::from_config(cfg);
+  HybridSystem sys(cfg, std::make_unique<MinAverageRtStrategy>(
+                            base, UtilSource::NumInSystem));
+  sys.set_arrival_rate_function(0, [](SimTime) { return 5.0; }, 5.0);
+  sys.enable_arrivals();
+  sys.run_for(400.0);
+  const double surge_ship = sys.site_metrics(0).ship_fraction();
+  double quiet_ship = 0.0;
+  for (int s = 1; s < cfg.num_sites; ++s) {
+    quiet_ship += sys.site_metrics(s).ship_fraction();
+  }
+  quiet_ship /= cfg.num_sites - 1;
+  EXPECT_GT(surge_ship, quiet_ship + 0.1);
+}
+
+TEST(SiteMetrics, ResetOnBeginMeasurement) {
+  SystemConfig cfg;
+  cfg.arrival_rate_per_site = 2.0;
+  cfg.seed = 20;
+  HybridSystem sys(cfg, std::make_unique<AlwaysLocalStrategy>());
+  sys.enable_arrivals();
+  sys.run_for(50.0);
+  EXPECT_GT(sys.site_metrics(0).arrivals_class_a, 0u);
+  sys.begin_measurement();
+  EXPECT_EQ(sys.site_metrics(0).arrivals_class_a, 0u);
+  EXPECT_EQ(sys.site_metrics(0).rt_local_a.count(), 0u);
+}
+
+}  // namespace
+}  // namespace hls

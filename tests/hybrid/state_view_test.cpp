@@ -1,0 +1,139 @@
+// SystemStateView correctness: the numbers the routing strategies act on
+// must mirror the true system state (locally) and the piggybacked snapshot
+// protocol (centrally).
+#include <gtest/gtest.h>
+
+#include "hybrid/hybrid_system.hpp"
+#include "routing/basic_strategies.hpp"
+
+namespace hls {
+namespace {
+
+SystemConfig quiet_config() {
+  SystemConfig cfg;
+  cfg.arrival_rate_per_site = 0.0;
+  return cfg;
+}
+
+Transaction txn_at(TxnId id, int site, LockId lock) {
+  Transaction t;
+  t.id = id;
+  t.cls = TxnClass::A;
+  t.home_site = site;
+  t.locks = {{lock, LockMode::Exclusive}};
+  t.call_io = {true};
+  return t;
+}
+
+TEST(StateView, LocalCountsTrackInjections) {
+  HybridSystem sys(quiet_config(), std::make_unique<AlwaysLocalStrategy>());
+  sys.inject_transaction(txn_at(1, 0, 5));
+  sys.inject_transaction(txn_at(2, 0, 6));
+  sys.inject_transaction(txn_at(3, 0, 7));
+  // Both transactions are queued at the CPU immediately after injection.
+  const SystemStateView v = sys.make_state_view(0);
+  EXPECT_EQ(v.local_num_txns, 3);
+  EXPECT_EQ(v.local_cpu_queue, 3);
+  EXPECT_EQ(sys.make_state_view(1).local_num_txns, 0);
+}
+
+TEST(StateView, LocalLockCountVisibleMidTransaction) {
+  HybridSystem sys(quiet_config(), std::make_unique<AlwaysLocalStrategy>());
+  sys.inject_transaction(txn_at(1, 2, 2 * SystemConfig{}.partition_size() + 5));
+  // After init+setup+call CPU (~0.14 s) the lock is held; during the call
+  // I/O the CPU is idle but the lock count is 1.
+  sys.simulator().run_until(0.15);
+  const SystemStateView v = sys.make_state_view(2);
+  EXPECT_EQ(v.local_locks_held, 1);
+  EXPECT_EQ(v.local_cpu_queue, 0);  // in I/O
+  EXPECT_EQ(v.local_num_txns, 1);
+  sys.simulator().run();
+  EXPECT_EQ(sys.make_state_view(2).local_locks_held, 0);
+}
+
+TEST(StateView, ShippedInFlightCountsOnlyThisSite) {
+  HybridSystem sys(quiet_config(), std::make_unique<AlwaysCentralStrategy>());
+  sys.inject(TxnClass::A, 0);
+  sys.inject(TxnClass::A, 0);
+  sys.inject(TxnClass::A, 3);
+  const SystemStateView v0 = sys.make_state_view(0);
+  const SystemStateView v3 = sys.make_state_view(3);
+  EXPECT_EQ(v0.shipped_in_flight, 2);
+  EXPECT_EQ(v3.shipped_in_flight, 1);
+  sys.simulator().run();
+  EXPECT_EQ(sys.make_state_view(0).shipped_in_flight, 0);
+}
+
+TEST(StateView, LastResponseTimesFeedTheView) {
+  HybridSystem sys(quiet_config(), std::make_unique<AlwaysLocalStrategy>());
+  sys.inject_transaction(txn_at(1, 0, 5));
+  sys.simulator().run();
+  const SystemStateView v = sys.make_state_view(0);
+  EXPECT_NEAR(v.last_local_rt, 0.245, 1e-9);
+  EXPECT_DOUBLE_EQ(v.last_shipped_rt, 0.0);  // nothing shipped yet
+}
+
+TEST(StateView, SnapshotAgeDropsAfterCentralMessage) {
+  const SystemConfig cfg = quiet_config();
+  HybridSystem sys(cfg, std::make_unique<AlwaysLocalStrategy>());
+  sys.run_for(10.0);
+  EXPECT_NEAR(sys.make_state_view(0).central_info_age, 10.0, 1e-9);
+  // A class B transaction from site 0 makes the central site talk to it
+  // (auth request + commit message); the snapshot age resets.
+  sys.inject_transaction([&] {
+    Transaction t;
+    t.id = 50;
+    t.cls = TxnClass::B;
+    t.home_site = 0;
+    t.locks = {{5, LockMode::Exclusive}};
+    t.call_io = {true};
+    return t;
+  }());
+  sys.simulator().run();
+  const double age = sys.make_state_view(0).central_info_age;
+  EXPECT_LT(age, 1.0);
+  EXPECT_GT(age, 0.0);
+}
+
+TEST(StateView, SnapshotCarriesCentralResidency) {
+  SystemConfig cfg = quiet_config();
+  cfg.call_io_time = 1.0;  // keep the class B transactions resident a while
+  HybridSystem sys(cfg, std::make_unique<AlwaysLocalStrategy>());
+  // Two class B transactions whose data is mastered at site 4 (so the
+  // authentication and commit messages flow to site 4 and refresh its
+  // snapshot); while the second's traffic flows, snapshots report the
+  // other one still resident.
+  const LockId base = 4 * cfg.partition_size();
+  for (TxnId id : {60ull, 61ull}) {
+    Transaction t;
+    t.id = id;
+    t.cls = TxnClass::B;
+    t.home_site = 4;
+    t.locks = {{static_cast<LockId>(base + 5 + id), LockMode::Exclusive}};
+    t.call_io = {true};
+    sys.inject_transaction(t);
+  }
+  // First commit message arrives at site 4 around t ~ 2; at that point the
+  // other transaction is still executing at the central site.
+  sys.simulator().run_until(2.2);
+  const SystemStateView v = sys.make_state_view(4);
+  EXPECT_GE(v.central_num_txns, 1);
+  sys.simulator().run();
+}
+
+TEST(StateView, IdealInfoBypassesSnapshots) {
+  SystemConfig cfg = quiet_config();
+  cfg.ideal_state_info = true;
+  cfg.call_io_time = 1.0;
+  HybridSystem sys(cfg, std::make_unique<AlwaysLocalStrategy>());
+  sys.inject(TxnClass::B, 0);
+  sys.simulator().run_until(0.5);
+  // Site 9 exchanged nothing with central, yet sees the resident txn.
+  const SystemStateView v = sys.make_state_view(9);
+  EXPECT_EQ(v.central_num_txns, 1);
+  EXPECT_DOUBLE_EQ(v.central_info_age, 0.0);
+  sys.simulator().run();
+}
+
+}  // namespace
+}  // namespace hls

@@ -1,0 +1,106 @@
+// Whole-stack determinism: identical seeds must reproduce identical event
+// streams, metrics, traces and decisions — the property every regression
+// pin and every fixed-trace what-if comparison rests on.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/trace.hpp"
+#include "model/params.hpp"
+#include "routing/factory.hpp"
+
+namespace hls {
+namespace {
+
+struct RunFingerprint {
+  std::uint64_t events = 0;
+  std::uint64_t completions = 0;
+  double rt_sum = 0.0;
+  std::string trace;
+
+  bool operator==(const RunFingerprint& other) const {
+    return events == other.events && completions == other.completions &&
+           rt_sum == other.rt_sum && trace == other.trace;
+  }
+};
+
+RunFingerprint fingerprint(std::uint64_t seed, StrategyKind kind) {
+  SystemConfig cfg;
+  cfg.arrival_rate_per_site = 2.0;
+  cfg.seed = seed;
+  HybridSystem sys(cfg,
+                   make_strategy({kind, 0.0}, ModelParams::from_config(cfg), seed));
+  std::ostringstream trace_out;
+  TraceWriter writer(trace_out);
+  writer.attach(sys);
+  sys.enable_arrivals();
+  sys.run_for(100.0);
+  sys.stop_arrivals();
+  sys.drain();
+  RunFingerprint fp;
+  fp.events = sys.simulator().executed_events();
+  fp.completions = sys.metrics().completions;
+  fp.rt_sum = sys.metrics().rt_all.sum();
+  fp.trace = trace_out.str();
+  return fp;
+}
+
+class DeterminismTest : public ::testing::TestWithParam<StrategyKind> {};
+
+TEST_P(DeterminismTest, IdenticalSeedsReproduceEventForEvent) {
+  const RunFingerprint a = fingerprint(7, GetParam());
+  const RunFingerprint b = fingerprint(7, GetParam());
+  EXPECT_TRUE(a == b);
+  EXPECT_GT(a.completions, 50u);
+}
+
+TEST_P(DeterminismTest, DifferentSeedsDiverge) {
+  const RunFingerprint a = fingerprint(7, GetParam());
+  const RunFingerprint b = fingerprint(8, GetParam());
+  EXPECT_NE(a.trace, b.trace);
+}
+
+INSTANTIATE_TEST_SUITE_P(Strategies, DeterminismTest,
+                         ::testing::Values(StrategyKind::NoLoadSharing,
+                                           StrategyKind::StaticProbability,
+                                           StrategyKind::QueueLength,
+                                           StrategyKind::MinAverageNsys));
+
+TEST(DeterminismTest, BatchingModePreservesDeterminism) {
+  auto run = [] {
+    SystemConfig cfg;
+    cfg.arrival_rate_per_site = 2.0;
+    cfg.async_batch_window = 0.2;
+    cfg.seed = 3;
+    HybridSystem sys(cfg, make_strategy({StrategyKind::StaticProbability, 0.5},
+                                        ModelParams::from_config(cfg), 3));
+    sys.enable_arrivals();
+    sys.run_for(80.0);
+    sys.stop_arrivals();
+    sys.drain();
+    return std::make_pair(sys.simulator().executed_events(),
+                          sys.metrics().rt_all.sum());
+  };
+  EXPECT_EQ(run(), run());
+}
+
+TEST(DeterminismTest, RfcModePreservesDeterminism) {
+  auto run = [] {
+    SystemConfig cfg;
+    cfg.arrival_rate_per_site = 0.6;
+    cfg.class_b_mode = ClassBMode::RemoteCalls;
+    cfg.seed = 4;
+    HybridSystem sys(cfg, make_strategy({StrategyKind::QueueLength, 0.0},
+                                        ModelParams::from_config(cfg), 4));
+    sys.enable_arrivals();
+    sys.run_for(80.0);
+    sys.stop_arrivals();
+    sys.drain();
+    return std::make_pair(sys.simulator().executed_events(),
+                          sys.metrics().rt_all.sum());
+  };
+  EXPECT_EQ(run(), run());
+}
+
+}  // namespace
+}  // namespace hls

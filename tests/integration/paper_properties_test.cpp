@@ -1,0 +1,126 @@
+// Integration tests pinning the paper's headline qualitative claims (§4.2)
+// at reduced simulation length — the full-length reproduction lives in
+// bench/. These guard against regressions that would silently change the
+// story the benches tell.
+#include <gtest/gtest.h>
+
+#include "core/driver.hpp"
+
+namespace hls {
+namespace {
+
+RunOptions itest_options() {
+  RunOptions o;
+  o.warmup_seconds = 60.0;
+  o.measure_seconds = 400.0;
+  return o;
+}
+
+SystemConfig config_at(double total_tps, double delay = 0.2) {
+  SystemConfig cfg;
+  cfg.arrival_rate_per_site = total_tps / cfg.num_sites;
+  cfg.comm_delay = delay;
+  cfg.seed = 1234;
+  return cfg;
+}
+
+double rt(StrategyKind kind, double tps, double delay = 0.2, double param = 0.0) {
+  return run_simulation(config_at(tps, delay), {kind, param}, itest_options())
+      .metrics.rt_all.mean();
+}
+
+TEST(PaperProperties, NoLoadSharingSaturatesNearTwentyTps) {
+  // Figure 4.1: without load sharing the locals overload; ~20 tps is the
+  // supportable maximum. At 28 offered, throughput collapses below offered.
+  const RunResult r = run_simulation(config_at(28.0),
+                                     {StrategyKind::NoLoadSharing, 0.0},
+                                     itest_options());
+  EXPECT_LT(r.metrics.throughput(), 24.0);
+  EXPECT_GT(r.metrics.rt_all.mean(), 5.0);
+}
+
+TEST(PaperProperties, StaticLoadSharingExtendsCapacity) {
+  // Figure 4.1: optimal static supports ~30 tps comfortably.
+  const RunResult r = run_simulation(config_at(30.0),
+                                     {StrategyKind::StaticOptimal, 0.0},
+                                     itest_options());
+  EXPECT_NEAR(r.metrics.throughput(), 30.0, 1.5);
+  EXPECT_LT(r.metrics.rt_all.mean(), 2.5);
+}
+
+TEST(PaperProperties, StaticBeatsNoSharingAtHighLoad) {
+  EXPECT_LT(rt(StrategyKind::StaticOptimal, 24.0),
+            rt(StrategyKind::NoLoadSharing, 24.0));
+}
+
+TEST(PaperProperties, BestDynamicBeatsStaticAtHighLoad) {
+  // §4.2: the min-average schemes outperform the optimal static strategy.
+  EXPECT_LT(rt(StrategyKind::MinAverageNsys, 28.0),
+            rt(StrategyKind::StaticOptimal, 28.0));
+}
+
+TEST(PaperProperties, MinAverageBeatsMinIncoming) {
+  // §4.2: accounting for the effect on all running transactions beats
+  // optimizing the incoming transaction alone (curves E/F vs C/D).
+  const double avg = rt(StrategyKind::MinAverageNsys, 30.0);
+  const double inc = rt(StrategyKind::MinIncomingNsys, 30.0);
+  EXPECT_LE(avg, inc * 1.05);  // allow simulation noise; must not be worse
+}
+
+TEST(PaperProperties, MeasuredRtHeuristicIsWorstDynamicScheme) {
+  // Figure 4.2 curve A: better than nothing, worse than the others.
+  const double measured = rt(StrategyKind::MeasuredRt, 26.0);
+  EXPECT_LT(measured, rt(StrategyKind::NoLoadSharing, 26.0));
+  EXPECT_GT(measured, rt(StrategyKind::MinAverageNsys, 26.0));
+}
+
+TEST(PaperProperties, StaticShipsNothingAtLowRates) {
+  // Figure 4.3: no shipping below ~5 tps.
+  const RunResult r = run_simulation(config_at(4.0),
+                                     {StrategyKind::StaticOptimal, 0.0},
+                                     itest_options());
+  EXPECT_LT(r.metrics.ship_fraction(), 0.05);
+}
+
+TEST(PaperProperties, DynamicShipsLessThanStaticAtHighLoad) {
+  // Figure 4.3: dynamic schemes ship a smaller fraction, yet do better —
+  // they ship at the right moments.
+  const auto stat = run_simulation(config_at(28.0),
+                                   {StrategyKind::StaticOptimal, 0.0},
+                                   itest_options());
+  const auto dyn = run_simulation(config_at(28.0),
+                                  {StrategyKind::MinAverageNsys, 0.0},
+                                  itest_options());
+  EXPECT_LT(dyn.metrics.ship_fraction(), stat.metrics.ship_fraction());
+  EXPECT_LE(dyn.metrics.rt_all.mean(), stat.metrics.rt_all.mean() * 1.02);
+}
+
+TEST(PaperProperties, ThresholdSignMattersAtSmallDelay) {
+  // Figure 4.4: with a fast central CPU and 0.2 s links, a negative
+  // threshold (ship even when the local site looks less utilized) beats a
+  // strongly negative one.
+  const double t_02 = rt(StrategyKind::UtilThreshold, 26.0, 0.2, -0.2);
+  const double t_06 = rt(StrategyKind::UtilThreshold, 26.0, 0.2, -0.6);
+  EXPECT_LT(t_02, t_06);
+}
+
+TEST(PaperProperties, LargerDelayShrinksStaticGains) {
+  // §4.2 / Figure 4.5: at 0.5 s delay the static benefit over no sharing is
+  // smaller than at 0.2 s (relative improvement shrinks).
+  const double none_02 = rt(StrategyKind::NoLoadSharing, 22.0, 0.2);
+  const double stat_02 = rt(StrategyKind::StaticOptimal, 22.0, 0.2);
+  const double none_05 = rt(StrategyKind::NoLoadSharing, 22.0, 0.5);
+  const double stat_05 = rt(StrategyKind::StaticOptimal, 22.0, 0.5);
+  const double gain_02 = none_02 / stat_02;
+  const double gain_05 = none_05 / stat_05;
+  EXPECT_GT(gain_02, gain_05);
+}
+
+TEST(PaperProperties, DynamicStillStrongAtLargeDelay) {
+  // Figures 4.5-4.7: dynamic load sharing keeps its advantage at 0.5 s.
+  EXPECT_LT(rt(StrategyKind::MinAverageNsys, 28.0, 0.5),
+            rt(StrategyKind::NoLoadSharing, 28.0, 0.5));
+}
+
+}  // namespace
+}  // namespace hls

@@ -1,0 +1,96 @@
+// Golden regression suite: pins headline metrics of fixed-seed runs.
+//
+// Tolerances are deliberately loose (1-3%) so the pins survive minor
+// floating-point differences across standard libraries (a 1-ulp libm
+// difference can flip a Bernoulli branch and perturb one trajectory) while
+// still catching any behavioral change to the protocol, the strategies or
+// the model — a changed abort path or misrouted transaction moves these
+// numbers by far more.
+//
+// If an intentional protocol change lands, re-baseline by running with
+// --gtest_filter='Regression.*' and copying the reported values.
+#include <gtest/gtest.h>
+
+#include "core/driver.hpp"
+#include "model/analytic_model.hpp"
+#include "model/static_optimizer.hpp"
+
+namespace hls {
+namespace {
+
+RunOptions golden_options() {
+  RunOptions o;
+  o.warmup_seconds = 100.0;
+  o.measure_seconds = 600.0;
+  return o;
+}
+
+SystemConfig golden_config(double total_tps) {
+  SystemConfig cfg;
+  cfg.arrival_rate_per_site = total_tps / cfg.num_sites;
+  cfg.seed = 424242;
+  return cfg;
+}
+
+#define EXPECT_WITHIN(actual, golden, rel)                       \
+  EXPECT_NEAR(actual, golden, std::abs(golden) * (rel))          \
+      << "re-baseline: measured " << std::setprecision(12) << (actual)
+
+TEST(Regression, NoLoadSharingAt20Tps) {
+  const RunResult r = run_simulation(golden_config(20.0),
+                                     {StrategyKind::NoLoadSharing, 0.0},
+                                     golden_options());
+  EXPECT_WITHIN(r.metrics.rt_all.mean(), 1.84947, 0.03);
+  EXPECT_WITHIN(r.metrics.throughput(), 19.9933, 0.01);
+  EXPECT_DOUBLE_EQ(r.metrics.ship_fraction(), 0.0);
+}
+
+TEST(Regression, StaticHalfAt24Tps) {
+  const RunResult r = run_simulation(golden_config(24.0),
+                                     {StrategyKind::StaticProbability, 0.5},
+                                     golden_options());
+  EXPECT_WITHIN(r.metrics.rt_all.mean(), 1.1706, 0.02);
+  EXPECT_WITHIN(r.metrics.ship_fraction(), 0.5023, 0.02);
+  EXPECT_WITHIN(r.metrics.rt_shipped_a.mean(), 1.2200, 0.02);
+  EXPECT_WITHIN(r.metrics.rt_local_a.mean(), 1.12103, 0.03);
+}
+
+TEST(Regression, BestDynamicAt32Tps) {
+  const RunResult r = run_simulation(golden_config(32.0),
+                                     {StrategyKind::MinAverageNsys, 0.0},
+                                     golden_options());
+  EXPECT_WITHIN(r.metrics.rt_all.mean(), 1.1136, 0.02);
+  EXPECT_WITHIN(r.metrics.ship_fraction(), 0.6358, 0.02);
+  EXPECT_WITHIN(r.metrics.central_utilization, 0.7173, 0.02);
+}
+
+TEST(Regression, QueueHeuristicAt28Tps) {
+  const RunResult r = run_simulation(golden_config(28.0),
+                                     {StrategyKind::QueueLength, 0.0},
+                                     golden_options());
+  EXPECT_WITHIN(r.metrics.rt_all.mean(), 1.1504, 0.02);
+  EXPECT_WITHIN(r.metrics.ship_fraction(), 0.4410, 0.03);
+}
+
+TEST(Regression, AnalyticModelFixedPoint) {
+  // The model is pure arithmetic: much tighter pins.
+  ModelParams p;
+  p.lambda_site = 2.0;
+  p.p_ship = 0.4;
+  const ModelSolution s = AnalyticModel().solve(p);
+  EXPECT_TRUE(s.converged);
+  EXPECT_WITHIN(s.r_avg, 1.1467447, 0.001);
+  EXPECT_WITHIN(s.rho_local, 0.4433030, 0.001);
+  EXPECT_WITHIN(s.rho_central, 0.3401187, 0.001);
+}
+
+TEST(Regression, StaticOptimizerChoice) {
+  ModelParams p;
+  p.lambda_site = 2.4;
+  const StaticOptimum opt = StaticOptimizer().optimize(p);
+  EXPECT_WITHIN(opt.p_ship, 0.66798, 0.005);
+  EXPECT_WITHIN(opt.solution.r_avg, 1.1357537, 0.001);
+}
+
+}  // namespace
+}  // namespace hls

@@ -1,0 +1,82 @@
+// Asserted model-vs-simulation agreement (the bench tbl_model_validation
+// prints the full grid; these tests pin the agreement quality so a model
+// or protocol drift cannot silently open a gap).
+#include <gtest/gtest.h>
+
+#include "core/driver.hpp"
+#include "model/analytic_model.hpp"
+
+namespace hls {
+namespace {
+
+struct Point {
+  double total_tps;
+  double p_ship;
+  double rt_tolerance;   // relative
+  double rho_tolerance;  // absolute
+};
+
+class AgreementTest : public ::testing::TestWithParam<Point> {};
+
+TEST_P(AgreementTest, ModelTracksSimulation) {
+  const Point pt = GetParam();
+  SystemConfig cfg;
+  cfg.arrival_rate_per_site = pt.total_tps / cfg.num_sites;
+  cfg.seed = 1001;
+  ModelParams params = ModelParams::from_config(cfg);
+  params.p_ship = pt.p_ship;
+  const ModelSolution model = AnalyticModel().solve(params);
+  ASSERT_TRUE(model.converged);
+  ASSERT_FALSE(model.saturated);
+
+  RunOptions opts;
+  opts.warmup_seconds = 100.0;
+  opts.measure_seconds = 600.0;
+  const RunResult sim = run_simulation(
+      cfg, {StrategyKind::StaticProbability, pt.p_ship}, opts);
+
+  EXPECT_NEAR(model.r_avg, sim.metrics.rt_all.mean(),
+              pt.rt_tolerance * sim.metrics.rt_all.mean());
+  EXPECT_NEAR(model.rho_local, sim.metrics.mean_local_utilization,
+              pt.rho_tolerance);
+  EXPECT_NEAR(model.rho_central, sim.metrics.central_utilization,
+              pt.rho_tolerance);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, AgreementTest,
+    ::testing::Values(Point{5.0, 0.0, 0.05, 0.03}, Point{10.0, 0.3, 0.05, 0.04},
+                      Point{15.0, 0.6, 0.05, 0.05}, Point{20.0, 0.3, 0.08, 0.06},
+                      Point{20.0, 0.6, 0.08, 0.06}));
+
+TEST(AgreementTest, ModelPredictsTheSaturationWall) {
+  // The model must agree with the simulator about which side of the wall an
+  // operating point is on.
+  ModelParams stable;
+  stable.lambda_site = 2.0;  // 20 tps, no sharing: stressed but stable
+  EXPECT_FALSE(AnalyticModel().solve(stable).saturated);
+  ModelParams overloaded;
+  overloaded.lambda_site = 3.2;  // 32 tps, no sharing: past the wall
+  EXPECT_TRUE(AnalyticModel().solve(overloaded).saturated);
+}
+
+TEST(AgreementTest, ShippedResponseComponentsMatchSimulation) {
+  SystemConfig cfg;
+  cfg.arrival_rate_per_site = 1.2;
+  cfg.seed = 1002;
+  ModelParams params = ModelParams::from_config(cfg);
+  params.p_ship = 0.5;
+  const ModelSolution model = AnalyticModel().solve(params);
+  RunOptions opts;
+  opts.warmup_seconds = 100.0;
+  opts.measure_seconds = 600.0;
+  const RunResult sim =
+      run_simulation(cfg, {StrategyKind::StaticProbability, 0.5}, opts);
+  EXPECT_NEAR(model.r_local, sim.metrics.rt_local_a.mean(),
+              0.06 * sim.metrics.rt_local_a.mean());
+  EXPECT_NEAR(model.r_shipped, sim.metrics.rt_shipped_a.mean(),
+              0.06 * sim.metrics.rt_shipped_a.mean());
+}
+
+}  // namespace
+}  // namespace hls

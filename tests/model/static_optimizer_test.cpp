@@ -1,0 +1,87 @@
+#include "model/static_optimizer.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hls {
+namespace {
+
+ModelParams baseline(double total_tps) {
+  ModelParams p;
+  p.lambda_site = total_tps / p.num_sites;
+  return p;
+}
+
+TEST(StaticOptimizer, ShipsNothingAtVeryLowLoad) {
+  const StaticOptimum opt = StaticOptimizer().optimize(baseline(2.0));
+  EXPECT_LT(opt.p_ship, 0.05);
+}
+
+TEST(StaticOptimizer, ShipsSomethingAtHighLoad) {
+  const StaticOptimum opt = StaticOptimizer().optimize(baseline(26.0));
+  EXPECT_GT(opt.p_ship, 0.2);
+  EXPECT_LT(opt.p_ship, 1.0);
+}
+
+TEST(StaticOptimizer, OptimumBeatsEndpoints) {
+  const ModelParams p = baseline(24.0);
+  const StaticOptimum opt = StaticOptimizer().optimize(p);
+  ModelParams p0 = p;
+  p0.p_ship = 0.0;
+  ModelParams p1 = p;
+  p1.p_ship = 1.0;
+  const double r0 = AnalyticModel().solve(p0).r_avg;
+  const double r1 = AnalyticModel().solve(p1).r_avg;
+  EXPECT_LE(opt.solution.r_avg, r0 + 1e-9);
+  EXPECT_LE(opt.solution.r_avg, r1 + 1e-9);
+}
+
+TEST(StaticOptimizer, ReportsNoSharingBaseline) {
+  const ModelParams p = baseline(24.0);
+  const StaticOptimum opt = StaticOptimizer().optimize(p);
+  ModelParams p0 = p;
+  p0.p_ship = 0.0;
+  EXPECT_NEAR(opt.r_avg_no_sharing, AnalyticModel().solve(p0).r_avg, 1e-9);
+  EXPECT_LE(opt.solution.r_avg, opt.r_avg_no_sharing + 1e-9);
+}
+
+TEST(StaticOptimizer, ShipFractionGrowsThenShrinksWithLoad) {
+  // The paper's Figure 4.3 shape: zero at low rates, rising, then falling
+  // once the central site starts to saturate.
+  std::vector<double> fractions;
+  for (double tps : {4.0, 12.0, 20.0, 28.0, 44.0}) {
+    fractions.push_back(StaticOptimizer().optimize(baseline(tps)).p_ship);
+  }
+  EXPECT_LT(fractions.front(), 0.05);
+  double peak = 0.0;
+  std::size_t peak_at = 0;
+  for (std::size_t i = 0; i < fractions.size(); ++i) {
+    if (fractions[i] > peak) {
+      peak = fractions[i];
+      peak_at = i;
+    }
+  }
+  EXPECT_GT(peak, 0.3);
+  EXPECT_GT(peak_at, 0u);
+  EXPECT_LT(peak_at, fractions.size() - 1);  // interior peak -> falls at the end
+}
+
+TEST(StaticOptimizer, LargerDelayShipsLessAtModerateLoad) {
+  ModelParams near = baseline(18.0);
+  near.comm_delay = 0.2;
+  ModelParams far = baseline(18.0);
+  far.comm_delay = 0.5;
+  const double p_near = StaticOptimizer().optimize(near).p_ship;
+  const double p_far = StaticOptimizer().optimize(far).p_ship;
+  EXPECT_LE(p_far, p_near + 0.02);
+}
+
+TEST(StaticOptimizer, CoarseGridStillFindsInteriorOptimum) {
+  StaticOptimizer::Options opts;
+  opts.grid_points = 11;
+  const StaticOptimum coarse = StaticOptimizer(opts).optimize(baseline(24.0));
+  const StaticOptimum fine = StaticOptimizer().optimize(baseline(24.0));
+  EXPECT_NEAR(coarse.solution.r_avg, fine.solution.r_avg, 0.05);
+}
+
+}  // namespace
+}  // namespace hls

@@ -1,0 +1,93 @@
+#include "net/link.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace hls {
+namespace {
+
+TEST(Link, DeliversAfterDelay) {
+  Simulator sim;
+  Link link(sim, 0.2, "l");
+  double delivered_at = -1.0;
+  link.send([&] { delivered_at = sim.now(); });
+  sim.run();
+  EXPECT_DOUBLE_EQ(delivered_at, 0.2);
+}
+
+TEST(Link, ZeroDelayDeliversImmediately) {
+  Simulator sim;
+  Link link(sim, 0.0, "l");
+  double delivered_at = -1.0;
+  link.send([&] { delivered_at = sim.now(); });
+  sim.run();
+  EXPECT_DOUBLE_EQ(delivered_at, 0.0);
+}
+
+TEST(Link, PreservesFifoOrder) {
+  Simulator sim;
+  Link link(sim, 0.5, "l");
+  std::vector<int> order;
+  sim.schedule_at(0.0, [&] { link.send([&] { order.push_back(0); }); });
+  sim.schedule_at(0.1, [&] { link.send([&] { order.push_back(1); }); });
+  sim.schedule_at(0.2, [&] { link.send([&] { order.push_back(2); }); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(Link, FifoHoldsWhenDelayShrinksMidstream) {
+  Simulator sim;
+  Link link(sim, 1.0, "l");
+  std::vector<std::pair<int, double>> deliveries;
+  sim.schedule_at(0.0, [&] {
+    link.send([&] { deliveries.emplace_back(0, sim.now()); });
+    link.set_delay(0.1);
+  });
+  sim.schedule_at(0.05, [&] {
+    // With raw delays this would arrive at 0.15, before message 0 (1.0).
+    link.send([&] { deliveries.emplace_back(1, sim.now()); });
+  });
+  sim.run();
+  ASSERT_EQ(deliveries.size(), 2u);
+  EXPECT_EQ(deliveries[0].first, 0);
+  EXPECT_EQ(deliveries[1].first, 1);
+  EXPECT_GE(deliveries[1].second, deliveries[0].second);
+}
+
+TEST(Link, CountsSentAndDelivered) {
+  Simulator sim;
+  Link link(sim, 0.3, "l");
+  link.send([] {});
+  link.send([] {});
+  EXPECT_EQ(link.messages_sent(), 2u);
+  EXPECT_EQ(link.messages_in_flight(), 2u);
+  sim.run();
+  EXPECT_EQ(link.messages_delivered(), 2u);
+  EXPECT_EQ(link.messages_in_flight(), 0u);
+}
+
+TEST(Link, DelayAccessors) {
+  Simulator sim;
+  Link link(sim, 0.2, "mylink");
+  EXPECT_DOUBLE_EQ(link.delay(), 0.2);
+  link.set_delay(0.5);
+  EXPECT_DOUBLE_EQ(link.delay(), 0.5);
+  EXPECT_EQ(link.name(), "mylink");
+}
+
+TEST(Link, ManyMessagesArriveInOrderUnderSimultaneousSends) {
+  Simulator sim;
+  Link link(sim, 0.2, "l");
+  std::vector<int> order;
+  for (int i = 0; i < 50; ++i) {
+    link.send([&, i] { order.push_back(i); });
+  }
+  sim.run();
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_EQ(order[i], i);
+  }
+}
+
+}  // namespace
+}  // namespace hls

@@ -1,0 +1,157 @@
+#include "sim/event_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "util/random.hpp"
+
+namespace hls {
+namespace {
+
+TEST(EventQueue, StartsEmpty) {
+  EventQueue q;
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(EventQueue, PopsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.push(3.0, [&] { order.push_back(3); });
+  q.push(1.0, [&] { order.push_back(1); });
+  q.push(2.0, [&] { order.push_back(2); });
+  while (!q.empty()) {
+    q.pop().callback();
+  }
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, TiesBreakBySchedulingOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    q.push(5.0, [&, i] { order.push_back(i); });
+  }
+  while (!q.empty()) {
+    q.pop().callback();
+  }
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(order[i], i);
+  }
+}
+
+TEST(EventQueue, NextTimeMatchesEarliest) {
+  EventQueue q;
+  q.push(7.0, [] {});
+  q.push(2.5, [] {});
+  EXPECT_DOUBLE_EQ(q.next_time(), 2.5);
+}
+
+TEST(EventQueue, CancelRemovesEvent) {
+  EventQueue q;
+  bool fired = false;
+  const EventId id = q.push(1.0, [&] { fired = true; });
+  EXPECT_TRUE(q.cancel(id));
+  EXPECT_TRUE(q.empty());
+  EXPECT_FALSE(fired);
+}
+
+TEST(EventQueue, CancelTwiceFails) {
+  EventQueue q;
+  const EventId id = q.push(1.0, [] {});
+  EXPECT_TRUE(q.cancel(id));
+  EXPECT_FALSE(q.cancel(id));
+}
+
+TEST(EventQueue, CancelUnknownIdFails) {
+  EventQueue q;
+  EXPECT_FALSE(q.cancel(kInvalidEventId));
+  EXPECT_FALSE(q.cancel(999));
+}
+
+TEST(EventQueue, CancelFiredEventFails) {
+  EventQueue q;
+  const EventId id = q.push(1.0, [] {});
+  q.pop();
+  EXPECT_FALSE(q.cancel(id));
+}
+
+TEST(EventQueue, CancelledEventSkippedOnPop) {
+  EventQueue q;
+  std::vector<int> order;
+  q.push(1.0, [&] { order.push_back(1); });
+  const EventId id = q.push(2.0, [&] { order.push_back(2); });
+  q.push(3.0, [&] { order.push_back(3); });
+  q.cancel(id);
+  EXPECT_EQ(q.size(), 2u);
+  while (!q.empty()) {
+    q.pop().callback();
+  }
+  EXPECT_EQ(order, (std::vector<int>{1, 3}));
+}
+
+TEST(EventQueue, CancelHeadAdjustsNextTime) {
+  EventQueue q;
+  const EventId id = q.push(1.0, [] {});
+  q.push(4.0, [] {});
+  q.cancel(id);
+  EXPECT_DOUBLE_EQ(q.next_time(), 4.0);
+}
+
+TEST(EventQueue, InterleavedPushPopKeepsOrder) {
+  EventQueue q;
+  std::vector<double> popped;
+  q.push(1.0, [] {});
+  q.push(5.0, [] {});
+  popped.push_back(q.pop().time);
+  q.push(3.0, [] {});
+  q.push(0.5, [] {});  // legal: earlier than items already popped? queue does
+                       // not know about "now"; ordering is the queue's only job
+  while (!q.empty()) {
+    popped.push_back(q.pop().time);
+  }
+  EXPECT_TRUE(std::is_sorted(popped.begin() + 1, popped.end()));
+}
+
+// Property: against a reference model (sorted multiset of (time, seq)).
+TEST(EventQueue, RandomOperationsMatchReferenceModel) {
+  Rng rng(99);
+  EventQueue q;
+  std::vector<std::pair<double, std::uint64_t>> reference;  // (time, seq)
+  std::vector<EventId> live_ids;
+  std::uint64_t seq = 0;
+
+  for (int step = 0; step < 5000; ++step) {
+    const double roll = rng.next_double();
+    if (roll < 0.55 || q.empty()) {
+      const double t = rng.uniform(0.0, 100.0);
+      live_ids.push_back(q.push(t, [] {}));
+      reference.emplace_back(t, seq++);
+    } else if (roll < 0.75 && !live_ids.empty()) {
+      // Cancel a random live event.
+      const std::size_t k = rng.next_below(live_ids.size());
+      const EventId id = live_ids[k];
+      const bool ok = q.cancel(id);
+      if (ok) {
+        // Remove the k-th oldest surviving entry: ids were pushed in seq
+        // order, and live_ids mirrors reference order.
+        reference.erase(reference.begin() + static_cast<long>(k));
+      }
+      live_ids.erase(live_ids.begin() + static_cast<long>(k));
+    } else {
+      const auto popped = q.pop();
+      auto best = std::min_element(reference.begin(), reference.end());
+      ASSERT_NE(best, reference.end());
+      ASSERT_DOUBLE_EQ(popped.time, best->first);
+      const std::size_t idx = best - reference.begin();
+      reference.erase(best);
+      live_ids.erase(live_ids.begin() + static_cast<long>(idx));
+    }
+    ASSERT_EQ(q.size(), reference.size());
+  }
+}
+
+}  // namespace
+}  // namespace hls

@@ -1,0 +1,127 @@
+#include "sim/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace hls {
+namespace {
+
+TEST(Simulator, ClockStartsAtZero) {
+  Simulator sim;
+  EXPECT_DOUBLE_EQ(sim.now(), 0.0);
+}
+
+TEST(Simulator, StepAdvancesClockToEventTime) {
+  Simulator sim;
+  sim.schedule_at(2.5, [] {});
+  EXPECT_TRUE(sim.step());
+  EXPECT_DOUBLE_EQ(sim.now(), 2.5);
+}
+
+TEST(Simulator, StepOnEmptyReturnsFalse) {
+  Simulator sim;
+  EXPECT_FALSE(sim.step());
+}
+
+TEST(Simulator, ScheduleAfterIsRelative) {
+  Simulator sim;
+  sim.schedule_at(1.0, [] {});
+  sim.step();
+  double fired_at = -1;
+  sim.schedule_after(0.5, [&] { fired_at = sim.now(); });
+  sim.step();
+  EXPECT_DOUBLE_EQ(fired_at, 1.5);
+}
+
+TEST(Simulator, RunUntilExecutesDueEventsAndSetsClock) {
+  Simulator sim;
+  std::vector<double> fired;
+  for (double t : {1.0, 2.0, 3.0, 4.0}) {
+    sim.schedule_at(t, [&, t] { fired.push_back(t); });
+  }
+  sim.run_until(2.5);
+  EXPECT_EQ(fired, (std::vector<double>{1.0, 2.0}));
+  EXPECT_DOUBLE_EQ(sim.now(), 2.5);
+  sim.run_until(10.0);
+  EXPECT_EQ(fired.size(), 4u);
+  EXPECT_DOUBLE_EQ(sim.now(), 10.0);
+}
+
+TEST(Simulator, RunUntilIncludesBoundary) {
+  Simulator sim;
+  bool fired = false;
+  sim.schedule_at(2.0, [&] { fired = true; });
+  sim.run_until(2.0);
+  EXPECT_TRUE(fired);
+}
+
+TEST(Simulator, EventsCanScheduleMoreEvents) {
+  Simulator sim;
+  int chain = 0;
+  std::function<void()> step_fn = [&] {
+    if (++chain < 5) {
+      sim.schedule_after(1.0, step_fn);
+    }
+  };
+  sim.schedule_after(1.0, step_fn);
+  sim.run();
+  EXPECT_EQ(chain, 5);
+  EXPECT_DOUBLE_EQ(sim.now(), 5.0);
+}
+
+TEST(Simulator, CancelPreventsExecution) {
+  Simulator sim;
+  bool fired = false;
+  const EventId id = sim.schedule_at(1.0, [&] { fired = true; });
+  EXPECT_TRUE(sim.cancel(id));
+  sim.run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(Simulator, RequestStopHaltsRun) {
+  Simulator sim;
+  int count = 0;
+  for (int i = 1; i <= 10; ++i) {
+    sim.schedule_at(i, [&] {
+      if (++count == 3) {
+        sim.request_stop();
+      }
+    });
+  }
+  sim.run();
+  EXPECT_EQ(count, 3);
+  EXPECT_EQ(sim.pending_events(), 7u);
+}
+
+TEST(Simulator, ExecutedEventsCounted) {
+  Simulator sim;
+  for (int i = 0; i < 4; ++i) {
+    sim.schedule_after(1.0, [] {});
+  }
+  sim.run();
+  EXPECT_EQ(sim.executed_events(), 4u);
+}
+
+TEST(Simulator, SameTimeEventsRunInScheduleOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    sim.schedule_at(1.0, [&, i] { order.push_back(i); });
+  }
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Simulator, ZeroDelayEventRunsAtCurrentTime) {
+  Simulator sim;
+  sim.schedule_at(3.0, [] {});
+  sim.step();
+  double fired_at = -1.0;
+  sim.schedule_after(0.0, [&] { fired_at = sim.now(); });
+  sim.step();
+  EXPECT_DOUBLE_EQ(fired_at, 3.0);
+}
+
+}  // namespace
+}  // namespace hls

@@ -1,0 +1,52 @@
+#include "util/logging.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/assert.hpp"
+
+namespace hls {
+namespace {
+
+TEST(Logging, LevelRoundTrips) {
+  const LogLevel before = log_level();
+  set_log_level(LogLevel::Debug);
+  EXPECT_EQ(log_level(), LogLevel::Debug);
+  set_log_level(LogLevel::Off);
+  EXPECT_EQ(log_level(), LogLevel::Off);
+  set_log_level(before);
+}
+
+TEST(Logging, SuppressedCallsAreCheap) {
+  const LogLevel before = log_level();
+  set_log_level(LogLevel::Off);
+  for (int i = 0; i < 100000; ++i) {
+    HLS_LOG_DEBUG("suppressed %d", i);
+  }
+  set_log_level(before);
+  SUCCEED();
+}
+
+TEST(Logging, EmitsAtOrAboveLevel) {
+  const LogLevel before = log_level();
+  set_log_level(LogLevel::Error);
+  // Functional smoke: these must not crash regardless of suppression.
+  HLS_LOG_TRACE("trace %s", "msg");
+  HLS_LOG_ERROR("error %s", "msg");
+  set_log_level(before);
+  SUCCEED();
+}
+
+using AssertDeathTest = ::testing::Test;
+
+TEST(AssertDeathTest, FailedAssertAborts) {
+  EXPECT_DEATH(HLS_ASSERT(false, "intentional test failure"),
+               "intentional test failure");
+}
+
+TEST(AssertDeathTest, PassingAssertIsSilent) {
+  HLS_ASSERT(1 + 1 == 2, "never fires");
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace hls

@@ -1,0 +1,135 @@
+// Assorted edge coverage across small components.
+#include <gtest/gtest.h>
+
+#include "model/analytic_model.hpp"
+#include "model/residuals.hpp"
+#include "sim/resource.hpp"
+#include "sim/simulator.hpp"
+#include "util/stats.hpp"
+
+namespace hls {
+namespace {
+
+// ---- residuals: closed-form offset case ----
+
+TEST(ResidualsMisc, UniformUniformWithOffsetClosedForm) {
+  // A, B ~ U(0,1): P(A > B + d) = (1-d)^2 / 2 for 0 <= d <= 1.
+  const Residual u{ResidualShape::Uniform, 1.0};
+  for (double d : {0.0, 0.25, 0.5, 0.75, 1.0}) {
+    EXPECT_NEAR(prob_first_exceeds(u, u, d), (1.0 - d) * (1.0 - d) / 2.0, 1e-9)
+        << "d=" << d;
+  }
+}
+
+TEST(ResidualsMisc, TriangularTriangularSymmetryBound) {
+  // Same shape and length, no offset: by symmetry P(A > B) = 1/2.
+  const Residual t{ResidualShape::Triangular, 2.5};
+  EXPECT_NEAR(prob_first_exceeds(t, t, 0.0), 0.5, 1e-9);
+}
+
+// ---- analytic model options ----
+
+TEST(ModelOptions, ConvergesAcrossDampingSettings) {
+  ModelParams p;
+  p.lambda_site = 2.4;
+  p.p_ship = 0.4;
+  double reference = 0.0;
+  for (double damping : {0.2, 0.5, 0.8}) {
+    AnalyticModel::Options opts;
+    opts.damping = damping;
+    const ModelSolution s = AnalyticModel(opts).solve(p);
+    EXPECT_TRUE(s.converged) << "damping=" << damping;
+    if (reference == 0.0) {
+      reference = s.r_avg;
+    } else {
+      // The fixed point is unique: the damping setting must not change it.
+      EXPECT_NEAR(s.r_avg, reference, 1e-6 * reference);
+    }
+  }
+}
+
+TEST(ModelOptions, LooseToleranceConvergesFaster) {
+  ModelParams p;
+  p.lambda_site = 2.0;
+  AnalyticModel::Options loose;
+  loose.tolerance = 1e-4;
+  AnalyticModel::Options tight;
+  tight.tolerance = 1e-12;
+  EXPECT_LE(AnalyticModel(loose).solve(p).iterations,
+            AnalyticModel(tight).solve(p).iterations);
+}
+
+TEST(ModelParamsMisc, SingleSiteInvolvesOneSite) {
+  ModelParams p;
+  p.num_sites = 1;
+  EXPECT_DOUBLE_EQ(p.expected_involved_sites(), 1.0);
+}
+
+// ---- simulator / resource edges ----
+
+TEST(SimulatorMisc, SchedulingInThePastAborts) {
+  Simulator sim;
+  sim.schedule_at(5.0, [] {});
+  sim.run();
+  EXPECT_DEATH(sim.schedule_at(1.0, [] {}), "past");
+}
+
+TEST(ResourceMisc, ResetMidServiceKeepsBusySignal) {
+  Simulator sim;
+  FcfsResource cpu(sim, "cpu");
+  cpu.submit(4.0, [] {});
+  sim.run_until(2.0);
+  cpu.reset_stats();  // reset while the burst is still in service
+  sim.run_until(4.0);
+  // [2,4] is fully busy after the reset.
+  EXPECT_NEAR(cpu.utilization(), 1.0, 1e-12);
+  sim.run_until(8.0);
+  EXPECT_NEAR(cpu.utilization(), 2.0 / 6.0, 1e-12);
+}
+
+TEST(ResourceMisc, ManyZeroBurstsCompleteInOrder) {
+  Simulator sim;
+  FcfsResource cpu(sim, "cpu");
+  std::vector<int> order;
+  for (int i = 0; i < 20; ++i) {
+    cpu.submit(0.0, [&, i] { order.push_back(i); });
+  }
+  sim.run();
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_EQ(order[i], i);
+  }
+  EXPECT_DOUBLE_EQ(sim.now(), 0.0);
+}
+
+// ---- histogram quantile extremes ----
+
+TEST(HistogramMisc, QuantileExtremes) {
+  Histogram h(1.0, 10);
+  for (int i = 0; i < 100; ++i) {
+    h.add(4.5);
+  }
+  EXPECT_NEAR(h.quantile(0.0), 4.0, 1e-9);  // bin lower edge
+  EXPECT_NEAR(h.quantile(1.0), 5.0, 1e-9);  // bin upper edge
+  EXPECT_NEAR(h.quantile(0.5), 4.5, 1e-9);
+}
+
+TEST(HistogramMisc, AllOverflowQuantileIsUpperBound) {
+  Histogram h(1.0, 4);
+  h.add(100.0);
+  h.add(200.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.99), 4.0);  // reported as the histogram edge
+}
+
+TEST(SampleStatMisc, SelfMergeDoubles) {
+  SampleStat a;
+  a.add(1.0);
+  a.add(3.0);
+  SampleStat b = a;
+  a.merge(b);
+  EXPECT_EQ(a.count(), 4u);
+  EXPECT_DOUBLE_EQ(a.mean(), 2.0);
+  EXPECT_DOUBLE_EQ(a.sum(), 8.0);
+}
+
+}  // namespace
+}  // namespace hls

@@ -1,0 +1,171 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/random.hpp"
+
+namespace hls {
+namespace {
+
+TEST(SampleStat, EmptyIsZero) {
+  SampleStat s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+}
+
+TEST(SampleStat, SingleObservation) {
+  SampleStat s;
+  s.add(3.5);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.5);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 3.5);
+  EXPECT_DOUBLE_EQ(s.max(), 3.5);
+}
+
+TEST(SampleStat, KnownMeanVariance) {
+  SampleStat s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) {
+    s.add(x);
+  }
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  // Sample variance with n-1: sum of squared deviations = 32, / 7.
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(SampleStat, ResetClearsEverything) {
+  SampleStat s;
+  s.add(1.0);
+  s.add(2.0);
+  s.reset();
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+}
+
+TEST(SampleStat, MergeMatchesCombinedStream) {
+  Rng rng(21);
+  SampleStat all;
+  SampleStat a;
+  SampleStat b;
+  for (int i = 0; i < 5000; ++i) {
+    const double x = rng.uniform(-5, 17);
+    all.add(x);
+    (i % 3 == 0 ? a : b).add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-7);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(SampleStat, MergeWithEmpty) {
+  SampleStat a;
+  a.add(1.0);
+  SampleStat b;
+  a.merge(b);
+  EXPECT_EQ(a.count(), 1u);
+  b.merge(a);
+  EXPECT_EQ(b.count(), 1u);
+  EXPECT_DOUBLE_EQ(b.mean(), 1.0);
+}
+
+TEST(SampleStat, NumericallyStableForLargeStreams) {
+  SampleStat s;
+  // Values with a large common offset: naive sum-of-squares would lose the
+  // small variance; Welford must not.
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    s.add(1e9 + (i % 2 == 0 ? 0.5 : -0.5));
+  }
+  // Population variance 0.25 with the n/(n-1) sample correction.
+  EXPECT_NEAR(s.variance(), 0.25 * n / (n - 1), 1e-9);
+}
+
+TEST(TimeWeightedStat, ConstantSignal) {
+  TimeWeightedStat t;
+  t.set(0.0, 2.0);
+  EXPECT_DOUBLE_EQ(t.average(10.0), 2.0);
+}
+
+TEST(TimeWeightedStat, StepSignal) {
+  TimeWeightedStat t;
+  t.set(0.0, 0.0);
+  t.set(5.0, 10.0);
+  // 5s at 0, 5s at 10 -> average 5.
+  EXPECT_DOUBLE_EQ(t.average(10.0), 5.0);
+}
+
+TEST(TimeWeightedStat, MultipleSteps) {
+  TimeWeightedStat t;
+  t.set(0.0, 1.0);
+  t.set(1.0, 3.0);
+  t.set(3.0, 0.0);
+  // 1*1 + 2*3 + 1*0 over 4 seconds = 7/4.
+  EXPECT_DOUBLE_EQ(t.average(4.0), 1.75);
+}
+
+TEST(TimeWeightedStat, ResetDiscardsHistoryKeepsValue) {
+  TimeWeightedStat t;
+  t.set(0.0, 100.0);
+  t.set(10.0, 2.0);
+  t.reset(10.0);
+  EXPECT_DOUBLE_EQ(t.average(20.0), 2.0);
+}
+
+TEST(TimeWeightedStat, CurrentReflectsLastSet) {
+  TimeWeightedStat t;
+  t.set(0.0, 7.0);
+  EXPECT_DOUBLE_EQ(t.current(), 7.0);
+}
+
+TEST(Histogram, CountsAndBins) {
+  Histogram h(1.0, 10);
+  h.add(0.5);
+  h.add(1.5);
+  h.add(1.7);
+  h.add(25.0);  // overflow
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_EQ(h.bin_count(0), 1u);
+  EXPECT_EQ(h.bin_count(1), 2u);
+  EXPECT_EQ(h.overflow(), 1u);
+}
+
+TEST(Histogram, NegativeClampsToFirstBin) {
+  Histogram h(1.0, 4);
+  h.add(-3.0);
+  EXPECT_EQ(h.bin_count(0), 1u);
+}
+
+TEST(Histogram, QuantilesOfUniformStream) {
+  Histogram h(0.01, 200);
+  Rng rng(33);
+  for (int i = 0; i < 100000; ++i) {
+    h.add(rng.uniform(0.0, 2.0));
+  }
+  EXPECT_NEAR(h.quantile(0.5), 1.0, 0.03);
+  EXPECT_NEAR(h.quantile(0.9), 1.8, 0.03);
+  EXPECT_NEAR(h.quantile(0.1), 0.2, 0.03);
+}
+
+TEST(Histogram, ResetZeroes) {
+  Histogram h(1.0, 4);
+  h.add(1.0);
+  h.add(9.0);
+  h.reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.overflow(), 0u);
+  EXPECT_EQ(h.bin_count(1), 0u);
+}
+
+}  // namespace
+}  // namespace hls

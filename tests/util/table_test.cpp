@@ -1,0 +1,62 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace hls {
+namespace {
+
+TEST(FormatDouble, FixedPrecision) {
+  EXPECT_EQ(format_double(1.23456, 2), "1.23");
+  EXPECT_EQ(format_double(1.0, 3), "1.000");
+  EXPECT_EQ(format_double(-0.5, 1), "-0.5");
+}
+
+TEST(Table, AlignedOutputContainsHeadersAndCells) {
+  Table t({"name", "value"});
+  t.begin_row().add_cell("alpha").add_num(1.5, 2);
+  t.begin_row().add_cell("b").add_int(42);
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("1.50"), std::string::npos);
+  EXPECT_NE(out.find("42"), std::string::npos);
+}
+
+TEST(Table, CsvOutputHasSentinelPrefix) {
+  Table t({"a", "b"});
+  t.begin_row().add_int(1).add_int(2);
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str(), "csv,a,b\ncsv,1,2\n");
+}
+
+TEST(Table, RowAccessors) {
+  Table t({"x"});
+  EXPECT_EQ(t.num_rows(), 0u);
+  t.begin_row().add_cell("v");
+  ASSERT_EQ(t.num_rows(), 1u);
+  EXPECT_EQ(t.row(0).at(0), "v");
+}
+
+TEST(Table, ColumnsAlignAcrossRows) {
+  Table t({"h", "long_header"});
+  t.begin_row().add_cell("yyyyyyyyyy").add_cell("1");
+  t.begin_row().add_cell("z").add_cell("2");
+  std::ostringstream os;
+  t.print(os);
+  std::string line;
+  std::istringstream in(os.str());
+  std::vector<std::string> lines;
+  while (std::getline(in, line)) {
+    lines.push_back(line);
+  }
+  ASSERT_EQ(lines.size(), 4u);  // header, underline, 2 rows
+  EXPECT_EQ(lines[2].size(), lines[3].size());
+}
+
+}  // namespace
+}  // namespace hls

@@ -1,0 +1,104 @@
+#include "workload/arrivals.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace hls {
+namespace {
+
+TEST(ArrivalProcess, ConstantRateMatchesMean) {
+  Simulator sim;
+  ArrivalProcess proc(sim, Rng(1), 5.0);
+  int count = 0;
+  proc.start([&] { ++count; });
+  sim.run_until(2000.0);
+  proc.stop();
+  EXPECT_NEAR(static_cast<double>(count) / 2000.0, 5.0, 0.15);
+}
+
+TEST(ArrivalProcess, ZeroRateNeverFires) {
+  Simulator sim;
+  ArrivalProcess proc(sim, Rng(2), 0.0);
+  int count = 0;
+  proc.start([&] { ++count; });
+  sim.run_until(100.0);
+  EXPECT_EQ(count, 0);
+}
+
+TEST(ArrivalProcess, StopHaltsArrivals) {
+  Simulator sim;
+  ArrivalProcess proc(sim, Rng(3), 10.0);
+  int count = 0;
+  proc.start([&] { ++count; });
+  sim.run_until(10.0);
+  const int at_stop = count;
+  EXPECT_GT(at_stop, 0);
+  proc.stop();
+  sim.run_until(100.0);
+  EXPECT_EQ(count, at_stop);
+}
+
+TEST(ArrivalProcess, InterArrivalTimesAreExponential) {
+  Simulator sim;
+  ArrivalProcess proc(sim, Rng(4), 2.0);
+  std::vector<double> times;
+  proc.start([&] { times.push_back(sim.now()); });
+  sim.run_until(5000.0);
+  proc.stop();
+  ASSERT_GT(times.size(), 1000u);
+  double sum = 0.0;
+  double sum2 = 0.0;
+  for (std::size_t i = 1; i < times.size(); ++i) {
+    const double gap = times[i] - times[i - 1];
+    sum += gap;
+    sum2 += gap * gap;
+  }
+  const double n = static_cast<double>(times.size() - 1);
+  const double mean = sum / n;
+  const double var = sum2 / n - mean * mean;
+  EXPECT_NEAR(mean, 0.5, 0.02);
+  // Exponential: variance = mean^2, i.e. cv = 1.
+  EXPECT_NEAR(std::sqrt(var) / mean, 1.0, 0.05);
+}
+
+TEST(ArrivalProcess, TimeVaryingRateByThinning) {
+  Simulator sim;
+  // Rate 10/s in [0, 100), 1/s in [100, 200).
+  RateFunction rate = [](SimTime t) { return t < 100.0 ? 10.0 : 1.0; };
+  ArrivalProcess proc(sim, Rng(5), rate, 10.0);
+  int early = 0;
+  int late = 0;
+  proc.start([&] { (sim.now() < 100.0 ? early : late)++; });
+  sim.run_until(200.0);
+  proc.stop();
+  EXPECT_NEAR(early / 100.0, 10.0, 1.0);
+  EXPECT_NEAR(late / 100.0, 1.0, 0.4);
+}
+
+TEST(ArrivalProcess, GeneratedCounterMatches) {
+  Simulator sim;
+  ArrivalProcess proc(sim, Rng(6), 3.0);
+  int count = 0;
+  proc.start([&] { ++count; });
+  sim.run_until(100.0);
+  proc.stop();
+  EXPECT_EQ(proc.generated(), static_cast<std::uint64_t>(count));
+}
+
+TEST(ArrivalProcess, DeterministicForSameSeed) {
+  auto run_once = [] {
+    Simulator sim;
+    ArrivalProcess proc(sim, Rng(7), 4.0);
+    std::vector<double> times;
+    proc.start([&] { times.push_back(sim.now()); });
+    sim.run_until(50.0);
+    proc.stop();
+    return times;
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+}  // namespace
+}  // namespace hls

@@ -1,0 +1,146 @@
+#include "workload/txn_factory.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace hls {
+namespace {
+
+SystemConfig small_config() {
+  SystemConfig cfg;
+  cfg.num_sites = 4;
+  cfg.lockspace = 4000;
+  return cfg;
+}
+
+TEST(TxnFactory, IdsAreUniqueAndValid) {
+  const SystemConfig cfg = small_config();
+  TxnFactory factory(cfg, Rng(1));
+  std::set<TxnId> ids;
+  for (int i = 0; i < 1000; ++i) {
+    const Transaction txn = factory.make(i % cfg.num_sites, 0.0);
+    EXPECT_NE(txn.id, kInvalidTxn);
+    EXPECT_TRUE(ids.insert(txn.id).second);
+  }
+}
+
+TEST(TxnFactory, ShapeMatchesConfig) {
+  SystemConfig cfg = small_config();
+  cfg.db_calls_per_txn = 7;
+  TxnFactory factory(cfg, Rng(2));
+  const Transaction txn = factory.make(0, 5.0);
+  EXPECT_EQ(txn.locks.size(), 7u);
+  EXPECT_EQ(txn.call_io.size(), 7u);
+  EXPECT_DOUBLE_EQ(txn.arrival_time, 5.0);
+  EXPECT_EQ(txn.home_site, 0);
+  EXPECT_EQ(txn.run_count, 0);
+}
+
+TEST(TxnFactory, ClassALocksStayInHomePartition) {
+  const SystemConfig cfg = small_config();
+  TxnFactory factory(cfg, Rng(3));
+  const std::uint32_t part = cfg.partition_size();
+  for (int site = 0; site < cfg.num_sites; ++site) {
+    for (int i = 0; i < 50; ++i) {
+      const Transaction txn = factory.make_of_class(TxnClass::A, site, 0.0);
+      for (const LockNeed& need : txn.locks) {
+        EXPECT_GE(need.id, site * part);
+        EXPECT_LT(need.id, (site + 1) * part);
+      }
+    }
+  }
+}
+
+TEST(TxnFactory, ClassBLocksSpanLockSpace) {
+  const SystemConfig cfg = small_config();
+  TxnFactory factory(cfg, Rng(4));
+  std::set<int> owners;
+  for (int i = 0; i < 200; ++i) {
+    const Transaction txn = factory.make_of_class(TxnClass::B, 0, 0.0);
+    for (const LockNeed& need : txn.locks) {
+      EXPECT_LT(need.id, cfg.lockspace);
+      owners.insert(cfg.owner_site(need.id));
+    }
+  }
+  EXPECT_EQ(owners.size(), static_cast<std::size_t>(cfg.num_sites));
+}
+
+TEST(TxnFactory, ClassMixMatchesProbability) {
+  SystemConfig cfg = small_config();
+  cfg.prob_class_a = 0.75;
+  TxnFactory factory(cfg, Rng(5));
+  int class_a = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    class_a += factory.make(0, 0.0).cls == TxnClass::A ? 1 : 0;
+  }
+  EXPECT_NEAR(static_cast<double>(class_a) / n, 0.75, 0.01);
+}
+
+TEST(TxnFactory, WriteMixMatchesProbability) {
+  SystemConfig cfg = small_config();
+  cfg.prob_write_lock = 0.25;
+  TxnFactory factory(cfg, Rng(6));
+  int writes = 0;
+  int total = 0;
+  for (int i = 0; i < 5000; ++i) {
+    const Transaction txn = factory.make(0, 0.0);
+    for (const LockNeed& need : txn.locks) {
+      writes += need.mode == LockMode::Exclusive ? 1 : 0;
+      ++total;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(writes) / total, 0.25, 0.01);
+}
+
+TEST(TxnFactory, PureReadWorkloadHasNoWrites) {
+  SystemConfig cfg = small_config();
+  cfg.prob_write_lock = 0.0;
+  TxnFactory factory(cfg, Rng(7));
+  const Transaction txn = factory.make(0, 0.0);
+  EXPECT_FALSE(txn.writes_anything());
+}
+
+TEST(TxnFactory, DeterministicAcrossIdenticalFactories) {
+  const SystemConfig cfg = small_config();
+  TxnFactory a(cfg, Rng(8));
+  TxnFactory b(cfg, Rng(8));
+  for (int i = 0; i < 100; ++i) {
+    const Transaction ta = a.make(1, 0.0);
+    const Transaction tb = b.make(1, 0.0);
+    ASSERT_EQ(ta.cls, tb.cls);
+    ASSERT_EQ(ta.locks.size(), tb.locks.size());
+    for (std::size_t k = 0; k < ta.locks.size(); ++k) {
+      ASSERT_EQ(ta.locks[k].id, tb.locks[k].id);
+      ASSERT_EQ(ta.locks[k].mode, tb.locks[k].mode);
+    }
+  }
+}
+
+TEST(ConfigHelpers, OwnerSiteAndPartition) {
+  const SystemConfig cfg = small_config();  // 4 sites, 4000 locks
+  EXPECT_EQ(cfg.partition_size(), 1000u);
+  EXPECT_EQ(cfg.owner_site(0), 0);
+  EXPECT_EQ(cfg.owner_site(999), 0);
+  EXPECT_EQ(cfg.owner_site(1000), 1);
+  EXPECT_EQ(cfg.owner_site(3999), 3);
+}
+
+TEST(ConfigHelpers, RemainderLockIdsBelongToLastSite) {
+  SystemConfig cfg;
+  cfg.num_sites = 3;
+  cfg.lockspace = 10;  // partition 3, ids 9 is remainder
+  EXPECT_EQ(cfg.owner_site(9), 2);
+}
+
+TEST(ConfigHelpers, CpuSecondConversions) {
+  SystemConfig cfg;
+  cfg.local_mips = 1.0;
+  cfg.central_mips = 15.0;
+  EXPECT_DOUBLE_EQ(cfg.local_cpu_seconds(1e6), 1.0);
+  EXPECT_NEAR(cfg.central_cpu_seconds(1.5e6), 0.1, 1e-12);
+}
+
+}  // namespace
+}  // namespace hls
