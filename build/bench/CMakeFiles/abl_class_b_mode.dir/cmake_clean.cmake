@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_class_b_mode.dir/abl_class_b_mode.cpp.o"
+  "CMakeFiles/abl_class_b_mode.dir/abl_class_b_mode.cpp.o.d"
+  "abl_class_b_mode"
+  "abl_class_b_mode.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_class_b_mode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_deadlock_policy.dir/abl_deadlock_policy.cpp.o"
+  "CMakeFiles/abl_deadlock_policy.dir/abl_deadlock_policy.cpp.o.d"
+  "abl_deadlock_policy"
+  "abl_deadlock_policy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_deadlock_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

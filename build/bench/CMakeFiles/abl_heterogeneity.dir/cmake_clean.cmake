@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_heterogeneity.dir/abl_heterogeneity.cpp.o"
+  "CMakeFiles/abl_heterogeneity.dir/abl_heterogeneity.cpp.o.d"
+  "abl_heterogeneity"
+  "abl_heterogeneity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_heterogeneity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

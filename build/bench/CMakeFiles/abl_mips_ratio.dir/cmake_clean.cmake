@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_mips_ratio.dir/abl_mips_ratio.cpp.o"
+  "CMakeFiles/abl_mips_ratio.dir/abl_mips_ratio.cpp.o.d"
+  "abl_mips_ratio"
+  "abl_mips_ratio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_mips_ratio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

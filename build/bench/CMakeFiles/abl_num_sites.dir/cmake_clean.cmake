@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_num_sites.dir/abl_num_sites.cpp.o"
+  "CMakeFiles/abl_num_sites.dir/abl_num_sites.cpp.o.d"
+  "abl_num_sites"
+  "abl_num_sites.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_num_sites.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

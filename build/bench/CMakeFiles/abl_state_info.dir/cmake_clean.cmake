@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_state_info.dir/abl_state_info.cpp.o"
+  "CMakeFiles/abl_state_info.dir/abl_state_info.cpp.o.d"
+  "abl_state_info"
+  "abl_state_info.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_state_info.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_txn_length.dir/abl_txn_length.cpp.o"
+  "CMakeFiles/abl_txn_length.dir/abl_txn_length.cpp.o.d"
+  "abl_txn_length"
+  "abl_txn_length.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_txn_length.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

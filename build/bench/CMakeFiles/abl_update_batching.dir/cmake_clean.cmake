@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_update_batching.dir/abl_update_batching.cpp.o"
+  "CMakeFiles/abl_update_batching.dir/abl_update_batching.cpp.o.d"
+  "abl_update_batching"
+  "abl_update_batching.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_update_batching.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig_4_1_response_time.cpp" "bench/CMakeFiles/fig_4_1_response_time.dir/fig_4_1_response_time.cpp.o" "gcc" "bench/CMakeFiles/fig_4_1_response_time.dir/fig_4_1_response_time.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/hls_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/hls_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/hybrid/CMakeFiles/hls_hybrid.dir/DependInfo.cmake"
+  "/root/repo/build/src/routing/CMakeFiles/hls_routing.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/hls_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/hls_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/db/CMakeFiles/hls_db.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/hls_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hls_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/hls_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

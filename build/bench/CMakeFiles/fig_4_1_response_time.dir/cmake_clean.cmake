@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig_4_1_response_time.dir/fig_4_1_response_time.cpp.o"
+  "CMakeFiles/fig_4_1_response_time.dir/fig_4_1_response_time.cpp.o.d"
+  "fig_4_1_response_time"
+  "fig_4_1_response_time.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_4_1_response_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

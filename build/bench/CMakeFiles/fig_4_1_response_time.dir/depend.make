@@ -1,0 +1,2 @@
+# Empty dependencies file for fig_4_1_response_time.
+# This may be replaced when dependencies are built.

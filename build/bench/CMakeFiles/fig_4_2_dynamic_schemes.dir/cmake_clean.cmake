@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig_4_2_dynamic_schemes.dir/fig_4_2_dynamic_schemes.cpp.o"
+  "CMakeFiles/fig_4_2_dynamic_schemes.dir/fig_4_2_dynamic_schemes.cpp.o.d"
+  "fig_4_2_dynamic_schemes"
+  "fig_4_2_dynamic_schemes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_4_2_dynamic_schemes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig_4_2_dynamic_schemes.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig_4_3_ship_fraction.dir/fig_4_3_ship_fraction.cpp.o"
+  "CMakeFiles/fig_4_3_ship_fraction.dir/fig_4_3_ship_fraction.cpp.o.d"
+  "fig_4_3_ship_fraction"
+  "fig_4_3_ship_fraction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_4_3_ship_fraction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig_4_4_threshold_tuning.dir/fig_4_4_threshold_tuning.cpp.o"
+  "CMakeFiles/fig_4_4_threshold_tuning.dir/fig_4_4_threshold_tuning.cpp.o.d"
+  "fig_4_4_threshold_tuning"
+  "fig_4_4_threshold_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_4_4_threshold_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

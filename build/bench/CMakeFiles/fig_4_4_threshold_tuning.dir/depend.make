@@ -1,0 +1,2 @@
+# Empty dependencies file for fig_4_4_threshold_tuning.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig_4_6_ship_fraction_d05.dir/fig_4_6_ship_fraction_d05.cpp.o"
+  "CMakeFiles/fig_4_6_ship_fraction_d05.dir/fig_4_6_ship_fraction_d05.cpp.o.d"
+  "fig_4_6_ship_fraction_d05"
+  "fig_4_6_ship_fraction_d05.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_4_6_ship_fraction_d05.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig_4_6_ship_fraction_d05.
+# This may be replaced when dependencies are built.

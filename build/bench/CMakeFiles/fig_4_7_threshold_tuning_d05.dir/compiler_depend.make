@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig_4_7_threshold_tuning_d05.
+# This may be replaced when dependencies are built.

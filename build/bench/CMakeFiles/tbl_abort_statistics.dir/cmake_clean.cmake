@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tbl_abort_statistics.dir/tbl_abort_statistics.cpp.o"
+  "CMakeFiles/tbl_abort_statistics.dir/tbl_abort_statistics.cpp.o.d"
+  "tbl_abort_statistics"
+  "tbl_abort_statistics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tbl_abort_statistics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

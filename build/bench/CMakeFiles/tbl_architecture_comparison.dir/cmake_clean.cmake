@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tbl_architecture_comparison.dir/tbl_architecture_comparison.cpp.o"
+  "CMakeFiles/tbl_architecture_comparison.dir/tbl_architecture_comparison.cpp.o.d"
+  "tbl_architecture_comparison"
+  "tbl_architecture_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tbl_architecture_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tbl_capacity.dir/tbl_capacity.cpp.o"
+  "CMakeFiles/tbl_capacity.dir/tbl_capacity.cpp.o.d"
+  "tbl_capacity"
+  "tbl_capacity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tbl_capacity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

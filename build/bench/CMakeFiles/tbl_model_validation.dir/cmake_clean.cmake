@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tbl_model_validation.dir/tbl_model_validation.cpp.o"
+  "CMakeFiles/tbl_model_validation.dir/tbl_model_validation.cpp.o.d"
+  "tbl_model_validation"
+  "tbl_model_validation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tbl_model_validation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tbl_rt_distribution.dir/tbl_rt_distribution.cpp.o"
+  "CMakeFiles/tbl_rt_distribution.dir/tbl_rt_distribution.cpp.o.d"
+  "tbl_rt_distribution"
+  "tbl_rt_distribution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tbl_rt_distribution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/banking_daily_cycle.dir/banking_daily_cycle.cpp.o"
+  "CMakeFiles/banking_daily_cycle.dir/banking_daily_cycle.cpp.o.d"
+  "banking_daily_cycle"
+  "banking_daily_cycle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/banking_daily_cycle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

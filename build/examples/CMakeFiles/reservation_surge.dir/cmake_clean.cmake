@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reservation_surge.dir/reservation_surge.cpp.o"
+  "CMakeFiles/reservation_surge.dir/reservation_surge.cpp.o.d"
+  "reservation_surge"
+  "reservation_surge.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reservation_surge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baseline/centralized_system.cpp" "src/baseline/CMakeFiles/hls_baseline.dir/centralized_system.cpp.o" "gcc" "src/baseline/CMakeFiles/hls_baseline.dir/centralized_system.cpp.o.d"
+  "/root/repo/src/baseline/distributed_system.cpp" "src/baseline/CMakeFiles/hls_baseline.dir/distributed_system.cpp.o" "gcc" "src/baseline/CMakeFiles/hls_baseline.dir/distributed_system.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workload/CMakeFiles/hls_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/db/CMakeFiles/hls_db.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hls_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/hls_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hls_baseline.dir/centralized_system.cpp.o"
+  "CMakeFiles/hls_baseline.dir/centralized_system.cpp.o.d"
+  "CMakeFiles/hls_baseline.dir/distributed_system.cpp.o"
+  "CMakeFiles/hls_baseline.dir/distributed_system.cpp.o.d"
+  "libhls_baseline.a"
+  "libhls_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hls_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

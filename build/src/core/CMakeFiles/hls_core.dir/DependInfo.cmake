@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/config_io.cpp" "src/core/CMakeFiles/hls_core.dir/config_io.cpp.o" "gcc" "src/core/CMakeFiles/hls_core.dir/config_io.cpp.o.d"
+  "/root/repo/src/core/driver.cpp" "src/core/CMakeFiles/hls_core.dir/driver.cpp.o" "gcc" "src/core/CMakeFiles/hls_core.dir/driver.cpp.o.d"
+  "/root/repo/src/core/experiment.cpp" "src/core/CMakeFiles/hls_core.dir/experiment.cpp.o" "gcc" "src/core/CMakeFiles/hls_core.dir/experiment.cpp.o.d"
+  "/root/repo/src/core/replication.cpp" "src/core/CMakeFiles/hls_core.dir/replication.cpp.o" "gcc" "src/core/CMakeFiles/hls_core.dir/replication.cpp.o.d"
+  "/root/repo/src/core/trace.cpp" "src/core/CMakeFiles/hls_core.dir/trace.cpp.o" "gcc" "src/core/CMakeFiles/hls_core.dir/trace.cpp.o.d"
+  "/root/repo/src/core/trace_replay.cpp" "src/core/CMakeFiles/hls_core.dir/trace_replay.cpp.o" "gcc" "src/core/CMakeFiles/hls_core.dir/trace_replay.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hybrid/CMakeFiles/hls_hybrid.dir/DependInfo.cmake"
+  "/root/repo/build/src/routing/CMakeFiles/hls_routing.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/hls_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/hls_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/hls_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/db/CMakeFiles/hls_db.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/hls_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hls_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

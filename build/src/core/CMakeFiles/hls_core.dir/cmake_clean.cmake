@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hls_core.dir/config_io.cpp.o"
+  "CMakeFiles/hls_core.dir/config_io.cpp.o.d"
+  "CMakeFiles/hls_core.dir/driver.cpp.o"
+  "CMakeFiles/hls_core.dir/driver.cpp.o.d"
+  "CMakeFiles/hls_core.dir/experiment.cpp.o"
+  "CMakeFiles/hls_core.dir/experiment.cpp.o.d"
+  "CMakeFiles/hls_core.dir/replication.cpp.o"
+  "CMakeFiles/hls_core.dir/replication.cpp.o.d"
+  "CMakeFiles/hls_core.dir/trace.cpp.o"
+  "CMakeFiles/hls_core.dir/trace.cpp.o.d"
+  "CMakeFiles/hls_core.dir/trace_replay.cpp.o"
+  "CMakeFiles/hls_core.dir/trace_replay.cpp.o.d"
+  "libhls_core.a"
+  "libhls_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hls_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hls_db.dir/lock_manager.cpp.o"
+  "CMakeFiles/hls_db.dir/lock_manager.cpp.o.d"
+  "libhls_db.a"
+  "libhls_db.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hls_db.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hls_hybrid.dir/hybrid_system.cpp.o"
+  "CMakeFiles/hls_hybrid.dir/hybrid_system.cpp.o.d"
+  "libhls_hybrid.a"
+  "libhls_hybrid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hls_hybrid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/model/analytic_model.cpp" "src/model/CMakeFiles/hls_model.dir/analytic_model.cpp.o" "gcc" "src/model/CMakeFiles/hls_model.dir/analytic_model.cpp.o.d"
+  "/root/repo/src/model/capacity.cpp" "src/model/CMakeFiles/hls_model.dir/capacity.cpp.o" "gcc" "src/model/CMakeFiles/hls_model.dir/capacity.cpp.o.d"
+  "/root/repo/src/model/dynamic_estimator.cpp" "src/model/CMakeFiles/hls_model.dir/dynamic_estimator.cpp.o" "gcc" "src/model/CMakeFiles/hls_model.dir/dynamic_estimator.cpp.o.d"
+  "/root/repo/src/model/params.cpp" "src/model/CMakeFiles/hls_model.dir/params.cpp.o" "gcc" "src/model/CMakeFiles/hls_model.dir/params.cpp.o.d"
+  "/root/repo/src/model/residuals.cpp" "src/model/CMakeFiles/hls_model.dir/residuals.cpp.o" "gcc" "src/model/CMakeFiles/hls_model.dir/residuals.cpp.o.d"
+  "/root/repo/src/model/static_optimizer.cpp" "src/model/CMakeFiles/hls_model.dir/static_optimizer.cpp.o" "gcc" "src/model/CMakeFiles/hls_model.dir/static_optimizer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/db/CMakeFiles/hls_db.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/hls_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hls_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hls_model.dir/analytic_model.cpp.o"
+  "CMakeFiles/hls_model.dir/analytic_model.cpp.o.d"
+  "CMakeFiles/hls_model.dir/capacity.cpp.o"
+  "CMakeFiles/hls_model.dir/capacity.cpp.o.d"
+  "CMakeFiles/hls_model.dir/dynamic_estimator.cpp.o"
+  "CMakeFiles/hls_model.dir/dynamic_estimator.cpp.o.d"
+  "CMakeFiles/hls_model.dir/params.cpp.o"
+  "CMakeFiles/hls_model.dir/params.cpp.o.d"
+  "CMakeFiles/hls_model.dir/residuals.cpp.o"
+  "CMakeFiles/hls_model.dir/residuals.cpp.o.d"
+  "CMakeFiles/hls_model.dir/static_optimizer.cpp.o"
+  "CMakeFiles/hls_model.dir/static_optimizer.cpp.o.d"
+  "libhls_model.a"
+  "libhls_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hls_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

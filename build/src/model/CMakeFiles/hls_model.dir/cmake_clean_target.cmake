@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libhls_model.a"
+)

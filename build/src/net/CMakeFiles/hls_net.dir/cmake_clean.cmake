@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hls_net.dir/link.cpp.o"
+  "CMakeFiles/hls_net.dir/link.cpp.o.d"
+  "libhls_net.a"
+  "libhls_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hls_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/routing/basic_strategies.cpp" "src/routing/CMakeFiles/hls_routing.dir/basic_strategies.cpp.o" "gcc" "src/routing/CMakeFiles/hls_routing.dir/basic_strategies.cpp.o.d"
+  "/root/repo/src/routing/factory.cpp" "src/routing/CMakeFiles/hls_routing.dir/factory.cpp.o" "gcc" "src/routing/CMakeFiles/hls_routing.dir/factory.cpp.o.d"
+  "/root/repo/src/routing/heuristics.cpp" "src/routing/CMakeFiles/hls_routing.dir/heuristics.cpp.o" "gcc" "src/routing/CMakeFiles/hls_routing.dir/heuristics.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/model/CMakeFiles/hls_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/db/CMakeFiles/hls_db.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/hls_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hls_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hls_routing.dir/basic_strategies.cpp.o"
+  "CMakeFiles/hls_routing.dir/basic_strategies.cpp.o.d"
+  "CMakeFiles/hls_routing.dir/factory.cpp.o"
+  "CMakeFiles/hls_routing.dir/factory.cpp.o.d"
+  "CMakeFiles/hls_routing.dir/heuristics.cpp.o"
+  "CMakeFiles/hls_routing.dir/heuristics.cpp.o.d"
+  "libhls_routing.a"
+  "libhls_routing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hls_routing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

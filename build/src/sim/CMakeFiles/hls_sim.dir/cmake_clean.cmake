@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hls_sim.dir/event_queue.cpp.o"
+  "CMakeFiles/hls_sim.dir/event_queue.cpp.o.d"
+  "CMakeFiles/hls_sim.dir/resource.cpp.o"
+  "CMakeFiles/hls_sim.dir/resource.cpp.o.d"
+  "CMakeFiles/hls_sim.dir/simulator.cpp.o"
+  "CMakeFiles/hls_sim.dir/simulator.cpp.o.d"
+  "libhls_sim.a"
+  "libhls_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hls_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hls_util.dir/logging.cpp.o"
+  "CMakeFiles/hls_util.dir/logging.cpp.o.d"
+  "CMakeFiles/hls_util.dir/random.cpp.o"
+  "CMakeFiles/hls_util.dir/random.cpp.o.d"
+  "CMakeFiles/hls_util.dir/stats.cpp.o"
+  "CMakeFiles/hls_util.dir/stats.cpp.o.d"
+  "CMakeFiles/hls_util.dir/table.cpp.o"
+  "CMakeFiles/hls_util.dir/table.cpp.o.d"
+  "libhls_util.a"
+  "libhls_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hls_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

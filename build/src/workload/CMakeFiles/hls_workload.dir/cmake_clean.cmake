@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hls_workload.dir/arrivals.cpp.o"
+  "CMakeFiles/hls_workload.dir/arrivals.cpp.o.d"
+  "CMakeFiles/hls_workload.dir/txn_factory.cpp.o"
+  "CMakeFiles/hls_workload.dir/txn_factory.cpp.o.d"
+  "libhls_workload.a"
+  "libhls_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hls_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analytic_model_test.dir/model/analytic_model_test.cpp.o"
+  "CMakeFiles/analytic_model_test.dir/model/analytic_model_test.cpp.o.d"
+  "analytic_model_test"
+  "analytic_model_test.pdb"
+  "analytic_model_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analytic_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

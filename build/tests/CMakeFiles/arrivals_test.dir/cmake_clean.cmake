@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/arrivals_test.dir/workload/arrivals_test.cpp.o"
+  "CMakeFiles/arrivals_test.dir/workload/arrivals_test.cpp.o.d"
+  "arrivals_test"
+  "arrivals_test.pdb"
+  "arrivals_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/arrivals_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynamic_estimator_test.dir/model/dynamic_estimator_test.cpp.o"
+  "CMakeFiles/dynamic_estimator_test.dir/model/dynamic_estimator_test.cpp.o.d"
+  "dynamic_estimator_test"
+  "dynamic_estimator_test.pdb"
+  "dynamic_estimator_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynamic_estimator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

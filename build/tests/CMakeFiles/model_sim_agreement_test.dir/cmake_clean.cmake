@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/model_sim_agreement_test.dir/model/model_sim_agreement_test.cpp.o"
+  "CMakeFiles/model_sim_agreement_test.dir/model/model_sim_agreement_test.cpp.o.d"
+  "model_sim_agreement_test"
+  "model_sim_agreement_test.pdb"
+  "model_sim_agreement_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/model_sim_agreement_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/residuals_test.dir/model/residuals_test.cpp.o"
+  "CMakeFiles/residuals_test.dir/model/residuals_test.cpp.o.d"
+  "residuals_test"
+  "residuals_test.pdb"
+  "residuals_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/residuals_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

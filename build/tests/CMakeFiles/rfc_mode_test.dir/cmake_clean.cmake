@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rfc_mode_test.dir/hybrid/rfc_mode_test.cpp.o"
+  "CMakeFiles/rfc_mode_test.dir/hybrid/rfc_mode_test.cpp.o.d"
+  "rfc_mode_test"
+  "rfc_mode_test.pdb"
+  "rfc_mode_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rfc_mode_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

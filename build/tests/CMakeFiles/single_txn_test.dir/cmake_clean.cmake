@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/single_txn_test.dir/hybrid/single_txn_test.cpp.o"
+  "CMakeFiles/single_txn_test.dir/hybrid/single_txn_test.cpp.o.d"
+  "single_txn_test"
+  "single_txn_test.pdb"
+  "single_txn_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/single_txn_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

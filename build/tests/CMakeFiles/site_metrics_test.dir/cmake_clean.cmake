@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/site_metrics_test.dir/hybrid/site_metrics_test.cpp.o"
+  "CMakeFiles/site_metrics_test.dir/hybrid/site_metrics_test.cpp.o.d"
+  "site_metrics_test"
+  "site_metrics_test.pdb"
+  "site_metrics_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/site_metrics_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

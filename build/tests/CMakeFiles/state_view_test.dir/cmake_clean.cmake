@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/state_view_test.dir/hybrid/state_view_test.cpp.o"
+  "CMakeFiles/state_view_test.dir/hybrid/state_view_test.cpp.o.d"
+  "state_view_test"
+  "state_view_test.pdb"
+  "state_view_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/state_view_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/static_optimizer_test.dir/model/static_optimizer_test.cpp.o"
+  "CMakeFiles/static_optimizer_test.dir/model/static_optimizer_test.cpp.o.d"
+  "static_optimizer_test"
+  "static_optimizer_test.pdb"
+  "static_optimizer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/static_optimizer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

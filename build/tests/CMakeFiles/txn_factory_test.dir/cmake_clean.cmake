@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/txn_factory_test.dir/workload/txn_factory_test.cpp.o"
+  "CMakeFiles/txn_factory_test.dir/workload/txn_factory_test.cpp.o.d"
+  "txn_factory_test"
+  "txn_factory_test.pdb"
+  "txn_factory_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/txn_factory_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
