@@ -18,28 +18,45 @@ int main() {
       "calls pay one WAN round trip per DB call",
       base, opts);
 
-  Table table({"total_tps", "db_calls", "rt_B_ship", "rt_B_rfc",
-               "rt_all_ship", "rt_all_rfc"});
+  struct Point {
+    double tps;
+    int calls;
+  };
+  std::vector<Point> points;
+  std::vector<SimJob> jobs;  // per point: {ship, rfc}
   for (double tps : {8.0, 16.0}) {
     for (int calls : {2, 5, 10}) {
-      SystemConfig ship = base;
-      ship.arrival_rate_per_site = tps / ship.num_sites;
-      ship.db_calls_per_txn = calls;
-      SystemConfig rfc = ship;
-      rfc.class_b_mode = ClassBMode::RemoteCalls;
-      const RunResult rs =
-          run_simulation(ship, {StrategyKind::MinAverageNsys, 0.0}, opts);
-      const RunResult rr =
-          run_simulation(rfc, {StrategyKind::MinAverageNsys, 0.0}, opts);
-      table.begin_row()
-          .add_num(tps, 0)
-          .add_int(calls)
-          .add_num(rs.metrics.rt_class_b.mean(), 3)
-          .add_num(rr.metrics.rt_class_b.mean(), 3)
-          .add_num(rs.metrics.rt_all.mean(), 3)
-          .add_num(rr.metrics.rt_all.mean(), 3);
-      std::fprintf(stderr, "  tps=%g calls=%d done\n", tps, calls);
+      SimJob ship;
+      ship.config = base;
+      ship.config.arrival_rate_per_site = tps / base.num_sites;
+      ship.config.db_calls_per_txn = calls;
+      ship.spec = {StrategyKind::MinAverageNsys, 0.0};
+      SimJob rfc = ship;
+      rfc.config.class_b_mode = ClassBMode::RemoteCalls;
+      jobs.push_back(std::move(ship));
+      jobs.push_back(std::move(rfc));
+      points.push_back({tps, calls});
     }
+  }
+  const auto results = run_simulation_batch(
+      jobs, opts, [&](std::size_t i, const RunResult&) {
+        std::fprintf(stderr, "  tps=%g calls=%d (%s) done\n",
+                     points[i / 2].tps, points[i / 2].calls,
+                     i % 2 == 0 ? "ship" : "rfc");
+      });
+
+  Table table({"total_tps", "db_calls", "rt_B_ship", "rt_B_rfc",
+               "rt_all_ship", "rt_all_rfc"});
+  for (std::size_t p = 0; p < points.size(); ++p) {
+    const RunResult& rs = results[p * 2];
+    const RunResult& rr = results[p * 2 + 1];
+    table.begin_row()
+        .add_num(points[p].tps, 0)
+        .add_int(points[p].calls)
+        .add_num(rs.metrics.rt_class_b.mean(), 3)
+        .add_num(rr.metrics.rt_class_b.mean(), 3)
+        .add_num(rs.metrics.rt_all.mean(), 3)
+        .add_num(rr.metrics.rt_all.mean(), 3);
   }
   bench::emit(table);
   return 0;

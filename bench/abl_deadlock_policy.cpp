@@ -29,31 +29,41 @@ int main() {
       {"hot", 2000, 0.7, 20.0},
   };
 
-  Table table({"scenario", "policy", "rt_avg", "deadlock_aborts",
-               "runs_per_txn", "tput"});
+  std::vector<SimJob> jobs;
+  std::vector<std::pair<const char*, const char*>> row_labels;
   for (const Scenario& sc : scenarios) {
     for (DeadlockVictim policy :
          {DeadlockVictim::Requester, DeadlockVictim::Youngest}) {
-      SystemConfig cfg = base;
-      cfg.lockspace = sc.lockspace;
-      cfg.prob_write_lock = sc.prob_write;
-      cfg.arrival_rate_per_site = sc.tps / cfg.num_sites;
-      cfg.deadlock_victim = policy;
-      const RunResult r =
-          run_simulation(cfg, {StrategyKind::MinAverageNsys, 0.0}, opts);
-      const Metrics& m = r.metrics;
-      table.begin_row()
-          .add_cell(sc.name)
-          .add_cell(policy == DeadlockVictim::Requester ? "requester"
-                                                        : "youngest")
-          .add_num(m.rt_all.mean(), 3)
-          .add_int(static_cast<long long>(
-              m.aborts[static_cast<int>(AbortCause::Deadlock)]))
-          .add_num(m.runs_per_txn(), 4)
-          .add_num(m.throughput(), 2);
-      std::fprintf(stderr, "  %s/%s done\n", sc.name,
-                   policy == DeadlockVictim::Requester ? "requester" : "youngest");
+      SimJob job;
+      job.config = base;
+      job.config.lockspace = sc.lockspace;
+      job.config.prob_write_lock = sc.prob_write;
+      job.config.arrival_rate_per_site = sc.tps / base.num_sites;
+      job.config.deadlock_victim = policy;
+      job.spec = {StrategyKind::MinAverageNsys, 0.0};
+      jobs.push_back(std::move(job));
+      row_labels.emplace_back(
+          sc.name, policy == DeadlockVictim::Requester ? "requester" : "youngest");
     }
+  }
+  const auto results = run_simulation_batch(
+      jobs, opts, [&](std::size_t i, const RunResult&) {
+        std::fprintf(stderr, "  %s/%s done\n", row_labels[i].first,
+                     row_labels[i].second);
+      });
+
+  Table table({"scenario", "policy", "rt_avg", "deadlock_aborts",
+               "runs_per_txn", "tput"});
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    const Metrics& m = results[i].metrics;
+    table.begin_row()
+        .add_cell(row_labels[i].first)
+        .add_cell(row_labels[i].second)
+        .add_num(m.rt_all.mean(), 3)
+        .add_int(static_cast<long long>(
+            m.aborts[static_cast<int>(AbortCause::Deadlock)]))
+        .add_num(m.runs_per_txn(), 4)
+        .add_num(m.throughput(), 2);
   }
   bench::emit(table);
   return 0;

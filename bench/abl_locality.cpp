@@ -16,28 +16,42 @@ int main() {
   bench::banner("Ablation — class A (local) transaction fraction",
                 "load sharing matters most when locality is high", base, opts);
 
+  const std::vector<double> p_locs{0.55, 0.65, 0.75, 0.85, 0.95};
+  const std::vector<StrategyKind> kinds{StrategyKind::NoLoadSharing,
+                                        StrategyKind::StaticOptimal,
+                                        StrategyKind::MinAverageNsys};
+  std::vector<SimJob> jobs;
+  for (double p_loc : p_locs) {
+    for (StrategyKind kind : kinds) {
+      SimJob job;
+      job.config = base;
+      job.config.prob_class_a = p_loc;
+      job.spec = {kind, 0.0};
+      jobs.push_back(std::move(job));
+    }
+  }
+  const auto results = run_simulation_batch(
+      jobs, opts, [&](std::size_t i, const RunResult& r) {
+        std::fprintf(stderr, "  p_loc=%.2f %s done\n",
+                     jobs[i].config.prob_class_a, r.strategy_name.c_str());
+      });
+
   Table table({"p_loc", "rt_noLS", "rt_static", "p_ship_static", "rt_dynamic",
                "ship_dynamic", "dyn_gain_vs_noLS_%"});
-  for (double p_loc : {0.55, 0.65, 0.75, 0.85, 0.95}) {
-    SystemConfig cfg = base;
-    cfg.prob_class_a = p_loc;
-    const RunResult none =
-        run_simulation(cfg, {StrategyKind::NoLoadSharing, 0.0}, opts);
-    const RunResult stat =
-        run_simulation(cfg, {StrategyKind::StaticOptimal, 0.0}, opts);
-    const RunResult dyn =
-        run_simulation(cfg, {StrategyKind::MinAverageNsys, 0.0}, opts);
+  for (std::size_t r = 0; r < p_locs.size(); ++r) {
+    const RunResult& none = results[r * 3];
+    const RunResult& stat = results[r * 3 + 1];
+    const RunResult& dyn = results[r * 3 + 2];
     const double gain =
         100.0 * (none.metrics.rt_all.mean() / dyn.metrics.rt_all.mean() - 1.0);
     table.begin_row()
-        .add_num(p_loc, 2)
+        .add_num(p_locs[r], 2)
         .add_num(none.metrics.rt_all.mean(), 3)
         .add_num(stat.metrics.rt_all.mean(), 3)
         .add_num(stat.static_p_ship, 3)
         .add_num(dyn.metrics.rt_all.mean(), 3)
         .add_num(dyn.metrics.ship_fraction(), 3)
         .add_num(gain, 1);
-    std::fprintf(stderr, "  p_loc=%.2f done\n", p_loc);
   }
   bench::emit(table);
   return 0;

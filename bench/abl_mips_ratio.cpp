@@ -20,33 +20,48 @@ int main() {
                 base, opts);
 
   const std::vector<double> thresholds{0.2, 0.1, 0.0, -0.1, -0.2, -0.3};
-  Table table({"central_mips", "best_threshold", "rt_at_best_threshold",
-               "rt_dynamic", "ship_dynamic", "rt_noLS"});
-  for (double mips : {5.0, 10.0, 15.0, 25.0}) {
+  const std::vector<double> mips_grid{5.0, 10.0, 15.0, 25.0};
+  // Per mips point: all thresholds, then the dynamic and no-LS references —
+  // one flat batch; the best threshold is selected after the fan-out.
+  const std::size_t per_mips = thresholds.size() + 2;
+  std::vector<SimJob> jobs;
+  for (double mips : mips_grid) {
     SystemConfig cfg = base;
     cfg.central_mips = mips;
+    for (double t : thresholds) {
+      jobs.push_back({cfg, {StrategyKind::UtilThreshold, t}});
+    }
+    jobs.push_back({cfg, {StrategyKind::MinAverageNsys, 0.0}});
+    jobs.push_back({cfg, {StrategyKind::NoLoadSharing, 0.0}});
+  }
+  const auto results = run_simulation_batch(
+      jobs, opts, [&](std::size_t i, const RunResult& r) {
+        std::fprintf(stderr, "  central_mips=%.0f %s done\n",
+                     jobs[i].config.central_mips, r.strategy_name.c_str());
+      });
+
+  Table table({"central_mips", "best_threshold", "rt_at_best_threshold",
+               "rt_dynamic", "ship_dynamic", "rt_noLS"});
+  for (std::size_t m = 0; m < mips_grid.size(); ++m) {
+    const std::size_t base_index = m * per_mips;
     double best_threshold = thresholds.front();
     double best_rt = 1e18;
-    for (double t : thresholds) {
-      const RunResult r =
-          run_simulation(cfg, {StrategyKind::UtilThreshold, t}, opts);
-      if (r.metrics.rt_all.mean() < best_rt) {
-        best_rt = r.metrics.rt_all.mean();
-        best_threshold = t;
+    for (std::size_t t = 0; t < thresholds.size(); ++t) {
+      const double rt = results[base_index + t].metrics.rt_all.mean();
+      if (rt < best_rt) {
+        best_rt = rt;
+        best_threshold = thresholds[t];
       }
     }
-    const RunResult dyn =
-        run_simulation(cfg, {StrategyKind::MinAverageNsys, 0.0}, opts);
-    const RunResult none =
-        run_simulation(cfg, {StrategyKind::NoLoadSharing, 0.0}, opts);
+    const RunResult& dyn = results[base_index + thresholds.size()];
+    const RunResult& none = results[base_index + thresholds.size() + 1];
     table.begin_row()
-        .add_num(mips, 0)
+        .add_num(mips_grid[m], 0)
         .add_num(best_threshold, 1)
         .add_num(best_rt, 3)
         .add_num(dyn.metrics.rt_all.mean(), 3)
         .add_num(dyn.metrics.ship_fraction(), 3)
         .add_num(none.metrics.rt_all.mean(), 3);
-    std::fprintf(stderr, "  central_mips=%.0f done\n", mips);
   }
   bench::emit(table);
   return 0;

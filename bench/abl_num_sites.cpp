@@ -19,27 +19,40 @@ int main() {
   constexpr double kTotalTps = 24.0;
   constexpr double kAggregateLocalMips = 10.0;
 
+  const std::vector<int> site_counts{2, 5, 10, 20};
+  std::vector<SimJob> jobs;
+  for (int sites : site_counts) {
+    for (StrategyKind kind :
+         {StrategyKind::NoLoadSharing, StrategyKind::MinAverageNsys}) {
+      SimJob job;
+      job.config = base;
+      job.config.num_sites = sites;
+      job.config.local_mips = kAggregateLocalMips / sites;
+      job.config.arrival_rate_per_site = kTotalTps / sites;
+      job.spec = {kind, 0.0};
+      jobs.push_back(std::move(job));
+    }
+  }
+  const auto results = run_simulation_batch(
+      jobs, opts, [&](std::size_t i, const RunResult& r) {
+        std::fprintf(stderr, "  sites=%d %s done\n", jobs[i].config.num_sites,
+                     r.strategy_name.c_str());
+      });
+
   Table table({"num_sites", "site_mips", "rt_noLS", "rt_dynamic",
                "ship_dynamic", "dyn_gain_%"});
-  for (int sites : {2, 5, 10, 20}) {
-    SystemConfig cfg = base;
-    cfg.num_sites = sites;
-    cfg.local_mips = kAggregateLocalMips / sites;
-    cfg.arrival_rate_per_site = kTotalTps / sites;
-    const RunResult none =
-        run_simulation(cfg, {StrategyKind::NoLoadSharing, 0.0}, opts);
-    const RunResult dyn =
-        run_simulation(cfg, {StrategyKind::MinAverageNsys, 0.0}, opts);
+  for (std::size_t r = 0; r < site_counts.size(); ++r) {
+    const RunResult& none = results[r * 2];
+    const RunResult& dyn = results[r * 2 + 1];
     const double gain =
         100.0 * (none.metrics.rt_all.mean() / dyn.metrics.rt_all.mean() - 1.0);
     table.begin_row()
-        .add_int(sites)
-        .add_num(cfg.local_mips, 2)
+        .add_int(site_counts[r])
+        .add_num(kAggregateLocalMips / site_counts[r], 2)
         .add_num(none.metrics.rt_all.mean(), 3)
         .add_num(dyn.metrics.rt_all.mean(), 3)
         .add_num(dyn.metrics.ship_fraction(), 3)
         .add_num(gain, 1);
-    std::fprintf(stderr, "  sites=%d done\n", sites);
   }
   bench::emit(table);
   return 0;

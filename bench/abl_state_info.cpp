@@ -26,16 +26,34 @@ int main() {
       {{StrategyKind::MinAverageNsys, 0.0}, "min-average-nsys"},
   };
 
-  Table table({"strategy", "offered_tps", "rt_delayed", "rt_ideal",
-               "penalty_%", "ship_delayed", "ship_ideal"});
+  std::vector<SimJob> jobs;  // (strategy, rate) x {delayed, ideal}
   for (const auto& [spec, label] : strategies) {
     for (double rate : rates) {
-      SystemConfig delayed = cfg;
-      delayed.arrival_rate_per_site = rate / cfg.num_sites;
-      SystemConfig ideal = delayed;
-      ideal.ideal_state_info = true;
-      const RunResult rd = run_simulation(delayed, spec, opts);
-      const RunResult ri = run_simulation(ideal, spec, opts);
+      SimJob delayed;
+      delayed.config = cfg;
+      delayed.config.arrival_rate_per_site = rate / cfg.num_sites;
+      delayed.spec = spec;
+      SimJob ideal = delayed;
+      ideal.config.ideal_state_info = true;
+      jobs.push_back(std::move(delayed));
+      jobs.push_back(std::move(ideal));
+    }
+  }
+  const auto results = run_simulation_batch(
+      jobs, opts, [&](std::size_t i, const RunResult& r) {
+        std::fprintf(stderr, "  [%s] %g tps (%s) done\n",
+                     r.strategy_name.c_str(),
+                     jobs[i].config.arrival_rate_per_site * cfg.num_sites,
+                     jobs[i].config.ideal_state_info ? "ideal" : "delayed");
+      });
+
+  Table table({"strategy", "offered_tps", "rt_delayed", "rt_ideal",
+               "penalty_%", "ship_delayed", "ship_ideal"});
+  std::size_t index = 0;
+  for (const auto& [spec, label] : strategies) {
+    for (double rate : rates) {
+      const RunResult& rd = results[index++];
+      const RunResult& ri = results[index++];
       const double penalty =
           100.0 * (rd.metrics.rt_all.mean() / ri.metrics.rt_all.mean() - 1.0);
       table.begin_row()
@@ -46,7 +64,6 @@ int main() {
           .add_num(penalty, 1)
           .add_num(rd.metrics.ship_fraction(), 3)
           .add_num(ri.metrics.ship_fraction(), 3);
-      std::fprintf(stderr, "  [%s] %g tps done\n", label.c_str(), rate);
     }
   }
   bench::emit(table);

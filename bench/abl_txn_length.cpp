@@ -17,26 +17,37 @@ int main() {
                 "keeps its edge",
                 base, opts);
 
-  Table table({"lengths", "strategy", "rt_avg", "p99", "runs_per_txn",
-               "ship_frac"});
+  std::vector<SimJob> jobs;
   for (bool geometric : {false, true}) {
     for (StrategyKind kind :
          {StrategyKind::NoLoadSharing, StrategyKind::StaticOptimal,
           StrategyKind::MinAverageNsys}) {
-      SystemConfig cfg = base;
-      cfg.geometric_call_count = geometric;
-      const RunResult r = run_simulation(cfg, {kind, 0.0}, opts);
-      const Metrics& m = r.metrics;
-      table.begin_row()
-          .add_cell(geometric ? "geometric" : "fixed")
-          .add_cell(r.strategy_name)
-          .add_num(m.rt_all.mean(), 3)
-          .add_num(m.rt_histogram.quantile(0.99), 2)
-          .add_num(m.runs_per_txn(), 4)
-          .add_num(m.ship_fraction(), 3);
-      std::fprintf(stderr, "  %s/%s done\n", geometric ? "geo" : "fixed",
-                   r.strategy_name.c_str());
+      SimJob job;
+      job.config = base;
+      job.config.geometric_call_count = geometric;
+      job.spec = {kind, 0.0};
+      jobs.push_back(std::move(job));
     }
+  }
+  const auto results = run_simulation_batch(
+      jobs, opts, [&](std::size_t i, const RunResult& r) {
+        std::fprintf(stderr, "  %s/%s done\n",
+                     jobs[i].config.geometric_call_count ? "geo" : "fixed",
+                     r.strategy_name.c_str());
+      });
+
+  Table table({"lengths", "strategy", "rt_avg", "p99", "runs_per_txn",
+               "ship_frac"});
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    const RunResult& r = results[i];
+    const Metrics& m = r.metrics;
+    table.begin_row()
+        .add_cell(jobs[i].config.geometric_call_count ? "geometric" : "fixed")
+        .add_cell(r.strategy_name)
+        .add_num(m.rt_all.mean(), 3)
+        .add_num(m.rt_histogram.quantile(0.99), 2)
+        .add_num(m.runs_per_txn(), 4)
+        .add_num(m.ship_fraction(), 3);
   }
   bench::emit(table);
   return 0;

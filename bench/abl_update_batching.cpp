@@ -22,14 +22,26 @@ int main() {
       "batching only pays when the fixed message cost dominates",
       base, opts);
 
+  const std::vector<double> windows{0.0, 0.05, 0.1, 0.2, 0.5, 1.0};
+  std::vector<SimJob> jobs;
+  for (double window : windows) {
+    SimJob job;
+    job.config = base;
+    job.config.async_batch_window = window;
+    job.spec = {StrategyKind::MinAverageNsys, 0.0};
+    jobs.push_back(std::move(job));
+  }
+  const auto results = run_simulation_batch(
+      jobs, opts, [&](std::size_t i, const RunResult&) {
+        std::fprintf(stderr, "  window=%.2f done\n",
+                     jobs[i].config.async_batch_window);
+      });
+
   Table table({"batch_window_s", "rt_avg", "msgs_per_update_commit",
                "auth_refusals", "central_util", "runs_per_txn"});
-  for (double window : {0.0, 0.05, 0.1, 0.2, 0.5, 1.0}) {
-    SystemConfig cfg = base;
-    cfg.async_batch_window = window;
-    const RunResult r =
-        run_simulation(cfg, {StrategyKind::MinAverageNsys, 0.0}, opts);
-    const Metrics& m = r.metrics;
+  for (std::size_t i = 0; i < windows.size(); ++i) {
+    const double window = windows[i];
+    const Metrics& m = results[i].metrics;
     const double msgs_per_commit =
         m.completions_local_a > 0
             ? static_cast<double>(m.async_updates_sent) /
@@ -42,7 +54,6 @@ int main() {
         .add_int(static_cast<long long>(m.auth_negative_acks))
         .add_num(m.central_utilization, 3)
         .add_num(m.runs_per_txn(), 4);
-    std::fprintf(stderr, "  window=%.2f done\n", window);
   }
   bench::emit(table);
   return 0;

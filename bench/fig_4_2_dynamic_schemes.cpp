@@ -20,22 +20,17 @@ int main() {
       "ordering A worst, then B ~ static, then C < D < E < F (best)", cfg, opts);
 
   ExperimentRunner runner(cfg, opts);
-  const auto rates = default_rate_grid();
-  std::vector<Series> series;
-  series.push_back(
-      runner.sweep_rates({StrategyKind::StaticOptimal, 0.0}, "static", rates));
-  series.push_back(
-      runner.sweep_rates({StrategyKind::MeasuredRt, 0.0}, "A-measured", rates));
-  series.push_back(
-      runner.sweep_rates({StrategyKind::QueueLength, 0.0}, "B-qlen", rates));
-  series.push_back(runner.sweep_rates({StrategyKind::MinIncomingQueue, 0.0},
-                                      "C-minin-q", rates));
-  series.push_back(runner.sweep_rates({StrategyKind::MinIncomingNsys, 0.0},
-                                      "D-minin-n", rates));
-  series.push_back(runner.sweep_rates({StrategyKind::MinAverageQueue, 0.0},
-                                      "E-minavg-q", rates));
-  series.push_back(runner.sweep_rates({StrategyKind::MinAverageNsys, 0.0},
-                                      "F-minavg-n", rates));
+  const std::vector<Series> series = runner.sweep_all(
+      {{StrategyKind::StaticOptimal, 0.0},
+       {StrategyKind::MeasuredRt, 0.0},
+       {StrategyKind::QueueLength, 0.0},
+       {StrategyKind::MinIncomingQueue, 0.0},
+       {StrategyKind::MinIncomingNsys, 0.0},
+       {StrategyKind::MinAverageQueue, 0.0},
+       {StrategyKind::MinAverageNsys, 0.0}},
+      {"static", "A-measured", "B-qlen", "C-minin-q", "D-minin-n", "E-minavg-q",
+       "F-minavg-n"},
+      default_rate_grid());
   bench::emit(response_time_table(series));
   return 0;
 }

@@ -18,18 +18,15 @@ int main() {
                 cfg, opts);
 
   ExperimentRunner runner(cfg, opts);
-  std::vector<double> rates{2.0, 5.0, 8.0, 12.0, 16.0, 20.0, 24.0, 28.0, 32.0, 36.0, 40.0};
-  std::vector<Series> series;
-  series.push_back(
-      runner.sweep_rates({StrategyKind::StaticOptimal, 0.0}, "static", rates));
-  series.push_back(
-      runner.sweep_rates({StrategyKind::MeasuredRt, 0.0}, "A-measured", rates));
-  series.push_back(
-      runner.sweep_rates({StrategyKind::QueueLength, 0.0}, "B-qlen", rates));
-  series.push_back(runner.sweep_rates({StrategyKind::MinIncomingNsys, 0.0},
-                                      "D-minin-n", rates));
-  series.push_back(runner.sweep_rates({StrategyKind::MinAverageNsys, 0.0},
-                                      "F-minavg-n", rates));
+  const std::vector<double> rates{2.0,  5.0,  8.0,  12.0, 16.0, 20.0,
+                                  24.0, 28.0, 32.0, 36.0, 40.0};
+  const std::vector<Series> series = runner.sweep_all(
+      {{StrategyKind::StaticOptimal, 0.0},
+       {StrategyKind::MeasuredRt, 0.0},
+       {StrategyKind::QueueLength, 0.0},
+       {StrategyKind::MinIncomingNsys, 0.0},
+       {StrategyKind::MinAverageNsys, 0.0}},
+      {"static", "A-measured", "B-qlen", "D-minin-n", "F-minavg-n"}, rates);
   bench::emit(ship_fraction_table(series));
   return 0;
 }

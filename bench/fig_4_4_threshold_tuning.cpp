@@ -17,15 +17,15 @@ int main() {
                 cfg, opts);
 
   ExperimentRunner runner(cfg, opts);
-  const auto rates = default_rate_grid();
-  std::vector<Series> series;
+  std::vector<StrategySpec> specs;
+  std::vector<std::string> labels;
   for (double threshold : {0.0, -0.1, -0.2, -0.3}) {
-    series.push_back(runner.sweep_rates(
-        {StrategyKind::UtilThreshold, threshold},
-        "T=" + format_double(threshold, 1), rates));
+    specs.push_back({StrategyKind::UtilThreshold, threshold});
+    labels.push_back("T=" + format_double(threshold, 1));
   }
-  series.push_back(runner.sweep_rates({StrategyKind::MinAverageNsys, 0.0},
-                                      "best-dynamic", rates));
-  bench::emit(response_time_table(series));
+  specs.push_back({StrategyKind::MinAverageNsys, 0.0});
+  labels.push_back("best-dynamic");
+  bench::emit(response_time_table(
+      runner.sweep_all(specs, labels, default_rate_grid())));
   return 0;
 }

@@ -14,14 +14,11 @@ int main() {
                 "static gains shrink vs 0.2 s; dynamic stays strong", cfg, opts);
 
   ExperimentRunner runner(cfg, opts);
-  const auto rates = default_rate_grid();
-  std::vector<Series> series;
-  series.push_back(
-      runner.sweep_rates({StrategyKind::NoLoadSharing, 0.0}, "no-LS", rates));
-  series.push_back(
-      runner.sweep_rates({StrategyKind::StaticOptimal, 0.0}, "static", rates));
-  series.push_back(runner.sweep_rates({StrategyKind::MinAverageNsys, 0.0},
-                                      "best-dynamic", rates));
+  const std::vector<Series> series = runner.sweep_all(
+      {{StrategyKind::NoLoadSharing, 0.0},
+       {StrategyKind::StaticOptimal, 0.0},
+       {StrategyKind::MinAverageNsys, 0.0}},
+      {"no-LS", "static", "best-dynamic"}, default_rate_grid());
   bench::emit(response_time_table(series));
   return 0;
 }

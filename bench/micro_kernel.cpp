@@ -31,6 +31,28 @@ void BM_EventQueuePushPop(benchmark::State& state) {
 }
 BENCHMARK(BM_EventQueuePushPop)->Arg(64)->Arg(1024)->Arg(16384);
 
+void BM_EventQueueCancelChurn(benchmark::State& state) {
+  // The timeout pattern: schedule a guard event, cancel it before it fires,
+  // while regular traffic pushes and pops around it. With the
+  // generation/slot scheme the cancel is O(1); the old side-table verified
+  // each cancel with an O(depth) heap scan. Cancelled entries are reaped
+  // lazily when they surface, so the queue stays near `depth` live events.
+  const std::size_t depth = state.range(0);
+  Rng rng(3);
+  EventQueue q;
+  for (std::size_t i = 0; i < depth; ++i) {
+    q.push(rng.next_double(), [] {});
+  }
+  for (auto _ : state) {
+    const EventId timeout = q.push(rng.uniform(0.5, 1.0), [] {});
+    benchmark::DoNotOptimize(q.cancel(timeout));
+    q.push(rng.next_double(), [] {});
+    benchmark::DoNotOptimize(q.pop());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EventQueueCancelChurn)->Arg(64)->Arg(1024)->Arg(16384);
+
 void BM_LockManagerRequestRelease(benchmark::State& state) {
   Simulator sim;
   LockManager lm(sim, "bench");

@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# Repo health check: configure, build, full test suite, a parallel-harness
+# determinism smoke, and a ThreadSanitizer pass over the task pool and the
+# sweep harness. Intended as the pre-merge gate; ~1 min on a laptop.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD=${BUILD_DIR:-build}
+cmake -B "$BUILD" -G Ninja >/dev/null
+cmake --build "$BUILD" -j
+ctest --test-dir "$BUILD" -j"$(nproc)" --output-on-failure
+
+# Determinism smoke: every design point is an independent deterministic
+# simulation and results land in submission-order slots, so a figure bench
+# must emit byte-identical stdout at any HLS_JOBS value.
+scale=${HLS_TIME_SCALE:-0.02}
+a=$(mktemp) && b=$(mktemp)
+trap 'rm -f "$a" "$b"' EXIT
+HLS_TIME_SCALE=$scale HLS_JOBS=1 "./$BUILD/bench/fig_4_2_dynamic_schemes" >"$a" 2>/dev/null
+HLS_TIME_SCALE=$scale HLS_JOBS=4 "./$BUILD/bench/fig_4_2_dynamic_schemes" >"$b" 2>/dev/null
+diff -u "$a" "$b"
+echo "determinism smoke: fig_4_2 stdout byte-identical at HLS_JOBS=1 vs 4"
+
+# ThreadSanitizer pass over the threaded pieces; skipped gracefully when the
+# toolchain has no tsan runtime.
+TSAN_BUILD="${BUILD}-tsan"
+if cmake -B "$TSAN_BUILD" -G Ninja -DHLS_SANITIZE=thread >/dev/null 2>&1 &&
+    cmake --build "$TSAN_BUILD" -j --target task_pool_test sweep_parallel_test \
+      >/dev/null 2>&1; then
+  "./$TSAN_BUILD/tests/task_pool_test"
+  HLS_JOBS=4 "./$TSAN_BUILD/tests/sweep_parallel_test"
+  echo "tsan: task_pool_test + sweep_parallel_test clean"
+else
+  echo "tsan: unavailable in this toolchain; skipped"
+fi
+
+echo "check.sh: all stages passed"

@@ -1,30 +1,75 @@
 #include "core/experiment.hpp"
 
 #include <cstdio>
+#include <mutex>
 
 #include "util/assert.hpp"
+#include "util/task_pool.hpp"
 
 namespace hls {
+
+std::vector<RunResult> run_simulation_batch(
+    const std::vector<SimJob>& jobs, const RunOptions& options,
+    const std::function<void(std::size_t, const RunResult&)>& progress,
+    unsigned jobs_override) {
+  std::vector<RunResult> results(jobs.size());
+  TaskPool pool(jobs_override);
+  std::mutex progress_mu;
+  pool.parallel_for_indexed(jobs.size(), [&](std::size_t i) {
+    results[i] = run_simulation(jobs[i].config, jobs[i].spec, options);
+    if (progress) {
+      std::lock_guard<std::mutex> lk(progress_mu);
+      progress(i, results[i]);
+    }
+  });
+  return results;
+}
+
+std::vector<Series> ExperimentRunner::sweep_all(
+    const std::vector<StrategySpec>& specs,
+    const std::vector<std::string>& labels,
+    const std::vector<double>& total_rates) const {
+  HLS_ASSERT(specs.size() == labels.size(),
+             "sweep_all needs one label per strategy spec");
+  std::vector<SimJob> batch;
+  batch.reserve(specs.size() * total_rates.size());
+  for (std::size_t s = 0; s < specs.size(); ++s) {  // series-major: with one
+    for (double rate : total_rates) {  // worker this reproduces the exact
+      SimJob job;                      // order (and stderr) of sequential
+      job.config = base_;              // per-series sweep_rates calls
+      job.config.arrival_rate_per_site = rate / base_.num_sites;
+      job.spec = specs[s];
+      batch.push_back(std::move(job));
+    }
+  }
+
+  const std::size_t per_series = total_rates.size();
+  const auto results = run_simulation_batch(
+      batch, options_,
+      [&](std::size_t i, const RunResult& r) {
+        std::fprintf(stderr, "  [%s] rate=%.1f tps -> rt=%.3f s, ship=%.3f\n",
+                     labels[i / per_series].c_str(), total_rates[i % per_series],
+                     r.metrics.rt_all.mean(), r.metrics.ship_fraction());
+      },
+      jobs_);
+
+  std::vector<Series> series(specs.size());
+  for (std::size_t s = 0; s < specs.size(); ++s) {
+    series[s].label = labels[s];
+    series[s].spec = specs[s];
+    series[s].points.resize(per_series);
+    for (std::size_t r = 0; r < per_series; ++r) {
+      series[s].points[r].total_rate = total_rates[r];
+      series[s].points[r].result = results[s * per_series + r];
+    }
+  }
+  return series;
+}
 
 Series ExperimentRunner::sweep_rates(const StrategySpec& spec,
                                      const std::string& label,
                                      const std::vector<double>& total_rates) const {
-  Series series;
-  series.label = label;
-  series.spec = spec;
-  series.points.reserve(total_rates.size());
-  for (double rate : total_rates) {
-    SystemConfig cfg = base_;
-    cfg.arrival_rate_per_site = rate / cfg.num_sites;
-    SweepPoint point;
-    point.total_rate = rate;
-    point.result = run_simulation(cfg, spec, options_);
-    std::fprintf(stderr, "  [%s] rate=%.1f tps -> rt=%.3f s, ship=%.3f\n",
-                 label.c_str(), rate, point.result.metrics.rt_all.mean(),
-                 point.result.metrics.ship_fraction());
-    series.points.push_back(std::move(point));
-  }
-  return series;
+  return sweep_all({spec}, {label}, total_rates).front();
 }
 
 std::vector<double> default_rate_grid() {

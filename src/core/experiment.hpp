@@ -1,8 +1,14 @@
 // Experiment harness: rate sweeps across strategies, threshold sweeps, and
 // the table printers the figure benches share. Each paper figure is "one
 // sweep, several series"; this module turns that into data.
+//
+// Every design point is an independent, deterministic, single-threaded
+// simulation, so batches fan out over a TaskPool (HLS_JOBS workers; see
+// util/task_pool.hpp). Results land in submission-order slots, making the
+// collected output byte-identical to the sequential path at any job count.
 #pragma once
 
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -22,10 +28,27 @@ struct Series {
   std::vector<SweepPoint> points;
 };
 
+/// One design point of a parallel batch: a full system configuration plus
+/// the strategy to run on it.
+struct SimJob {
+  SystemConfig config;
+  StrategySpec spec;
+};
+
+/// Runs every job and returns the results in submission order. Jobs execute
+/// concurrently on `jobs` workers (0 = HLS_JOBS / hardware_concurrency; 1 =
+/// inline sequential). `progress`, if given, is invoked once per finished
+/// job under an internal mutex, so its stderr output never interleaves;
+/// with one worker the invocation order is exactly submission order.
+std::vector<RunResult> run_simulation_batch(
+    const std::vector<SimJob>& jobs, const RunOptions& options,
+    const std::function<void(std::size_t, const RunResult&)>& progress = {},
+    unsigned jobs_override = 0);
+
 class ExperimentRunner {
  public:
   ExperimentRunner(SystemConfig base, RunOptions options)
-      : base_(base), options_(options) {}
+      : base_(std::move(base)), options_(std::move(options)) {}
 
   /// Runs `spec` at every offered total rate; rates are divided evenly over
   /// the sites. Progress lines go to stderr so stdout stays machine-clean.
@@ -33,12 +56,27 @@ class ExperimentRunner {
                                    const std::string& label,
                                    const std::vector<double>& total_rates) const;
 
+  /// Fans out the full strategy x rate grid of a figure as one task batch:
+  /// specs[i] is swept under labels[i] at every rate. Equivalent to calling
+  /// sweep_rates per spec, but all |specs| * |rates| simulations share one
+  /// parallel batch, so wall-clock scales with HLS_JOBS.
+  [[nodiscard]] std::vector<Series> sweep_all(
+      const std::vector<StrategySpec>& specs,
+      const std::vector<std::string>& labels,
+      const std::vector<double>& total_rates) const;
+
+  /// Overrides the worker count for this runner's batches (0 = HLS_JOBS).
+  /// Exists so tests can pin both sides of a determinism comparison without
+  /// mutating the environment.
+  void set_jobs(unsigned jobs) { jobs_ = jobs; }
+
   [[nodiscard]] const SystemConfig& base() const { return base_; }
   [[nodiscard]] const RunOptions& options() const { return options_; }
 
  private:
   SystemConfig base_;
   RunOptions options_;
+  unsigned jobs_ = 0;  // 0 = resolve from HLS_JOBS at batch time
 };
 
 /// Default offered-load grid used by the figure benches (total txn/s).

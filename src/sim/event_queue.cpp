@@ -13,35 +13,51 @@ bool EventQueue::before(const Entry& a, const Entry& b) {
   return a.seq < b.seq;
 }
 
+std::uint32_t EventQueue::allocate_slot() {
+  std::uint32_t slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+  } else {
+    HLS_ASSERT(slots_.size() < 0xFFFFFFFFu, "event slot space exhausted");
+    slot = static_cast<std::uint32_t>(slots_.size());
+    slots_.emplace_back();
+  }
+  Slot& s = slots_[slot];
+  HLS_ASSERT(s.state == SlotState::Free, "allocating a non-free event slot");
+  ++s.generation;  // invalidates every id issued for previous occupants
+  s.state = SlotState::Live;
+  return slot;
+}
+
+void EventQueue::free_slot(std::uint32_t slot) {
+  slots_[slot].state = SlotState::Free;
+  free_slots_.push_back(slot);
+}
+
 EventId EventQueue::push(SimTime time, Callback callback) {
-  const EventId id = next_id_++;
-  heap_.push_back(Entry{time, next_seq_++, id, std::move(callback)});
+  const std::uint32_t slot = allocate_slot();
+  heap_.push_back(Entry{time, next_seq_++, slot, std::move(callback)});
   sift_up(heap_.size() - 1);
   ++live_;
-  return id;
+  return encode_id(slot, slots_[slot].generation);
 }
 
 bool EventQueue::cancel(EventId id) {
-  if (id == kInvalidEventId || id >= next_id_) {
+  const std::uint64_t slot_plus_one = id >> 32;
+  if (slot_plus_one == 0 || slot_plus_one > slots_.size()) {
     return false;
   }
-  // Only mark ids that are plausibly still queued; a linear scan would be
-  // exact but O(n). We accept marking an already-fired id: fired events are
-  // removed from the heap, so the mark is dead weight until pruned below.
-  if (!cancelled_.insert(id).second) {
-    return false;
+  const std::uint32_t slot = static_cast<std::uint32_t>(slot_plus_one - 1);
+  Slot& s = slots_[slot];
+  const std::uint32_t generation = static_cast<std::uint32_t>(id);
+  if (s.generation != generation || s.state != SlotState::Live) {
+    return false;  // already fired, already cancelled, or a reused slot
   }
-  // Verify the event is actually still pending so the return value and the
-  // live count stay truthful.
-  for (const auto& entry : heap_) {
-    if (entry.id == id) {
-      HLS_ASSERT(live_ > 0, "live event count underflow");
-      --live_;
-      return true;
-    }
-  }
-  cancelled_.erase(id);
-  return false;
+  s.state = SlotState::Cancelled;  // entry stays heaped; reaped on pop
+  HLS_ASSERT(live_ > 0, "live event count underflow");
+  --live_;
+  return true;
 }
 
 SimTime EventQueue::next_time() {
@@ -61,12 +77,17 @@ EventQueue::Popped EventQueue::pop() {
   }
   HLS_ASSERT(live_ > 0, "live event count underflow");
   --live_;
-  return Popped{top.time, top.id, std::move(top.callback)};
+  const EventId id = encode_id(top.slot, slots_[top.slot].generation);
+  free_slot(top.slot);
+  return Popped{top.time, id, std::move(top.callback)};
 }
 
 void EventQueue::drop_cancelled_top() {
-  while (!heap_.empty() && cancelled_.count(heap_.front().id) != 0) {
-    cancelled_.erase(heap_.front().id);
+  // An entry is the sole occupant of its slot while heaped, so the slot
+  // state tells whether the top was cancelled — one array load, no hashing.
+  while (!heap_.empty() &&
+         slots_[heap_.front().slot].state == SlotState::Cancelled) {
+    free_slot(heap_.front().slot);
     heap_.front() = std::move(heap_.back());
     heap_.pop_back();
     if (!heap_.empty()) {
@@ -75,35 +96,46 @@ void EventQueue::drop_cancelled_top() {
   }
 }
 
+// Both sifts move the displaced entry into a hole that bubbles to its final
+// position: one move per level instead of a three-move swap. Entries carry
+// an inline callback buffer, so moves are the dominant heap cost.
+
 void EventQueue::sift_up(std::size_t i) {
+  if (i == 0) {
+    return;
+  }
+  Entry moving = std::move(heap_[i]);
   while (i > 0) {
     const std::size_t parent = (i - 1) / 2;
-    if (!before(heap_[i], heap_[parent])) {
+    if (!before(moving, heap_[parent])) {
       break;
     }
-    std::swap(heap_[i], heap_[parent]);
+    heap_[i] = std::move(heap_[parent]);
     i = parent;
   }
+  heap_[i] = std::move(moving);
 }
 
 void EventQueue::sift_down(std::size_t i) {
   const std::size_t n = heap_.size();
+  Entry moving = std::move(heap_[i]);
   for (;;) {
     const std::size_t left = 2 * i + 1;
-    const std::size_t right = 2 * i + 2;
-    std::size_t smallest = i;
-    if (left < n && before(heap_[left], heap_[smallest])) {
-      smallest = left;
+    if (left >= n) {
+      break;
     }
-    if (right < n && before(heap_[right], heap_[smallest])) {
-      smallest = right;
+    std::size_t child = left;
+    const std::size_t right = left + 1;
+    if (right < n && before(heap_[right], heap_[left])) {
+      child = right;
     }
-    if (smallest == i) {
-      return;
+    if (!before(heap_[child], moving)) {
+      break;
     }
-    std::swap(heap_[i], heap_[smallest]);
-    i = smallest;
+    heap_[i] = std::move(heap_[child]);
+    i = child;
   }
+  heap_[i] = std::move(moving);
 }
 
 }  // namespace hls

@@ -5,23 +5,27 @@
 // which keeps runs deterministic — essential for reproducible experiments
 // and for the regression tests that pin exact simulation output.
 //
-// Cancellation is lazy: cancelled entries stay in the heap (marked in a side
-// table) and are skipped on pop. The hybrid workload cancels rarely (timeouts
-// that usually don't fire), so lazy deletion wins over sift-based removal.
+// Cancellation is lazy, but tracked in a slot table instead of a hash set:
+// an EventId encodes (slot, generation), so push, cancel, and the
+// cancelled-top check on pop are all O(1) array accesses with no hashing.
+// A slot is reused (with a bumped generation) once its entry leaves the
+// heap, so stale ids from fired or cancelled events are rejected exactly.
+// Callbacks are move-only UniqueFunctions with a 40-byte inline buffer, so
+// typical captures never touch the heap (std::function allocated them).
 #pragma once
 
 #include <cstddef>
-#include <functional>
-#include <unordered_set>
+#include <cstdint>
 #include <vector>
 
 #include "sim/time.hpp"
+#include "util/unique_function.hpp"
 
 namespace hls {
 
 class EventQueue {
  public:
-  using Callback = std::function<void()>;
+  using Callback = UniqueFunction<void()>;
 
   /// Inserts an event; returns an id usable with cancel().
   EventId push(SimTime time, Callback callback);
@@ -51,21 +55,37 @@ class EventQueue {
   struct Entry {
     SimTime time;
     std::uint64_t seq;
-    EventId id;
+    std::uint32_t slot;
     Callback callback;
   };
+
+  enum class SlotState : std::uint8_t { Free, Live, Cancelled };
+
+  struct Slot {
+    std::uint32_t generation = 0;  // bumped on every allocation
+    SlotState state = SlotState::Free;
+  };
+
+  /// EventIds pack (slot + 1) in the high 32 bits and the slot's generation
+  /// in the low 32; the +1 keeps every valid id distinct from
+  /// kInvalidEventId (0).
+  static EventId encode_id(std::uint32_t slot, std::uint32_t generation) {
+    return (static_cast<EventId>(slot) + 1) << 32 | generation;
+  }
 
   /// True when a precedes b in firing order.
   static bool before(const Entry& a, const Entry& b);
 
+  std::uint32_t allocate_slot();
+  void free_slot(std::uint32_t slot);
   void sift_up(std::size_t i);
   void sift_down(std::size_t i);
   void drop_cancelled_top();
 
   std::vector<Entry> heap_;
-  std::unordered_set<EventId> cancelled_;
+  std::vector<Slot> slots_;
+  std::vector<std::uint32_t> free_slots_;
   std::uint64_t next_seq_ = 0;
-  EventId next_id_ = 1;  // 0 is kInvalidEventId
   std::size_t live_ = 0;
 };
 

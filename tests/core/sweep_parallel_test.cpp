@@ -1,0 +1,95 @@
+// Determinism of the parallel sweep harness: a sweep_all grid run on four
+// workers must produce results identical to the sequential path, because
+// every design point is an independent single-threaded simulation whose
+// result lands in a submission-order slot.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/experiment.hpp"
+
+namespace hls {
+namespace {
+
+SystemConfig light_config() {
+  SystemConfig cfg;
+  cfg.arrival_rate_per_site = 1.0;
+  cfg.seed = 11;
+  return cfg;
+}
+
+RunOptions quick_options() {
+  RunOptions o;
+  o.warmup_seconds = 10.0;
+  o.measure_seconds = 60.0;
+  return o;
+}
+
+std::vector<Series> sweep_with_jobs(unsigned jobs) {
+  ExperimentRunner runner(light_config(), quick_options());
+  runner.set_jobs(jobs);
+  return runner.sweep_all({{StrategyKind::NoLoadSharing, 0.0},
+                           {StrategyKind::QueueLength, 0.0},
+                           {StrategyKind::MinAverageNsys, 0.0}},
+                          {"none", "qlen", "minavg"}, {5.0, 10.0, 15.0});
+}
+
+TEST(SweepParallel, FourWorkersMatchSequentialTo1e12) {
+  const std::vector<Series> seq = sweep_with_jobs(1);
+  const std::vector<Series> par = sweep_with_jobs(4);
+  ASSERT_EQ(seq.size(), par.size());
+  for (std::size_t s = 0; s < seq.size(); ++s) {
+    ASSERT_EQ(seq[s].points.size(), par[s].points.size());
+    EXPECT_EQ(seq[s].label, par[s].label);
+    for (std::size_t p = 0; p < seq[s].points.size(); ++p) {
+      const Metrics& a = seq[s].points[p].result.metrics;
+      const Metrics& b = par[s].points[p].result.metrics;
+      EXPECT_EQ(a.completions, b.completions);
+      EXPECT_NEAR(a.rt_all.mean(), b.rt_all.mean(), 1e-12);
+      EXPECT_NEAR(a.throughput(), b.throughput(), 1e-12);
+      EXPECT_NEAR(a.ship_fraction(), b.ship_fraction(), 1e-12);
+      EXPECT_NEAR(a.runs_per_txn(), b.runs_per_txn(), 1e-12);
+    }
+  }
+}
+
+TEST(SweepParallel, SweepRatesEqualsSweepAllRow) {
+  ExperimentRunner runner(light_config(), quick_options());
+  runner.set_jobs(2);
+  const Series direct = runner.sweep_rates({StrategyKind::QueueLength, 0.0},
+                                           "qlen", {5.0, 10.0});
+  const std::vector<Series> grid = runner.sweep_all(
+      {{StrategyKind::NoLoadSharing, 0.0}, {StrategyKind::QueueLength, 0.0}},
+      {"none", "qlen"}, {5.0, 10.0});
+  ASSERT_EQ(grid[1].points.size(), direct.points.size());
+  for (std::size_t p = 0; p < direct.points.size(); ++p) {
+    EXPECT_DOUBLE_EQ(grid[1].points[p].result.metrics.rt_all.mean(),
+                     direct.points[p].result.metrics.rt_all.mean());
+  }
+}
+
+TEST(SweepParallel, BatchProgressReportsEveryJobOnce) {
+  std::vector<SimJob> jobs;
+  for (double rate : {0.5, 1.0, 1.5, 2.0, 2.5}) {
+    SimJob job;
+    job.config = light_config();
+    job.config.arrival_rate_per_site = rate;
+    job.spec = {StrategyKind::NoLoadSharing, 0.0};
+    jobs.push_back(std::move(job));
+  }
+  std::vector<int> seen(jobs.size(), 0);
+  const auto results = run_simulation_batch(
+      jobs, quick_options(),
+      [&](std::size_t i, const RunResult& r) {
+        seen[i] += 1;
+        EXPECT_GT(r.metrics.completions, 0u);
+      },
+      3);
+  ASSERT_EQ(results.size(), jobs.size());
+  for (int count : seen) {
+    EXPECT_EQ(count, 1);
+  }
+}
+
+}  // namespace
+}  // namespace hls

@@ -115,6 +115,94 @@ TEST(EventQueue, InterleavedPushPopKeepsOrder) {
   EXPECT_TRUE(std::is_sorted(popped.begin() + 1, popped.end()));
 }
 
+TEST(EventQueue, StaleIdAfterSlotReuseIsRejected) {
+  EventQueue q;
+  const EventId a = q.push(1.0, [] {});
+  EXPECT_TRUE(q.cancel(a));
+  // Reap the cancelled head so its slot returns to the free list.
+  q.push(2.0, [] {});
+  EXPECT_DOUBLE_EQ(q.next_time(), 2.0);
+  // This push reuses the freed slot under a new generation: the stale id
+  // must not cancel it, the fresh id must.
+  const EventId b = q.push(0.5, [] {});
+  EXPECT_NE(a, b);
+  EXPECT_FALSE(q.cancel(a));
+  EXPECT_EQ(q.size(), 2u);
+  EXPECT_TRUE(q.cancel(b));
+  EXPECT_EQ(q.size(), 1u);
+}
+
+TEST(EventQueue, IdsNeverRepeatAcrossSlotReuse) {
+  EventQueue q;
+  std::vector<EventId> seen;
+  for (int round = 0; round < 100; ++round) {
+    const EventId id = q.push(static_cast<double>(round), [] {});
+    EXPECT_EQ(std::count(seen.begin(), seen.end(), id), 0);
+    seen.push_back(id);
+    if (round % 2 == 0) {
+      q.pop();
+    } else {
+      q.cancel(id);
+      if (!q.empty()) {
+        // Reap, freeing the slot for the next round.
+        static_cast<void>(q.next_time());
+      }
+    }
+  }
+}
+
+TEST(EventQueue, DrainAfterMixedCancelsReachesZero) {
+  Rng rng(7);
+  EventQueue q;
+  std::vector<EventId> ids;
+  for (int i = 0; i < 200; ++i) {
+    ids.push_back(q.push(rng.uniform(0.0, 10.0), [] {}));
+  }
+  std::size_t cancelled = 0;
+  for (std::size_t i = 0; i < ids.size(); i += 3) {
+    ASSERT_TRUE(q.cancel(ids[i]));
+    ++cancelled;
+  }
+  EXPECT_EQ(q.size(), ids.size() - cancelled);
+  std::size_t fired = 0;
+  double last = -1.0;
+  while (!q.empty()) {
+    const auto popped = q.pop();
+    EXPECT_GE(popped.time, last);
+    last = popped.time;
+    ++fired;
+  }
+  EXPECT_EQ(fired, ids.size() - cancelled);
+  EXPECT_EQ(q.size(), 0u);
+  // Every cancelled id is dead, and the drained queue is reusable.
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    EXPECT_FALSE(q.cancel(ids[i]));
+  }
+  const EventId fresh = q.push(1.0, [] {});
+  EXPECT_EQ(q.size(), 1u);
+  EXPECT_TRUE(q.cancel(fresh));
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, CancelAllThenFreshPushDrainsClean) {
+  EventQueue q;
+  std::vector<EventId> ids;
+  for (int i = 0; i < 16; ++i) {
+    ids.push_back(q.push(static_cast<double>(i), [] {}));
+  }
+  for (const EventId id : ids) {
+    EXPECT_TRUE(q.cancel(id));
+  }
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.size(), 0u);
+  // next_time() reaps the whole cancelled prefix to find the live head.
+  const EventId fresh = q.push(100.0, [] {});
+  EXPECT_DOUBLE_EQ(q.next_time(), 100.0);
+  const auto popped = q.pop();
+  EXPECT_EQ(popped.id, fresh);
+  EXPECT_TRUE(q.empty());
+}
+
 // Property: against a reference model (sorted multiset of (time, seq)).
 TEST(EventQueue, RandomOperationsMatchReferenceModel) {
   Rng rng(99);
