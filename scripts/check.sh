@@ -21,6 +21,25 @@ HLS_TIME_SCALE=$scale HLS_JOBS=4 "./$BUILD/bench/fig_4_2_dynamic_schemes" >"$b" 
 diff -u "$a" "$b"
 echo "determinism smoke: fig_4_2 stdout byte-identical at HLS_JOBS=1 vs 4"
 
+# Fault-tolerance smoke: a quick outage-sweep run of the fault-injection
+# ablation. The bench itself verifies that every faulted cell drains to zero
+# residency/locks after arrivals stop and exits non-zero otherwise.
+HLS_TIME_SCALE=0.05 "./$BUILD/bench/abl_fault_tolerance" >/dev/null 2>&1
+echo "fault smoke: abl_fault_tolerance drained every faulted cell"
+
+# Same smoke under AddressSanitizer: the crash/recovery paths juggle queued
+# closures for reclaimed transactions, exactly where lifetime bugs would
+# hide. Skipped gracefully when the toolchain has no asan runtime.
+ASAN_BUILD="${BUILD}-asan"
+if cmake -B "$ASAN_BUILD" -G Ninja -DHLS_SANITIZE=address >/dev/null 2>&1 &&
+    cmake --build "$ASAN_BUILD" -j --target abl_fault_tolerance \
+      >/dev/null 2>&1; then
+  HLS_TIME_SCALE=0.05 "./$ASAN_BUILD/bench/abl_fault_tolerance" >/dev/null
+  echo "asan: abl_fault_tolerance clean"
+else
+  echo "asan: unavailable in this toolchain; skipped"
+fi
+
 # ThreadSanitizer pass over the threaded pieces; skipped gracefully when the
 # toolchain has no tsan runtime.
 TSAN_BUILD="${BUILD}-tsan"

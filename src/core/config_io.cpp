@@ -37,7 +37,20 @@ bool apply_config_override(SystemConfig& cfg, const std::string& assignment,
   const std::string key = assignment.substr(0, eq);
   const std::string value = assignment.substr(eq + 1);
 
-  // Enumerations first.
+  // String-valued keys first.
+  if (key == "fault") {
+    if (value == "clear") {
+      cfg.faults.windows.clear();
+      return true;
+    }
+    FaultWindow window;
+    std::string window_error;
+    if (!parse_fault_window(value, &window, &window_error)) {
+      return fail(error, "fault: " + window_error);
+    }
+    cfg.faults.windows.push_back(window);
+    return true;
+  }
   if (key == "deadlock_victim") {
     if (value == "requester") {
       cfg.deadlock_victim = DeadlockVictim::Requester;
@@ -122,6 +135,27 @@ bool apply_config_override(SystemConfig& cfg, const std::string& assignment,
     cfg.ideal_state_info = v != 0.0;
   } else if (key == "geometric_call_count") {
     cfg.geometric_call_count = v != 0.0;
+  } else if (key == "ship_timeout") {
+    if (v < 0.0) {
+      return fail(error, "ship_timeout must be non-negative");
+    }
+    cfg.ship_timeout = v;
+  } else if (key == "ship_backoff") {
+    if (v < 1.0) {
+      return fail(error, "ship_backoff must be at least 1");
+    }
+    cfg.ship_backoff = v;
+  } else if (key == "ship_max_retries") {
+    if (v < 0.0) {
+      return fail(error, "ship_max_retries must be non-negative");
+    }
+    cfg.ship_max_retries = static_cast<int>(v);
+  } else if (key == "fault_random_link_rate") {
+    cfg.faults.random_link_outage_rate = v;
+  } else if (key == "fault_random_link_duration") {
+    cfg.faults.random_link_outage_mean = v;
+  } else if (key == "fault_random_horizon") {
+    cfg.faults.random_horizon = v;
   } else {
     return fail(error, "unknown config key: " + key);
   }
@@ -148,6 +182,15 @@ std::optional<SystemConfig> parse_config_file(std::istream& in,
       }
       return std::nullopt;
     }
+  }
+  // Site ranges in fault windows can only be checked once the whole file is
+  // read (num_sites may be set after a fault= line).
+  std::string fault_error;
+  if (!cfg.faults.validate(cfg.num_sites, &fault_error)) {
+    if (error != nullptr) {
+      *error = "fault schedule: " + fault_error;
+    }
+    return std::nullopt;
   }
   return cfg;
 }
@@ -190,6 +233,16 @@ void describe_config(std::ostream& out, const SystemConfig& cfg) {
   out << "max_reruns=" << cfg.max_reruns << '\n';
   out << "ideal_state_info=" << (cfg.ideal_state_info ? 1 : 0) << '\n';
   out << "geometric_call_count=" << (cfg.geometric_call_count ? 1 : 0) << '\n';
+  out << "ship_timeout=" << cfg.ship_timeout << '\n';
+  out << "ship_backoff=" << cfg.ship_backoff << '\n';
+  out << "ship_max_retries=" << cfg.ship_max_retries << '\n';
+  out << "fault_random_link_rate=" << cfg.faults.random_link_outage_rate << '\n';
+  out << "fault_random_link_duration=" << cfg.faults.random_link_outage_mean
+      << '\n';
+  out << "fault_random_horizon=" << cfg.faults.random_horizon << '\n';
+  for (const FaultWindow& window : cfg.faults.windows) {
+    out << "fault=" << format_fault_window(window) << '\n';
+  }
 }
 
 }  // namespace hls

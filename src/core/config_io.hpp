@@ -12,6 +12,10 @@
 //   async_batch_window deadlock_victim (requester|youngest)
 //   class_b_mode (ship|remote-calls) seed abort_restart_delay max_reruns
 //   ideal_state_info (0|1) geometric_call_count (0|1)
+//   ship_timeout ship_backoff ship_max_retries
+//   fault_random_link_rate fault_random_link_duration fault_random_horizon
+//   fault=<window> (repeatable, appends; "fault=clear" resets; see
+//   sim/fault_schedule.hpp parse_fault_window for the window grammar)
 //   (local_mips_per_site is programmatic-only: set it in code)
 #pragma once
 

@@ -7,7 +7,7 @@ namespace hls {
 const char* TraceWriter::header() {
   return "txn_id,class,route,home_site,arrival,completion,response_time,runs,"
          "aborts_preempted,aborts_invalidated,aborts_auth_refused,"
-         "aborts_deadlock";
+         "aborts_deadlock,aborts_ship_timeout,aborts_crash";
 }
 
 TraceWriter::TraceWriter(std::ostream& out) : out_(out) { out_ << header() << '\n'; }

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "db/lock_types.hpp"
+#include "sim/fault_schedule.hpp"
 #include "util/assert.hpp"
 
 namespace hls {
@@ -100,6 +101,20 @@ struct SystemConfig {
   int max_reruns = 1000;             ///< safety valve against livelock bugs
   bool ideal_state_info = false;     ///< strategies see fresh central state
 
+  // ---- fault injection (sim/fault_schedule) ----
+  /// Deterministic outage/degradation schedule; empty injects nothing and
+  /// leaves the simulation bit-identical to a fault-free build.
+  FaultScheduleConfig faults;
+
+  /// Timeout on a shipped class A transaction's central execution, seconds;
+  /// 0 disables the timer. On expiry the home site reclaims the (possibly
+  /// dead) central incarnation and reships; each retry multiplies the
+  /// timeout by ship_backoff, and after ship_max_retries reships the
+  /// transaction falls back to local execution.
+  double ship_timeout = 0.0;
+  double ship_backoff = 2.0;  ///< timeout multiplier per retry (>= 1)
+  int ship_max_retries = 2;   ///< reships before the local fallback (>= 0)
+
   /// Lock ids mastered by site s: [s*partition, (s+1)*partition).
   [[nodiscard]] std::uint32_t partition_size() const {
     return lockspace / static_cast<std::uint32_t>(num_sites);
@@ -152,6 +167,10 @@ struct SystemConfig {
     for (double mips : local_mips_per_site) {
       HLS_ASSERT(mips > 0, "per-site MIPS must be positive");
     }
+    HLS_ASSERT(ship_timeout >= 0, "negative ship timeout");
+    HLS_ASSERT(ship_backoff >= 1.0, "ship_backoff must be at least 1");
+    HLS_ASSERT(ship_max_retries >= 0, "negative ship retry budget");
+    HLS_ASSERT(faults.validate(num_sites), "invalid fault schedule");
   }
 };
 

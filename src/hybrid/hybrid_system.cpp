@@ -32,6 +32,13 @@ HybridSystem::HybridSystem(SystemConfig cfg, std::unique_ptr<RoutingStrategy> st
     site.arrivals = std::make_unique<ArrivalProcess>(sim_, rng_.fork(),
                                                      cfg_.arrival_rate_per_site);
   }
+
+  // Fault injection is armed only for a non-empty schedule so that fault-free
+  // configurations fork no extra RNG streams and schedule no extra events —
+  // their event sequence is bit-identical to a build without this feature.
+  if (!cfg_.faults.empty()) {
+    schedule_fault_transitions();
+  }
 }
 
 HybridSystem::~HybridSystem() = default;
@@ -135,7 +142,16 @@ void HybridSystem::wait(double seconds, TxnId id, std::uint64_t epoch,
 }
 
 void HybridSystem::send_up(int site, std::function<void()> deliver) {
-  sites_[site].up->send(std::move(deliver));
+  // Transport always completes; if the central complex is down when the
+  // message arrives, it queues in the recovery backlog (preserving arrival
+  // order) instead of being processed. No message is ever truly lost.
+  sites_[site].up->send([this, cb = std::move(deliver)]() mutable {
+    if (!central_.alive) {
+      central_.backlog.push_back(std::move(cb));
+      return;
+    }
+    cb();
+  });
 }
 
 void HybridSystem::send_down(int site, std::function<void()> deliver) {
@@ -146,7 +162,16 @@ void HybridSystem::send_down(int site, std::function<void()> deliver) {
   snap.cpu_queue = static_cast<int>(central_.cpu->queue_length());
   snap.num_txns = central_.resident_txns;
   snap.locks_held = static_cast<int>(central_.locks->locks_held());
-  sites_[site].down->send([this, site, snap, cb = std::move(deliver)] {
+  sites_[site].down->send([this, site, snap, cb = std::move(deliver)]() mutable {
+    if (!sites_[site].alive) {
+      // Delivered into a crashed site: defer processing (and the snapshot
+      // update) until recovery, in arrival order.
+      sites_[site].backlog.push_back([this, site, snap, cb2 = std::move(cb)] {
+        sites_[site].central_view = snap;
+        cb2();
+      });
+      return;
+    }
     sites_[site].central_view = snap;
     cb();
   });
@@ -218,6 +243,10 @@ void HybridSystem::prepare_rerun(Transaction* txn, AbortCause cause) {
   txn->auth_pending_acks = 0;
   txn->auth_any_negative = false;
   txn->auth_sites.clear();
+  // An ordinary rerun finds all referenced data in memory (§3.1). Crash and
+  // timeout paths override this to false right after calling us: their
+  // restart lost that memory and pays the I/O again.
+  txn->memory_resident = true;
   HLS_ASSERT(txn->run_count <= cfg_.max_reruns,
              "transaction exceeded max_reruns: livelock or protocol bug");
 }
@@ -258,7 +287,14 @@ void HybridSystem::force_abort_victim(Transaction* victim) {
 // --------------------------------------------------------------------------
 // arrivals / routing
 
-void HybridSystem::on_arrival(int site) { admit(factory_.make(site, sim_.now())); }
+void HybridSystem::on_arrival(int site) {
+  if (!sites_[site].alive) {
+    // A crashed site accepts no new work; the user's request is rejected.
+    ++metrics_.arrivals_rejected;
+    return;
+  }
+  admit(factory_.make(site, sim_.now()));
+}
 
 void HybridSystem::admit(Transaction txn) {
   auto owned = std::make_unique<Transaction>(std::move(txn));
@@ -272,6 +308,7 @@ void HybridSystem::admit(Transaction txn) {
     if (is_rfc(*t)) {
       // Remote-call mode: processing stays home, data stays central.
       ++central_.resident_txns;
+      t->at_central = true;
       rfc_start_run(t);
     } else {
       ship_to_central(t);
@@ -286,6 +323,7 @@ void HybridSystem::admit(Transaction txn) {
     ++metrics_.shipped_class_a;
     ++site_metrics_[t->home_site].shipped_class_a;
     ++home.shipped_in_flight;
+    arm_ship_timeout(t);
     ship_to_central(t);
   } else {
     ++home.resident_txns;
@@ -306,6 +344,7 @@ SystemStateView HybridSystem::make_state_view(int site) const {
   view.shipped_in_flight = s.shipped_in_flight;
   view.last_local_rt = s.last_local_rt;
   view.last_shipped_rt = s.last_shipped_rt;
+  view.central_reachable = central_.alive;
   if (cfg_.ideal_state_info) {
     view.central_info_age = 0.0;
     view.central_cpu_queue = static_cast<int>(central_.cpu->queue_length());
@@ -329,7 +368,7 @@ void HybridSystem::local_start_run(Transaction* txn) {
 }
 
 void HybridSystem::local_after_init(Transaction* txn) {
-  if (txn->is_rerun()) {
+  if (txn->memory_resident) {
     // Re-referenced data is memory resident: skip the setup I/O.
     local_do_call(txn);
   } else {
@@ -383,7 +422,7 @@ void HybridSystem::local_after_call_cpu(Transaction* txn) {
 }
 
 void HybridSystem::local_lock_granted(Transaction* txn) {
-  const bool do_io = !txn->is_rerun() && txn->call_io[txn->call_index];
+  const bool do_io = !txn->memory_resident && txn->call_io[txn->call_index];
   ++txn->call_index;
   if (do_io) {
     wait(cfg_.call_io_time, txn->id, txn->epoch, &HybridSystem::local_do_call);
@@ -542,6 +581,7 @@ void HybridSystem::ship_to_central(Transaction* txn) {
                      send_up(t->home_site, [this, id, epoch] {
                        if (Transaction* t2 = find(id, epoch)) {
                          ++central_.resident_txns;
+                         t2->at_central = true;
                          central_start_run(t2);
                        }
                      });
@@ -554,7 +594,7 @@ void HybridSystem::central_start_run(Transaction* txn) {
 }
 
 void HybridSystem::central_after_init(Transaction* txn) {
-  if (txn->is_rerun()) {
+  if (txn->memory_resident) {
     central_do_call(txn);
   } else {
     wait(cfg_.setup_io_time, txn->id, txn->epoch, &HybridSystem::central_do_call);
@@ -604,7 +644,7 @@ void HybridSystem::central_after_call_cpu(Transaction* txn) {
 }
 
 void HybridSystem::central_lock_granted(Transaction* txn) {
-  const bool do_io = !txn->is_rerun() && txn->call_io[txn->call_index];
+  const bool do_io = !txn->memory_resident && txn->call_io[txn->call_index];
   ++txn->call_index;
   if (do_io) {
     wait(cfg_.call_io_time, txn->id, txn->epoch, &HybridSystem::central_do_call);
@@ -669,6 +709,13 @@ void HybridSystem::local_process_auth(int site, TxnId txn_id, std::uint64_t epoc
   sites_[site].cpu->submit(
       cfg_.site_cpu_seconds(site, cfg_.instr_auth_local),
       [this, site, txn_id, epoch, needs = std::move(needs)] {
+        if (find(txn_id, epoch) == nullptr) {
+          // Requester reclaimed (ship timeout / crash) while this request
+          // was queued: don't grab locks on behalf of a dead auth round.
+          // Unreachable in fault-free runs — a transaction always collects
+          // the full ack set before its epoch can change.
+          return;
+        }
         LockManager& lm = *sites_[site].locks;
 
         // Refuse when any requested entity has in-flight asynchronous
@@ -728,10 +775,12 @@ void HybridSystem::local_process_auth(int site, TxnId txn_id, std::uint64_t epoc
 void HybridSystem::central_auth_ack(TxnId txn_id, std::uint64_t epoch, int site,
                                     bool positive, bool granted) {
   Transaction* txn = find(txn_id, epoch);
-  // The transaction always waits for the full ack set before moving on, so
-  // it must still exist with the same epoch.
-  HLS_ASSERT(txn != nullptr, "auth ack for a missing transaction");
-  HLS_ASSERT(txn->auth_pending_acks > 0, "unexpected auth ack");
+  // Fault-free, the transaction always waits for the full ack set before
+  // moving on; a miss here means a ship timeout or crash reclaimed it while
+  // the ack was in flight, and the reclaim already released its auth holds.
+  if (txn == nullptr || txn->auth_pending_acks <= 0) {
+    return;
+  }
   if (granted) {
     txn->auth_sites.push_back(site);
   }
@@ -816,7 +865,7 @@ void HybridSystem::rfc_start_run(Transaction* txn) {
 }
 
 void HybridSystem::rfc_after_init(Transaction* txn) {
-  if (txn->is_rerun()) {
+  if (txn->memory_resident) {
     rfc_do_call(txn);
   } else {
     wait(cfg_.setup_io_time, txn->id, txn->epoch, &HybridSystem::rfc_do_call);
@@ -881,7 +930,7 @@ void HybridSystem::rfc_central_request(TxnId id, std::uint64_t epoch) {
 void HybridSystem::rfc_central_after_lock(Transaction* txn) {
   // The data call's I/O happens at the central copy, then the reply goes
   // home (the home-site CPU books the reply handling).
-  const bool do_io = !txn->is_rerun() && txn->call_io[txn->call_index];
+  const bool do_io = !txn->memory_resident && txn->call_io[txn->call_index];
   const double io = do_io ? cfg_.call_io_time : 0.0;
   sim_.schedule_after(io, [this, id = txn->id, epoch = txn->epoch] {
     Transaction* t = find(id, epoch);
@@ -940,6 +989,297 @@ void HybridSystem::rfc_central_commit(Transaction* txn) {
 }
 
 // --------------------------------------------------------------------------
+// fault injection
+//
+// Failure semantics (docs/PROTOCOL.md "Failure model"):
+//   * A crashed node processes nothing; messages delivered to it queue in a
+//     backlog replayed in arrival order at recovery, so FIFO coherence /
+//     authentication ordering survives the outage and nothing is lost.
+//   * A central crash aborts every resident transaction (shipped class A,
+//     class B, and the central half of remote-call class B). Their restart
+//     is deferred to recovery, after the backlog replay. Crash restarts pay
+//     their I/O again (memory contents are gone).
+//   * A site crash aborts only the class A transactions running locally;
+//     the site's lock/coherence tables are stable storage and survive, so
+//     authentication holds and coherence counts held on behalf of central
+//     transactions remain valid across the outage.
+//   * Reclaim cleanup (crash or ship timeout) releases the victim's
+//     authentication grabs at every master site it could have contacted —
+//     the failure-detector shortcut; FIFO links + FCFS CPUs guarantee the
+//     cleanup lands before any retry's new authentication round.
+
+void HybridSystem::schedule_fault_transitions() {
+  const FaultSchedule schedule(cfg_.faults, cfg_.num_sites, rng_.fork());
+  Rng link_rng = rng_.fork();
+  for (SiteState& site : sites_) {
+    site.up->set_fault_rng(link_rng.fork());
+    site.down->set_fault_rng(link_rng.fork());
+  }
+  for (const FaultTransition& tr : schedule.transitions()) {
+    sim_.schedule_at(tr.time, [this, tr] { apply_fault_transition(tr); });
+  }
+}
+
+void HybridSystem::apply_fault_transition(const FaultTransition& tr) {
+  const int lo = tr.site < 0 ? 0 : tr.site;
+  const int hi = tr.site < 0 ? cfg_.num_sites - 1 : tr.site;
+  switch (tr.kind) {
+    case FaultKind::CentralOutage:
+      if (tr.begin) {
+        central_crash();
+      } else {
+        central_recover();
+      }
+      return;
+    case FaultKind::SiteOutage:
+      for (int s = lo; s <= hi; ++s) {
+        if (tr.begin) {
+          site_crash(s);
+        } else {
+          site_recover(s);
+        }
+      }
+      return;
+    case FaultKind::LinkOutage:
+      for (int s = lo; s <= hi; ++s) {
+        sites_[s].up->set_up(!tr.begin);
+        sites_[s].down->set_up(!tr.begin);
+      }
+      return;
+    case FaultKind::LinkDegrade:
+      for (int s = lo; s <= hi; ++s) {
+        sites_[s].up->set_delay_factor(tr.begin ? tr.delay_factor : 1.0);
+        sites_[s].down->set_delay_factor(tr.begin ? tr.delay_factor : 1.0);
+        sites_[s].up->set_loss(tr.begin ? tr.loss_prob : 0.0);
+        sites_[s].down->set_loss(tr.begin ? tr.loss_prob : 0.0);
+      }
+      return;
+  }
+  HLS_ASSERT(false, "unknown fault transition kind");
+}
+
+void HybridSystem::central_crash() {
+  if (!central_.alive) {
+    return;  // overlapping outage windows coalesce
+  }
+  central_.alive = false;
+  ++metrics_.central_crashes;
+
+  // Sort the victims so the crash processing order (and therefore every
+  // downstream event) is independent of unordered_map iteration order.
+  std::vector<TxnId> victims;
+  for (const auto& entry : live_) {
+    if (entry.second->at_central) {
+      victims.push_back(entry.first);
+    }
+  }
+  std::sort(victims.begin(), victims.end());
+  HLS_ASSERT(static_cast<int>(victims.size()) == central_.resident_txns,
+             "central residency disagrees with at_central flags");
+
+  // Two passes: bump every victim's epoch first so that releasing one
+  // victim's locks cannot re-awaken another victim through a grant callback
+  // carrying a still-valid epoch.
+  for (TxnId id : victims) {
+    Transaction* txn = live_.find(id)->second.get();
+    txn->at_central = false;
+    prepare_rerun(txn, AbortCause::Crash);
+    txn->memory_resident = false;  // the crash wiped central memory
+    central_.recovery_queue.emplace_back(id, txn->epoch);
+  }
+  for (TxnId id : victims) {
+    Transaction* txn = live_.find(id)->second.get();
+    central_.locks->release_all(id);
+    release_auth_holds_everywhere(txn);
+  }
+  central_.resident_txns = 0;
+  HLS_ASSERT(central_.locks->locks_held() == 0,
+             "crashed central complex still holds locks");
+}
+
+void HybridSystem::central_recover() {
+  if (central_.alive) {
+    return;
+  }
+  central_.alive = true;
+  ++metrics_.central_recoveries;
+
+  // Replay the message backlog in arrival order before restarting any
+  // aborted resident: coherence updates and fresh shipped arrivals observe
+  // the same FIFO order they would have without the outage.
+  std::vector<std::function<void()>> backlog;
+  backlog.swap(central_.backlog);
+  metrics_.backlog_replayed += backlog.size();
+  for (std::function<void()>& cb : backlog) {
+    cb();
+  }
+
+  std::vector<std::pair<TxnId, std::uint64_t>> queue;
+  queue.swap(central_.recovery_queue);
+  for (const auto& [id, epoch] : queue) {
+    Transaction* txn = find(id, epoch);
+    if (txn == nullptr) {
+      continue;  // reclaimed by its home site's ship timeout meanwhile
+    }
+    ++central_.resident_txns;
+    txn->at_central = true;
+    schedule_central_restart(txn);
+  }
+}
+
+void HybridSystem::site_crash(int site) {
+  SiteState& s = sites_[site];
+  if (!s.alive) {
+    return;
+  }
+  s.alive = false;
+  ++metrics_.site_crashes;
+
+  // Only the class A transactions executing locally crash with the site.
+  // Shipped work from this site keeps running at central (its response will
+  // queue in the backlog), and remote-call class B rides out the outage the
+  // same way: its in-flight messages park until recovery.
+  std::vector<TxnId> victims;
+  for (const auto& entry : live_) {
+    const Transaction& txn = *entry.second;
+    if (txn.cls == TxnClass::A && txn.route == Route::Local &&
+        txn.home_site == site) {
+      victims.push_back(entry.first);
+    }
+  }
+  std::sort(victims.begin(), victims.end());
+  for (TxnId id : victims) {
+    Transaction* txn = live_.find(id)->second.get();
+    prepare_rerun(txn, AbortCause::Crash);
+    txn->memory_resident = false;
+    s.recovery_queue.emplace_back(id, txn->epoch);
+  }
+  // Victims release their concurrency locks; authentication holds and
+  // coherence counts (owned by central transactions / the update protocol)
+  // live in stable storage and survive the outage.
+  for (TxnId id : victims) {
+    s.locks->release_all(id);
+  }
+}
+
+void HybridSystem::site_recover(int site) {
+  SiteState& s = sites_[site];
+  if (s.alive) {
+    return;
+  }
+  s.alive = true;
+  ++metrics_.site_recoveries;
+
+  std::vector<std::function<void()>> backlog;
+  backlog.swap(s.backlog);
+  metrics_.backlog_replayed += backlog.size();
+  for (std::function<void()>& cb : backlog) {
+    cb();
+  }
+
+  std::vector<std::pair<TxnId, std::uint64_t>> queue;
+  queue.swap(s.recovery_queue);
+  for (const auto& [id, epoch] : queue) {
+    if (Transaction* txn = find(id, epoch)) {
+      local_start_run(txn);
+    }
+  }
+}
+
+void HybridSystem::release_auth_holds_everywhere(Transaction* txn) {
+  // txn->auth_sites only lists sites whose positive ack already arrived; a
+  // site whose grant is still in flight holds locks too. Recompute the full
+  // master-site set from the access pattern and release unconditionally
+  // (release_all is a no-op where nothing is held).
+  std::vector<int> owners;
+  for (const LockNeed& need : txn->locks) {
+    const int owner = cfg_.owner_site(need.id);
+    if (std::find(owners.begin(), owners.end(), owner) == owners.end()) {
+      owners.push_back(owner);
+    }
+  }
+  for (int site : owners) {
+    auto expire = [this, site, id = txn->id] {
+      sites_[site].cpu->submit(
+          cfg_.site_cpu_seconds(site, cfg_.instr_commit_apply_local),
+          [this, site, id] { sites_[site].locks->release_all(id); });
+    };
+    if (site == txn->home_site && sites_[site].alive) {
+      // The failure detector runs at the home site, co-located with this
+      // lock table: expire its holds without a link hop. Riding the link
+      // would race a timeout fallback's local rerun — the cleanup could land
+      // mid-run and strip a lock the rerun legitimately re-acquired under
+      // the same transaction id. The CPU job still queues FCFS ahead of the
+      // rerun's initiation burst, so the release is ordered before any
+      // re-acquisition.
+      expire();
+    } else {
+      send_down(site, std::move(expire));
+    }
+  }
+  txn->auth_sites.clear();
+}
+
+void HybridSystem::arm_ship_timeout(Transaction* txn) {
+  if (cfg_.ship_timeout <= 0.0) {
+    return;  // timeouts disabled: schedule nothing (byte parity)
+  }
+  double delay = cfg_.ship_timeout;
+  for (int i = 0; i < txn->ship_retries; ++i) {
+    delay *= cfg_.ship_backoff;
+  }
+  // Keyed on ship_attempt, not epoch: central-side reruns bump the epoch but
+  // the home site's timer must keep covering them; only a reclaim (which
+  // bumps ship_attempt) or completion disarms it.
+  sim_.schedule_after(delay, [this, id = txn->id, attempt = txn->ship_attempt] {
+    on_ship_timeout(id, attempt);
+  });
+}
+
+void HybridSystem::on_ship_timeout(TxnId id, std::uint64_t attempt) {
+  auto it = live_.find(id);
+  if (it == live_.end() || it->second->ship_attempt != attempt) {
+    return;  // completed, or superseded by an earlier reclaim
+  }
+  Transaction* txn = it->second.get();
+  HLS_ASSERT(txn->route == Route::Central, "ship timeout on a local transaction");
+  if (!sites_[txn->home_site].alive) {
+    // The failure detector lives at the home site and crashed with it. The
+    // central execution proceeds (or waits out a central outage) normally.
+    return;
+  }
+  ++metrics_.ship_timeouts;
+  ++txn->ship_attempt;
+
+  // Reclaim the central incarnation — it may be dead (crash, lost link) or
+  // merely slow; the home-site failure detector cannot tell the difference.
+  if (txn->at_central) {
+    txn->at_central = false;
+    --central_.resident_txns;
+  }
+  prepare_rerun(txn, AbortCause::ShipTimeout);
+  txn->memory_resident = false;
+  central_.locks->release_all(txn->id);
+  release_auth_holds_everywhere(txn);
+
+  if (txn->ship_retries < cfg_.ship_max_retries) {
+    ++txn->ship_retries;
+    ++metrics_.ship_retries;
+    arm_ship_timeout(txn);  // backoff: next timeout is ship_backoff x longer
+    ship_to_central(txn);
+    return;
+  }
+  // Retry budget exhausted: fall back to local execution. The transaction
+  // moves from the shipped to the local books and keeps its abort history.
+  ++metrics_.ship_fallbacks;
+  SiteState& home = sites_[txn->home_site];
+  --home.shipped_in_flight;
+  ++home.resident_txns;
+  txn->route = Route::Local;
+  local_start_run(txn);
+}
+
+// --------------------------------------------------------------------------
 // accessors
 
 const LockManager& HybridSystem::local_locks(int site) const {
@@ -967,25 +1307,52 @@ int HybridSystem::shipped_in_flight(int site) const {
   return sites_[site].shipped_in_flight;
 }
 
+bool HybridSystem::site_up(int site) const {
+  HLS_ASSERT(site >= 0 && site < cfg_.num_sites, "site index out of range");
+  return sites_[site].alive;
+}
+
 void HybridSystem::check_invariants() const {
   central_.locks->check_invariants();
   HLS_ASSERT(central_.resident_txns >= 0, "negative central residency");
-  int resident = 0;
-  int shipped = 0;
+
+  // Recount the residency books from the live transaction set. These are
+  // exact cross-checks, not inequalities: every counter must equal the
+  // number of live transactions in the matching state.
+  int expect_central = 0;
+  std::vector<int> expect_resident(sites_.size(), 0);
+  std::vector<int> expect_shipped(sites_.size(), 0);
+  for (const auto& entry : live_) {
+    const Transaction& txn = *entry.second;
+    if (txn.at_central) {
+      ++expect_central;
+    }
+    if (txn.cls == TxnClass::A) {
+      if (txn.route == Route::Local) {
+        ++expect_resident[static_cast<std::size_t>(txn.home_site)];
+      } else {
+        ++expect_shipped[static_cast<std::size_t>(txn.home_site)];
+      }
+    }
+  }
+  HLS_ASSERT(central_.resident_txns == expect_central,
+             "central residency disagrees with live transaction states");
   for (const SiteState& site : sites_) {
     site.locks->check_invariants();
-    HLS_ASSERT(site.resident_txns >= 0, "negative site residency");
-    HLS_ASSERT(site.shipped_in_flight >= 0, "negative shipped count");
-    resident += site.resident_txns;
-    shipped += site.shipped_in_flight;
+    const auto s = static_cast<std::size_t>(site.index);
+    HLS_ASSERT(site.resident_txns == expect_resident[s],
+               "site residency disagrees with live transaction states");
+    HLS_ASSERT(site.shipped_in_flight == expect_shipped[s],
+               "shipped_in_flight disagrees with live transaction states");
+    if (site.alive) {
+      HLS_ASSERT(site.backlog.empty() && site.recovery_queue.empty(),
+                 "live site has unreplayed backlog or recovery queue");
+    }
   }
-  // Every live transaction is accounted for somewhere: running locally,
-  // resident at central, or in flight toward the central site.
-  HLS_ASSERT(static_cast<int>(live_.size()) >= resident,
-             "more resident transactions than live ones");
-  HLS_ASSERT(static_cast<int>(live_.size()) >=
-                 resident + central_.resident_txns,
-             "residency bookkeeping exceeds live transactions");
+  if (central_.alive) {
+    HLS_ASSERT(central_.backlog.empty() && central_.recovery_queue.empty(),
+               "live central complex has unreplayed backlog or recovery queue");
+  }
 }
 
 }  // namespace hls

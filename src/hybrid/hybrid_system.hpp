@@ -111,6 +111,8 @@ class HybridSystem {
   [[nodiscard]] int central_resident() const { return central_.resident_txns; }
   [[nodiscard]] int local_resident(int site) const;
   [[nodiscard]] int shipped_in_flight(int site) const;
+  [[nodiscard]] bool central_up() const { return central_.alive; }
+  [[nodiscard]] bool site_up(int site) const;
   [[nodiscard]] int live_transactions() const {
     return static_cast<int>(live_.size());
   }
@@ -156,12 +158,23 @@ class HybridSystem {
     // Asynchronous-update batching (config::async_batch_window > 0).
     std::vector<LockId> pending_updates;
     bool flush_armed = false;
+    // Fault state: while the site's DB is down, inbound deliveries queue in
+    // `backlog` and crashed local transactions wait in `recovery_queue`.
+    bool alive = true;
+    std::vector<std::function<void()>> backlog;
+    std::vector<std::pair<TxnId, std::uint64_t>> recovery_queue;
   };
 
   struct CentralState {
     std::unique_ptr<FcfsResource> cpu;
     std::unique_ptr<LockManager> locks;
     int resident_txns = 0;  ///< class B + shipped class A currently at central
+    // Fault state (same shape as SiteState): the backlog preserves the §2
+    // FIFO requirement across an outage — it replays in arrival order at
+    // recovery, before any aborted resident restarts.
+    bool alive = true;
+    std::vector<std::function<void()>> backlog;
+    std::vector<std::pair<TxnId, std::uint64_t>> recovery_queue;
   };
 
   // ---- plumbing ----
@@ -235,6 +248,23 @@ class HybridSystem {
   void release_auth_grants(Transaction* txn);
   void central_abort_rerun(Transaction* txn, AbortCause cause,
                            bool release_everything);
+
+  // ---- fault injection ----
+  /// Expands cfg_.faults into simulator events (constructor; only when the
+  /// schedule is non-empty, so fault-free runs fork no extra RNG streams).
+  void schedule_fault_transitions();
+  void apply_fault_transition(const FaultTransition& tr);
+  void central_crash();
+  void central_recover();
+  void site_crash(int site);
+  void site_recover(int site);
+  /// Failure-detector cleanup: expires this transaction's authentication
+  /// grabs at every master site it could have contacted (acked or not).
+  void release_auth_holds_everywhere(Transaction* txn);
+  /// Arms the home-site timeout for a shipped class A transaction (no-op
+  /// when cfg_.ship_timeout is 0); the delay backs off per retry.
+  void arm_ship_timeout(Transaction* txn);
+  void on_ship_timeout(TxnId id, std::uint64_t attempt);
 
   // ---- asynchronous update propagation ----
   /// Entry point from local commit: ships immediately, or appends to the

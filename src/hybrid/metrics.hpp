@@ -24,7 +24,7 @@ struct TxnCompletionRecord {
   double completion_time = 0.0;
   double response_time = 0.0;
   int runs = 1;  ///< total executions (1 = committed first try)
-  int aborts[static_cast<int>(AbortCause::kCount)] = {0, 0, 0, 0};
+  int aborts[static_cast<int>(AbortCause::kCount)] = {};
 };
 
 /// Per-site breakdown, maintained alongside the global Metrics.
@@ -60,12 +60,23 @@ struct Metrics {
   std::uint64_t completions_local_a = 0;
   std::uint64_t completions_shipped_a = 0;
   std::uint64_t completions_class_b = 0;
-  std::uint64_t aborts[static_cast<int>(AbortCause::kCount)] = {0, 0, 0, 0};
+  std::uint64_t aborts[static_cast<int>(AbortCause::kCount)] = {};
   std::uint64_t reruns = 0;  ///< total re-executions (= sum of aborts)
   std::uint64_t async_updates_sent = 0;
   std::uint64_t auth_rounds = 0;
   std::uint64_t auth_negative_acks = 0;
   int max_reruns_seen = 0;
+
+  // ---- fault handling (all zero without fault injection) ----
+  std::uint64_t ship_timeouts = 0;    ///< shipped-txn timeout expiries
+  std::uint64_t ship_retries = 0;     ///< reships after a timeout
+  std::uint64_t ship_fallbacks = 0;   ///< retry budget exhausted; ran locally
+  std::uint64_t central_crashes = 0;
+  std::uint64_t central_recoveries = 0;
+  std::uint64_t site_crashes = 0;
+  std::uint64_t site_recoveries = 0;
+  std::uint64_t backlog_replayed = 0;   ///< messages replayed at recovery
+  std::uint64_t arrivals_rejected = 0;  ///< arrivals at a crashed site
 
   // ---- window ----
   double measure_start = 0.0;

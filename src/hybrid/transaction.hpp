@@ -24,6 +24,8 @@ enum class AbortCause : std::uint8_t {
   CentralInvalidated,///< central txn's lock invalidated by an async update
   AuthRefused,       ///< authentication negative-acked (coherence in flight)
   Deadlock,          ///< waits-for cycle at one site
+  ShipTimeout,       ///< shipped txn reclaimed by its home site's timeout
+  Crash,             ///< resident at a site/central complex that crashed
   kCount,
 };
 
@@ -60,8 +62,16 @@ struct Transaction {
   bool auth_any_negative = false;
   std::vector<int> auth_sites;  ///< sites granted auth locks this round
 
+  // ---- fault-handling state ----
+  int ship_retries = 0;            ///< timeout-triggered reships so far
+  std::uint64_t ship_attempt = 0;  ///< bumped per reclaim; guards stale timeouts
+  bool at_central = false;         ///< currently counted in central residency
+  /// A rerun normally finds its data cached and skips all I/O (§3.1); a
+  /// crash or timeout restart lost that memory and pays the I/O again.
+  bool memory_resident = false;
+
   // ---- per-txn statistics ----
-  int aborts[static_cast<int>(AbortCause::kCount)] = {0, 0, 0, 0};
+  int aborts[static_cast<int>(AbortCause::kCount)] = {};
 
   [[nodiscard]] bool is_rerun() const { return run_count > 0; }
 

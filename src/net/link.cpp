@@ -14,8 +14,26 @@ Link::Link(Simulator& sim, double delay_seconds, std::string name)
 
 void Link::send(Deliver deliver) {
   ++sent_;
+  if (!up_) {
+    held_.push_back(std::move(deliver));
+    return;
+  }
+  dispatch(std::move(deliver));
+}
+
+void Link::dispatch(Deliver deliver) {
+  double delay = delay_ * delay_factor_;
+  if (loss_prob_ > 0.0) {
+    // Loss is modeled as retransmission: every lost attempt is detected and
+    // resent, costing one more link delay. The protocol requires eventual
+    // in-order delivery, so the message itself is never dropped.
+    while (fault_rng_.bernoulli(loss_prob_)) {
+      ++retransmitted_;
+      delay += delay_ * delay_factor_;
+    }
+  }
   // FIFO hold-back: never deliver before a previously sent message.
-  const SimTime at = std::max(sim_.now() + delay_, last_delivery_time_);
+  const SimTime at = std::max(sim_.now() + delay, last_delivery_time_);
   last_delivery_time_ = at;
   sim_.schedule_at(at, [this, cb = std::move(deliver)]() mutable {
     ++delivered_;
@@ -26,6 +44,31 @@ void Link::send(Deliver deliver) {
 void Link::set_delay(double delay_seconds) {
   HLS_ASSERT(delay_seconds >= 0.0, "link delay must be non-negative");
   delay_ = delay_seconds;
+}
+
+void Link::set_up(bool up) {
+  if (up == up_) {
+    return;
+  }
+  up_ = up;
+  if (up_) {
+    std::vector<Deliver> held;
+    held.swap(held_);
+    for (Deliver& cb : held) {
+      dispatch(std::move(cb));
+    }
+  }
+}
+
+void Link::set_delay_factor(double factor) {
+  HLS_ASSERT(factor >= 0.0, "link delay factor must be non-negative");
+  delay_factor_ = factor;
+}
+
+void Link::set_loss(double loss_prob) {
+  HLS_ASSERT(loss_prob >= 0.0 && loss_prob < 1.0,
+             "link loss probability must be in [0, 1)");
+  loss_prob_ = loss_prob;
 }
 
 }  // namespace hls

@@ -8,13 +8,24 @@
 // the order that they were originated"). Link enforces FIFO delivery even
 // if the delay is changed mid-run: a message is never delivered before one
 // sent earlier on the same link.
+//
+// Fault injection (sim/fault_schedule) adds three degradations, all of which
+// preserve FIFO order and eventual delivery — the coherence and
+// authentication machinery cannot tolerate a message that never arrives:
+//   * down state: messages sent while the link is down are held and released
+//     in order at recovery (messages already on the wire still deliver);
+//   * a delay multiplier for subsequent sends;
+//   * per-message loss, modeled as retransmission — each lost attempt costs
+//     one extra link delay before the message finally gets through.
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <string>
+#include <vector>
 
 #include "sim/simulator.hpp"
+#include "util/random.hpp"
 
 namespace hls {
 
@@ -28,7 +39,8 @@ class Link {
   Link& operator=(const Link&) = delete;
 
   /// Sends a message: `deliver` fires after the propagation delay, after all
-  /// previously sent messages on this link have been delivered.
+  /// previously sent messages on this link have been delivered. While the
+  /// link is down the message is held and dispatched at recovery.
   void send(Deliver deliver);
 
   [[nodiscard]] double delay() const { return delay_; }
@@ -37,18 +49,50 @@ class Link {
   /// messages keep their delivery times; FIFO order is still preserved.
   void set_delay(double delay_seconds);
 
+  /// Takes the link down (held messages queue up) or brings it back up
+  /// (held messages dispatch immediately, in send order). Messages already
+  /// in flight when the link goes down still deliver on time.
+  void set_up(bool up);
+  [[nodiscard]] bool is_up() const { return up_; }
+
+  /// Multiplier on the propagation delay for subsequent sends (degraded
+  /// link); 1.0 restores the nominal delay.
+  void set_delay_factor(double factor);
+  [[nodiscard]] double delay_factor() const { return delay_factor_; }
+
+  /// Per-message loss probability in [0, 1). A lost attempt is detected and
+  /// retransmitted, adding one (possibly degraded) link delay per loss, so
+  /// delivery remains guaranteed and in order. Draws come from the RNG
+  /// installed via set_fault_rng; with loss 0 no random numbers are consumed.
+  void set_loss(double loss_prob);
+
+  /// Installs the RNG stream used for loss draws (seed-forked by the owner).
+  void set_fault_rng(Rng rng) { fault_rng_ = rng; }
+
   [[nodiscard]] std::uint64_t messages_sent() const { return sent_; }
   [[nodiscard]] std::uint64_t messages_delivered() const { return delivered_; }
   [[nodiscard]] std::uint64_t messages_in_flight() const { return sent_ - delivered_; }
+  [[nodiscard]] std::uint64_t messages_held() const { return held_.size(); }
+  [[nodiscard]] std::uint64_t messages_retransmitted() const { return retransmitted_; }
   [[nodiscard]] const std::string& name() const { return name_; }
 
  private:
+  /// Schedules a message for delivery (loss/degrade applied, FIFO held back).
+  void dispatch(Deliver deliver);
+
   Simulator& sim_;
   double delay_;
   std::string name_;
   SimTime last_delivery_time_ = 0.0;
   std::uint64_t sent_ = 0;
   std::uint64_t delivered_ = 0;
+  // ---- fault state ----
+  bool up_ = true;
+  double delay_factor_ = 1.0;
+  double loss_prob_ = 0.0;
+  std::uint64_t retransmitted_ = 0;
+  std::vector<Deliver> held_;  ///< messages sent while down, in send order
+  Rng fault_rng_;              ///< consumed only when loss_prob_ > 0
 };
 
 }  // namespace hls

@@ -5,14 +5,17 @@
 #include "model/static_optimizer.hpp"
 #include "routing/analytic_strategies.hpp"
 #include "routing/basic_strategies.hpp"
+#include "routing/failure_aware.hpp"
 #include "routing/heuristics.hpp"
 #include "util/assert.hpp"
 
 namespace hls {
 
-std::unique_ptr<RoutingStrategy> make_strategy(const StrategySpec& spec,
-                                               const ModelParams& base,
-                                               std::uint64_t seed) {
+namespace {
+
+std::unique_ptr<RoutingStrategy> make_base_strategy(const StrategySpec& spec,
+                                                    const ModelParams& base,
+                                                    std::uint64_t seed) {
   switch (spec.kind) {
     case StrategyKind::NoLoadSharing:
       return std::make_unique<AlwaysLocalStrategy>();
@@ -43,7 +46,36 @@ std::unique_ptr<RoutingStrategy> make_strategy(const StrategySpec& spec,
   return nullptr;
 }
 
+}  // namespace
+
+std::unique_ptr<RoutingStrategy> make_strategy(const StrategySpec& spec,
+                                               const ModelParams& base,
+                                               std::uint64_t seed) {
+  std::unique_ptr<RoutingStrategy> strategy = make_base_strategy(spec, base, seed);
+  if (spec.failure_aware) {
+    strategy = std::make_unique<FailureAwareStrategy>(std::move(strategy),
+                                                      spec.failsafe_max_info_age);
+  }
+  return strategy;
+}
+
 StrategySpec parse_strategy_spec(const std::string& text) {
+  if (text.rfind("failsafe", 0) == 0) {
+    // "failsafe:<inner>" or "failsafe@<max_info_age>:<inner>".
+    const auto colon = text.find(':');
+    HLS_ASSERT(colon != std::string::npos, "failsafe needs an inner strategy");
+    double max_info_age = 0.0;
+    const std::string head = text.substr(0, colon);
+    if (head.size() > 8) {
+      HLS_ASSERT(head[8] == '@', "unknown strategy name");
+      max_info_age = std::stod(head.substr(9));
+      HLS_ASSERT(max_info_age >= 0.0, "negative failsafe staleness limit");
+    }
+    StrategySpec spec = parse_strategy_spec(text.substr(colon + 1));
+    spec.failure_aware = true;
+    spec.failsafe_max_info_age = max_info_age;
+    return spec;
+  }
   const auto colon = text.find(':');
   const std::string head = text.substr(0, colon);
   const double param =

@@ -30,6 +30,11 @@ struct StrategySpec {
   StrategyKind kind = StrategyKind::NoLoadSharing;
   /// p_ship for StaticProbability, threshold for UtilThreshold.
   double parameter = 0.0;
+  /// Wrap the strategy in FailureAwareStrategy (degrade to local-only while
+  /// the central complex is down or the state information is stale).
+  bool failure_aware = false;
+  /// Staleness limit for the wrapper, seconds; 0 = reachability signal only.
+  double failsafe_max_info_age = 0.0;
 };
 
 /// Builds a strategy. `base` supplies the model parameters for the analytic
@@ -41,7 +46,10 @@ struct StrategySpec {
 /// Parses "no-load-sharing", "static-optimal", "static:0.3",
 /// "measured-rt", "queue-length", "util-threshold:-0.2",
 /// "min-incoming-queue", "min-incoming-nsys", "min-average-queue",
-/// "min-average-nsys", "always-central". Aborts on unknown names.
+/// "min-average-nsys", "always-central". A "failsafe:" or
+/// "failsafe@<max_info_age>:" prefix wraps the inner strategy in
+/// FailureAwareStrategy (e.g. "failsafe:min-average-nsys",
+/// "failsafe@2.5:queue-length"). Aborts on unknown names.
 [[nodiscard]] StrategySpec parse_strategy_spec(const std::string& text);
 
 /// All strategy kinds in presentation order with display labels.

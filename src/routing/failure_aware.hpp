@@ -1,0 +1,59 @@
+// Failure-aware wrapper: degrades any routing strategy to local-only while
+// the central complex looks unusable, and hands control back as soon as it
+// recovers.
+//
+// Two signals trigger the degradation:
+//   * the failure detector reports the central complex down
+//     (SystemStateView::central_reachable, wired from fault injection), or
+//   * the site's central-state information is older than `max_info_age`
+//     seconds (0 disables the staleness check). Stale information means the
+//     message traffic that refreshes it has stopped flowing — an outage the
+//     detector has not confirmed yet, or a badly degraded link.
+//
+// Shipping into a dead or unreachable central complex costs the shipped
+// transaction the full timeout/retry ladder before the local fallback saves
+// it; routing around the outage avoids that entirely. Header-only so it can
+// wrap strategies from any layer without adding a dependency edge.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "routing/strategy.hpp"
+#include "util/assert.hpp"
+
+namespace hls {
+
+class FailureAwareStrategy final : public RoutingStrategy {
+ public:
+  explicit FailureAwareStrategy(std::unique_ptr<RoutingStrategy> inner,
+                                double max_info_age = 0.0)
+      : inner_(std::move(inner)), max_info_age_(max_info_age) {
+    HLS_ASSERT(inner_ != nullptr, "FailureAwareStrategy requires a strategy");
+    HLS_ASSERT(max_info_age_ >= 0.0, "negative staleness limit");
+  }
+
+  Route decide(const Transaction& txn, const SystemStateView& view) override {
+    if (!view.central_reachable) {
+      return Route::Local;
+    }
+    if (max_info_age_ > 0.0 && !view.config->ideal_state_info &&
+        view.central_info_age > max_info_age_) {
+      return Route::Local;
+    }
+    return inner_->decide(txn, view);
+  }
+
+  [[nodiscard]] std::string name() const override {
+    return "failsafe(" + inner_->name() + ")";
+  }
+
+  [[nodiscard]] const RoutingStrategy& inner() const { return *inner_; }
+
+ private:
+  std::unique_ptr<RoutingStrategy> inner_;
+  double max_info_age_;  ///< seconds; 0 = reachability signal only
+};
+
+}  // namespace hls

@@ -36,6 +36,9 @@ struct SystemStateView {
   int central_cpu_queue = 0;      ///< q_c
   int central_num_txns = 0;       ///< n_c (resident at central)
   int central_locks_held = 0;     ///< holds in the central lock table
+
+  // ---- failure detection (fault injection; always true without it) ----
+  bool central_reachable = true;  ///< central complex currently up
 };
 
 class RoutingStrategy {

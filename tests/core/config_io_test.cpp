@@ -104,5 +104,69 @@ TEST(ConfigIo, EveryDescribedKeyIsAccepted) {
   }
 }
 
+TEST(ConfigIo, FaultWindowsAccumulateAndClear) {
+  SystemConfig cfg;
+  EXPECT_TRUE(apply_config_override(cfg, "fault=central_outage:10:2"));
+  EXPECT_TRUE(apply_config_override(cfg, "fault=link_degrade:3:5:10:4:0.25"));
+  ASSERT_EQ(cfg.faults.windows.size(), 2u);
+  EXPECT_EQ(cfg.faults.windows[0].kind, FaultKind::CentralOutage);
+  EXPECT_EQ(cfg.faults.windows[1].kind, FaultKind::LinkDegrade);
+  EXPECT_EQ(cfg.faults.windows[1].site, 3);
+  EXPECT_DOUBLE_EQ(cfg.faults.windows[1].delay_factor, 4.0);
+  EXPECT_DOUBLE_EQ(cfg.faults.windows[1].loss_prob, 0.25);
+  EXPECT_TRUE(apply_config_override(cfg, "fault=clear"));
+  EXPECT_TRUE(cfg.faults.windows.empty());
+}
+
+TEST(ConfigIo, FaultAndShipKeysRejectBadValues) {
+  SystemConfig cfg;
+  std::string error;
+  EXPECT_FALSE(apply_config_override(cfg, "fault=central_outage:bad", &error));
+  EXPECT_NE(error.find("fault: "), std::string::npos);
+  EXPECT_FALSE(apply_config_override(cfg, "ship_timeout=-1", &error));
+  EXPECT_NE(error.find("non-negative"), std::string::npos);
+  EXPECT_FALSE(apply_config_override(cfg, "ship_backoff=0.5", &error));
+  EXPECT_NE(error.find("at least 1"), std::string::npos);
+  EXPECT_FALSE(apply_config_override(cfg, "ship_max_retries=-2", &error));
+}
+
+TEST(ConfigIo, FaultConfigRoundTripsThroughDescribe) {
+  SystemConfig cfg;
+  cfg.ship_timeout = 1.5;
+  cfg.ship_backoff = 3.0;
+  cfg.ship_max_retries = 4;
+  cfg.faults.windows.push_back({FaultKind::SiteOutage, 2, 10.0, 1.0, 1.0, 0.0});
+  cfg.faults.windows.push_back({FaultKind::LinkDegrade, -1, 0.0, 50.0, 2.0, 0.1});
+  cfg.faults.random_link_outage_rate = 0.01;
+  cfg.faults.random_link_outage_mean = 2.0;
+  cfg.faults.random_horizon = 400.0;
+  std::ostringstream out;
+  describe_config(out, cfg);
+  std::istringstream in(out.str());
+  const auto parsed = parse_config_file(in, SystemConfig{});
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_DOUBLE_EQ(parsed->ship_timeout, 1.5);
+  EXPECT_DOUBLE_EQ(parsed->ship_backoff, 3.0);
+  EXPECT_EQ(parsed->ship_max_retries, 4);
+  ASSERT_EQ(parsed->faults.windows.size(), 2u);
+  EXPECT_EQ(parsed->faults.windows[0].kind, FaultKind::SiteOutage);
+  EXPECT_EQ(parsed->faults.windows[0].site, 2);
+  EXPECT_DOUBLE_EQ(parsed->faults.windows[1].loss_prob, 0.1);
+  EXPECT_DOUBLE_EQ(parsed->faults.random_link_outage_rate, 0.01);
+  EXPECT_DOUBLE_EQ(parsed->faults.random_horizon, 400.0);
+}
+
+TEST(ConfigIo, FaultSiteRangeIsValidatedAfterWholeFile) {
+  // num_sites appears after the fault line; validation must still see the
+  // final value and reject the out-of-range site.
+  std::istringstream in("fault=site_outage:5:1:2\nnum_sites=3\n");
+  std::string error;
+  EXPECT_FALSE(parse_config_file(in, SystemConfig{}, &error).has_value());
+  EXPECT_NE(error.find("fault schedule:"), std::string::npos);
+
+  std::istringstream ok("fault=site_outage:5:1:2\nnum_sites=8\n");
+  EXPECT_TRUE(parse_config_file(ok, SystemConfig{}).has_value());
+}
+
 }  // namespace
 }  // namespace hls

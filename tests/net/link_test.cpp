@@ -76,6 +76,121 @@ TEST(Link, DelayAccessors) {
   EXPECT_EQ(link.name(), "mylink");
 }
 
+TEST(Link, ExactTimingAcrossDelayChangeAndIdlePeriod) {
+  // Pins the FIFO hold-back behavior: the delivery floor left behind by an
+  // old slow message must not delay traffic sent after an idle gap.
+  Simulator sim;
+  Link link(sim, 1.0, "l");
+  std::vector<std::pair<int, double>> deliveries;
+  sim.schedule_at(0.0, [&] {
+    link.send([&] { deliveries.emplace_back(0, sim.now()); });  // arrives 1.0
+    link.set_delay(0.1);
+  });
+  sim.schedule_at(0.05, [&] {
+    // Raw delay would land this at 0.15; FIFO holds it back to 1.0.
+    link.send([&] { deliveries.emplace_back(1, sim.now()); });
+  });
+  sim.schedule_at(5.0, [&] {
+    // After an idle period the stale floor (1.0) is in the past: delivery is
+    // exactly send time + current delay.
+    link.send([&] { deliveries.emplace_back(2, sim.now()); });
+  });
+  sim.run();
+  ASSERT_EQ(deliveries.size(), 3u);
+  EXPECT_EQ(deliveries[0].first, 0);
+  EXPECT_DOUBLE_EQ(deliveries[0].second, 1.0);
+  EXPECT_EQ(deliveries[1].first, 1);
+  EXPECT_DOUBLE_EQ(deliveries[1].second, 1.0);
+  EXPECT_EQ(deliveries[2].first, 2);
+  EXPECT_DOUBLE_EQ(deliveries[2].second, 5.1);
+}
+
+TEST(Link, DownLinkHoldsMessagesAndFlushesInOrderAtRecovery) {
+  Simulator sim;
+  Link link(sim, 0.2, "l");
+  std::vector<std::pair<int, double>> deliveries;
+  sim.schedule_at(0.0, [&] {
+    link.set_up(false);
+    EXPECT_FALSE(link.is_up());
+  });
+  sim.schedule_at(0.1, [&] { link.send([&] { deliveries.emplace_back(0, sim.now()); }); });
+  sim.schedule_at(0.3, [&] { link.send([&] { deliveries.emplace_back(1, sim.now()); }); });
+  sim.schedule_at(0.5, [&] {
+    EXPECT_EQ(link.messages_held(), 2u);
+    EXPECT_EQ(link.messages_delivered(), 0u);
+  });
+  sim.schedule_at(1.0, [&] { link.set_up(true); });
+  sim.run();
+  ASSERT_EQ(deliveries.size(), 2u);
+  EXPECT_EQ(link.messages_held(), 0u);
+  // Both dispatch at recovery; one link delay later, in send order.
+  EXPECT_EQ(deliveries[0].first, 0);
+  EXPECT_DOUBLE_EQ(deliveries[0].second, 1.2);
+  EXPECT_EQ(deliveries[1].first, 1);
+  EXPECT_DOUBLE_EQ(deliveries[1].second, 1.2);
+}
+
+TEST(Link, InFlightMessageStillDeliversWhenLinkGoesDown) {
+  Simulator sim;
+  Link link(sim, 0.2, "l");
+  double delivered_at = -1.0;
+  sim.schedule_at(0.0, [&] { link.send([&] { delivered_at = sim.now(); }); });
+  sim.schedule_at(0.1, [&] { link.set_up(false); });
+  sim.run_until(10.0);
+  EXPECT_DOUBLE_EQ(delivered_at, 0.2);
+}
+
+TEST(Link, DelayFactorMultipliesExactly) {
+  Simulator sim;
+  Link link(sim, 0.2, "l");
+  std::vector<double> deliveries;
+  sim.schedule_at(0.0, [&] {
+    link.set_delay_factor(3.0);
+    link.send([&] { deliveries.push_back(sim.now()); });
+  });
+  sim.schedule_at(2.0, [&] {
+    link.set_delay_factor(1.0);
+    link.send([&] { deliveries.push_back(sim.now()); });
+  });
+  sim.run();
+  ASSERT_EQ(deliveries.size(), 2u);
+  EXPECT_DOUBLE_EQ(deliveries[0], 0.6);  // 0.2 x 3
+  EXPECT_DOUBLE_EQ(deliveries[1], 2.2);  // nominal again
+}
+
+TEST(Link, LossRetransmitsDeterministicallyAndKeepsOrder) {
+  auto run_once = [](std::vector<double>* times, std::uint64_t* retransmits) {
+    Simulator sim;
+    Link link(sim, 0.1, "l");
+    link.set_fault_rng(Rng(42));
+    link.set_loss(0.5);
+    std::vector<int> order;
+    for (int i = 0; i < 40; ++i) {
+      sim.schedule_at(0.01 * i, [&, i] {
+        link.send([&, i] {
+          order.push_back(i);
+          times->push_back(sim.now());
+        });
+      });
+    }
+    sim.run();
+    ASSERT_EQ(order.size(), 40u);
+    for (int i = 0; i < 40; ++i) {
+      ASSERT_EQ(order[i], i);  // FIFO survives retransmission jitter
+    }
+    *retransmits = link.messages_retransmitted();
+  };
+  std::vector<double> first_times;
+  std::vector<double> second_times;
+  std::uint64_t first_retx = 0;
+  std::uint64_t second_retx = 0;
+  run_once(&first_times, &first_retx);
+  run_once(&second_times, &second_retx);
+  EXPECT_GT(first_retx, 0u);  // p = 0.5 over 40 messages: ~40 losses expected
+  EXPECT_EQ(first_retx, second_retx);
+  EXPECT_EQ(first_times, second_times);  // bit-identical at the same seed
+}
+
 TEST(Link, ManyMessagesArriveInOrderUnderSimultaneousSends) {
   Simulator sim;
   Link link(sim, 0.2, "l");

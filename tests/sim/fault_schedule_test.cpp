@@ -1,0 +1,141 @@
+// FaultSchedule expansion, validation, and config-text round-tripping.
+#include "sim/fault_schedule.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hls {
+namespace {
+
+TEST(FaultSchedule, EmptyConfigReportsEmpty) {
+  FaultScheduleConfig cfg;
+  EXPECT_TRUE(cfg.empty());
+  cfg.random_link_outage_rate = 0.01;  // rate without a horizon is inert
+  EXPECT_TRUE(cfg.empty());
+  cfg.random_horizon = 100.0;
+  EXPECT_FALSE(cfg.empty());
+}
+
+TEST(FaultSchedule, WindowExpandsToBeginAndEndTransitions) {
+  FaultScheduleConfig cfg;
+  cfg.windows.push_back({FaultKind::CentralOutage, -1, 5.0, 2.5, 1.0, 0.0});
+  const FaultSchedule schedule(cfg, 4, Rng(1));
+  ASSERT_EQ(schedule.transitions().size(), 2u);
+  const FaultTransition& begin = schedule.transitions()[0];
+  const FaultTransition& end = schedule.transitions()[1];
+  EXPECT_DOUBLE_EQ(begin.time, 5.0);
+  EXPECT_TRUE(begin.begin);
+  EXPECT_EQ(begin.kind, FaultKind::CentralOutage);
+  EXPECT_DOUBLE_EQ(end.time, 7.5);
+  EXPECT_FALSE(end.begin);
+}
+
+TEST(FaultSchedule, TransitionsAreTimeSortedWithEndsBeforeBeginsAtTies) {
+  FaultScheduleConfig cfg;
+  // Back-to-back windows on the same site: the first ends exactly when the
+  // second begins. End must sort first so the boundary instant stays faulted
+  // (crash/recover guards coalesce; link set_up(false) twice is idempotent).
+  cfg.windows.push_back({FaultKind::LinkOutage, 0, 1.0, 2.0, 1.0, 0.0});
+  cfg.windows.push_back({FaultKind::LinkOutage, 0, 3.0, 2.0, 1.0, 0.0});
+  const FaultSchedule schedule(cfg, 2, Rng(1));
+  ASSERT_EQ(schedule.transitions().size(), 4u);
+  EXPECT_DOUBLE_EQ(schedule.transitions()[1].time, 3.0);
+  EXPECT_FALSE(schedule.transitions()[1].begin);  // end of window 1
+  EXPECT_DOUBLE_EQ(schedule.transitions()[2].time, 3.0);
+  EXPECT_TRUE(schedule.transitions()[2].begin);  // begin of window 2
+}
+
+TEST(FaultSchedule, RandomLinkOutagesAreDeterministicAndDisjointPerSite) {
+  FaultScheduleConfig cfg;
+  cfg.random_link_outage_rate = 0.05;
+  cfg.random_link_outage_mean = 2.0;
+  cfg.random_horizon = 500.0;
+  const FaultSchedule a(cfg, 3, Rng(7));
+  const FaultSchedule b(cfg, 3, Rng(7));
+  ASSERT_FALSE(a.transitions().empty());
+  ASSERT_EQ(a.transitions().size(), b.transitions().size());
+  for (std::size_t i = 0; i < a.transitions().size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.transitions()[i].time, b.transitions()[i].time);
+    EXPECT_EQ(a.transitions()[i].site, b.transitions()[i].site);
+    EXPECT_EQ(a.transitions()[i].begin, b.transitions()[i].begin);
+  }
+  // Windows on one link never overlap: per site, transitions alternate
+  // begin/end in time order.
+  for (int site = 0; site < 3; ++site) {
+    bool down = false;
+    for (const FaultTransition& tr : a.transitions()) {
+      if (tr.site != site) {
+        continue;
+      }
+      EXPECT_NE(tr.begin, down);
+      down = tr.begin;
+    }
+    EXPECT_FALSE(down);  // every window closes
+  }
+  // A different seed produces a different timeline.
+  const FaultSchedule c(cfg, 3, Rng(8));
+  EXPECT_TRUE(c.transitions().size() != a.transitions().size() ||
+              c.transitions()[0].time != a.transitions()[0].time);
+}
+
+TEST(FaultSchedule, ValidateRejectsBadWindows) {
+  std::string error;
+  FaultScheduleConfig cfg;
+  cfg.windows.push_back({FaultKind::SiteOutage, 9, 0.0, 1.0, 1.0, 0.0});
+  EXPECT_FALSE(cfg.validate(4, &error));
+  EXPECT_NE(error.find("out of range"), std::string::npos);
+
+  cfg.windows.clear();
+  cfg.windows.push_back({FaultKind::LinkDegrade, 0, 0.0, 1.0, 2.0, 1.0});
+  EXPECT_FALSE(cfg.validate(4, &error));  // loss = 1 never delivers
+  EXPECT_NE(error.find("loss"), std::string::npos);
+
+  cfg.windows.clear();
+  cfg.windows.push_back({FaultKind::CentralOutage, -1, -1.0, 1.0, 1.0, 0.0});
+  EXPECT_FALSE(cfg.validate(4, &error));
+
+  cfg.windows.clear();
+  cfg.random_link_outage_rate = 0.1;
+  cfg.random_horizon = 10.0;
+  cfg.random_link_outage_mean = 0.0;
+  EXPECT_FALSE(cfg.validate(4, &error));
+  EXPECT_NE(error.find("duration"), std::string::npos);
+}
+
+TEST(FaultSchedule, ParseFormatsRoundTrip) {
+  const char* specs[] = {
+      "central_outage:10:2.5",
+      "site_outage:3:1:0.5",
+      "site_outage:all:1:0.5",
+      "link_outage:0:7:3",
+      "link_degrade:2:5:10:4:0.25",
+      "link_degrade:all:0:100:1.5:0",
+  };
+  for (const char* spec : specs) {
+    FaultWindow window;
+    std::string error;
+    ASSERT_TRUE(parse_fault_window(spec, &window, &error)) << spec << ": " << error;
+    EXPECT_EQ(format_fault_window(window), spec);
+    FaultWindow reparsed;
+    ASSERT_TRUE(parse_fault_window(format_fault_window(window), &reparsed, &error));
+    EXPECT_EQ(reparsed.kind, window.kind);
+    EXPECT_EQ(reparsed.site, window.site);
+    EXPECT_DOUBLE_EQ(reparsed.start, window.start);
+    EXPECT_DOUBLE_EQ(reparsed.duration, window.duration);
+  }
+}
+
+TEST(FaultSchedule, ParseRejectsMalformedInputWithMessages) {
+  FaultWindow window;
+  std::string error;
+  EXPECT_FALSE(parse_fault_window("power_outage:1:2", &window, &error));
+  EXPECT_NE(error.find("unknown fault kind"), std::string::npos);
+  EXPECT_FALSE(parse_fault_window("central_outage:1", &window, &error));
+  EXPECT_FALSE(parse_fault_window("site_outage:x:1:2", &window, &error));
+  EXPECT_NE(error.find("site"), std::string::npos);
+  EXPECT_FALSE(parse_fault_window("link_outage:0:abc:2", &window, &error));
+  EXPECT_FALSE(parse_fault_window("link_degrade:0:1:2:3", &window, &error));
+  EXPECT_FALSE(parse_fault_window("link_degrade:0:1:2:3:1.0", &window, &error));
+}
+
+}  // namespace
+}  // namespace hls
