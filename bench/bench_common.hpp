@@ -7,12 +7,21 @@
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
 #include <iostream>
 #include <string>
 
 #include "core/api.hpp"
+#include "obs/phase.hpp"
 
 namespace hls::bench {
+
+/// Phase-breakdown columns are opt-in via HLS_OBS=1 so that default bench
+/// output stays byte-identical across builds with and without them.
+inline bool obs_enabled() {
+  const char* v = std::getenv("HLS_OBS");
+  return v != nullptr && v[0] == '1';
+}
 
 inline RunOptions scaled_options() {
   const double scale = time_scale_from_env();

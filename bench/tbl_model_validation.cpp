@@ -15,9 +15,21 @@ int main() {
                 "model tracks simulated RT/utilization across load and p_ship",
                 base, opts);
 
-  Table table({"total_tps", "p_ship", "rt_model", "rt_sim", "rho_l_model",
-               "rho_l_sim", "rho_c_model", "rho_c_sim", "p_abort_c_model",
-               "runs_per_txn_sim"});
+  // With HLS_OBS=1, append the simulation's phase decomposition of rt_sim:
+  // where the model over/under-shoots becomes attributable (queueing vs
+  // network vs lock wait) instead of one opaque residual.
+  const bool obs = bench::obs_enabled();
+  std::vector<std::string> columns{"total_tps", "p_ship", "rt_model",
+                                   "rt_sim", "rho_l_model", "rho_l_sim",
+                                   "rho_c_model", "rho_c_sim",
+                                   "p_abort_c_model", "runs_per_txn_sim"};
+  if (obs) {
+    for (int p = 0; p < obs::kPhaseCount; ++p) {
+      columns.push_back(std::string("sim_") +
+                        obs::phase_name(static_cast<obs::Phase>(p)));
+    }
+  }
+  Table table(columns);
   for (double tps : {5.0, 10.0, 15.0, 20.0, 25.0, 30.0}) {
     for (double p_ship : {0.0, 0.3, 0.6}) {
       SystemConfig cfg = base;
@@ -38,6 +50,11 @@ int main() {
           .add_num(sim.metrics.central_utilization, 3)
           .add_num(model.p_abort_central, 4)
           .add_num(sim.metrics.runs_per_txn(), 4);
+      if (obs) {
+        for (int p = 0; p < obs::kPhaseCount; ++p) {
+          table.add_num(sim.metrics.phase_mean(static_cast<obs::Phase>(p)), 4);
+        }
+      }
     }
   }
   bench::emit(table);

@@ -13,7 +13,19 @@ int main() {
                 "dynamic strategies shrink the tail, not just the mean", cfg,
                 opts);
 
-  Table table({"strategy", "mean", "p50", "p90", "p99", "max", "ship_frac"});
+  // With HLS_OBS=1 the table also breaks each mean into the obs phase
+  // taxonomy (plus the p95 of the dominant queueing phases).
+  const bool obs = bench::obs_enabled();
+  std::vector<std::string> columns{"strategy", "mean",     "p50", "p90",
+                                   "p99",      "max", "ship_frac"};
+  if (obs) {
+    for (int p = 0; p < obs::kPhaseCount; ++p) {
+      columns.push_back(obs::phase_name(static_cast<obs::Phase>(p)));
+    }
+    columns.push_back("ready_queue_p95");
+    columns.push_back("lock_wait_p95");
+  }
+  Table table(columns);
   const std::vector<std::pair<StrategySpec, std::string>> strategies{
       {{StrategyKind::NoLoadSharing, 0.0}, "no load sharing"},
       {{StrategyKind::StaticOptimal, 0.0}, "optimal static"},
@@ -33,6 +45,13 @@ int main() {
         .add_num(m.rt_histogram.quantile(0.99), 2)
         .add_num(m.rt_all.max(), 2)
         .add_num(m.ship_fraction(), 3);
+    if (obs) {
+      for (int p = 0; p < obs::kPhaseCount; ++p) {
+        table.add_num(m.phase_mean(static_cast<obs::Phase>(p)), 4);
+      }
+      table.add_num(m.phase_quantile(obs::Phase::ReadyQueue, 0.95), 3);
+      table.add_num(m.phase_quantile(obs::Phase::LockWait, 0.95), 3);
+    }
     std::fprintf(stderr, "  %s done\n", label.c_str());
   }
   bench::emit(table);

@@ -6,6 +6,46 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BUILD=${BUILD_DIR:-build}
+
+# --coverage: standalone mode. Build an instrumented tree, run the full test
+# suite, aggregate gcov line coverage over src/, and fail if it fell below
+# the recorded baseline. Plain gcov + awk — no gcovr/lcov dependency. To
+# re-pin after adding well-tested code: run, then copy the printed value
+# into scripts/coverage_baseline.txt.
+if [[ "${1:-}" == "--coverage" ]]; then
+  COV_BUILD="${BUILD}-cov"
+  cmake -B "$COV_BUILD" -G Ninja -DHLS_COVERAGE=ON >/dev/null
+  cmake --build "$COV_BUILD" -j
+  # Stale counters from a previous run would double-count.
+  find "$COV_BUILD" -name '*.gcda' -delete
+  ctest --test-dir "$COV_BUILD" -j"$(nproc)" --output-on-failure >/dev/null
+  # Library objects only: every src/ TU is compiled exactly once there.
+  # Headers still show up once per including TU, so awk keeps the maximum
+  # per source file before summing (deterministic, slightly conservative).
+  pct=$(find "$COV_BUILD/src" -name '*.gcda' -print0 |
+    xargs -0 gcov -n -p 2>/dev/null |
+    awk '
+      /^File / { f = $2; gsub(/'\''/, "", f); next }
+      /^Lines executed:/ && f ~ /src\// {
+        split($0, a, /[:% ]+/)   # a[3]=percent, a[5]=line count
+        covered = a[3] / 100.0 * a[5]
+        if (a[5] > lines[f]) { lines[f] = a[5]; hit[f] = covered }
+        f = ""
+      }
+      END {
+        total = 0; cov = 0
+        for (k in lines) { total += lines[k]; cov += hit[k] }
+        printf "%.2f", total ? 100.0 * cov / total : 0
+      }')
+  baseline=$(cat scripts/coverage_baseline.txt)
+  echo "line coverage over src/: ${pct}% (baseline ${baseline}%)"
+  awk -v p="$pct" -v b="$baseline" 'BEGIN { exit !(p >= b) }' || {
+    echo "coverage: ${pct}% is below the recorded baseline ${baseline}%" >&2
+    exit 1
+  }
+  echo "check.sh --coverage: passed"
+  exit 0
+fi
 cmake -B "$BUILD" -G Ninja >/dev/null
 cmake --build "$BUILD" -j
 ctest --test-dir "$BUILD" -j"$(nproc)" --output-on-failure
@@ -33,9 +73,16 @@ echo "fault smoke: abl_fault_tolerance drained every faulted cell"
 ASAN_BUILD="${BUILD}-asan"
 if cmake -B "$ASAN_BUILD" -G Ninja -DHLS_SANITIZE=address >/dev/null 2>&1 &&
     cmake --build "$ASAN_BUILD" -j --target abl_fault_tolerance \
+      golden_metrics_test conservation_test phase_breakdown_test \
       >/dev/null 2>&1; then
   HLS_TIME_SCALE=0.05 "./$ASAN_BUILD/bench/abl_fault_tolerance" >/dev/null
-  echo "asan: abl_fault_tolerance clean"
+  # The pinned-value and conservation-law suites under asan: the pins prove
+  # determinism survives instrumentation, and the property grid walks every
+  # abort/fault path where lifetime bugs would hide.
+  "./$ASAN_BUILD/tests/golden_metrics_test" >/dev/null
+  "./$ASAN_BUILD/tests/conservation_test" >/dev/null
+  "./$ASAN_BUILD/tests/phase_breakdown_test" >/dev/null
+  echo "asan: abl_fault_tolerance + golden/conservation/phase suites clean"
 else
   echo "asan: unavailable in this toolchain; skipped"
 fi

@@ -150,6 +150,11 @@ bool apply_config_override(SystemConfig& cfg, const std::string& assignment,
       return fail(error, "ship_max_retries must be non-negative");
     }
     cfg.ship_max_retries = static_cast<int>(v);
+  } else if (key == "obs_sample_interval") {
+    if (v < 0.0) {
+      return fail(error, "obs_sample_interval must be non-negative");
+    }
+    cfg.obs_sample_interval = v;
   } else if (key == "fault_random_link_rate") {
     cfg.faults.random_link_outage_rate = v;
   } else if (key == "fault_random_link_duration") {
@@ -236,6 +241,7 @@ void describe_config(std::ostream& out, const SystemConfig& cfg) {
   out << "ship_timeout=" << cfg.ship_timeout << '\n';
   out << "ship_backoff=" << cfg.ship_backoff << '\n';
   out << "ship_max_retries=" << cfg.ship_max_retries << '\n';
+  out << "obs_sample_interval=" << cfg.obs_sample_interval << '\n';
   out << "fault_random_link_rate=" << cfg.faults.random_link_outage_rate << '\n';
   out << "fault_random_link_duration=" << cfg.faults.random_link_outage_mean
       << '\n';

@@ -19,12 +19,16 @@ RunResult run_simulation(const SystemConfig& config,
 
   HybridSystem system(config, std::move(strategy));
   result.strategy_name = system.strategy().name();
+  if (options.trace_sink != nullptr) {
+    system.add_trace_sink(options.trace_sink);
+  }
   system.enable_arrivals();
   system.run_for(options.warmup_seconds);
   system.begin_measurement();
   system.run_for(options.measure_seconds);
   system.end_measurement();
   result.metrics = system.metrics();
+  result.series = system.take_series();
   return result;
 }
 

@@ -5,8 +5,11 @@
 
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "hybrid/hybrid_system.hpp"
+#include "obs/sample.hpp"
+#include "obs/sink.hpp"
 #include "routing/factory.hpp"
 
 namespace hls {
@@ -14,6 +17,9 @@ namespace hls {
 struct RunOptions {
   double warmup_seconds = 200.0;   ///< discarded transient
   double measure_seconds = 1200.0; ///< measurement window
+  /// Optional trace sink (obs/sink.hpp) registered for the whole run,
+  /// warmup included. Borrowed, not owned; may be null.
+  obs::TraceSink* trace_sink = nullptr;
 };
 
 struct RunResult {
@@ -21,6 +27,9 @@ struct RunResult {
   std::string strategy_name;
   SystemConfig config;
   double static_p_ship = -1.0;  ///< p_ship chosen when strategy is static (-1 otherwise)
+  /// Time series from the measurement window; empty unless the config sets
+  /// obs_sample_interval > 0 (see obs/sample.hpp for the CSV writer).
+  std::vector<obs::SampleRow> series;
 };
 
 /// Builds the strategy from `spec` (running the static optimization when the

@@ -12,9 +12,22 @@ const char* TraceWriter::header() {
 
 TraceWriter::TraceWriter(std::ostream& out) : out_(out) { out_ << header() << '\n'; }
 
-void TraceWriter::attach(HybridSystem& system) {
-  system.set_completion_hook(
-      [this](const TxnCompletionRecord& record) { write(record); });
+void TraceWriter::attach(HybridSystem& system) { system.add_trace_sink(this); }
+
+void TraceWriter::on_event(const obs::Event& event) {
+  TxnCompletionRecord record;
+  record.id = event.txn;
+  record.cls = event.cls;
+  record.route = event.route;
+  record.home_site = event.home_site;
+  record.arrival_time = event.arrival_time;
+  record.completion_time = event.time;
+  record.response_time = event.response_time;
+  record.runs = event.runs;
+  for (int i = 0; i < static_cast<int>(AbortCause::kCount); ++i) {
+    record.aborts[i] = event.aborts[i];
+  }
+  write(record);
 }
 
 void TraceWriter::write(const TxnCompletionRecord& record) {

@@ -1,31 +1,41 @@
 // Transaction-completion tracing.
 //
-// Attaches to a HybridSystem's completion hook and writes one CSV row per
-// completed transaction — class, route, timings, runs, abort breakdown.
-// Useful for distribution-level analysis beyond the aggregate Metrics
-// (e.g. tail latencies of shipped vs local transactions) and for feeding
-// external plotting tools.
+// A TraceSink (obs/sink.hpp) subscribed to Completion events only; writes
+// one CSV row per completed transaction — class, route, timings, runs,
+// abort breakdown. Useful for distribution-level analysis beyond the
+// aggregate Metrics (e.g. tail latencies of shipped vs local transactions)
+// and for feeding external plotting tools. The row format predates the obs
+// layer and is pinned by tests and by trace_replay; CsvSink is the richer
+// (phase-level, multi-kind) alternative.
 #pragma once
 
 #include <cstdint>
 #include <iosfwd>
 
 #include "hybrid/hybrid_system.hpp"
+#include "obs/event.hpp"
+#include "obs/sink.hpp"
 
 namespace hls {
 
-class TraceWriter {
+class TraceWriter : public obs::TraceSink {
  public:
   /// Writes the CSV header immediately; rows follow as transactions
   /// complete after attach(). The stream must outlive the writer.
   explicit TraceWriter(std::ostream& out);
 
-  /// Registers this writer as `system`'s completion hook (replacing any
-  /// previous hook). The writer must outlive the system's run.
+  /// Registers this writer as a trace sink on `system`. The writer must
+  /// outlive the system's run (or be removed with remove_trace_sink).
   void attach(HybridSystem& system);
 
   /// Writes one record (also usable without attach, e.g. for filtering).
   void write(const TxnCompletionRecord& record);
+
+  // ---- obs::TraceSink ----
+  [[nodiscard]] unsigned kind_mask() const override {
+    return obs::kind_bit(obs::EventKind::Completion);
+  }
+  void on_event(const obs::Event& event) override;
 
   [[nodiscard]] std::uint64_t rows_written() const { return rows_; }
 

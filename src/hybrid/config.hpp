@@ -115,6 +115,12 @@ struct SystemConfig {
   double ship_backoff = 2.0;  ///< timeout multiplier per retry (>= 1)
   int ship_max_retries = 2;   ///< reships before the local fallback (>= 0)
 
+  // ---- observability (obs/) ----
+  /// Cadence of the time-series sampler, seconds; 0 (the default) disables
+  /// it entirely — no event is ever scheduled, keeping the event sequence
+  /// bit-identical to a build without the sampler.
+  double obs_sample_interval = 0.0;
+
   /// Lock ids mastered by site s: [s*partition, (s+1)*partition).
   [[nodiscard]] std::uint32_t partition_size() const {
     return lockspace / static_cast<std::uint32_t>(num_sites);
@@ -170,6 +176,7 @@ struct SystemConfig {
     HLS_ASSERT(ship_timeout >= 0, "negative ship timeout");
     HLS_ASSERT(ship_backoff >= 1.0, "ship_backoff must be at least 1");
     HLS_ASSERT(ship_max_retries >= 0, "negative ship retry budget");
+    HLS_ASSERT(obs_sample_interval >= 0, "negative sample interval");
     HLS_ASSERT(faults.validate(num_sites), "invalid fault schedule");
   }
 };

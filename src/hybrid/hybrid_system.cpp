@@ -39,6 +39,13 @@ HybridSystem::HybridSystem(SystemConfig cfg, std::unique_ptr<RoutingStrategy> st
   if (!cfg_.faults.empty()) {
     schedule_fault_transitions();
   }
+
+  // The time-series sampler follows the same byte-parity rule: with the
+  // default interval of 0 no event is ever scheduled. Sampler callbacks only
+  // read state, so enabling it never changes Metrics for a given seed.
+  if (cfg_.obs_sample_interval > 0.0) {
+    sim_.schedule_at(cfg_.obs_sample_interval, [this] { take_sample(); });
+  }
 }
 
 HybridSystem::~HybridSystem() = default;
@@ -63,6 +70,9 @@ void HybridSystem::set_arrival_rate_function(int site, RateFunction rate,
 }
 
 void HybridSystem::stop_arrivals() {
+  // Clearing the flag also lets the sampler chain wind down once the last
+  // in-flight transaction completes, so drain() still terminates.
+  arrivals_enabled_ = false;
   for (SiteState& site : sites_) {
     site.arrivals->stop();
   }
@@ -81,6 +91,7 @@ void HybridSystem::begin_measurement() {
   for (SiteMetrics& sm : site_metrics_) {
     sm = SiteMetrics{};
   }
+  series_.clear();  // the time series covers the measurement window only
 }
 
 void HybridSystem::end_measurement() {
@@ -122,21 +133,27 @@ Transaction* HybridSystem::find(TxnId id, std::uint64_t epoch) {
   return it->second.get();
 }
 
-void HybridSystem::cpu_burst(FcfsResource& cpu, double seconds, TxnId id,
-                             std::uint64_t epoch,
+void HybridSystem::cpu_burst(FcfsResource& cpu, double seconds, Transaction* txn,
+                             obs::Phase service_phase,
                              void (HybridSystem::*next)(Transaction*)) {
-  cpu.submit(seconds, [this, id, epoch, next] {
-    if (Transaction* txn = find(id, epoch)) {
-      (this->*next)(txn);
+  txn->phases.pending = obs::Phase::ReadyQueue;
+  cpu.submit(seconds, [this, seconds, service_phase, id = txn->id,
+                       epoch = txn->epoch, next] {
+    if (Transaction* t = find(id, epoch)) {
+      t->phases.settle_burst(service_phase, seconds, sim_.now());
+      (this->*next)(t);
     }
   });
 }
 
-void HybridSystem::wait(double seconds, TxnId id, std::uint64_t epoch,
+void HybridSystem::wait(double seconds, Transaction* txn, obs::Phase phase,
                         void (HybridSystem::*next)(Transaction*)) {
-  sim_.schedule_after(seconds, [this, id, epoch, next] {
-    if (Transaction* txn = find(id, epoch)) {
-      (this->*next)(txn);
+  txn->phases.pending = phase;
+  sim_.schedule_after(seconds, [this, phase, id = txn->id, epoch = txn->epoch,
+                                next] {
+    if (Transaction* t = find(id, epoch)) {
+      t->phases.settle(phase, sim_.now());
+      (this->*next)(t);
     }
   });
 }
@@ -178,8 +195,15 @@ void HybridSystem::send_down(int site, std::function<void()> deliver) {
 }
 
 void HybridSystem::complete(Transaction* txn, SimTime completion_time) {
+  // The last protocol step before completion is the response message back to
+  // the user's region (zero-length for local commits, where completion_time
+  // == now); settling it closes the timeline so phase times sum to rt.
+  txn->phases.settle(obs::Phase::Network, completion_time);
   const double rt = completion_time - txn->arrival_time;
   HLS_ASSERT(rt >= 0.0, "negative response time");
+  HLS_ASSERT(std::abs(txn->phases.sum() - rt) <= 1e-7 * (1.0 + rt),
+             "phase-sum identity violated: a protocol segment escaped the "
+             "phase timeline");
   metrics_.rt_all.add(rt);
   metrics_.rt_histogram.add(rt);
   ++metrics_.completions;
@@ -214,6 +238,13 @@ void HybridSystem::complete(Transaction* txn, SimTime completion_time) {
   HLS_ASSERT(home.resident_txns >= 0 && home.shipped_in_flight >= 0,
              "site residency underflow");
 
+  for (int p = 0; p < obs::kPhaseCount; ++p) {
+    const double t = txn->phases.acc[p];
+    metrics_.rt_phase[static_cast<std::size_t>(p)].add(t);
+    metrics_.rt_phase_hist[static_cast<std::size_t>(p)].add(t);
+    home_metrics.rt_phase[static_cast<std::size_t>(p)].add(t);
+  }
+
   if (completion_hook_) {
     TxnCompletionRecord record;
     record.id = txn->id;
@@ -227,12 +258,50 @@ void HybridSystem::complete(Transaction* txn, SimTime completion_time) {
     for (int i = 0; i < static_cast<int>(AbortCause::kCount); ++i) {
       record.aborts[i] = txn->aborts[i];
     }
+    for (int p = 0; p < obs::kPhaseCount; ++p) {
+      record.phase[p] = txn->phases.acc[p];
+    }
     completion_hook_(record);
+  }
+  if (obs_wants(obs::EventKind::Completion)) {
+    obs::Event event;
+    event.kind = obs::EventKind::Completion;
+    event.time = completion_time;
+    event.txn = txn->id;
+    event.cls = txn->cls;
+    event.route = txn->route;
+    event.home_site = txn->home_site;
+    event.runs = txn->run_count + 1;
+    event.arrival_time = txn->arrival_time;
+    event.response_time = rt;
+    for (int p = 0; p < obs::kPhaseCount; ++p) {
+      event.phase[p] = txn->phases.acc[p];
+    }
+    for (int i = 0; i < static_cast<int>(AbortCause::kCount); ++i) {
+      event.aborts[i] = txn->aborts[i];
+    }
+    emit_event(event);
   }
   live_.erase(txn->id);
 }
 
 void HybridSystem::prepare_rerun(Transaction* txn, AbortCause cause) {
+  if (obs_wants(obs::EventKind::Abort)) {
+    obs::Event event;
+    event.kind = obs::EventKind::Abort;
+    event.time = sim_.now();
+    event.txn = txn->id;
+    event.cls = txn->cls;
+    event.route = txn->route;
+    event.home_site = txn->home_site;
+    event.runs = txn->run_count + 1;  // executions including the failed one
+    event.arrival_time = txn->arrival_time;
+    event.cause = cause;
+    for (int i = 0; i < static_cast<int>(AbortCause::kCount); ++i) {
+      event.aborts[i] = txn->aborts[i];
+    }
+    emit_event(event);
+  }
   txn->count_abort(cause);
   ++metrics_.aborts[static_cast<int>(cause)];
   ++metrics_.reruns;
@@ -300,6 +369,7 @@ void HybridSystem::admit(Transaction txn) {
   auto owned = std::make_unique<Transaction>(std::move(txn));
   Transaction* t = owned.get();
   HLS_ASSERT(live_.emplace(t->id, std::move(owned)).second, "duplicate txn id");
+  t->phases.begin(t->arrival_time);
 
   SiteState& home = sites_[t->home_site];
   if (t->cls == TxnClass::B) {
@@ -356,6 +426,7 @@ SystemStateView HybridSystem::make_state_view(int site) const {
     view.central_num_txns = s.central_view.num_txns;
     view.central_locks_held = s.central_view.locks_held;
   }
+  view.last_sample = series_.empty() ? nullptr : &series_.back();
   return view;
 }
 
@@ -364,7 +435,7 @@ SystemStateView HybridSystem::make_state_view(int site) const {
 
 void HybridSystem::local_start_run(Transaction* txn) {
   cpu_burst(*sites_[txn->home_site].cpu, cfg_.site_cpu_seconds(txn->home_site, cfg_.instr_msg_init),
-            txn->id, txn->epoch, &HybridSystem::local_after_init);
+            txn, obs::Phase::CpuService, &HybridSystem::local_after_init);
 }
 
 void HybridSystem::local_after_init(Transaction* txn) {
@@ -372,7 +443,7 @@ void HybridSystem::local_after_init(Transaction* txn) {
     // Re-referenced data is memory resident: skip the setup I/O.
     local_do_call(txn);
   } else {
-    wait(cfg_.setup_io_time, txn->id, txn->epoch, &HybridSystem::local_do_call);
+    wait(cfg_.setup_io_time, txn, obs::Phase::Io, &HybridSystem::local_do_call);
   }
 }
 
@@ -382,11 +453,12 @@ void HybridSystem::local_do_call(Transaction* txn) {
     return;
   }
   cpu_burst(*sites_[txn->home_site].cpu, cfg_.site_cpu_seconds(txn->home_site, cfg_.instr_per_call),
-            txn->id, txn->epoch, &HybridSystem::local_after_call_cpu);
+            txn, obs::Phase::CpuService, &HybridSystem::local_after_call_cpu);
 }
 
 void HybridSystem::local_after_call_cpu(Transaction* txn) {
   LockManager& lm = *sites_[txn->home_site].locks;
+  txn->phases.pending = obs::Phase::LockWait;
   // Retry loop: when the victim policy aborts another cycle member, the
   // requester's lock request is re-issued (each force-abort removes one
   // waiter, so this terminates).
@@ -422,10 +494,11 @@ void HybridSystem::local_after_call_cpu(Transaction* txn) {
 }
 
 void HybridSystem::local_lock_granted(Transaction* txn) {
+  txn->phases.settle(obs::Phase::LockWait, sim_.now());  // zero if immediate
   const bool do_io = !txn->memory_resident && txn->call_io[txn->call_index];
   ++txn->call_index;
   if (do_io) {
-    wait(cfg_.call_io_time, txn->id, txn->epoch, &HybridSystem::local_do_call);
+    wait(cfg_.call_io_time, txn, obs::Phase::Io, &HybridSystem::local_do_call);
   } else {
     local_do_call(txn);
   }
@@ -443,8 +516,8 @@ void HybridSystem::local_commit(Transaction* txn) {
     instr += cfg_.instr_send_async;
   }
   cpu_burst(*sites_[txn->home_site].cpu,
-            cfg_.site_cpu_seconds(txn->home_site, instr), txn->id,
-            txn->epoch, &HybridSystem::local_after_commit_cpu);
+            cfg_.site_cpu_seconds(txn->home_site, instr), txn,
+            obs::Phase::Commit, &HybridSystem::local_after_commit_cpu);
 }
 
 void HybridSystem::local_after_commit_cpu(Transaction* txn) {
@@ -488,6 +561,9 @@ void HybridSystem::local_finalize(Transaction* txn) {
 
 void HybridSystem::local_abort(Transaction* txn, AbortCause cause,
                                bool release_everything) {
+  // Settle the open segment (zero-length for synchronous commit-point
+  // aborts; a real lock wait for force-aborted deadlock victims).
+  txn->phases.interrupt(sim_.now());
   LockManager& lm = *sites_[txn->home_site].locks;
   if (release_everything) {
     lm.release_all(txn->id);
@@ -496,7 +572,7 @@ void HybridSystem::local_abort(Transaction* txn, AbortCause cause,
   }
   prepare_rerun(txn, cause);
   if (cfg_.abort_restart_delay > 0.0) {
-    wait(cfg_.abort_restart_delay, txn->id, txn->epoch,
+    wait(cfg_.abort_restart_delay, txn, obs::Phase::Stall,
          &HybridSystem::local_start_run);
   } else {
     local_start_run(txn);
@@ -571,33 +647,35 @@ void HybridSystem::central_apply_update(int site, const std::vector<LockId>& ite
 void HybridSystem::ship_to_central(Transaction* txn) {
   // Input-message forwarding consumes home-site CPU, then the transaction
   // travels one link delay to the central complex.
-  SiteState& home = sites_[txn->home_site];
-  home.cpu->submit(cfg_.site_cpu_seconds(txn->home_site, cfg_.instr_ship_forward),
-                   [this, id = txn->id, epoch = txn->epoch] {
-                     Transaction* t = find(id, epoch);
-                     if (t == nullptr) {
-                       return;
-                     }
-                     send_up(t->home_site, [this, id, epoch] {
-                       if (Transaction* t2 = find(id, epoch)) {
-                         ++central_.resident_txns;
-                         t2->at_central = true;
-                         central_start_run(t2);
-                       }
-                     });
-                   });
+  cpu_burst(*sites_[txn->home_site].cpu,
+            cfg_.site_cpu_seconds(txn->home_site, cfg_.instr_ship_forward),
+            txn, obs::Phase::CpuService, &HybridSystem::ship_after_forward);
+}
+
+void HybridSystem::ship_after_forward(Transaction* txn) {
+  txn->phases.pending = obs::Phase::Network;
+  send_up(txn->home_site, [this, id = txn->id, epoch = txn->epoch] {
+    if (Transaction* t = find(id, epoch)) {
+      // A delivery replayed from an outage backlog settles here too: the
+      // Network phase absorbs backlog residence (documented convention).
+      t->phases.settle(obs::Phase::Network, sim_.now());
+      ++central_.resident_txns;
+      t->at_central = true;
+      central_start_run(t);
+    }
+  });
 }
 
 void HybridSystem::central_start_run(Transaction* txn) {
-  cpu_burst(*central_.cpu, cfg_.central_cpu_seconds(cfg_.instr_msg_init), txn->id,
-            txn->epoch, &HybridSystem::central_after_init);
+  cpu_burst(*central_.cpu, cfg_.central_cpu_seconds(cfg_.instr_msg_init), txn,
+            obs::Phase::CpuService, &HybridSystem::central_after_init);
 }
 
 void HybridSystem::central_after_init(Transaction* txn) {
   if (txn->memory_resident) {
     central_do_call(txn);
   } else {
-    wait(cfg_.setup_io_time, txn->id, txn->epoch, &HybridSystem::central_do_call);
+    wait(cfg_.setup_io_time, txn, obs::Phase::Io, &HybridSystem::central_do_call);
   }
 }
 
@@ -606,11 +684,12 @@ void HybridSystem::central_do_call(Transaction* txn) {
     central_commit(txn);
     return;
   }
-  cpu_burst(*central_.cpu, cfg_.central_cpu_seconds(cfg_.instr_per_call), txn->id,
-            txn->epoch, &HybridSystem::central_after_call_cpu);
+  cpu_burst(*central_.cpu, cfg_.central_cpu_seconds(cfg_.instr_per_call), txn,
+            obs::Phase::CpuService, &HybridSystem::central_after_call_cpu);
 }
 
 void HybridSystem::central_after_call_cpu(Transaction* txn) {
+  txn->phases.pending = obs::Phase::LockWait;
   for (;;) {
     const LockNeed& need = txn->locks[txn->call_index];
     std::vector<TxnId> cycle;
@@ -644,10 +723,11 @@ void HybridSystem::central_after_call_cpu(Transaction* txn) {
 }
 
 void HybridSystem::central_lock_granted(Transaction* txn) {
+  txn->phases.settle(obs::Phase::LockWait, sim_.now());  // zero if immediate
   const bool do_io = !txn->memory_resident && txn->call_io[txn->call_index];
   ++txn->call_index;
   if (do_io) {
-    wait(cfg_.call_io_time, txn->id, txn->epoch, &HybridSystem::central_do_call);
+    wait(cfg_.call_io_time, txn, obs::Phase::Io, &HybridSystem::central_do_call);
   } else {
     central_do_call(txn);
   }
@@ -660,8 +740,8 @@ void HybridSystem::central_commit(Transaction* txn) {
                         /*release_everything=*/false);
     return;
   }
-  cpu_burst(*central_.cpu, cfg_.central_cpu_seconds(cfg_.instr_msg_commit), txn->id,
-            txn->epoch, &HybridSystem::central_after_commit_cpu);
+  cpu_burst(*central_.cpu, cfg_.central_cpu_seconds(cfg_.instr_msg_commit), txn,
+            obs::Phase::Commit, &HybridSystem::central_after_commit_cpu);
 }
 
 void HybridSystem::central_after_commit_cpu(Transaction* txn) {
@@ -688,6 +768,9 @@ void HybridSystem::central_begin_auth(Transaction* txn) {
   txn->auth_pending_acks = static_cast<int>(involved.size());
   txn->auth_any_negative = false;
   txn->auth_sites.clear();
+  // Everything until the last ack lands — down links, local auth CPU, up
+  // links — is the authentication phase.
+  txn->phases.pending = obs::Phase::Auth;
 
   for (int site : involved) {
     std::vector<LockNeed> needs;
@@ -793,6 +876,7 @@ void HybridSystem::central_auth_ack(TxnId txn_id, std::uint64_t epoch, int site,
 }
 
 void HybridSystem::central_auth_done(Transaction* txn) {
+  txn->phases.settle(obs::Phase::Auth, sim_.now());
   if (txn->auth_any_negative || txn->marked_abort) {
     if (txn->auth_any_negative) {
       ++metrics_.auth_negative_acks;
@@ -831,6 +915,7 @@ void HybridSystem::release_auth_grants(Transaction* txn) {
 
 void HybridSystem::central_abort_rerun(Transaction* txn, AbortCause cause,
                                        bool release_everything) {
+  txn->phases.interrupt(sim_.now());  // zero for synchronous abort points
   if (release_everything) {
     central_.locks->release_all(txn->id);
   } else {
@@ -843,12 +928,12 @@ void HybridSystem::central_abort_rerun(Transaction* txn, AbortCause cause,
 void HybridSystem::schedule_central_restart(Transaction* txn) {
   if (is_rfc(*txn)) {
     // The abort outcome travels back to the home site before the rerun.
-    wait(cfg_.comm_delay + cfg_.abort_restart_delay, txn->id, txn->epoch,
+    wait(cfg_.comm_delay + cfg_.abort_restart_delay, txn, obs::Phase::Stall,
          &HybridSystem::rfc_start_run);
     return;
   }
   if (cfg_.abort_restart_delay > 0.0) {
-    wait(cfg_.abort_restart_delay, txn->id, txn->epoch,
+    wait(cfg_.abort_restart_delay, txn, obs::Phase::Stall,
          &HybridSystem::central_start_run);
   } else {
     central_start_run(txn);
@@ -861,14 +946,14 @@ void HybridSystem::schedule_central_restart(Transaction* txn) {
 void HybridSystem::rfc_start_run(Transaction* txn) {
   cpu_burst(*sites_[txn->home_site].cpu,
             cfg_.site_cpu_seconds(txn->home_site, cfg_.instr_msg_init),
-            txn->id, txn->epoch, &HybridSystem::rfc_after_init);
+            txn, obs::Phase::CpuService, &HybridSystem::rfc_after_init);
 }
 
 void HybridSystem::rfc_after_init(Transaction* txn) {
   if (txn->memory_resident) {
     rfc_do_call(txn);
   } else {
-    wait(cfg_.setup_io_time, txn->id, txn->epoch, &HybridSystem::rfc_do_call);
+    wait(cfg_.setup_io_time, txn, obs::Phase::Io, &HybridSystem::rfc_do_call);
   }
 }
 
@@ -879,12 +964,20 @@ void HybridSystem::rfc_do_call(Transaction* txn) {
   }
   cpu_burst(*sites_[txn->home_site].cpu,
             cfg_.site_cpu_seconds(txn->home_site, cfg_.instr_per_call),
-            txn->id, txn->epoch, &HybridSystem::rfc_after_call_cpu);
+            txn, obs::Phase::CpuService, &HybridSystem::rfc_after_call_cpu);
 }
 
 void HybridSystem::rfc_after_call_cpu(Transaction* txn) {
-  // One remote function call: request travels to the central copy.
+  // One remote function call: request travels to the central copy. The CPU
+  // burst is submitted whether or not the transaction is still live (the
+  // central CPU does the work before discovering the requester aborted), so
+  // the timeline settles around it: Network at delivery, the burst at grant.
+  txn->phases.pending = obs::Phase::Network;
   send_up(txn->home_site, [this, id = txn->id, epoch = txn->epoch] {
+    if (Transaction* t = find(id, epoch)) {
+      t->phases.settle(obs::Phase::Network, sim_.now());
+      t->phases.pending = obs::Phase::ReadyQueue;
+    }
     central_.cpu->submit(cfg_.central_cpu_seconds(cfg_.instr_remote_call),
                          [this, id, epoch] { rfc_central_request(id, epoch); });
   });
@@ -895,6 +988,10 @@ void HybridSystem::rfc_central_request(TxnId id, std::uint64_t epoch) {
   if (txn == nullptr) {
     return;  // aborted while the request was in flight; rerun re-requests
   }
+  txn->phases.settle_burst(obs::Phase::CpuService,
+                           cfg_.central_cpu_seconds(cfg_.instr_remote_call),
+                           sim_.now());
+  txn->phases.pending = obs::Phase::LockWait;
   for (;;) {
     const LockNeed& need = txn->locks[txn->call_index];
     std::vector<TxnId> cycle;
@@ -928,24 +1025,25 @@ void HybridSystem::rfc_central_request(TxnId id, std::uint64_t epoch) {
 }
 
 void HybridSystem::rfc_central_after_lock(Transaction* txn) {
+  txn->phases.settle(obs::Phase::LockWait, sim_.now());
   // The data call's I/O happens at the central copy, then the reply goes
   // home (the home-site CPU books the reply handling).
   const bool do_io = !txn->memory_resident && txn->call_io[txn->call_index];
   const double io = do_io ? cfg_.call_io_time : 0.0;
-  sim_.schedule_after(io, [this, id = txn->id, epoch = txn->epoch] {
+  wait(io, txn, obs::Phase::Io, &HybridSystem::rfc_reply_send);
+}
+
+void HybridSystem::rfc_reply_send(Transaction* txn) {
+  txn->phases.pending = obs::Phase::Network;
+  send_down(txn->home_site, [this, id = txn->id, epoch = txn->epoch] {
     Transaction* t = find(id, epoch);
     if (t == nullptr) {
       return;
     }
-    send_down(t->home_site, [this, id, epoch] {
-      Transaction* t2 = find(id, epoch);
-      if (t2 == nullptr) {
-        return;
-      }
-      cpu_burst(*sites_[t2->home_site].cpu,
-                cfg_.site_cpu_seconds(t2->home_site, cfg_.instr_recv_ack), id, epoch,
-                &HybridSystem::rfc_reply_received);
-    });
+    t->phases.settle(obs::Phase::Network, sim_.now());
+    cpu_burst(*sites_[t->home_site].cpu,
+              cfg_.site_cpu_seconds(t->home_site, cfg_.instr_recv_ack), t,
+              obs::Phase::CpuService, &HybridSystem::rfc_reply_received);
   });
 }
 
@@ -961,17 +1059,27 @@ void HybridSystem::rfc_commit(Transaction* txn) {
     return;
   }
   cpu_burst(*sites_[txn->home_site].cpu,
-            cfg_.site_cpu_seconds(txn->home_site, cfg_.instr_msg_commit), txn->id,
-            txn->epoch, &HybridSystem::rfc_after_commit_cpu);
+            cfg_.site_cpu_seconds(txn->home_site, cfg_.instr_msg_commit), txn,
+            obs::Phase::Commit, &HybridSystem::rfc_after_commit_cpu);
 }
 
 void HybridSystem::rfc_after_commit_cpu(Transaction* txn) {
   // Commit request travels to the central site, which runs the normal
-  // authentication phase against the master sites.
+  // authentication phase against the master sites. As in rfc_after_call_cpu,
+  // the central burst is submitted unconditionally.
+  txn->phases.pending = obs::Phase::Network;
   send_up(txn->home_site, [this, id = txn->id, epoch = txn->epoch] {
+    if (Transaction* t = find(id, epoch)) {
+      t->phases.settle(obs::Phase::Network, sim_.now());
+      t->phases.pending = obs::Phase::ReadyQueue;
+    }
     central_.cpu->submit(cfg_.central_cpu_seconds(cfg_.instr_msg_commit),
                          [this, id, epoch] {
                            if (Transaction* t = find(id, epoch)) {
+                             t->phases.settle_burst(
+                                 obs::Phase::Commit,
+                                 cfg_.central_cpu_seconds(cfg_.instr_msg_commit),
+                                 sim_.now());
                              rfc_central_commit(t);
                            }
                          });
@@ -1064,6 +1172,14 @@ void HybridSystem::central_crash() {
   }
   central_.alive = false;
   ++metrics_.central_crashes;
+  if (obs_wants(obs::EventKind::Fault)) {
+    obs::Event event;
+    event.kind = obs::EventKind::Fault;
+    event.time = sim_.now();
+    event.site = -1;
+    event.up = false;
+    emit_event(event);
+  }
 
   // Sort the victims so the crash processing order (and therefore every
   // downstream event) is independent of unordered_map iteration order.
@@ -1083,6 +1199,10 @@ void HybridSystem::central_crash() {
   for (TxnId id : victims) {
     Transaction* txn = live_.find(id)->second.get();
     txn->at_central = false;
+    // Close the open segment at its pending phase; the outage residence
+    // until the recovery restart is then charged to Stall.
+    txn->phases.interrupt(sim_.now());
+    txn->phases.pending = obs::Phase::Stall;
     prepare_rerun(txn, AbortCause::Crash);
     txn->memory_resident = false;  // the crash wiped central memory
     central_.recovery_queue.emplace_back(id, txn->epoch);
@@ -1103,6 +1223,14 @@ void HybridSystem::central_recover() {
   }
   central_.alive = true;
   ++metrics_.central_recoveries;
+  if (obs_wants(obs::EventKind::Fault)) {
+    obs::Event event;
+    event.kind = obs::EventKind::Fault;
+    event.time = sim_.now();
+    event.site = -1;
+    event.up = true;
+    emit_event(event);
+  }
 
   // Replay the message backlog in arrival order before restarting any
   // aborted resident: coherence updates and fresh shipped arrivals observe
@@ -1123,6 +1251,7 @@ void HybridSystem::central_recover() {
     }
     ++central_.resident_txns;
     txn->at_central = true;
+    txn->phases.settle(obs::Phase::Stall, sim_.now());  // outage residence
     schedule_central_restart(txn);
   }
 }
@@ -1134,6 +1263,14 @@ void HybridSystem::site_crash(int site) {
   }
   s.alive = false;
   ++metrics_.site_crashes;
+  if (obs_wants(obs::EventKind::Fault)) {
+    obs::Event event;
+    event.kind = obs::EventKind::Fault;
+    event.time = sim_.now();
+    event.site = site;
+    event.up = false;
+    emit_event(event);
+  }
 
   // Only the class A transactions executing locally crash with the site.
   // Shipped work from this site keeps running at central (its response will
@@ -1150,6 +1287,8 @@ void HybridSystem::site_crash(int site) {
   std::sort(victims.begin(), victims.end());
   for (TxnId id : victims) {
     Transaction* txn = live_.find(id)->second.get();
+    txn->phases.interrupt(sim_.now());
+    txn->phases.pending = obs::Phase::Stall;
     prepare_rerun(txn, AbortCause::Crash);
     txn->memory_resident = false;
     s.recovery_queue.emplace_back(id, txn->epoch);
@@ -1169,6 +1308,14 @@ void HybridSystem::site_recover(int site) {
   }
   s.alive = true;
   ++metrics_.site_recoveries;
+  if (obs_wants(obs::EventKind::Fault)) {
+    obs::Event event;
+    event.kind = obs::EventKind::Fault;
+    event.time = sim_.now();
+    event.site = site;
+    event.up = true;
+    emit_event(event);
+  }
 
   std::vector<std::function<void()>> backlog;
   backlog.swap(s.backlog);
@@ -1181,6 +1328,7 @@ void HybridSystem::site_recover(int site) {
   queue.swap(s.recovery_queue);
   for (const auto& [id, epoch] : queue) {
     if (Transaction* txn = find(id, epoch)) {
+      txn->phases.settle(obs::Phase::Stall, sim_.now());  // outage residence
       local_start_run(txn);
     }
   }
@@ -1249,7 +1397,13 @@ void HybridSystem::on_ship_timeout(TxnId id, std::uint64_t attempt) {
     return;
   }
   ++metrics_.ship_timeouts;
+  ++site_metrics_[txn->home_site].ship_timeouts;
   ++txn->ship_attempt;
+
+  // Reclaim convention for the timeline: whatever the central incarnation
+  // was doing since the last settled segment is written off as Stall — the
+  // home site cannot observe where the dead/slow attempt actually stood.
+  txn->phases.settle(obs::Phase::Stall, sim_.now());
 
   // Reclaim the central incarnation — it may be dead (crash, lost link) or
   // merely slow; the home-site failure detector cannot tell the difference.
@@ -1265,6 +1419,7 @@ void HybridSystem::on_ship_timeout(TxnId id, std::uint64_t attempt) {
   if (txn->ship_retries < cfg_.ship_max_retries) {
     ++txn->ship_retries;
     ++metrics_.ship_retries;
+    ++site_metrics_[txn->home_site].ship_retries;
     arm_ship_timeout(txn);  // backoff: next timeout is ship_backoff x longer
     ship_to_central(txn);
     return;
@@ -1272,6 +1427,7 @@ void HybridSystem::on_ship_timeout(TxnId id, std::uint64_t attempt) {
   // Retry budget exhausted: fall back to local execution. The transaction
   // moves from the shipped to the local books and keeps its abort history.
   ++metrics_.ship_fallbacks;
+  ++site_metrics_[txn->home_site].ship_fallbacks;
   SiteState& home = sites_[txn->home_site];
   --home.shipped_in_flight;
   ++home.resident_txns;
@@ -1352,6 +1508,86 @@ void HybridSystem::check_invariants() const {
   if (central_.alive) {
     HLS_ASSERT(central_.backlog.empty() && central_.recovery_queue.empty(),
                "live central complex has unreplayed backlog or recovery queue");
+  }
+
+  // Fault counters are double-entry bookkeeping: the global tally and the
+  // per-home-site attribution must agree exactly.
+  std::uint64_t site_timeouts = 0;
+  std::uint64_t site_retries = 0;
+  std::uint64_t site_fallbacks = 0;
+  for (const SiteMetrics& sm : site_metrics_) {
+    site_timeouts += sm.ship_timeouts;
+    site_retries += sm.ship_retries;
+    site_fallbacks += sm.ship_fallbacks;
+  }
+  HLS_ASSERT(metrics_.ship_timeouts == site_timeouts,
+             "global ship_timeouts disagrees with sum over sites");
+  HLS_ASSERT(metrics_.ship_retries == site_retries,
+             "global ship_retries disagrees with sum over sites");
+  HLS_ASSERT(metrics_.ship_fallbacks == site_fallbacks,
+             "global ship_fallbacks disagrees with sum over sites");
+}
+
+// --------------------------------------------------------------------------
+// observability: trace sinks and the time-series sampler
+
+void HybridSystem::add_trace_sink(obs::TraceSink* sink) {
+  HLS_ASSERT(sink != nullptr, "null trace sink");
+  sinks_.push_back(sink);
+  sink_mask_ |= sink->kind_mask();
+}
+
+void HybridSystem::remove_trace_sink(obs::TraceSink* sink) {
+  sinks_.erase(std::remove(sinks_.begin(), sinks_.end(), sink), sinks_.end());
+  sink_mask_ = 0;
+  for (const obs::TraceSink* s : sinks_) {
+    sink_mask_ |= s->kind_mask();
+  }
+}
+
+void HybridSystem::emit_event(const obs::Event& ev) {
+  const unsigned bit = obs::kind_bit(ev.kind);
+  for (obs::TraceSink* sink : sinks_) {
+    if (sink->kind_mask() & bit) {
+      sink->on_event(ev);
+    }
+  }
+}
+
+void HybridSystem::take_sample() {
+  obs::SampleRow row;
+  row.time = sim_.now();
+  row.central_utilization = central_.cpu->utilization();
+  row.central_cpu_queue = static_cast<int>(central_.cpu->queue_length());
+  row.central_resident = central_.resident_txns;
+  row.central_up = central_.alive;
+  row.live_txns = static_cast<int>(live_.size());
+  row.sites.reserve(sites_.size());
+  for (const SiteState& site : sites_) {
+    obs::SiteSample s;
+    s.utilization = site.cpu->utilization();
+    s.cpu_queue = static_cast<int>(site.cpu->queue_length());
+    s.resident = site.resident_txns;
+    s.shipped_in_flight = site.shipped_in_flight;
+    s.up = site.alive;
+    row.sites.push_back(s);
+  }
+  series_.push_back(std::move(row));
+
+  if (obs_wants(obs::EventKind::Sample)) {
+    obs::Event ev;
+    ev.kind = obs::EventKind::Sample;
+    ev.time = sim_.now();
+    ev.up = central_.alive;
+    ev.central_cpu_queue = static_cast<int>(central_.cpu->queue_length());
+    ev.live_txns = static_cast<int>(live_.size());
+    emit_event(ev);
+  }
+
+  // Re-arm only while work remains so drain() terminates: the sampler must
+  // never be the event keeping the simulation alive.
+  if (arrivals_enabled_ || !live_.empty()) {
+    sim_.schedule_after(cfg_.obs_sample_interval, [this] { take_sample(); });
   }
 }
 

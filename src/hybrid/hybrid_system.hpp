@@ -45,6 +45,8 @@
 #include "hybrid/metrics.hpp"
 #include "hybrid/transaction.hpp"
 #include "net/link.hpp"
+#include "obs/sample.hpp"
+#include "obs/sink.hpp"
 #include "routing/strategy.hpp"
 #include "sim/resource.hpp"
 #include "sim/simulator.hpp"
@@ -128,6 +130,25 @@ class HybridSystem {
     completion_hook_ = std::move(hook);
   }
 
+  // ---- observability (obs/) ----
+
+  /// Registers a structured trace sink; events whose kind is in the sink's
+  /// kind_mask() are delivered as they happen. The sink must outlive the
+  /// run (or be removed first). Emission never perturbs the simulation:
+  /// with no sink interested in a kind, that kind costs one branch.
+  void add_trace_sink(obs::TraceSink* sink);
+  void remove_trace_sink(obs::TraceSink* sink);
+
+  /// Rows recorded by the time-series sampler (config::obs_sample_interval
+  /// > 0; empty otherwise). Cleared by begin_measurement().
+  [[nodiscard]] const std::vector<obs::SampleRow>& sample_series() const {
+    return series_;
+  }
+  /// Moves the series out (driver hand-off at the end of a run).
+  [[nodiscard]] std::vector<obs::SampleRow> take_series() {
+    return std::move(series_);
+  }
+
   /// Builds the state view a class A arrival at `site` would see right now
   /// (exposed for strategy unit tests).
   [[nodiscard]] SystemStateView make_state_view(int site) const;
@@ -179,9 +200,13 @@ class HybridSystem {
 
   // ---- plumbing ----
   Transaction* find(TxnId id, std::uint64_t epoch);
-  void cpu_burst(FcfsResource& cpu, double seconds, TxnId id, std::uint64_t epoch,
+  /// Submits a CPU burst; on completion the leading queue wait is settled to
+  /// ReadyQueue and the service time to `service_phase` (CpuService/Commit).
+  void cpu_burst(FcfsResource& cpu, double seconds, Transaction* txn,
+                 obs::Phase service_phase,
                  void (HybridSystem::*next)(Transaction*));
-  void wait(double seconds, TxnId id, std::uint64_t epoch,
+  /// Plain delay; the elapsed time is settled to `phase` (Io or Stall).
+  void wait(double seconds, Transaction* txn, obs::Phase phase,
             void (HybridSystem::*next)(Transaction*));
   void send_up(int site, std::function<void()> deliver);
   void send_down(int site, std::function<void()> deliver);
@@ -214,6 +239,7 @@ class HybridSystem {
 
   // ---- central execution (class B and shipped class A) ----
   void ship_to_central(Transaction* txn);
+  void ship_after_forward(Transaction* txn);
   void central_start_run(Transaction* txn);
   void central_after_init(Transaction* txn);
   void central_do_call(Transaction* txn);
@@ -233,6 +259,7 @@ class HybridSystem {
   void rfc_after_call_cpu(Transaction* txn);
   void rfc_central_request(TxnId id, std::uint64_t epoch);
   void rfc_central_after_lock(Transaction* txn);
+  void rfc_reply_send(Transaction* txn);
   void rfc_reply_received(Transaction* txn);
   void rfc_commit(Transaction* txn);
   void rfc_after_commit_cpu(Transaction* txn);
@@ -266,6 +293,15 @@ class HybridSystem {
   void arm_ship_timeout(Transaction* txn);
   void on_ship_timeout(TxnId id, std::uint64_t attempt);
 
+  // ---- observability internals ----
+  [[nodiscard]] bool obs_wants(obs::EventKind kind) const {
+    return (sink_mask_ & obs::kind_bit(kind)) != 0;
+  }
+  void emit_event(const obs::Event& event);
+  /// Takes one time-series row and re-arms the sampler while work remains
+  /// (so drain() still terminates with sampling enabled).
+  void take_sample();
+
   // ---- asynchronous update propagation ----
   /// Entry point from local commit: ships immediately, or appends to the
   /// site's batch and arms the flush timer when batching is configured.
@@ -283,6 +319,9 @@ class HybridSystem {
   Metrics metrics_;
   std::vector<SiteMetrics> site_metrics_;
   CompletionHook completion_hook_;
+  std::vector<obs::TraceSink*> sinks_;
+  unsigned sink_mask_ = 0;  ///< union of registered sinks' kind masks
+  std::vector<obs::SampleRow> series_;
   std::unordered_map<TxnId, std::unique_ptr<Transaction>> live_;
   bool arrivals_enabled_ = false;
 };

@@ -6,12 +6,24 @@
 // rerun, plus abort causes.
 #pragma once
 
+#include <array>
 #include <cstdint>
+#include <vector>
 
 #include "hybrid/transaction.hpp"
+#include "obs/phase.hpp"
 #include "util/stats.hpp"
 
 namespace hls {
+
+/// One SampleStat per obs::Phase (indexable by the enum).
+using PhaseStats = std::array<SampleStat, obs::kPhaseCount>;
+
+/// Phase-time histograms matching Metrics::rt_histogram's binning
+/// (Histogram has no default constructor, hence the vector + factory).
+[[nodiscard]] inline std::vector<Histogram> make_phase_histograms() {
+  return std::vector<Histogram>(obs::kPhaseCount, Histogram{0.1, 400});
+}
 
 /// Immutable record emitted for every transaction completion; the raw
 /// material for traces and custom analyses (see core/trace.hpp).
@@ -25,14 +37,25 @@ struct TxnCompletionRecord {
   double response_time = 0.0;
   int runs = 1;  ///< total executions (1 = committed first try)
   int aborts[static_cast<int>(AbortCause::kCount)] = {};
+  /// Where the response time went (seconds per obs::Phase; sums to
+  /// response_time — the phase-sum identity, checked at completion).
+  double phase[obs::kPhaseCount] = {};
 };
 
 /// Per-site breakdown, maintained alongside the global Metrics.
 struct SiteMetrics {
   SampleStat rt_local_a;    ///< class A from this site run locally
   SampleStat rt_shipped_a;  ///< class A from this site shipped to central
+  PhaseStats rt_phase;      ///< phase breakdown of completions homed here
   std::uint64_t arrivals_class_a = 0;
   std::uint64_t shipped_class_a = 0;
+
+  // ---- fault handling, attributed to the home site ----
+  // The global Metrics counters are maintained alongside these; the system's
+  // check_invariants() asserts global == sum over sites for all three.
+  std::uint64_t ship_timeouts = 0;
+  std::uint64_t ship_retries = 0;
+  std::uint64_t ship_fallbacks = 0;
 
   [[nodiscard]] double ship_fraction() const {
     return arrivals_class_a > 0
@@ -51,6 +74,22 @@ struct Metrics {
   SampleStat rt_first_try;  ///< transactions that never aborted
   SampleStat rt_rerun;      ///< transactions that aborted at least once
   Histogram rt_histogram{0.1, 400};  ///< 0.1 s bins up to 40 s
+
+  // ---- phase-level breakdown (obs/phase.hpp taxonomy) ----
+  // One sample per completion and phase, even when the phase contributed
+  // zero seconds, so phase means compose: sum of means == mean of rt_all.
+  PhaseStats rt_phase;
+  std::vector<Histogram> rt_phase_hist = make_phase_histograms();
+
+  /// Mean seconds a completed transaction spent in `p`.
+  [[nodiscard]] double phase_mean(obs::Phase p) const {
+    return rt_phase[static_cast<std::size_t>(p)].mean();
+  }
+
+  /// Deterministic quantile of the per-phase distribution (e.g. 0.95).
+  [[nodiscard]] double phase_quantile(obs::Phase p, double q) const {
+    return rt_phase_hist[static_cast<std::size_t>(p)].quantile(q);
+  }
 
   // ---- counts over the measurement window ----
   std::uint64_t arrivals_class_a = 0;

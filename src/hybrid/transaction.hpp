@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "db/lock_types.hpp"
+#include "obs/phase.hpp"
 #include "sim/time.hpp"
 
 namespace hls {
@@ -72,6 +73,9 @@ struct Transaction {
 
   // ---- per-txn statistics ----
   int aborts[static_cast<int>(AbortCause::kCount)] = {};
+  /// Response-time decomposition across all runs; maintained by the system
+  /// at every protocol step (obs/phase.hpp). Sums to the response time.
+  obs::PhaseTimeline phases;
 
   [[nodiscard]] bool is_rerun() const { return run_count > 0; }
 

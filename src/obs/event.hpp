@@ -1,0 +1,80 @@
+// Structured trace events emitted by HybridSystem to registered sinks.
+//
+// One flat POD covers all event kinds; fields not meaningful for a kind are
+// left at their defaults. Header-only: included by hybrid (emission) and by
+// the sink implementations without a library cycle.
+#pragma once
+
+#include <cstdint>
+
+#include "hybrid/transaction.hpp"
+#include "obs/phase.hpp"
+
+namespace hls::obs {
+
+enum class EventKind : std::uint8_t {
+  Completion,  ///< a transaction committed (phase breakdown attached)
+  Abort,       ///< a transaction aborted and will rerun
+  Fault,       ///< a node crashed or recovered
+  Sample,      ///< the time-series sampler took a snapshot
+  kCount,
+};
+
+inline constexpr int kEventKindCount = static_cast<int>(EventKind::kCount);
+
+[[nodiscard]] constexpr unsigned kind_bit(EventKind k) {
+  return 1u << static_cast<unsigned>(k);
+}
+
+inline constexpr unsigned kAllEventKinds = (1u << kEventKindCount) - 1u;
+
+[[nodiscard]] constexpr const char* event_kind_name(EventKind k) {
+  switch (k) {
+    case EventKind::Completion: return "completion";
+    case EventKind::Abort: return "abort";
+    case EventKind::Fault: return "fault";
+    case EventKind::Sample: return "sample";
+    case EventKind::kCount: break;
+  }
+  return "?";
+}
+
+[[nodiscard]] constexpr const char* abort_cause_name(AbortCause cause) {
+  switch (cause) {
+    case AbortCause::LocalPreempted: return "preempted";
+    case AbortCause::CentralInvalidated: return "invalidated";
+    case AbortCause::AuthRefused: return "auth_refused";
+    case AbortCause::Deadlock: return "deadlock";
+    case AbortCause::ShipTimeout: return "ship_timeout";
+    case AbortCause::Crash: return "crash";
+    case AbortCause::kCount: break;
+  }
+  return "-";
+}
+
+struct Event {
+  EventKind kind = EventKind::Completion;
+  double time = 0.0;  ///< simulated time of the event
+
+  // ---- Completion / Abort ----
+  TxnId txn = kInvalidTxn;
+  TxnClass cls = TxnClass::A;
+  Route route = Route::Local;
+  int home_site = 0;
+  int runs = 0;                ///< executions so far (completions: total)
+  double arrival_time = 0.0;
+  double response_time = 0.0;  ///< completions only
+  AbortCause cause = AbortCause::kCount;  ///< aborts only; kCount otherwise
+  double phase[kPhaseCount] = {};         ///< completions only
+  int aborts[static_cast<int>(AbortCause::kCount)] = {};
+
+  // ---- Fault ----
+  int site = -1;   ///< crashed/recovered site; -1 = central complex
+  bool up = true;  ///< false = crash, true = recovery
+
+  // ---- Sample (summary; the full row lives in the sampler series) ----
+  int central_cpu_queue = 0;
+  int live_txns = 0;
+};
+
+}  // namespace hls::obs

@@ -1,0 +1,99 @@
+// Phase taxonomy and per-transaction phase timeline.
+//
+// The analytic model (docs/MODEL.md) decomposes response time into CPU
+// queueing, CPU service, I/O, network transit, lock wait, authentication and
+// commit terms; this header gives the simulator the same decomposition per
+// transaction. A PhaseTimeline accumulates wall-clock (simulated) seconds
+// into one bucket per phase as the transaction moves through the protocol,
+// maintaining the invariant
+//
+//     sum over phases of acc[p]  ==  completion_time - arrival_time
+//
+// by construction: the timeline is a telescoping sequence of settle() calls,
+// each charging the segment [mark, t] to exactly one phase. Asynchronous
+// waits record a `pending` phase hint at arm time so that interrupted
+// segments (crash reclaim, ship timeout) can be settled retrospectively.
+//
+// Header-only and dependency-free so hybrid/transaction.hpp can embed a
+// timeline without a library cycle (the same pattern as routing/strategy.hpp).
+#pragma once
+
+#include <cstdint>
+
+namespace hls::obs {
+
+/// Where a transaction's time goes. `Stall` covers dead time that is not
+/// protocol progress: the ship-timeout ladder (waiting for a timer to expire
+/// on a possibly-dead central incarnation), outage residence between a crash
+/// and the recovery restart, and configured abort-restart backoff.
+enum class Phase : std::uint8_t {
+  ReadyQueue,  ///< waiting in a CPU queue behind other bursts
+  CpuService,  ///< executing instructions (init, calls, forwarding, acks)
+  Io,          ///< setup and per-call disk I/O
+  Network,     ///< link transit (ship, remote calls, response delivery)
+  LockWait,    ///< blocked in a lock queue
+  Auth,        ///< authentication round trip (down + local check + up)
+  Commit,      ///< commit-message CPU processing
+  Stall,       ///< timeout ladder / outage / restart backoff residence
+  kCount,
+};
+
+inline constexpr int kPhaseCount = static_cast<int>(Phase::kCount);
+
+[[nodiscard]] constexpr const char* phase_name(Phase p) {
+  switch (p) {
+    case Phase::ReadyQueue: return "ready_queue";
+    case Phase::CpuService: return "cpu_service";
+    case Phase::Io: return "io";
+    case Phase::Network: return "network";
+    case Phase::LockWait: return "lock_wait";
+    case Phase::Auth: return "auth";
+    case Phase::Commit: return "commit";
+    case Phase::Stall: return "stall";
+    case Phase::kCount: break;
+  }
+  return "?";
+}
+
+/// Accumulates one transaction's response time into phase buckets. Pure
+/// arithmetic: no events, no RNG, no allocation — safe to keep always-on
+/// without perturbing the simulation.
+struct PhaseTimeline {
+  double acc[kPhaseCount] = {};
+  double mark = 0.0;          ///< start of the segment being timed
+  Phase pending = Phase::ReadyQueue;  ///< phase hint for the open segment
+
+  void begin(double t) { mark = t; }
+
+  /// Charges [mark, t] to phase `p` and advances the mark.
+  void settle(Phase p, double t) {
+    acc[static_cast<int>(p)] += t - mark;
+    mark = t;
+  }
+
+  /// Settles a CPU burst that completed at `t` after `service` seconds of
+  /// service: the leading queue wait goes to ReadyQueue, the trailing
+  /// service to `service_phase` (CpuService or Commit).
+  void settle_burst(Phase service_phase, double service, double t) {
+    acc[static_cast<int>(Phase::ReadyQueue)] += (t - mark) - service;
+    acc[static_cast<int>(service_phase)] += service;
+    mark = t;
+  }
+
+  /// Settles the open segment to the pending hint (force-abort, crash).
+  void interrupt(double t) { settle(pending, t); }
+
+  [[nodiscard]] double sum() const {
+    double s = 0.0;
+    for (double a : acc) {
+      s += a;
+    }
+    return s;
+  }
+
+  [[nodiscard]] double operator[](Phase p) const {
+    return acc[static_cast<int>(p)];
+  }
+};
+
+}  // namespace hls::obs

@@ -1,0 +1,67 @@
+// In-memory ring-buffer sink: keeps the last `capacity` events.
+//
+// The test battery's workhorse — bounded memory, no I/O, and a drop counter
+// so assertions can tell "nothing happened" from "it scrolled off".
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "obs/sink.hpp"
+#include "util/assert.hpp"
+
+namespace hls::obs {
+
+class RingSink final : public TraceSink {
+ public:
+  explicit RingSink(std::size_t capacity, unsigned mask = kAllEventKinds)
+      : capacity_(capacity), mask_(mask) {
+    HLS_ASSERT(capacity > 0, "RingSink needs a positive capacity");
+    buffer_.reserve(capacity);
+  }
+
+  [[nodiscard]] unsigned kind_mask() const override { return mask_; }
+
+  void on_event(const Event& event) override {
+    ++seen_;
+    if (buffer_.size() < capacity_) {
+      buffer_.push_back(event);
+      return;
+    }
+    buffer_[head_] = event;
+    head_ = (head_ + 1) % capacity_;
+    ++dropped_;
+  }
+
+  /// Retained events, oldest first.
+  [[nodiscard]] std::vector<Event> events() const {
+    std::vector<Event> out;
+    out.reserve(buffer_.size());
+    for (std::size_t i = 0; i < buffer_.size(); ++i) {
+      out.push_back(buffer_[(head_ + i) % buffer_.size()]);
+    }
+    return out;
+  }
+
+  [[nodiscard]] std::uint64_t total_seen() const { return seen_; }
+  [[nodiscard]] std::uint64_t dropped() const { return dropped_; }
+  [[nodiscard]] std::size_t size() const { return buffer_.size(); }
+
+  void clear() {
+    buffer_.clear();
+    head_ = 0;
+    seen_ = 0;
+    dropped_ = 0;
+  }
+
+ private:
+  std::size_t capacity_;
+  unsigned mask_;
+  std::vector<Event> buffer_;
+  std::size_t head_ = 0;  ///< index of the oldest retained event once full
+  std::uint64_t seen_ = 0;
+  std::uint64_t dropped_ = 0;
+};
+
+}  // namespace hls::obs

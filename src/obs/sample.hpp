@@ -1,0 +1,39 @@
+// Time-series sampler rows: periodic snapshots of system load state.
+//
+// When SystemConfig::obs_sample_interval > 0, HybridSystem records one
+// SampleRow every interval of simulated time: central and per-site CPU
+// utilization, queue lengths, residency, shipped-in-flight counts and
+// outage state. The series is what adaptive routing would tune off
+// (SystemStateView::last_sample points at the newest row) and what
+// write_series_csv renders as `csv,`-prefixed output for plotting.
+#pragma once
+
+#include <iosfwd>
+#include <vector>
+
+namespace hls::obs {
+
+struct SiteSample {
+  double utilization = 0.0;   ///< busy fraction since the last stats reset
+  int cpu_queue = 0;          ///< jobs at the CPU incl. in service
+  int resident = 0;           ///< class A txns executing locally
+  int shipped_in_flight = 0;  ///< class A txns from here now at central
+  bool up = true;
+};
+
+struct SampleRow {
+  double time = 0.0;
+  double central_utilization = 0.0;
+  int central_cpu_queue = 0;
+  int central_resident = 0;
+  bool central_up = true;
+  int live_txns = 0;  ///< transactions in flight anywhere in the system
+  std::vector<SiteSample> sites;
+};
+
+/// Emits the series as `csv,`-prefixed rows (one header, one row per
+/// sample) in the same convention the benches use for machine-readable
+/// output. Per-site columns are flattened as site<k>_util / site<k>_queue.
+void write_series_csv(std::ostream& out, const std::vector<SampleRow>& rows);
+
+}  // namespace hls::obs

@@ -1,0 +1,33 @@
+// Pluggable trace-sink interface.
+//
+// HybridSystem emits structured Events to every registered sink whose
+// kind_mask() includes the event's kind. The union of all registered masks
+// is cached by the system, so a run with no sinks (or none interested in a
+// kind) pays exactly one branch per potential emission — the zero-cost-when-
+// disabled requirement. Sinks must outlive the system run they observe.
+#pragma once
+
+#include "obs/event.hpp"
+
+namespace hls::obs {
+
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+
+  /// Bitmask of kind_bit(EventKind) values this sink wants. Queried at
+  /// registration time; must stay constant while registered.
+  [[nodiscard]] virtual unsigned kind_mask() const = 0;
+
+  virtual void on_event(const Event& event) = 0;
+};
+
+/// Receives nothing: its mask is empty, so the system never even builds an
+/// Event on its behalf. Useful as a placeholder in sink plumbing tests.
+class NullSink final : public TraceSink {
+ public:
+  [[nodiscard]] unsigned kind_mask() const override { return 0; }
+  void on_event(const Event&) override {}
+};
+
+}  // namespace hls::obs

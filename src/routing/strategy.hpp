@@ -14,6 +14,7 @@
 
 #include "hybrid/config.hpp"
 #include "hybrid/transaction.hpp"
+#include "obs/sample.hpp"
 
 namespace hls {
 
@@ -39,6 +40,11 @@ struct SystemStateView {
 
   // ---- failure detection (fault injection; always true without it) ----
   bool central_reachable = true;  ///< central complex currently up
+
+  // ---- observability (null unless obs_sample_interval > 0) ----
+  /// Most recent time-series sample, if the sampler has fired yet. Borrowed
+  /// from the system; valid only for the duration of the decide() call.
+  const obs::SampleRow* last_sample = nullptr;
 };
 
 class RoutingStrategy {

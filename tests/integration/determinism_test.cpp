@@ -4,9 +4,12 @@
 #include <gtest/gtest.h>
 
 #include <sstream>
+#include <tuple>
 
 #include "core/trace.hpp"
 #include "model/params.hpp"
+#include "obs/csv_sink.hpp"
+#include "obs/ring_sink.hpp"
 #include "routing/factory.hpp"
 
 namespace hls {
@@ -82,6 +85,93 @@ TEST(DeterminismTest, BatchingModePreservesDeterminism) {
                           sys.metrics().rt_all.sum());
   };
   EXPECT_EQ(run(), run());
+}
+
+TEST(DeterminismTest, TraceSinksDoNotPerturbTheSimulation) {
+  // Observation must be free: registering sinks (even the full CSV sink
+  // subscribed to every event kind) schedules no events, forks no RNG
+  // streams, and leaves every metric of a same-seed run bit-identical.
+  auto run = [](bool with_sinks) {
+    SystemConfig cfg;
+    cfg.arrival_rate_per_site = 2.0;
+    cfg.seed = 9;
+    cfg.ship_timeout = 2.0;
+    cfg.faults.windows.push_back(
+        {FaultKind::CentralOutage, -1, 20.0, 6.0, 1.0, 0.0});
+    HybridSystem sys(cfg, make_strategy({StrategyKind::MinAverageNsys, 0.0},
+                                        ModelParams::from_config(cfg), 9));
+    std::ostringstream csv;
+    obs::CsvSink full(csv);
+    obs::RingSink ring(64, obs::kind_bit(obs::EventKind::Fault));
+    if (with_sinks) {
+      sys.add_trace_sink(&full);
+      sys.add_trace_sink(&ring);
+    }
+    sys.enable_arrivals();
+    sys.run_for(60.0);
+    sys.stop_arrivals();
+    sys.drain();
+    if (with_sinks) {
+      EXPECT_GT(full.rows_written(), 0u);
+      EXPECT_EQ(ring.total_seen(), 2u);  // crash + recovery
+    }
+    return std::make_tuple(sys.simulator().executed_events(),
+                           sys.metrics().completions,
+                           sys.metrics().rt_all.sum(),
+                           sys.metrics().ship_timeouts);
+  };
+  EXPECT_EQ(run(false), run(true));
+}
+
+TEST(DeterminismTest, SamplerDoesNotPerturbMetrics) {
+  // The sampler does schedule events (so executed_events differs) but its
+  // callbacks only read: every transaction-visible observable of a
+  // same-seed run is unchanged, and the completion trace is byte-identical.
+  auto run = [](double interval) {
+    SystemConfig cfg;
+    cfg.arrival_rate_per_site = 2.0;
+    cfg.seed = 10;
+    cfg.obs_sample_interval = interval;
+    HybridSystem sys(cfg, make_strategy({StrategyKind::MinAverageNsys, 0.0},
+                                        ModelParams::from_config(cfg), 10));
+    std::ostringstream trace_out;
+    TraceWriter writer(trace_out);
+    writer.attach(sys);
+    sys.enable_arrivals();
+    sys.run_for(60.0);
+    sys.stop_arrivals();
+    sys.drain();
+    return std::make_tuple(sys.metrics().completions,
+                           sys.metrics().rt_all.sum(),
+                           sys.metrics().aborts_total(), trace_out.str());
+  };
+  const auto off = run(0.0);
+  const auto on = run(0.5);
+  EXPECT_EQ(off, on);
+}
+
+TEST(DeterminismTest, SamplerDisabledByDefaultSchedulesNothing) {
+  // Byte-parity contract: obs_sample_interval = 0 must leave the executed
+  // event count identical to a build that never had a sampler. Pinning
+  // "sampler on => strictly more events, sampler off => same count as the
+  // baseline" guards against a stray schedule in the constructor.
+  auto events_with = [](double interval) {
+    SystemConfig cfg;
+    cfg.arrival_rate_per_site = 1.0;
+    cfg.seed = 11;
+    cfg.obs_sample_interval = interval;
+    HybridSystem sys(cfg, make_strategy({StrategyKind::NoLoadSharing, 0.0},
+                                        ModelParams::from_config(cfg), 11));
+    sys.enable_arrivals();
+    sys.run_for(30.0);
+    sys.stop_arrivals();
+    sys.drain();
+    return sys.simulator().executed_events();
+  };
+  const std::uint64_t base = events_with(0.0);
+  const std::uint64_t sampled = events_with(1.0);
+  EXPECT_EQ(events_with(0.0), base);
+  EXPECT_GT(sampled, base);
 }
 
 TEST(DeterminismTest, RfcModePreservesDeterminism) {

@@ -1,0 +1,94 @@
+// PhaseTimeline arithmetic: the telescoping settle() convention that makes
+// phase times sum to the response time by construction.
+#include <gtest/gtest.h>
+
+#include "obs/event.hpp"
+#include "obs/phase.hpp"
+
+namespace hls::obs {
+namespace {
+
+TEST(PhaseTimeline, SettleChargesSegmentsToOnePhaseEach) {
+  PhaseTimeline tl;
+  tl.begin(10.0);
+  tl.settle(Phase::CpuService, 10.5);
+  tl.settle(Phase::Io, 10.9);
+  tl.settle(Phase::Commit, 11.0);
+  EXPECT_NEAR(tl[Phase::CpuService], 0.5, 1e-12);
+  EXPECT_NEAR(tl[Phase::Io], 0.4, 1e-12);
+  EXPECT_NEAR(tl[Phase::Commit], 0.1, 1e-12);
+  EXPECT_NEAR(tl.sum(), 1.0, 1e-12);
+  EXPECT_DOUBLE_EQ(tl.mark, 11.0);
+}
+
+TEST(PhaseTimeline, SettleBurstSplitsQueueWaitFromService) {
+  PhaseTimeline tl;
+  tl.begin(0.0);
+  // Burst submitted at 0, completed at 0.7 after 0.3 s of service: the
+  // leading 0.4 s was spent behind other jobs in the queue.
+  tl.settle_burst(Phase::CpuService, 0.3, 0.7);
+  EXPECT_DOUBLE_EQ(tl[Phase::ReadyQueue], 0.4);
+  EXPECT_DOUBLE_EQ(tl[Phase::CpuService], 0.3);
+  EXPECT_DOUBLE_EQ(tl.sum(), 0.7);
+}
+
+TEST(PhaseTimeline, SettleBurstWithNoQueueingChargesServiceOnly) {
+  PhaseTimeline tl;
+  tl.begin(2.0);
+  tl.settle_burst(Phase::Commit, 0.25, 2.25);
+  EXPECT_DOUBLE_EQ(tl[Phase::ReadyQueue], 0.0);
+  EXPECT_DOUBLE_EQ(tl[Phase::Commit], 0.25);
+}
+
+TEST(PhaseTimeline, InterruptSettlesToThePendingHint) {
+  PhaseTimeline tl;
+  tl.begin(0.0);
+  tl.settle(Phase::CpuService, 0.1);
+  tl.pending = Phase::Network;  // armed an async send, then the node died
+  tl.interrupt(0.6);
+  EXPECT_DOUBLE_EQ(tl[Phase::Network], 0.5);
+  EXPECT_DOUBLE_EQ(tl.sum(), 0.6);
+}
+
+TEST(PhaseTimeline, SumEqualsElapsedAcrossManySegments) {
+  PhaseTimeline tl;
+  tl.begin(5.0);
+  double t = 5.0;
+  for (int i = 0; i < static_cast<int>(Phase::kCount) * 3; ++i) {
+    t += 0.01 * (i + 1);
+    tl.settle(static_cast<Phase>(i % kPhaseCount), t);
+  }
+  EXPECT_NEAR(tl.sum(), t - 5.0, 1e-12);
+}
+
+TEST(PhaseTimeline, ZeroLengthSettleIsANoOp) {
+  PhaseTimeline tl;
+  tl.begin(1.0);
+  tl.settle(Phase::LockWait, 1.0);
+  EXPECT_DOUBLE_EQ(tl[Phase::LockWait], 0.0);
+  EXPECT_DOUBLE_EQ(tl.sum(), 0.0);
+}
+
+TEST(PhaseNames, AreUniqueAndNonPlaceholder) {
+  for (int i = 0; i < kPhaseCount; ++i) {
+    const char* name = phase_name(static_cast<Phase>(i));
+    EXPECT_STRNE(name, "?");
+    for (int j = i + 1; j < kPhaseCount; ++j) {
+      EXPECT_STRNE(name, phase_name(static_cast<Phase>(j)));
+    }
+  }
+}
+
+TEST(EventKinds, BitsAreDisjointAndCoverTheMask) {
+  unsigned seen = 0;
+  for (int i = 0; i < kEventKindCount; ++i) {
+    const unsigned bit = kind_bit(static_cast<EventKind>(i));
+    EXPECT_EQ(seen & bit, 0u);
+    seen |= bit;
+    EXPECT_STRNE(event_kind_name(static_cast<EventKind>(i)), "?");
+  }
+  EXPECT_EQ(seen, kAllEventKinds);
+}
+
+}  // namespace
+}  // namespace hls::obs
