@@ -2,22 +2,26 @@
 //
 // Wires every obs facility to the same simulation: the time-series sampler
 // (obs_sample_interval), a full CSV trace sink streaming to a file or
-// stdout, and a small ring sink retaining only the most recent fault/abort
-// events (the "what just went wrong" view an operator would keep). After
-// the run it prints the phase-level latency breakdown — where a mean
-// response time actually went — and the sampled utilization series.
+// stdout, a Perfetto span exporter, and a small ring sink retaining only
+// the most recent fault/abort events (the "what just went wrong" view an
+// operator would keep). After the run it prints the phase-level latency
+// breakdown — where a mean response time actually went — the abort
+// provenance run report, and the sampled utilization series.
 //
-// Usage: trace_inspector [rate_per_site] [trace.csv]
+// Usage: trace_inspector [rate_per_site] [trace.csv] [trace.json]
 //   rate_per_site  arrival rate per site (default 2.2)
-//   trace.csv      stream the full event trace here (omit to skip)
+//   trace.csv      stream the full event trace here (omit or "-" to skip)
+//   trace.json     write the Perfetto span trace here (omit to skip)
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <fstream>
 #include <iostream>
 #include <memory>
 
 #include "core/api.hpp"
 #include "obs/csv_sink.hpp"
+#include "obs/perfetto_sink.hpp"
 #include "obs/ring_sink.hpp"
 #include "obs/sample.hpp"
 
@@ -36,10 +40,11 @@ int main(int argc, char** argv) {
   opts.warmup_seconds = 0.0;  // inspect the whole run, transient included
   opts.measure_seconds = 200.0 * time_scale_from_env();
 
-  // Sink 1: everything, as CSV, if the user asked for a file.
+  // Sink 1: everything, as CSV, if the user asked for a file ("-" skips it
+  // so a Perfetto path can be given alone).
   std::ofstream trace_file;
   std::unique_ptr<obs::CsvSink> csv;
-  if (argc > 2) {
+  if (argc > 2 && std::strcmp(argv[2], "-") != 0) {
     trace_file.open(argv[2]);
     if (!trace_file) {
       std::fprintf(stderr, "cannot open %s for writing\n", argv[2]);
@@ -55,6 +60,15 @@ int main(int argc, char** argv) {
   obs::RingSink incidents(12, obs::kind_bit(obs::EventKind::Fault) |
                                   obs::kind_bit(obs::EventKind::Abort));
   if (opts.trace_sink == nullptr) opts.trace_sink = &incidents;
+
+  // Sink 3: the Perfetto span exporter, routed through the config's span
+  // sink spec so this example exercises the same path the driver offers
+  // library users. Sink 4: the run-report collector rides along.
+  if (argc > 3) {
+    cfg.obs_span_sink = std::string("perfetto:") + argv[3];
+  }
+  ReportCollector collector(cfg.report_top_k);
+  opts.extra_sinks.push_back(&collector);
 
   const StrategySpec spec{StrategyKind::MinAverageNsys, 0.0,
                           /*failure_aware=*/true};
@@ -83,11 +97,19 @@ int main(int argc, char** argv) {
   }
   phases.print(std::cout);
 
+  // The run report: abort provenance, conflict matrix, wasted work and the
+  // slowest span trees from the collector.
+  std::printf("\n");
+  write_run_report(std::cout, m, &collector);
+
   // The sampled time series: watch the outage window empty the central
   // queue's utilization and pile transactions up at the home sites.
   std::printf("\ntime series (every %.0f s simulated):\n", cfg.obs_sample_interval);
   obs::write_series_csv(std::cout, r.series);
 
+  if (argc > 3) {
+    std::printf("\nperfetto span trace -> %s\n", argv[3]);
+  }
   if (csv) {
     std::printf("\nfull event trace: %llu rows -> %s\n",
                 static_cast<unsigned long long>(csv->rows_written()), argv[2]);

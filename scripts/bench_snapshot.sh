@@ -1,0 +1,86 @@
+#!/usr/bin/env bash
+# Bench snapshot: runs a fixed set of benches at a fixed HLS_TIME_SCALE and
+# captures headline metrics as BENCH_<N>.json at the repo root, so future
+# PRs can diff performance/behaviour against a committed baseline. The
+# format (documented in EXPERIMENTS.md) is one flat JSON object:
+#   { "<bench>.<metric>": value, ... , "_meta": {...} }
+# Values come from the benches' csv rows, so the snapshot is deterministic:
+# same binary + seed + scale => byte-identical JSON.
+#
+# Usage: scripts/bench_snapshot.sh [N]      (default N=4, this PR's number)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD=${BUILD_DIR:-build}
+N=${1:-4}
+SCALE=${HLS_TIME_SCALE:-0.05}
+OUT="BENCH_${N}.json"
+
+cmake -B "$BUILD" -G Ninja >/dev/null
+cmake --build "$BUILD" -j --target fig_4_1_response_time tbl_abort_statistics \
+  tbl_abort_provenance obs_overhead >/dev/null
+
+tmp=$(mktemp -d)
+trap 'rm -f "$tmp"/*.out; rmdir "$tmp"' EXIT
+
+HLS_TIME_SCALE=$SCALE "./$BUILD/bench/fig_4_1_response_time" >"$tmp/fig41.out"
+HLS_TIME_SCALE=$SCALE "./$BUILD/bench/tbl_abort_statistics" >"$tmp/aborts.out"
+HLS_TIME_SCALE=$SCALE "./$BUILD/bench/tbl_abort_provenance" >"$tmp/prov.out"
+HLS_TIME_SCALE=$SCALE "./$BUILD/bench/obs_overhead" >"$tmp/obs.out"
+
+python3 - "$tmp" "$SCALE" "$N" <<'EOF' >"$OUT"
+import sys
+
+tmpdir, scale, n = sys.argv[1], sys.argv[2], sys.argv[3]
+
+def csv_blocks(path):
+    """Yields (header, rows) per csv block in a bench output file."""
+    header, rows = None, []
+    for line in open(path):
+        if line.startswith("csv,"):
+            cells = line.rstrip("\n").split(",")[1:]
+            if header is None:
+                header = cells
+            else:
+                rows.append(cells)
+        elif header is not None:
+            yield header, rows
+            header, rows = None, []
+    if header is not None:
+        yield header, rows
+
+out = {}
+
+def grab(path, bench, metric_cols, row_key=None):
+    """Records header->value pairs from the LAST row of each block (the
+    highest offered rate), prefixed bench.<blockindex>."""
+    for bi, (header, rows) in enumerate(csv_blocks(path)):
+        if not rows:
+            continue
+        row = rows[-1]
+        for col in metric_cols:
+            if col in header:
+                value = row[header.index(col)]
+                try:
+                    out[f"{bench}.{bi}.{col}"] = float(value)
+                except ValueError:
+                    out[f"{bench}.{bi}.{col}"] = value
+
+grab(f"{tmpdir}/fig41.out", "fig_4_1", ["tput", "rt"])
+grab(f"{tmpdir}/aborts.out", "tbl_abort_statistics",
+     ["runs_per_txn", "local_preempt", "central_invalid", "auth_refused",
+      "deadlock"])
+grab(f"{tmpdir}/prov.out", "tbl_abort_provenance",
+     ["aborts", "with_winner", "wasted_cpu", "wasted_io", "wasted_per_txn"])
+grab(f"{tmpdir}/obs.out", "obs_overhead",
+     ["cpu_s", "overhead_pct", "events_or_rows"])
+
+out["_meta"] = {"snapshot": int(n), "time_scale": float(scale),
+                "benches": ["fig_4_1_response_time", "tbl_abort_statistics",
+                            "tbl_abort_provenance", "obs_overhead"]}
+
+import json
+print(json.dumps(out, indent=2, sort_keys=True))
+EOF
+
+echo "wrote $OUT ($(grep -c ':' "$OUT") entries)" >&2

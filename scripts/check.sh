@@ -67,6 +67,18 @@ echo "determinism smoke: fig_4_2 stdout byte-identical at HLS_JOBS=1 vs 4"
 HLS_TIME_SCALE=0.05 "./$BUILD/bench/abl_fault_tolerance" >/dev/null 2>&1
 echo "fault smoke: abl_fault_tolerance drained every faulted cell"
 
+# Span-trace smoke: trace_inspector end to end on its faulted run with the
+# Perfetto exporter attached, then schema-check the JSON (parses, pid/tid/
+# ph/ts present, every B matched by an E). The csv splitter's selftest
+# rides along since it gates the same plotting pipeline.
+trace_json=$(mktemp)
+HLS_TIME_SCALE=0.2 "./$BUILD/examples/trace_inspector" 2.2 - "$trace_json" >/dev/null
+python3 -m json.tool "$trace_json" >/dev/null
+python3 scripts/validate_trace.py "$trace_json"
+rm -f "$trace_json"
+python3 scripts/extract_csv.py --selftest
+echo "trace smoke: perfetto export schema-valid end to end"
+
 # Same smoke under AddressSanitizer: the crash/recovery paths juggle queued
 # closures for reclaimed transactions, exactly where lifetime bugs would
 # hide. Skipped gracefully when the toolchain has no asan runtime.
@@ -74,15 +86,20 @@ ASAN_BUILD="${BUILD}-asan"
 if cmake -B "$ASAN_BUILD" -G Ninja -DHLS_SANITIZE=address >/dev/null 2>&1 &&
     cmake --build "$ASAN_BUILD" -j --target abl_fault_tolerance \
       golden_metrics_test conservation_test phase_breakdown_test \
+      abort_provenance_test span_trace_test report_test \
       >/dev/null 2>&1; then
   HLS_TIME_SCALE=0.05 "./$ASAN_BUILD/bench/abl_fault_tolerance" >/dev/null
   # The pinned-value and conservation-law suites under asan: the pins prove
   # determinism survives instrumentation, and the property grid walks every
-  # abort/fault path where lifetime bugs would hide.
+  # abort/fault path where lifetime bugs would hide. The provenance and
+  # span suites exercise the tracer's cross-attempt bookkeeping the same way.
   "./$ASAN_BUILD/tests/golden_metrics_test" >/dev/null
   "./$ASAN_BUILD/tests/conservation_test" >/dev/null
   "./$ASAN_BUILD/tests/phase_breakdown_test" >/dev/null
-  echo "asan: abl_fault_tolerance + golden/conservation/phase suites clean"
+  "./$ASAN_BUILD/tests/abort_provenance_test" >/dev/null
+  "./$ASAN_BUILD/tests/span_trace_test" >/dev/null
+  "./$ASAN_BUILD/tests/report_test" >/dev/null
+  echo "asan: abl_fault_tolerance + golden/conservation/phase/provenance suites clean"
 else
   echo "asan: unavailable in this toolchain; skipped"
 fi

@@ -18,6 +18,77 @@ import os
 import re
 import sys
 
+# Column families emitted by the benches. Phase columns appear when a bench
+# runs with HLS_OBS=1 (the obs/phase.hpp taxonomy, one column per phase);
+# abort-cause columns come from the abort-statistics and abort-provenance
+# tables (both the short and long spellings are in use); wasted-work columns
+# are the PR-4 provenance additions.
+PHASE_COLUMNS = {
+    "ready_queue", "cpu_service", "io", "network",
+    "lock_wait", "auth", "commit", "stall",
+}
+ABORT_CAUSE_COLUMNS = {
+    "local_preempt", "central_invalid", "auth_refused", "deadlock",
+    "preempted", "invalidated", "ship_timeout", "crash",
+}
+WASTED_COLUMNS = {"wasted_cpu", "wasted_io", "wasted_per_txn", "with_winner"}
+
+
+def classify_column(name):
+    """Returns the column family: phase | abort_cause | wasted | other."""
+    if name in PHASE_COLUMNS:
+        return "phase"
+    if name in ABORT_CAUSE_COLUMNS:
+        return "abort_cause"
+    if name in WASTED_COLUMNS:
+        return "wasted"
+    return "other"
+
+
+def describe_header(header):
+    """Summarizes the known column families in a header, e.g.
+    '8 phase, 4 abort-cause cols'. Empty string when none are present."""
+    counts = {}
+    for name in header:
+        family = classify_column(name)
+        if family != "other":
+            counts[family] = counts.get(family, 0) + 1
+    parts = []
+    if "phase" in counts:
+        parts.append(f"{counts['phase']} phase")
+    if "abort_cause" in counts:
+        parts.append(f"{counts['abort_cause']} abort-cause")
+    if "wasted" in counts:
+        parts.append(f"{counts['wasted']} wasted-work")
+    return ", ".join(parts) + (" cols" if parts else "")
+
+
+def selftest():
+    """Checks the block reader and the column classifier against synthetic
+    bench output; exercised by scripts/check.sh."""
+    sample = [
+        "Figure 9.9 — synthetic\n",
+        "csv,offered_tps,ready_queue,auth,local_preempt,wasted_cpu\n",
+        "csv,10.0,0.1,0.2,3,0.5\n",
+        "csv,20.0,0.2,0.3,4,0.9\n",
+        "ignored prose\n",
+        "csv,a,b\n",
+        "csv,1,2\n",
+    ]
+    blocks = list(read_blocks(sample))
+    assert len(blocks) == 2, blocks
+    title, rows = blocks[0]
+    assert "9.9" in title and len(rows) == 3, blocks[0]
+    header = rows[0]
+    fams = [classify_column(c) for c in header]
+    assert fams == ["other", "phase", "phase", "abort_cause", "wasted"], fams
+    assert describe_header(header) == "2 phase, 1 abort-cause, 1 wasted-work cols"
+    assert describe_header(["a", "b"]) == ""
+    for name in sorted(PHASE_COLUMNS | ABORT_CAUSE_COLUMNS | WASTED_COLUMNS):
+        assert classify_column(name) != "other", name
+    print("extract_csv.py selftest: ok")
+    return 0
+
 
 def read_blocks(lines):
     """Yields (context_title, rows) for each csv block in the input."""
@@ -77,7 +148,12 @@ def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("input", nargs="?", help="bench output file (default stdin)")
     parser.add_argument("-o", "--outdir", default="plots", help="output directory")
+    parser.add_argument("--selftest", action="store_true",
+                        help="run the built-in checks and exit")
     args = parser.parse_args()
+
+    if args.selftest:
+        return selftest()
 
     source = open(args.input) if args.input else sys.stdin
     os.makedirs(args.outdir, exist_ok=True)
@@ -91,7 +167,9 @@ def main():
             writer.writerow(header)
             writer.writerows(data)
         plotted = maybe_plot(base, header, data)
+        families = describe_header(header)
         print(f"wrote {base}.csv ({len(data)} rows)"
+              + (f" [{families}]" if families else "")
               + (" + .png" if plotted else ""))
         count += 1
     if count == 0:

@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Schema check for hybridls Perfetto/Chrome trace-event JSON exports.
+
+Validates what chrome://tracing and the Perfetto UI require of the
+PerfettoSink output: the document parses, traceEvents is a list, every
+record carries pid/tid/ph/ts with the right types, phase letters are from
+the supported set, and every duration-begin (B) has a matching end (E) on
+the same pid/tid with non-decreasing timestamps.
+
+Usage:
+    scripts/validate_trace.py trace.json
+Exits 0 and prints a one-line summary on success; non-zero with a
+diagnostic on the first violation.
+"""
+
+import json
+import sys
+
+ALLOWED_PH = {"B", "E", "i", "s", "f", "M"}
+
+
+def fail(message):
+    print(f"validate_trace: {message}", file=sys.stderr)
+    return 1
+
+
+def main():
+    if len(sys.argv) != 2:
+        return fail("usage: validate_trace.py trace.json")
+    with open(sys.argv[1]) as f:
+        try:
+            doc = json.load(f)
+        except json.JSONDecodeError as e:
+            return fail(f"not valid JSON: {e}")
+
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        return fail("traceEvents missing or not a list")
+
+    stacks = {}  # (pid, tid) -> list of open B records
+    counts = {}
+    for index, ev in enumerate(events):
+        for field in ("ph", "pid", "tid"):
+            if field not in ev:
+                return fail(f"event {index} missing {field}: {ev}")
+        ph = ev["ph"]
+        if ph not in ALLOWED_PH:
+            return fail(f"event {index} has unsupported ph {ph!r}")
+        if ph != "M" and not isinstance(ev.get("ts"), int):
+            return fail(f"event {index} ts missing or not an integer: {ev}")
+        if not isinstance(ev["pid"], int) or not isinstance(ev["tid"], int):
+            return fail(f"event {index} pid/tid not integers: {ev}")
+        counts[ph] = counts.get(ph, 0) + 1
+
+        key = (ev["pid"], ev["tid"])
+        if ph == "B":
+            stacks.setdefault(key, []).append(ev)
+        elif ph == "E":
+            stack = stacks.get(key)
+            if not stack:
+                return fail(f"event {index}: E without matching B on {key}")
+            begin = stack.pop()
+            if ev["ts"] < begin["ts"]:
+                return fail(
+                    f"event {index}: E at {ev['ts']} before its B at "
+                    f"{begin['ts']} on {key}")
+
+    leftovers = sum(len(s) for s in stacks.values())
+    if leftovers:
+        return fail(f"{leftovers} B events never closed with E")
+
+    summary = " ".join(f"{ph}={counts[ph]}" for ph in sorted(counts))
+    print(f"validate_trace: {len(events)} events ok ({summary})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -11,6 +11,7 @@
 
 #include "core/driver.hpp"        // IWYU pragma: export
 #include "core/experiment.hpp"    // IWYU pragma: export
+#include "core/report.hpp"        // IWYU pragma: export
 #include "hybrid/config.hpp"      // IWYU pragma: export
 #include "hybrid/hybrid_system.hpp"  // IWYU pragma: export
 #include "hybrid/metrics.hpp"     // IWYU pragma: export

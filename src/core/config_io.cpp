@@ -71,6 +71,14 @@ bool apply_config_override(SystemConfig& cfg, const std::string& assignment,
     }
     return true;
   }
+  if (key == "obs_span_sink") {
+    if (!value.empty() && value.rfind("perfetto:", 0) != 0 &&
+        value.rfind("csv:", 0) != 0) {
+      return fail(error, "obs_span_sink must be empty, perfetto:PATH, or csv:PATH");
+    }
+    cfg.obs_span_sink = value;
+    return true;
+  }
 
   double v = 0.0;
   if (!parse_double(value, &v)) {
@@ -155,6 +163,11 @@ bool apply_config_override(SystemConfig& cfg, const std::string& assignment,
       return fail(error, "obs_sample_interval must be non-negative");
     }
     cfg.obs_sample_interval = v;
+  } else if (key == "report_top_k") {
+    if (v < 0.0) {
+      return fail(error, "report_top_k must be non-negative");
+    }
+    cfg.report_top_k = static_cast<int>(v);
   } else if (key == "fault_random_link_rate") {
     cfg.faults.random_link_outage_rate = v;
   } else if (key == "fault_random_link_duration") {
@@ -242,6 +255,8 @@ void describe_config(std::ostream& out, const SystemConfig& cfg) {
   out << "ship_backoff=" << cfg.ship_backoff << '\n';
   out << "ship_max_retries=" << cfg.ship_max_retries << '\n';
   out << "obs_sample_interval=" << cfg.obs_sample_interval << '\n';
+  out << "obs_span_sink=" << cfg.obs_span_sink << '\n';
+  out << "report_top_k=" << cfg.report_top_k << '\n';
   out << "fault_random_link_rate=" << cfg.faults.random_link_outage_rate << '\n';
   out << "fault_random_link_duration=" << cfg.faults.random_link_outage_mean
       << '\n';

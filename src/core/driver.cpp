@@ -1,8 +1,12 @@
 #include "core/driver.hpp"
 
 #include <cstdlib>
+#include <fstream>
+#include <memory>
 
 #include "model/static_optimizer.hpp"
+#include "obs/csv_sink.hpp"
+#include "obs/perfetto_sink.hpp"
 #include "routing/basic_strategies.hpp"
 #include "util/assert.hpp"
 
@@ -22,6 +26,31 @@ RunResult run_simulation(const SystemConfig& config,
   if (options.trace_sink != nullptr) {
     system.add_trace_sink(options.trace_sink);
   }
+  for (obs::TraceSink* sink : options.extra_sinks) {
+    system.add_trace_sink(sink);
+  }
+
+  // Span-sink spec from the config: "perfetto:PATH" or "csv:PATH". The file
+  // and sink live for the whole run (warmup included) and are finalized
+  // before the result returns.
+  std::ofstream span_out;
+  std::unique_ptr<obs::PerfettoSink> perfetto;
+  std::unique_ptr<obs::CsvSink> span_csv;
+  if (!config.obs_span_sink.empty()) {
+    const auto colon = config.obs_span_sink.find(':');
+    const std::string scheme = config.obs_span_sink.substr(0, colon);
+    const std::string path = config.obs_span_sink.substr(colon + 1);
+    span_out.open(path);
+    HLS_ASSERT(span_out.is_open(), "cannot open obs_span_sink path");
+    if (scheme == "perfetto") {
+      perfetto = std::make_unique<obs::PerfettoSink>(span_out);
+      system.add_trace_sink(perfetto.get());
+    } else {
+      span_csv = std::make_unique<obs::CsvSink>(span_out);
+      system.add_trace_sink(span_csv.get());
+    }
+  }
+
   system.enable_arrivals();
   system.run_for(options.warmup_seconds);
   system.begin_measurement();
@@ -29,6 +58,9 @@ RunResult run_simulation(const SystemConfig& config,
   system.end_measurement();
   result.metrics = system.metrics();
   result.series = system.take_series();
+  if (perfetto != nullptr) {
+    perfetto->close();
+  }
   return result;
 }
 

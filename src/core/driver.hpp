@@ -20,6 +20,9 @@ struct RunOptions {
   /// Optional trace sink (obs/sink.hpp) registered for the whole run,
   /// warmup included. Borrowed, not owned; may be null.
   obs::TraceSink* trace_sink = nullptr;
+  /// Further borrowed sinks, registered after trace_sink (e.g. a
+  /// ReportCollector riding along with a CSV exporter).
+  std::vector<obs::TraceSink*> extra_sinks;
 };
 
 struct RunResult {

@@ -1,0 +1,89 @@
+// Run-report generator: the human-readable summary of one simulation run.
+//
+// Two pieces. ReportCollector is a TraceSink that retains the span trees of
+// the K slowest completed transactions (plus per-abort provenance lines), so
+// a report can show *where* the tail went, not just how long it was.
+// write_run_report() renders the phase table, abort-cause breakdown,
+// conflict matrix, wasted-work totals, and — when a collector is supplied —
+// the top-K slowest span trees, to a plain-text stream.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <unordered_map>
+#include <vector>
+
+#include "hybrid/metrics.hpp"
+#include "obs/event.hpp"
+#include "obs/sink.hpp"
+
+namespace hls {
+
+/// One settled span segment retained for the report's span-tree section.
+struct ReportSpan {
+  obs::Phase phase = obs::Phase::kCount;
+  double begin = 0.0;
+  double end = 0.0;
+  int track = 0;  ///< site index, or obs::kCentralTrack
+  int run = 1;    ///< attempt number the segment belongs to (1 = first)
+};
+
+/// One abort in a retained transaction's history.
+struct ReportAbort {
+  AbortCause cause = AbortCause::kCount;
+  double time = 0.0;
+  TxnId winner = kInvalidTxn;
+  int winner_site = -2;
+  double wasted_cpu = 0.0;
+  double wasted_io = 0.0;
+};
+
+class ReportCollector final : public obs::TraceSink {
+ public:
+  /// Keeps the span trees of the `top_k` slowest completions. The collector
+  /// subscribes to Span, Edge, Abort, and Completion events; registering it
+  /// therefore turns span emission on for the run.
+  explicit ReportCollector(int top_k = 5) : top_k_(top_k) {}
+
+  /// A completed transaction retained for the slowest-K section.
+  struct SlowTxn {
+    TxnId id = kInvalidTxn;
+    TxnClass cls = TxnClass::A;
+    Route route = Route::Local;
+    int home_site = 0;
+    int runs = 1;
+    double arrival_time = 0.0;
+    double response_time = 0.0;
+    double wasted_cpu = 0.0;
+    double wasted_io = 0.0;
+    std::vector<ReportSpan> spans;    ///< in settle order across all runs
+    std::vector<ReportAbort> aborts;  ///< the retry chain's provenance
+  };
+
+  /// Slowest completions, descending by response time; at most top_k.
+  [[nodiscard]] const std::vector<SlowTxn>& slowest() const { return slowest_; }
+
+  // ---- obs::TraceSink ----
+  [[nodiscard]] unsigned kind_mask() const override {
+    return obs::kSpanEventKinds | obs::kind_bit(obs::EventKind::Completion) |
+           obs::kind_bit(obs::EventKind::Abort);
+  }
+  void on_event(const obs::Event& event) override;
+
+ private:
+  struct Pending {
+    std::vector<ReportSpan> spans;
+    std::vector<ReportAbort> aborts;
+  };
+
+  int top_k_;
+  std::unordered_map<TxnId, Pending> open_;  ///< live transactions' history
+  std::vector<SlowTxn> slowest_;
+};
+
+/// Renders the report. `collector` may be null: the slowest-K section is
+/// then omitted (metrics alone cannot reconstruct span trees).
+void write_run_report(std::ostream& out, const Metrics& metrics,
+                      const ReportCollector* collector = nullptr);
+
+}  // namespace hls

@@ -12,6 +12,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "db/lock_types.hpp"
@@ -121,6 +122,15 @@ struct SystemConfig {
   /// bit-identical to a build without the sampler.
   double obs_sample_interval = 0.0;
 
+  /// Span-sink specification for the driver: "" (default, no sink),
+  /// "perfetto:PATH" (Chrome trace-event / Perfetto JSON), or "csv:PATH"
+  /// (scalar event CSV). Attaching a sink changes emission only, never
+  /// simulated timing.
+  std::string obs_span_sink;
+
+  /// Span trees listed in the run report's slowest-transactions section.
+  int report_top_k = 5;
+
   /// Lock ids mastered by site s: [s*partition, (s+1)*partition).
   [[nodiscard]] std::uint32_t partition_size() const {
     return lockspace / static_cast<std::uint32_t>(num_sites);
@@ -177,6 +187,11 @@ struct SystemConfig {
     HLS_ASSERT(ship_backoff >= 1.0, "ship_backoff must be at least 1");
     HLS_ASSERT(ship_max_retries >= 0, "negative ship retry budget");
     HLS_ASSERT(obs_sample_interval >= 0, "negative sample interval");
+    HLS_ASSERT(obs_span_sink.empty() ||
+                   obs_span_sink.rfind("perfetto:", 0) == 0 ||
+                   obs_span_sink.rfind("csv:", 0) == 0,
+               "obs_span_sink must be empty, perfetto:PATH, or csv:PATH");
+    HLS_ASSERT(report_top_k >= 0, "negative report_top_k");
     HLS_ASSERT(faults.validate(num_sites), "invalid fault schedule");
   }
 };

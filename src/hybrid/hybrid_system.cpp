@@ -1,6 +1,7 @@
 #include "hybrid/hybrid_system.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <utility>
 
 #include "util/assert.hpp"
@@ -32,6 +33,8 @@ HybridSystem::HybridSystem(SystemConfig cfg, std::unique_ptr<RoutingStrategy> st
     site.arrivals = std::make_unique<ArrivalProcess>(sim_, rng_.fork(),
                                                      cfg_.arrival_rate_per_site);
   }
+
+  metrics_.init_conflict_matrix(cfg_.num_sites);
 
   // Fault injection is armed only for a non-empty schedule so that fault-free
   // configurations fork no extra RNG streams and schedule no extra events —
@@ -84,6 +87,7 @@ void HybridSystem::run_for(double seconds) { sim_.run_until(sim_.now() + seconds
 
 void HybridSystem::begin_measurement() {
   metrics_.reset(sim_.now());
+  metrics_.init_conflict_matrix(cfg_.num_sites);  // reset() wiped the sizing
   central_.cpu->reset_stats();
   for (SiteState& site : sites_) {
     site.cpu->reset_stats();
@@ -134,28 +138,124 @@ Transaction* HybridSystem::find(TxnId id, std::uint64_t epoch) {
 }
 
 void HybridSystem::cpu_burst(FcfsResource& cpu, double seconds, Transaction* txn,
-                             obs::Phase service_phase,
+                             obs::Phase service_phase, int track,
                              void (HybridSystem::*next)(Transaction*)) {
   txn->phases.pending = obs::Phase::ReadyQueue;
-  cpu.submit(seconds, [this, seconds, service_phase, id = txn->id,
+  cpu.submit(seconds, [this, seconds, service_phase, track, id = txn->id,
                        epoch = txn->epoch, next] {
     if (Transaction* t = find(id, epoch)) {
-      t->phases.settle_burst(service_phase, seconds, sim_.now());
+      span_burst(t, service_phase, seconds, track);
       (this->*next)(t);
     }
   });
 }
 
 void HybridSystem::wait(double seconds, Transaction* txn, obs::Phase phase,
-                        void (HybridSystem::*next)(Transaction*)) {
+                        int track, void (HybridSystem::*next)(Transaction*)) {
   txn->phases.pending = phase;
-  sim_.schedule_after(seconds, [this, phase, id = txn->id, epoch = txn->epoch,
-                                next] {
+  sim_.schedule_after(seconds, [this, phase, track, id = txn->id,
+                                epoch = txn->epoch, next] {
     if (Transaction* t = find(id, epoch)) {
-      t->phases.settle(phase, sim_.now());
+      span_settle(t, phase, sim_.now(), track);
       (this->*next)(t);
     }
   });
+}
+
+// --------------------------------------------------------------------------
+// span tracer
+//
+// Every settle point on the phase timeline doubles as a span emission point:
+// the segment [phases.mark, t] that settle() charges to one phase IS the
+// span, so the span stream inherits the phase-sum identity (spans of one run
+// tile its response time exactly). With no sink subscribed to Span/Edge the
+// helpers reduce to the plain settle calls plus one predictable branch —
+// the "observation is free or absent" rule extends to the tracer.
+
+void HybridSystem::span_note(const Transaction& txn, obs::Phase p, double begin,
+                             double end, int track) {
+  if (!obs_wants(obs::EventKind::Span) || end <= begin) {
+    return;  // zero-length segments carry no information; skip them
+  }
+  obs::Event event;
+  event.kind = obs::EventKind::Span;
+  event.time = end;
+  event.txn = txn.id;
+  event.cls = txn.cls;
+  event.route = txn.route;
+  event.home_site = txn.home_site;
+  event.runs = txn.run_count + 1;
+  event.arrival_time = txn.arrival_time;
+  event.span_phase = p;
+  event.span_begin = begin;
+  event.track = track;
+  emit_event(event);
+}
+
+void HybridSystem::span_settle(Transaction* txn, obs::Phase p, double t,
+                               int track) {
+  const double begin = txn->phases.mark;
+  txn->phases.settle(p, t);
+  span_note(*txn, p, begin, t, track);
+}
+
+void HybridSystem::span_burst(Transaction* txn, obs::Phase service_phase,
+                              double service, int track) {
+  const double begin = txn->phases.mark;
+  const double t = sim_.now();
+  txn->phases.settle_burst(service_phase, service, t);
+  span_note(*txn, obs::Phase::ReadyQueue, begin, t - service, track);
+  span_note(*txn, service_phase, t - service, t, track);
+}
+
+void HybridSystem::span_interrupt(Transaction* txn, int track) {
+  const double begin = txn->phases.mark;
+  const obs::Phase p = txn->phases.pending;
+  txn->phases.interrupt(sim_.now());
+  span_note(*txn, p, begin, sim_.now(), track);
+}
+
+void HybridSystem::edge_note(obs::EdgeKind kind, TxnId txn, double src_time,
+                             int src_track, double dst_time, int dst_track,
+                             TxnId winner) {
+  if (!obs_wants(obs::EventKind::Edge)) {
+    return;
+  }
+  obs::Event event;
+  event.kind = obs::EventKind::Edge;
+  event.edge = kind;
+  event.txn = txn;
+  event.winner = winner;
+  event.src_time = src_time;
+  event.src_track = src_track;
+  event.time = dst_time;
+  event.track = dst_track;
+  emit_event(event);
+}
+
+void HybridSystem::consume_retry_edge(Transaction* txn, int track) {
+  if (txn->retry_edge_from >= 0.0) {
+    edge_note(obs::EdgeKind::Retry, txn->id, txn->retry_edge_from,
+              txn->retry_edge_track, sim_.now(), track);
+    txn->retry_edge_from = -1.0;
+  }
+}
+
+void HybridSystem::set_deadlock_winner(Transaction* requester,
+                                       const std::vector<TxnId>& cycle) {
+  // The cycle walk is deterministic (lock-manager wait queues are FIFO), so
+  // "first other live member" is a reproducible choice of winner.
+  for (TxnId id : cycle) {
+    if (id == requester->id) {
+      continue;
+    }
+    auto it = live_.find(id);
+    if (it != live_.end()) {
+      requester->marked_by = id;
+      requester->marked_by_site = it->second->home_site;
+      return;
+    }
+  }
 }
 
 void HybridSystem::send_up(int site, std::function<void()> deliver) {
@@ -198,7 +298,13 @@ void HybridSystem::complete(Transaction* txn, SimTime completion_time) {
   // The last protocol step before completion is the response message back to
   // the user's region (zero-length for local commits, where completion_time
   // == now); settling it closes the timeline so phase times sum to rt.
-  txn->phases.settle(obs::Phase::Network, completion_time);
+  span_settle(txn, obs::Phase::Network, completion_time, txn->home_site);
+  if (completion_time > sim_.now()) {
+    // Central commit: the response leg is a cross-track hop worth a flow
+    // arrow from the central track back home.
+    edge_note(obs::EdgeKind::Response, txn->id, sim_.now(), obs::kCentralTrack,
+              completion_time, txn->home_site);
+  }
   const double rt = completion_time - txn->arrival_time;
   HLS_ASSERT(rt >= 0.0, "negative response time");
   HLS_ASSERT(std::abs(txn->phases.sum() - rt) <= 1e-7 * (1.0 + rt),
@@ -244,6 +350,7 @@ void HybridSystem::complete(Transaction* txn, SimTime completion_time) {
     metrics_.rt_phase_hist[static_cast<std::size_t>(p)].add(t);
     home_metrics.rt_phase[static_cast<std::size_t>(p)].add(t);
   }
+  metrics_.wasted_per_txn.add(txn->wasted_total());
 
   if (completion_hook_) {
     TxnCompletionRecord record;
@@ -261,6 +368,9 @@ void HybridSystem::complete(Transaction* txn, SimTime completion_time) {
     for (int p = 0; p < obs::kPhaseCount; ++p) {
       record.phase[p] = txn->phases.acc[p];
     }
+    record.wasted_cpu = txn->wasted_cpu();
+    record.wasted_io = txn->wasted_io();
+    record.wasted_total = txn->wasted_total();
     completion_hook_(record);
   }
   if (obs_wants(obs::EventKind::Completion)) {
@@ -280,12 +390,42 @@ void HybridSystem::complete(Transaction* txn, SimTime completion_time) {
     for (int i = 0; i < static_cast<int>(AbortCause::kCount); ++i) {
       event.aborts[i] = txn->aborts[i];
     }
+    event.wasted_cpu = txn->wasted_cpu();
+    event.wasted_io = txn->wasted_io();
     emit_event(event);
   }
   live_.erase(txn->id);
 }
 
 void HybridSystem::prepare_rerun(Transaction* txn, AbortCause cause) {
+  // Wasted work: everything the timeline accumulated since this attempt's
+  // baseline is thrown away by the abort. Every caller settles or interrupts
+  // the open segment before calling us, so the accumulators are current and
+  // the deltas tile the window between consecutive aborts exactly.
+  double attempt[obs::kPhaseCount];
+  for (int p = 0; p < obs::kPhaseCount; ++p) {
+    attempt[p] = txn->phases.acc[p] - txn->attempt_mark[p];
+    txn->wasted_phase[p] += attempt[p];
+    txn->attempt_mark[p] = txn->phases.acc[p];
+  }
+  const double attempt_cpu = attempt[static_cast<int>(obs::Phase::CpuService)] +
+                             attempt[static_cast<int>(obs::Phase::Commit)];
+  const double attempt_io = attempt[static_cast<int>(obs::Phase::Io)];
+
+  // Winner: only collision-type causes name one. Crash sweeps and ship
+  // timeouts must not inherit a stale marked_by from an invalidation that
+  // happened to land on the same attempt.
+  TxnId winner = kInvalidTxn;
+  int winner_site = -2;
+  if (cause == AbortCause::LocalPreempted ||
+      cause == AbortCause::CentralInvalidated ||
+      cause == AbortCause::AuthRefused || cause == AbortCause::Deadlock) {
+    winner = txn->marked_by;
+    winner_site = txn->marked_by_site;
+  }
+  const int abort_track =
+      txn->at_central ? obs::kCentralTrack : txn->home_site;
+
   if (obs_wants(obs::EventKind::Abort)) {
     obs::Event event;
     event.kind = obs::EventKind::Abort;
@@ -300,11 +440,42 @@ void HybridSystem::prepare_rerun(Transaction* txn, AbortCause cause) {
     for (int i = 0; i < static_cast<int>(AbortCause::kCount); ++i) {
       event.aborts[i] = txn->aborts[i];
     }
+    for (int p = 0; p < obs::kPhaseCount; ++p) {
+      event.phase[p] = attempt[p];  // this attempt's breakdown, not totals
+    }
+    event.winner = winner;
+    event.winner_site = winner_site;
+    event.wasted_cpu = attempt_cpu;
+    event.wasted_io = attempt_io;
     emit_event(event);
   }
+  if (winner != kInvalidTxn && winner_site >= 0) {
+    edge_note(obs::EdgeKind::Conflict, txn->id, sim_.now(), winner_site,
+              sim_.now(), abort_track, winner);
+  }
+  if (obs_wants(obs::EventKind::Edge)) {
+    txn->retry_edge_from = sim_.now();
+    txn->retry_edge_track = abort_track;
+  }
+
   txn->count_abort(cause);
   ++metrics_.aborts[static_cast<int>(cause)];
   ++metrics_.reruns;
+  if (winner != kInvalidTxn && winner_site >= 0) {
+    ++metrics_.aborts_with_winner;  // matches the conflict matrix's winner columns
+  }
+  metrics_.wasted_cpu_by_cause[static_cast<int>(cause)] += attempt_cpu;
+  metrics_.wasted_io_by_cause[static_cast<int>(cause)] += attempt_io;
+  metrics_.record_conflict(txn->home_site, winner_site);
+  SiteMetrics& home_metrics = site_metrics_[txn->home_site];
+  ++home_metrics.aborts[static_cast<int>(cause)];
+  home_metrics.wasted_cpu += attempt_cpu;
+  home_metrics.wasted_io += attempt_io;
+
+  txn->marked_by = kInvalidTxn;
+  txn->marked_by_site = -2;
+  txn->auth_blocker = kInvalidTxn;
+  txn->auth_blocker_site = -2;
   ++txn->run_count;
   ++txn->epoch;
   txn->call_index = 0;
@@ -342,9 +513,12 @@ Transaction* HybridSystem::choose_deadlock_victim(Transaction* requester,
   return youngest;
 }
 
-void HybridSystem::force_abort_victim(Transaction* victim) {
+void HybridSystem::force_abort_victim(Transaction* victim,
+                                      Transaction* requester) {
   HLS_ASSERT(victim->auth_pending_acks == 0,
              "deadlock victim cannot be mid-authentication");
+  victim->marked_by = requester->id;
+  victim->marked_by_site = requester->home_site;
   if (victim->cls == TxnClass::A && victim->route == Route::Local) {
     local_abort(victim, AbortCause::Deadlock, /*release_everything=*/true);
   } else {
@@ -426,6 +600,12 @@ SystemStateView HybridSystem::make_state_view(int site) const {
     view.central_num_txns = s.central_view.num_txns;
     view.central_locks_held = s.central_view.locks_held;
   }
+  const double window = sim_.now() - metrics_.measure_start;
+  for (int c = 0; c < static_cast<int>(AbortCause::kCount); ++c) {
+    view.aborts_by_cause[c] = metrics_.aborts[c];
+    view.abort_rate_by_cause[c] =
+        window > 0.0 ? static_cast<double>(metrics_.aborts[c]) / window : 0.0;
+  }
   view.last_sample = series_.empty() ? nullptr : &series_.back();
   return view;
 }
@@ -434,8 +614,10 @@ SystemStateView HybridSystem::make_state_view(int site) const {
 // local class A execution
 
 void HybridSystem::local_start_run(Transaction* txn) {
+  consume_retry_edge(txn, txn->home_site);
   cpu_burst(*sites_[txn->home_site].cpu, cfg_.site_cpu_seconds(txn->home_site, cfg_.instr_msg_init),
-            txn, obs::Phase::CpuService, &HybridSystem::local_after_init);
+            txn, obs::Phase::CpuService, txn->home_site,
+            &HybridSystem::local_after_init);
 }
 
 void HybridSystem::local_after_init(Transaction* txn) {
@@ -443,7 +625,8 @@ void HybridSystem::local_after_init(Transaction* txn) {
     // Re-referenced data is memory resident: skip the setup I/O.
     local_do_call(txn);
   } else {
-    wait(cfg_.setup_io_time, txn, obs::Phase::Io, &HybridSystem::local_do_call);
+    wait(cfg_.setup_io_time, txn, obs::Phase::Io, txn->home_site,
+         &HybridSystem::local_do_call);
   }
 }
 
@@ -453,7 +636,8 @@ void HybridSystem::local_do_call(Transaction* txn) {
     return;
   }
   cpu_burst(*sites_[txn->home_site].cpu, cfg_.site_cpu_seconds(txn->home_site, cfg_.instr_per_call),
-            txn, obs::Phase::CpuService, &HybridSystem::local_after_call_cpu);
+            txn, obs::Phase::CpuService, txn->home_site,
+            &HybridSystem::local_after_call_cpu);
 }
 
 void HybridSystem::local_after_call_cpu(Transaction* txn) {
@@ -483,10 +667,11 @@ void HybridSystem::local_after_call_cpu(Transaction* txn) {
       case LockRequestOutcome::Deadlock: {
         Transaction* victim = choose_deadlock_victim(txn, cycle);
         if (victim == txn) {
+          set_deadlock_winner(txn, cycle);
           local_abort(txn, AbortCause::Deadlock, /*release_everything=*/true);
           return;
         }
-        force_abort_victim(victim);
+        force_abort_victim(victim, txn);
         continue;
       }
     }
@@ -494,11 +679,13 @@ void HybridSystem::local_after_call_cpu(Transaction* txn) {
 }
 
 void HybridSystem::local_lock_granted(Transaction* txn) {
-  txn->phases.settle(obs::Phase::LockWait, sim_.now());  // zero if immediate
+  // Zero-length if the lock was granted immediately (no span emitted).
+  span_settle(txn, obs::Phase::LockWait, sim_.now(), txn->home_site);
   const bool do_io = !txn->memory_resident && txn->call_io[txn->call_index];
   ++txn->call_index;
   if (do_io) {
-    wait(cfg_.call_io_time, txn, obs::Phase::Io, &HybridSystem::local_do_call);
+    wait(cfg_.call_io_time, txn, obs::Phase::Io, txn->home_site,
+         &HybridSystem::local_do_call);
   } else {
     local_do_call(txn);
   }
@@ -517,7 +704,8 @@ void HybridSystem::local_commit(Transaction* txn) {
   }
   cpu_burst(*sites_[txn->home_site].cpu,
             cfg_.site_cpu_seconds(txn->home_site, instr), txn,
-            obs::Phase::Commit, &HybridSystem::local_after_commit_cpu);
+            obs::Phase::Commit, txn->home_site,
+            &HybridSystem::local_after_commit_cpu);
 }
 
 void HybridSystem::local_after_commit_cpu(Transaction* txn) {
@@ -534,15 +722,19 @@ void HybridSystem::local_finalize(Transaction* txn) {
   LockManager& lm = *home.locks;
 
   // Updated entities: the exclusive locks this transaction holds. (If it is
-  // unmarked at commit it still holds every lock it acquired.)
-  std::vector<LockId> updated;
+  // unmarked at commit it still holds every lock it acquired.) Each update
+  // carries its committer so a central invalidation can name its winner.
+  std::vector<UpdateItem> updated;
   for (const LockNeed& need : txn->locks) {
     if (need.mode != LockMode::Exclusive) {
       continue;
     }
     HLS_ASSERT(lm.holds(txn->id, need.id), "unmarked committer lost a lock");
-    if (std::find(updated.begin(), updated.end(), need.id) == updated.end()) {
-      updated.push_back(need.id);
+    const auto dup = std::find_if(
+        updated.begin(), updated.end(),
+        [&need](const UpdateItem& u) { return u.id == need.id; });
+    if (dup == updated.end()) {
+      updated.push_back({need.id, txn->id});
     }
   }
 
@@ -550,8 +742,8 @@ void HybridSystem::local_finalize(Transaction* txn) {
   // in the coherence fields, then ship one asynchronous update message. The
   // transaction completes without waiting for any acknowledgement.
   lm.release_all(txn->id);
-  for (LockId item : updated) {
-    lm.increment_coherence(item);
+  for (const UpdateItem& item : updated) {
+    lm.increment_coherence(item.id);
   }
   if (!updated.empty()) {
     queue_async_update(txn->home_site, std::move(updated));
@@ -563,7 +755,7 @@ void HybridSystem::local_abort(Transaction* txn, AbortCause cause,
                                bool release_everything) {
   // Settle the open segment (zero-length for synchronous commit-point
   // aborts; a real lock wait for force-aborted deadlock victims).
-  txn->phases.interrupt(sim_.now());
+  span_interrupt(txn, txn->home_site);
   LockManager& lm = *sites_[txn->home_site].locks;
   if (release_everything) {
     lm.release_all(txn->id);
@@ -572,7 +764,7 @@ void HybridSystem::local_abort(Transaction* txn, AbortCause cause,
   }
   prepare_rerun(txn, cause);
   if (cfg_.abort_restart_delay > 0.0) {
-    wait(cfg_.abort_restart_delay, txn, obs::Phase::Stall,
+    wait(cfg_.abort_restart_delay, txn, obs::Phase::Stall, txn->home_site,
          &HybridSystem::local_start_run);
   } else {
     local_start_run(txn);
@@ -582,7 +774,7 @@ void HybridSystem::local_abort(Transaction* txn, AbortCause cause,
 // --------------------------------------------------------------------------
 // asynchronous update propagation
 
-void HybridSystem::queue_async_update(int site, std::vector<LockId> items) {
+void HybridSystem::queue_async_update(int site, std::vector<UpdateItem> items) {
   if (cfg_.async_batch_window <= 0.0) {
     send_async_update(site, std::move(items));
     return;
@@ -597,36 +789,44 @@ void HybridSystem::queue_async_update(int site, std::vector<LockId> items) {
     SiteState& st = sites_[site];
     st.flush_armed = false;
     if (!st.pending_updates.empty()) {
-      std::vector<LockId> batch;
+      std::vector<UpdateItem> batch;
       batch.swap(st.pending_updates);
       send_async_update(site, std::move(batch));
     }
   });
 }
 
-void HybridSystem::send_async_update(int site, std::vector<LockId> items) {
+void HybridSystem::send_async_update(int site, std::vector<UpdateItem> items) {
   ++metrics_.async_updates_sent;
   // Apply cost: fixed per-message overhead plus a per-item component — the
   // saving that §2's batching suggestion is after.
   const double apply_cpu = cfg_.central_cpu_seconds(
       cfg_.instr_apply_update +
       cfg_.instr_apply_update_item * static_cast<double>(items.size()));
-  send_up(site, [this, site, apply_cpu, items = std::move(items)] {
+  const double sent_at = sim_.now();
+  send_up(site, [this, site, apply_cpu, sent_at, items = std::move(items)] {
     // Delivered at the central site: queue the apply work on the central CPU.
+    edge_note(obs::EdgeKind::AsyncUpdate, kInvalidTxn, sent_at, site,
+              sim_.now(), obs::kCentralTrack);
     central_.cpu->submit(apply_cpu,
                          [this, site, items] { central_apply_update(site, items); });
   });
 }
 
-void HybridSystem::central_apply_update(int site, const std::vector<LockId>& items) {
+void HybridSystem::central_apply_update(int site,
+                                        const std::vector<UpdateItem>& items) {
   // Invalidate central locks on the updated entities: holders are marked for
   // abort and lose the lock, so later central transactions see fresh data.
-  for (LockId item : items) {
-    for (const auto& holder : central_.locks->holders_of(item)) {
+  // The committer that shipped the update is recorded as the winner of the
+  // collision (its home site is `site` — batches are per-site).
+  for (const UpdateItem& item : items) {
+    for (const auto& holder : central_.locks->holders_of(item.id)) {
       auto it = live_.find(holder.txn);
       HLS_ASSERT(it != live_.end(), "central lock held by a dead transaction");
       it->second->marked_abort = true;
-      central_.locks->release(holder.txn, item);
+      it->second->marked_by = item.committer;
+      it->second->marked_by_site = site;
+      central_.locks->release(holder.txn, item.id);
     }
   }
   // Acknowledge back to the master site; the ack processing decrements the
@@ -634,8 +834,8 @@ void HybridSystem::central_apply_update(int site, const std::vector<LockId>& ite
   send_down(site, [this, site, items] {
     sites_[site].cpu->submit(
         cfg_.site_cpu_seconds(site, cfg_.instr_recv_ack), [this, site, items] {
-          for (LockId item : items) {
-            sites_[site].locks->decrement_coherence(item);
+          for (const UpdateItem& item : items) {
+            sites_[site].locks->decrement_coherence(item.id);
           }
         });
   });
@@ -647,18 +847,23 @@ void HybridSystem::central_apply_update(int site, const std::vector<LockId>& ite
 void HybridSystem::ship_to_central(Transaction* txn) {
   // Input-message forwarding consumes home-site CPU, then the transaction
   // travels one link delay to the central complex.
+  consume_retry_edge(txn, txn->home_site);
   cpu_burst(*sites_[txn->home_site].cpu,
             cfg_.site_cpu_seconds(txn->home_site, cfg_.instr_ship_forward),
-            txn, obs::Phase::CpuService, &HybridSystem::ship_after_forward);
+            txn, obs::Phase::CpuService, txn->home_site,
+            &HybridSystem::ship_after_forward);
 }
 
 void HybridSystem::ship_after_forward(Transaction* txn) {
   txn->phases.pending = obs::Phase::Network;
-  send_up(txn->home_site, [this, id = txn->id, epoch = txn->epoch] {
+  const double sent_at = sim_.now();
+  send_up(txn->home_site, [this, sent_at, id = txn->id, epoch = txn->epoch] {
     if (Transaction* t = find(id, epoch)) {
       // A delivery replayed from an outage backlog settles here too: the
       // Network phase absorbs backlog residence (documented convention).
-      t->phases.settle(obs::Phase::Network, sim_.now());
+      span_settle(t, obs::Phase::Network, sim_.now(), t->home_site);
+      edge_note(obs::EdgeKind::Ship, t->id, sent_at, t->home_site, sim_.now(),
+                obs::kCentralTrack);
       ++central_.resident_txns;
       t->at_central = true;
       central_start_run(t);
@@ -667,15 +872,18 @@ void HybridSystem::ship_after_forward(Transaction* txn) {
 }
 
 void HybridSystem::central_start_run(Transaction* txn) {
+  consume_retry_edge(txn, obs::kCentralTrack);
   cpu_burst(*central_.cpu, cfg_.central_cpu_seconds(cfg_.instr_msg_init), txn,
-            obs::Phase::CpuService, &HybridSystem::central_after_init);
+            obs::Phase::CpuService, obs::kCentralTrack,
+            &HybridSystem::central_after_init);
 }
 
 void HybridSystem::central_after_init(Transaction* txn) {
   if (txn->memory_resident) {
     central_do_call(txn);
   } else {
-    wait(cfg_.setup_io_time, txn, obs::Phase::Io, &HybridSystem::central_do_call);
+    wait(cfg_.setup_io_time, txn, obs::Phase::Io, obs::kCentralTrack,
+         &HybridSystem::central_do_call);
   }
 }
 
@@ -685,7 +893,8 @@ void HybridSystem::central_do_call(Transaction* txn) {
     return;
   }
   cpu_burst(*central_.cpu, cfg_.central_cpu_seconds(cfg_.instr_per_call), txn,
-            obs::Phase::CpuService, &HybridSystem::central_after_call_cpu);
+            obs::Phase::CpuService, obs::kCentralTrack,
+            &HybridSystem::central_after_call_cpu);
 }
 
 void HybridSystem::central_after_call_cpu(Transaction* txn) {
@@ -711,11 +920,12 @@ void HybridSystem::central_after_call_cpu(Transaction* txn) {
       case LockRequestOutcome::Deadlock: {
         Transaction* victim = choose_deadlock_victim(txn, cycle);
         if (victim == txn) {
+          set_deadlock_winner(txn, cycle);
           central_abort_rerun(txn, AbortCause::Deadlock,
                               /*release_everything=*/true);
           return;
         }
-        force_abort_victim(victim);
+        force_abort_victim(victim, txn);
         continue;
       }
     }
@@ -723,11 +933,13 @@ void HybridSystem::central_after_call_cpu(Transaction* txn) {
 }
 
 void HybridSystem::central_lock_granted(Transaction* txn) {
-  txn->phases.settle(obs::Phase::LockWait, sim_.now());  // zero if immediate
+  span_settle(txn, obs::Phase::LockWait, sim_.now(),
+              obs::kCentralTrack);  // zero if immediate
   const bool do_io = !txn->memory_resident && txn->call_io[txn->call_index];
   ++txn->call_index;
   if (do_io) {
-    wait(cfg_.call_io_time, txn, obs::Phase::Io, &HybridSystem::central_do_call);
+    wait(cfg_.call_io_time, txn, obs::Phase::Io, obs::kCentralTrack,
+         &HybridSystem::central_do_call);
   } else {
     central_do_call(txn);
   }
@@ -741,7 +953,8 @@ void HybridSystem::central_commit(Transaction* txn) {
     return;
   }
   cpu_burst(*central_.cpu, cfg_.central_cpu_seconds(cfg_.instr_msg_commit), txn,
-            obs::Phase::Commit, &HybridSystem::central_after_commit_cpu);
+            obs::Phase::Commit, obs::kCentralTrack,
+            &HybridSystem::central_after_commit_cpu);
 }
 
 void HybridSystem::central_after_commit_cpu(Transaction* txn) {
@@ -805,8 +1018,12 @@ void HybridSystem::local_process_auth(int site, TxnId txn_id, std::uint64_t epoc
         // updates (stale central copy), or is held by a holder we may not
         // preempt: only class A transactions running locally are
         // preemptible. A lingering auth hold of another central transaction
-        // (commit message still in flight) also forces a refusal.
+        // (commit message still in flight) also forces a refusal. When the
+        // refusal names a live holder, carry it back on the ack as the
+        // winner of the conflict; coherence-in-flight refusals have none.
         bool refuse = false;
+        TxnId blocker = kInvalidTxn;
+        int blocker_site = -2;
         for (const LockNeed& need : needs) {
           if (lm.coherence_count(need.id) != 0) {
             refuse = true;
@@ -827,6 +1044,10 @@ void HybridSystem::local_process_auth(int site, TxnId txn_id, std::uint64_t epoc
                                      it->second->route == Route::Local;
             if (!preemptible) {
               refuse = true;
+              if (it != live_.end()) {
+                blocker = holder.txn;
+                blocker_site = it->second->home_site;
+              }
               break;
             }
           }
@@ -837,6 +1058,7 @@ void HybridSystem::local_process_auth(int site, TxnId txn_id, std::uint64_t epoc
 
         bool granted = false;
         if (!refuse) {
+          Transaction* requester = find(txn_id, epoch);
           for (const LockNeed& need : needs) {
             auto grab = lm.grab_for_authentication(txn_id, need.id, need.mode);
             HLS_ASSERT(grab.granted, "auth grab refused after precheck");
@@ -844,19 +1066,26 @@ void HybridSystem::local_process_auth(int site, TxnId txn_id, std::uint64_t epoc
               auto it = live_.find(victim);
               HLS_ASSERT(it != live_.end(), "preempted a dead transaction");
               it->second->marked_abort = true;
+              // The authenticating transaction preempted this local holder.
+              it->second->marked_by = txn_id;
+              it->second->marked_by_site =
+                  requester != nullptr ? requester->home_site : -2;
             }
           }
           granted = true;
         }
 
-        send_up(site, [this, txn_id, epoch, site, positive = !refuse, granted] {
-          central_auth_ack(txn_id, epoch, site, positive, granted);
+        send_up(site, [this, txn_id, epoch, site, positive = !refuse, granted,
+                       blocker, blocker_site] {
+          central_auth_ack(txn_id, epoch, site, positive, granted, blocker,
+                          blocker_site);
         });
       });
 }
 
 void HybridSystem::central_auth_ack(TxnId txn_id, std::uint64_t epoch, int site,
-                                    bool positive, bool granted) {
+                                    bool positive, bool granted, TxnId blocker,
+                                    int blocker_site) {
   Transaction* txn = find(txn_id, epoch);
   // Fault-free, the transaction always waits for the full ack set before
   // moving on; a miss here means a ship timeout or crash reclaimed it while
@@ -869,6 +1098,11 @@ void HybridSystem::central_auth_ack(TxnId txn_id, std::uint64_t epoch, int site,
   }
   if (!positive) {
     txn->auth_any_negative = true;
+    // First named blocker wins (acks arrive in deterministic order).
+    if (txn->auth_blocker == kInvalidTxn && blocker != kInvalidTxn) {
+      txn->auth_blocker = blocker;
+      txn->auth_blocker_site = blocker_site;
+    }
   }
   if (--txn->auth_pending_acks == 0) {
     central_auth_done(txn);
@@ -876,13 +1110,18 @@ void HybridSystem::central_auth_ack(TxnId txn_id, std::uint64_t epoch, int site,
 }
 
 void HybridSystem::central_auth_done(Transaction* txn) {
-  txn->phases.settle(obs::Phase::Auth, sim_.now());
+  span_settle(txn, obs::Phase::Auth, sim_.now(), obs::kCentralTrack);
   if (txn->auth_any_negative || txn->marked_abort) {
     if (txn->auth_any_negative) {
       ++metrics_.auth_negative_acks;
     }
     const AbortCause cause = txn->auth_any_negative ? AbortCause::AuthRefused
                                                     : AbortCause::CentralInvalidated;
+    if (txn->auth_any_negative) {
+      // Surface the refusing holder (if any) as this abort's winner.
+      txn->marked_by = txn->auth_blocker;
+      txn->marked_by_site = txn->auth_blocker_site;
+    }
     release_auth_grants(txn);
     central_abort_rerun(txn, cause, /*release_everything=*/false);
     return;
@@ -915,7 +1154,7 @@ void HybridSystem::release_auth_grants(Transaction* txn) {
 
 void HybridSystem::central_abort_rerun(Transaction* txn, AbortCause cause,
                                        bool release_everything) {
-  txn->phases.interrupt(sim_.now());  // zero for synchronous abort points
+  span_interrupt(txn, obs::kCentralTrack);  // zero for synchronous abort points
   if (release_everything) {
     central_.locks->release_all(txn->id);
   } else {
@@ -929,11 +1168,11 @@ void HybridSystem::schedule_central_restart(Transaction* txn) {
   if (is_rfc(*txn)) {
     // The abort outcome travels back to the home site before the rerun.
     wait(cfg_.comm_delay + cfg_.abort_restart_delay, txn, obs::Phase::Stall,
-         &HybridSystem::rfc_start_run);
+         txn->home_site, &HybridSystem::rfc_start_run);
     return;
   }
   if (cfg_.abort_restart_delay > 0.0) {
-    wait(cfg_.abort_restart_delay, txn, obs::Phase::Stall,
+    wait(cfg_.abort_restart_delay, txn, obs::Phase::Stall, obs::kCentralTrack,
          &HybridSystem::central_start_run);
   } else {
     central_start_run(txn);
@@ -944,16 +1183,19 @@ void HybridSystem::schedule_central_restart(Transaction* txn) {
 // class B via remote function calls (ClassBMode::RemoteCalls)
 
 void HybridSystem::rfc_start_run(Transaction* txn) {
+  consume_retry_edge(txn, txn->home_site);
   cpu_burst(*sites_[txn->home_site].cpu,
             cfg_.site_cpu_seconds(txn->home_site, cfg_.instr_msg_init),
-            txn, obs::Phase::CpuService, &HybridSystem::rfc_after_init);
+            txn, obs::Phase::CpuService, txn->home_site,
+            &HybridSystem::rfc_after_init);
 }
 
 void HybridSystem::rfc_after_init(Transaction* txn) {
   if (txn->memory_resident) {
     rfc_do_call(txn);
   } else {
-    wait(cfg_.setup_io_time, txn, obs::Phase::Io, &HybridSystem::rfc_do_call);
+    wait(cfg_.setup_io_time, txn, obs::Phase::Io, txn->home_site,
+         &HybridSystem::rfc_do_call);
   }
 }
 
@@ -964,7 +1206,8 @@ void HybridSystem::rfc_do_call(Transaction* txn) {
   }
   cpu_burst(*sites_[txn->home_site].cpu,
             cfg_.site_cpu_seconds(txn->home_site, cfg_.instr_per_call),
-            txn, obs::Phase::CpuService, &HybridSystem::rfc_after_call_cpu);
+            txn, obs::Phase::CpuService, txn->home_site,
+            &HybridSystem::rfc_after_call_cpu);
 }
 
 void HybridSystem::rfc_after_call_cpu(Transaction* txn) {
@@ -975,7 +1218,7 @@ void HybridSystem::rfc_after_call_cpu(Transaction* txn) {
   txn->phases.pending = obs::Phase::Network;
   send_up(txn->home_site, [this, id = txn->id, epoch = txn->epoch] {
     if (Transaction* t = find(id, epoch)) {
-      t->phases.settle(obs::Phase::Network, sim_.now());
+      span_settle(t, obs::Phase::Network, sim_.now(), t->home_site);
       t->phases.pending = obs::Phase::ReadyQueue;
     }
     central_.cpu->submit(cfg_.central_cpu_seconds(cfg_.instr_remote_call),
@@ -988,9 +1231,9 @@ void HybridSystem::rfc_central_request(TxnId id, std::uint64_t epoch) {
   if (txn == nullptr) {
     return;  // aborted while the request was in flight; rerun re-requests
   }
-  txn->phases.settle_burst(obs::Phase::CpuService,
-                           cfg_.central_cpu_seconds(cfg_.instr_remote_call),
-                           sim_.now());
+  span_burst(txn, obs::Phase::CpuService,
+             cfg_.central_cpu_seconds(cfg_.instr_remote_call),
+             obs::kCentralTrack);
   txn->phases.pending = obs::Phase::LockWait;
   for (;;) {
     const LockNeed& need = txn->locks[txn->call_index];
@@ -1013,11 +1256,12 @@ void HybridSystem::rfc_central_request(TxnId id, std::uint64_t epoch) {
       case LockRequestOutcome::Deadlock: {
         Transaction* victim = choose_deadlock_victim(txn, cycle);
         if (victim == txn) {
+          set_deadlock_winner(txn, cycle);
           central_abort_rerun(txn, AbortCause::Deadlock,
                               /*release_everything=*/true);
           return;
         }
-        force_abort_victim(victim);
+        force_abort_victim(victim, txn);
         continue;
       }
     }
@@ -1025,12 +1269,13 @@ void HybridSystem::rfc_central_request(TxnId id, std::uint64_t epoch) {
 }
 
 void HybridSystem::rfc_central_after_lock(Transaction* txn) {
-  txn->phases.settle(obs::Phase::LockWait, sim_.now());
+  span_settle(txn, obs::Phase::LockWait, sim_.now(), obs::kCentralTrack);
   // The data call's I/O happens at the central copy, then the reply goes
   // home (the home-site CPU books the reply handling).
   const bool do_io = !txn->memory_resident && txn->call_io[txn->call_index];
   const double io = do_io ? cfg_.call_io_time : 0.0;
-  wait(io, txn, obs::Phase::Io, &HybridSystem::rfc_reply_send);
+  wait(io, txn, obs::Phase::Io, obs::kCentralTrack,
+       &HybridSystem::rfc_reply_send);
 }
 
 void HybridSystem::rfc_reply_send(Transaction* txn) {
@@ -1040,10 +1285,11 @@ void HybridSystem::rfc_reply_send(Transaction* txn) {
     if (t == nullptr) {
       return;
     }
-    t->phases.settle(obs::Phase::Network, sim_.now());
+    span_settle(t, obs::Phase::Network, sim_.now(), t->home_site);
     cpu_burst(*sites_[t->home_site].cpu,
               cfg_.site_cpu_seconds(t->home_site, cfg_.instr_recv_ack), t,
-              obs::Phase::CpuService, &HybridSystem::rfc_reply_received);
+              obs::Phase::CpuService, t->home_site,
+              &HybridSystem::rfc_reply_received);
   });
 }
 
@@ -1060,7 +1306,8 @@ void HybridSystem::rfc_commit(Transaction* txn) {
   }
   cpu_burst(*sites_[txn->home_site].cpu,
             cfg_.site_cpu_seconds(txn->home_site, cfg_.instr_msg_commit), txn,
-            obs::Phase::Commit, &HybridSystem::rfc_after_commit_cpu);
+            obs::Phase::Commit, txn->home_site,
+            &HybridSystem::rfc_after_commit_cpu);
 }
 
 void HybridSystem::rfc_after_commit_cpu(Transaction* txn) {
@@ -1070,16 +1317,16 @@ void HybridSystem::rfc_after_commit_cpu(Transaction* txn) {
   txn->phases.pending = obs::Phase::Network;
   send_up(txn->home_site, [this, id = txn->id, epoch = txn->epoch] {
     if (Transaction* t = find(id, epoch)) {
-      t->phases.settle(obs::Phase::Network, sim_.now());
+      span_settle(t, obs::Phase::Network, sim_.now(), t->home_site);
       t->phases.pending = obs::Phase::ReadyQueue;
     }
     central_.cpu->submit(cfg_.central_cpu_seconds(cfg_.instr_msg_commit),
                          [this, id, epoch] {
                            if (Transaction* t = find(id, epoch)) {
-                             t->phases.settle_burst(
-                                 obs::Phase::Commit,
+                             span_burst(
+                                 t, obs::Phase::Commit,
                                  cfg_.central_cpu_seconds(cfg_.instr_msg_commit),
-                                 sim_.now());
+                                 obs::kCentralTrack);
                              rfc_central_commit(t);
                            }
                          });
@@ -1201,7 +1448,7 @@ void HybridSystem::central_crash() {
     txn->at_central = false;
     // Close the open segment at its pending phase; the outage residence
     // until the recovery restart is then charged to Stall.
-    txn->phases.interrupt(sim_.now());
+    span_interrupt(txn, obs::kCentralTrack);
     txn->phases.pending = obs::Phase::Stall;
     prepare_rerun(txn, AbortCause::Crash);
     txn->memory_resident = false;  // the crash wiped central memory
@@ -1251,7 +1498,8 @@ void HybridSystem::central_recover() {
     }
     ++central_.resident_txns;
     txn->at_central = true;
-    txn->phases.settle(obs::Phase::Stall, sim_.now());  // outage residence
+    // Outage residence, booked on the central track where the victim sat.
+    span_settle(txn, obs::Phase::Stall, sim_.now(), obs::kCentralTrack);
     schedule_central_restart(txn);
   }
 }
@@ -1287,7 +1535,7 @@ void HybridSystem::site_crash(int site) {
   std::sort(victims.begin(), victims.end());
   for (TxnId id : victims) {
     Transaction* txn = live_.find(id)->second.get();
-    txn->phases.interrupt(sim_.now());
+    span_interrupt(txn, site);
     txn->phases.pending = obs::Phase::Stall;
     prepare_rerun(txn, AbortCause::Crash);
     txn->memory_resident = false;
@@ -1328,7 +1576,7 @@ void HybridSystem::site_recover(int site) {
   queue.swap(s.recovery_queue);
   for (const auto& [id, epoch] : queue) {
     if (Transaction* txn = find(id, epoch)) {
-      txn->phases.settle(obs::Phase::Stall, sim_.now());  // outage residence
+      span_settle(txn, obs::Phase::Stall, sim_.now(), site);  // outage residence
       local_start_run(txn);
     }
   }
@@ -1403,7 +1651,8 @@ void HybridSystem::on_ship_timeout(TxnId id, std::uint64_t attempt) {
   // Reclaim convention for the timeline: whatever the central incarnation
   // was doing since the last settled segment is written off as Stall — the
   // home site cannot observe where the dead/slow attempt actually stood.
-  txn->phases.settle(obs::Phase::Stall, sim_.now());
+  // The span lands on the home track, where the failure detector runs.
+  span_settle(txn, obs::Phase::Stall, sim_.now(), txn->home_site);
 
   // Reclaim the central incarnation — it may be dead (crash, lost link) or
   // merely slow; the home-site failure detector cannot tell the difference.
@@ -1526,6 +1775,45 @@ void HybridSystem::check_invariants() const {
              "global ship_retries disagrees with sum over sites");
   HLS_ASSERT(metrics_.ship_fallbacks == site_fallbacks,
              "global ship_fallbacks disagrees with sum over sites");
+
+  // Abort provenance is double-entry bookkeeping too. Per cause: the global
+  // tally equals the sum of the victims' home-site tallies; overall: every
+  // abort is a rerun, lands in exactly one conflict-matrix cell, and the
+  // winner columns account for exactly the aborts that named a winner.
+  std::uint64_t cause_total = 0;
+  for (int c = 0; c < static_cast<int>(AbortCause::kCount); ++c) {
+    std::uint64_t site_sum = 0;
+    for (const SiteMetrics& sm : site_metrics_) {
+      site_sum += sm.aborts[c];
+    }
+    HLS_ASSERT(metrics_.aborts[c] == site_sum,
+               "global per-cause aborts disagree with sum over sites");
+    cause_total += metrics_.aborts[c];
+  }
+  HLS_ASSERT(cause_total == metrics_.reruns,
+             "sum of aborts over causes disagrees with total reruns");
+  if (metrics_.conflict_sites > 0) {
+    HLS_ASSERT(metrics_.conflict_matrix_total() == cause_total,
+               "conflict matrix total disagrees with total aborts");
+    std::uint64_t winner_cells = 0;
+    for (int v = 0; v < metrics_.conflict_sites; ++v) {
+      for (int w = 0; w < metrics_.conflict_sites; ++w) {
+        winner_cells += metrics_.conflict(v, w);
+      }
+    }
+    HLS_ASSERT(winner_cells == metrics_.aborts_with_winner,
+               "conflict-matrix winner columns disagree with aborts_with_winner");
+  }
+  double site_wasted_cpu = 0.0;
+  double site_wasted_io = 0.0;
+  for (const SiteMetrics& sm : site_metrics_) {
+    site_wasted_cpu += sm.wasted_cpu;
+    site_wasted_io += sm.wasted_io;
+  }
+  HLS_ASSERT(std::abs(site_wasted_cpu - metrics_.wasted_cpu_total()) <= 1e-6,
+             "per-site wasted CPU disagrees with per-cause ledger");
+  HLS_ASSERT(std::abs(site_wasted_io - metrics_.wasted_io_total()) <= 1e-6,
+             "per-site wasted I/O disagrees with per-cause ledger");
 }
 
 // --------------------------------------------------------------------------

@@ -157,6 +157,13 @@ class HybridSystem {
   void check_invariants() const;
 
  private:
+  /// One update in an asynchronous propagation batch: the entity plus the
+  /// committing transaction, so central invalidations can name their winner.
+  struct UpdateItem {
+    LockId id;
+    TxnId committer;
+  };
+
   struct CentralSnapshot {
     double taken_at = 0.0;
     int cpu_queue = 0;
@@ -177,7 +184,7 @@ class HybridSystem {
     double last_shipped_rt = 0.0;
     CentralSnapshot central_view;  ///< last central state learned from messages
     // Asynchronous-update batching (config::async_batch_window > 0).
-    std::vector<LockId> pending_updates;
+    std::vector<UpdateItem> pending_updates;
     bool flush_armed = false;
     // Fault state: while the site's DB is down, inbound deliveries queue in
     // `backlog` and crashed local transactions wait in `recovery_queue`.
@@ -202,16 +209,41 @@ class HybridSystem {
   Transaction* find(TxnId id, std::uint64_t epoch);
   /// Submits a CPU burst; on completion the leading queue wait is settled to
   /// ReadyQueue and the service time to `service_phase` (CpuService/Commit).
+  /// `track` names the span track (site index, or obs::kCentralTrack).
   void cpu_burst(FcfsResource& cpu, double seconds, Transaction* txn,
-                 obs::Phase service_phase,
+                 obs::Phase service_phase, int track,
                  void (HybridSystem::*next)(Transaction*));
   /// Plain delay; the elapsed time is settled to `phase` (Io or Stall).
-  void wait(double seconds, Transaction* txn, obs::Phase phase,
+  void wait(double seconds, Transaction* txn, obs::Phase phase, int track,
             void (HybridSystem::*next)(Transaction*));
   void send_up(int site, std::function<void()> deliver);
   void send_down(int site, std::function<void()> deliver);
   void complete(Transaction* txn, SimTime completion_time);
+  /// Books an abort: provenance (cause, winner from txn->marked_by, wasted
+  /// attempt time) into metrics and the abort event, then resets the
+  /// transaction's execution state for the next attempt.
   void prepare_rerun(Transaction* txn, AbortCause cause);
+
+  // ---- span tracer (all no-ops unless a sink subscribed to Span/Edge) ----
+  /// Emits one phase span [begin, end] on `track` for `txn`.
+  void span_note(const Transaction& txn, obs::Phase p, double begin, double end,
+                 int track);
+  /// settle() + span emission; `t` is the segment end (usually now).
+  void span_settle(Transaction* txn, obs::Phase p, double t, int track);
+  /// settle_burst() + spans for the queue-wait and service segments.
+  void span_burst(Transaction* txn, obs::Phase service_phase, double service,
+                  int track);
+  /// interrupt() + a span for the retrospectively settled segment.
+  void span_interrupt(Transaction* txn, int track);
+  /// Emits a causal cross-track edge (flow event in the Perfetto export).
+  void edge_note(obs::EdgeKind kind, TxnId txn, double src_time, int src_track,
+                 double dst_time, int dst_track, TxnId winner = kInvalidTxn);
+  /// Emits the armed retry edge linking an abort to this run start, if any.
+  void consume_retry_edge(Transaction* txn, int track);
+  /// Records the deadlock winner (first other live cycle member) on the
+  /// requester-victim so prepare_rerun can attribute the abort.
+  void set_deadlock_winner(Transaction* requester,
+                           const std::vector<TxnId>& cycle);
 
   /// Applies config::deadlock_victim to a detected cycle: returns the
   /// transaction to abort (the requester when policy says so, or when no
@@ -219,8 +251,9 @@ class HybridSystem {
   Transaction* choose_deadlock_victim(Transaction* requester,
                                       const std::vector<TxnId>& cycle);
   /// Force-aborts a waiting victim (not the requester): releases its locks,
-  /// preps a rerun and restarts it on its execution tier.
-  void force_abort_victim(Transaction* victim);
+  /// preps a rerun and restarts it on its execution tier. The requester is
+  /// the conflict winner for provenance.
+  void force_abort_victim(Transaction* victim, Transaction* requester);
 
   // ---- arrivals / routing ----
   void on_arrival(int site);
@@ -270,7 +303,7 @@ class HybridSystem {
   void local_process_auth(int site, TxnId txn_id, std::uint64_t epoch,
                           std::vector<LockNeed> needs);
   void central_auth_ack(TxnId txn_id, std::uint64_t epoch, int site, bool positive,
-                        bool granted);
+                        bool granted, TxnId blocker, int blocker_site);
   void central_auth_done(Transaction* txn);
   void release_auth_grants(Transaction* txn);
   void central_abort_rerun(Transaction* txn, AbortCause cause,
@@ -305,9 +338,9 @@ class HybridSystem {
   // ---- asynchronous update propagation ----
   /// Entry point from local commit: ships immediately, or appends to the
   /// site's batch and arms the flush timer when batching is configured.
-  void queue_async_update(int site, std::vector<LockId> items);
-  void send_async_update(int site, std::vector<LockId> items);
-  void central_apply_update(int site, const std::vector<LockId>& items);
+  void queue_async_update(int site, std::vector<UpdateItem> items);
+  void send_async_update(int site, std::vector<UpdateItem> items);
+  void central_apply_update(int site, const std::vector<UpdateItem>& items);
 
   SystemConfig cfg_;
   Simulator sim_;

@@ -40,6 +40,11 @@ struct TxnCompletionRecord {
   /// Where the response time went (seconds per obs::Phase; sums to
   /// response_time — the phase-sum identity, checked at completion).
   double phase[obs::kPhaseCount] = {};
+  /// Time burned by this transaction's aborted attempts (subset of the
+  /// phase[] totals above; zero when runs == 1).
+  double wasted_cpu = 0.0;
+  double wasted_io = 0.0;
+  double wasted_total = 0.0;
 };
 
 /// Per-site breakdown, maintained alongside the global Metrics.
@@ -56,6 +61,21 @@ struct SiteMetrics {
   std::uint64_t ship_timeouts = 0;
   std::uint64_t ship_retries = 0;
   std::uint64_t ship_fallbacks = 0;
+
+  // ---- abort provenance, attributed to the victim's home site ----
+  // check_invariants() asserts the per-cause sums over sites equal the
+  // global Metrics::aborts array entry for entry.
+  std::uint64_t aborts[static_cast<int>(AbortCause::kCount)] = {};
+  double wasted_cpu = 0.0;  ///< aborted-attempt CPU of victims homed here
+  double wasted_io = 0.0;   ///< aborted-attempt I/O of victims homed here
+
+  [[nodiscard]] std::uint64_t aborts_total() const {
+    std::uint64_t sum = 0;
+    for (std::uint64_t a : aborts) {
+      sum += a;
+    }
+    return sum;
+  }
 
   [[nodiscard]] double ship_fraction() const {
     return arrivals_class_a > 0
@@ -101,6 +121,73 @@ struct Metrics {
   std::uint64_t completions_class_b = 0;
   std::uint64_t aborts[static_cast<int>(AbortCause::kCount)] = {};
   std::uint64_t reruns = 0;  ///< total re-executions (= sum of aborts)
+
+  // ---- abort provenance ----
+  /// Aborts for which a specific winning transaction was identified
+  /// (async-update invalidation, auth preemption, auth refusal by a named
+  /// holder, deadlock). Crash/timeout aborts have no winner.
+  std::uint64_t aborts_with_winner = 0;
+  /// Aborted-attempt time, split by the cause that threw it away.
+  double wasted_cpu_by_cause[static_cast<int>(AbortCause::kCount)] = {};
+  double wasted_io_by_cause[static_cast<int>(AbortCause::kCount)] = {};
+  /// One sample per completion: that transaction's total wasted time
+  /// (zero for first-try commits, so the mean composes over completions).
+  SampleStat wasted_per_txn;
+
+  /// victim-home-site × winner-home-site abort counts, flattened row-major;
+  /// the extra last column counts aborts with no winning transaction
+  /// (crash sweeps, ship timeouts, coherence-in-flight refusals). Sized by
+  /// init_conflict_matrix — Metrics::reset() clears it, so the system
+  /// re-initializes it when a measurement window opens.
+  std::vector<std::uint64_t> conflict_matrix;
+  int conflict_sites = 0;
+
+  void init_conflict_matrix(int n_sites) {
+    conflict_sites = n_sites;
+    conflict_matrix.assign(
+        static_cast<std::size_t>(n_sites) *
+            static_cast<std::size_t>(n_sites + 1),
+        0);
+  }
+
+  void record_conflict(int victim_site, int winner_site) {
+    if (conflict_sites == 0) return;  // outside a measurement window
+    const int col = winner_site >= 0 ? winner_site : conflict_sites;
+    conflict_matrix[static_cast<std::size_t>(victim_site) *
+                        static_cast<std::size_t>(conflict_sites + 1) +
+                    static_cast<std::size_t>(col)] += 1;
+  }
+
+  /// Entry (victim site row, winner site column; column n_sites = none).
+  [[nodiscard]] std::uint64_t conflict(int victim_site, int winner_col) const {
+    return conflict_matrix[static_cast<std::size_t>(victim_site) *
+                               static_cast<std::size_t>(conflict_sites + 1) +
+                           static_cast<std::size_t>(winner_col)];
+  }
+
+  [[nodiscard]] std::uint64_t conflict_matrix_total() const {
+    std::uint64_t sum = 0;
+    for (std::uint64_t c : conflict_matrix) {
+      sum += c;
+    }
+    return sum;
+  }
+
+  [[nodiscard]] double wasted_cpu_total() const {
+    double s = 0.0;
+    for (double w : wasted_cpu_by_cause) {
+      s += w;
+    }
+    return s;
+  }
+
+  [[nodiscard]] double wasted_io_total() const {
+    double s = 0.0;
+    for (double w : wasted_io_by_cause) {
+      s += w;
+    }
+    return s;
+  }
   std::uint64_t async_updates_sent = 0;
   std::uint64_t auth_rounds = 0;
   std::uint64_t auth_negative_acks = 0;

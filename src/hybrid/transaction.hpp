@@ -71,15 +71,56 @@ struct Transaction {
   /// crash or timeout restart lost that memory and pays the I/O again.
   bool memory_resident = false;
 
+  // ---- abort provenance ----
+  /// Winner of the conflict that set marked_abort, when one exists: the
+  /// committer whose async update invalidated this holder, or the
+  /// authenticating transaction that preempted it. kInvalidTxn = none.
+  TxnId marked_by = kInvalidTxn;
+  int marked_by_site = -2;  ///< winner's home site; -2 = no winner
+  /// Non-preemptible holder that forced a negative auth ack, captured at the
+  /// refusing site and carried back on the ack. kInvalidTxn = refusal was
+  /// coherence-in-flight (no single winner).
+  TxnId auth_blocker = kInvalidTxn;
+  int auth_blocker_site = -2;
+  /// Armed by prepare_rerun, consumed at the next start-of-run to emit the
+  /// retry edge linking the attempts of one transaction.
+  double retry_edge_from = -1.0;
+  int retry_edge_track = 0;
+
   // ---- per-txn statistics ----
   int aborts[static_cast<int>(AbortCause::kCount)] = {};
   /// Response-time decomposition across all runs; maintained by the system
   /// at every protocol step (obs/phase.hpp). Sums to the response time.
   obs::PhaseTimeline phases;
+  /// Snapshot of phases.acc[] at the start of the current attempt, so an
+  /// abort can charge exactly this attempt's segment as wasted work.
+  double attempt_mark[obs::kPhaseCount] = {};
+  /// Per-phase time burned by aborted attempts, across the retry chain.
+  double wasted_phase[obs::kPhaseCount] = {};
 
   [[nodiscard]] bool is_rerun() const { return run_count > 0; }
 
   void count_abort(AbortCause cause) { ++aborts[static_cast<int>(cause)]; }
+
+  /// CPU seconds burned by aborted attempts (service + commit bursts).
+  [[nodiscard]] double wasted_cpu() const {
+    return wasted_phase[static_cast<int>(obs::Phase::CpuService)] +
+           wasted_phase[static_cast<int>(obs::Phase::Commit)];
+  }
+
+  /// I/O seconds burned by aborted attempts.
+  [[nodiscard]] double wasted_io() const {
+    return wasted_phase[static_cast<int>(obs::Phase::Io)];
+  }
+
+  /// All time burned by aborted attempts, every phase included.
+  [[nodiscard]] double wasted_total() const {
+    double s = 0.0;
+    for (double w : wasted_phase) {
+      s += w;
+    }
+    return s;
+  }
 
   /// True when call k updates (exclusively locks) its entity.
   [[nodiscard]] bool writes_anything() const {

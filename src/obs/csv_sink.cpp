@@ -9,7 +9,8 @@ namespace hls::obs {
 const char* CsvSink::header() {
   return "kind,time,txn_id,class,route,home_site,runs,arrival,response_time,"
          "cause,ready_queue,cpu_service,io,network,lock_wait,auth,commit,"
-         "stall,site,up,central_cpu_queue,live_txns";
+         "stall,winner,winner_site,wasted_cpu,wasted_io,site,up,"
+         "central_cpu_queue,live_txns";
 }
 
 namespace {
@@ -85,8 +86,18 @@ char* format_row(char* p, const Event& e) {
       *p++ = ',';
       p = append_num(p, ph);
     }
+    *p++ = ',';
+    if (e.winner != kInvalidTxn) {
+      p = append_int(p, static_cast<long long>(e.winner));
+    }
+    *p++ = ',';
+    if (e.winner_site != -2) p = append_int(p, e.winner_site);
+    *p++ = ',';
+    p = append_num(p, e.wasted_cpu);
+    *p++ = ',';
+    p = append_num(p, e.wasted_io);
   } else {
-    for (int i = 0; i < 16; ++i) {  // txn, cause and phase columns are empty
+    for (int i = 0; i < 20; ++i) {  // txn, cause, phase, provenance are empty
       *p++ = ',';
     }
   }

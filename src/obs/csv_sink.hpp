@@ -22,7 +22,7 @@ class CsvSink final : public TraceSink {
   /// once a small internal batch fills, keeping the per-event cost on the
   /// simulation's hot path to a struct copy. Call flush() (or let the
   /// destructor) before reading the stream. The stream must outlive the sink.
-  explicit CsvSink(std::ostream& out, unsigned mask = kAllEventKinds);
+  explicit CsvSink(std::ostream& out, unsigned mask = kScalarEventKinds);
   ~CsvSink() override;
 
   [[nodiscard]] unsigned kind_mask() const override { return mask_; }

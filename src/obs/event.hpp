@@ -17,6 +17,8 @@ enum class EventKind : std::uint8_t {
   Abort,       ///< a transaction aborted and will rerun
   Fault,       ///< a node crashed or recovered
   Sample,      ///< the time-series sampler took a snapshot
+  Span,        ///< one settled phase segment of one transaction run
+  Edge,        ///< a causal cross-track edge (ship, response, update, retry)
   kCount,
 };
 
@@ -28,12 +30,25 @@ inline constexpr int kEventKindCount = static_cast<int>(EventKind::kCount);
 
 inline constexpr unsigned kAllEventKinds = (1u << kEventKindCount) - 1u;
 
+/// The four coarse per-transaction/system kinds that existed before span
+/// tracing. Row-oriented sinks (CSV, ring) default to this mask so that
+/// enabling a span exporter elsewhere never floods them.
+inline constexpr unsigned kScalarEventKinds =
+    kind_bit(EventKind::Completion) | kind_bit(EventKind::Abort) |
+    kind_bit(EventKind::Fault) | kind_bit(EventKind::Sample);
+
+/// The two fine-grained kinds produced only when a registered sink asks.
+inline constexpr unsigned kSpanEventKinds =
+    kind_bit(EventKind::Span) | kind_bit(EventKind::Edge);
+
 [[nodiscard]] constexpr const char* event_kind_name(EventKind k) {
   switch (k) {
     case EventKind::Completion: return "completion";
     case EventKind::Abort: return "abort";
     case EventKind::Fault: return "fault";
     case EventKind::Sample: return "sample";
+    case EventKind::Span: return "span";
+    case EventKind::Edge: return "edge";
     case EventKind::kCount: break;
   }
   return "?";
@@ -52,11 +67,37 @@ inline constexpr unsigned kAllEventKinds = (1u << kEventKindCount) - 1u;
   return "-";
 }
 
+/// Kinds of causal cross-track edges between span endpoints.
+enum class EdgeKind : std::uint8_t {
+  Ship,         ///< home site hands a class A txn to the central complex
+  Response,     ///< commit/response message travelling back to the home site
+  AsyncUpdate,  ///< asynchronous update batch from a site to the central copy
+  Retry,        ///< an aborted run to the start of its next attempt
+  Conflict,     ///< winner transaction to the victim it aborted
+  kCount,
+};
+
+[[nodiscard]] constexpr const char* edge_kind_name(EdgeKind e) {
+  switch (e) {
+    case EdgeKind::Ship: return "ship";
+    case EdgeKind::Response: return "response";
+    case EdgeKind::AsyncUpdate: return "async_update";
+    case EdgeKind::Retry: return "retry";
+    case EdgeKind::Conflict: return "conflict";
+    case EdgeKind::kCount: break;
+  }
+  return "?";
+}
+
+/// Track identifier convention for spans and edges: site index for a local
+/// track, kCentralTrack for the central complex.
+inline constexpr int kCentralTrack = -1;
+
 struct Event {
   EventKind kind = EventKind::Completion;
-  double time = 0.0;  ///< simulated time of the event
+  double time = 0.0;  ///< simulated time of the event (spans/edges: end time)
 
-  // ---- Completion / Abort ----
+  // ---- Completion / Abort / Span / Edge ----
   TxnId txn = kInvalidTxn;
   TxnClass cls = TxnClass::A;
   Route route = Route::Local;
@@ -65,8 +106,24 @@ struct Event {
   double arrival_time = 0.0;
   double response_time = 0.0;  ///< completions only
   AbortCause cause = AbortCause::kCount;  ///< aborts only; kCount otherwise
-  double phase[kPhaseCount] = {};         ///< completions only
+  double phase[kPhaseCount] = {};  ///< completions: totals; aborts: attempt
   int aborts[static_cast<int>(AbortCause::kCount)] = {};
+
+  // ---- Abort provenance (Abort events; winner also on Conflict edges) ----
+  TxnId winner = kInvalidTxn;  ///< transaction that won the conflict, if any
+  int winner_site = -2;        ///< winner's home site; -2 = no winner
+  double wasted_cpu = 0.0;     ///< CPU seconds burned by the aborted attempt
+  double wasted_io = 0.0;      ///< I/O seconds burned by the aborted attempt
+
+  // ---- Span ----
+  Phase span_phase = Phase::kCount;  ///< which phase this segment settled to
+  double span_begin = 0.0;           ///< segment start; end is `time`
+  int track = 0;                     ///< site index, or kCentralTrack
+
+  // ---- Edge (src endpoint; dst endpoint is time/track above) ----
+  EdgeKind edge = EdgeKind::kCount;
+  double src_time = 0.0;
+  int src_track = 0;
 
   // ---- Fault ----
   int site = -1;   ///< crashed/recovered site; -1 = central complex

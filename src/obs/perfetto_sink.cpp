@@ -1,0 +1,140 @@
+#include "obs/perfetto_sink.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <ostream>
+
+namespace hls::obs {
+
+namespace {
+
+/// Track id (site index, or kCentralTrack) to trace pid: central = 0,
+/// site s = s + 1, so sorting pids puts the central complex first.
+int track_pid(int track) { return track + 1; }
+
+/// Integer microseconds: cheap, and — unlike shortest-round-trip doubles —
+/// trivially byte-stable across libcs and optimization levels.
+long long usec(double seconds) { return std::llround(seconds * 1e6); }
+
+}  // namespace
+
+PerfettoSink::PerfettoSink(std::ostream& out, unsigned mask)
+    : out_(out), mask_(mask) {
+  out_ << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+}
+
+PerfettoSink::~PerfettoSink() { close(); }
+
+void PerfettoSink::begin_record() {
+  if (!first_) out_ << ",";
+  out_ << "\n";
+  first_ = false;
+}
+
+void PerfettoSink::note_pid(int pid) {
+  auto it = std::lower_bound(pids_.begin(), pids_.end(), pid);
+  if (it == pids_.end() || *it != pid) pids_.insert(it, pid);
+}
+
+void PerfettoSink::on_event(const Event& e) {
+  switch (e.kind) {
+    case EventKind::Span: {
+      const int pid = track_pid(e.track);
+      note_pid(pid);
+      const long long b = usec(e.span_begin);
+      const long long t = usec(e.time);
+      begin_record();
+      out_ << "{\"name\":\"" << phase_name(e.span_phase)
+           << "\",\"cat\":\"phase\",\"ph\":\"B\",\"ts\":" << b
+           << ",\"pid\":" << pid << ",\"tid\":" << e.txn
+           << ",\"args\":{\"run\":" << e.runs << "}}";
+      begin_record();
+      out_ << "{\"name\":\"" << phase_name(e.span_phase)
+           << "\",\"cat\":\"phase\",\"ph\":\"E\",\"ts\":" << t
+           << ",\"pid\":" << pid << ",\"tid\":" << e.txn << "}";
+      ++spans_;
+      break;
+    }
+    case EventKind::Edge: {
+      const int src_pid = track_pid(e.src_track);
+      const int dst_pid = track_pid(e.track);
+      note_pid(src_pid);
+      note_pid(dst_pid);
+      const std::uint64_t id = next_flow_id_++;
+      begin_record();
+      out_ << "{\"name\":\"" << edge_kind_name(e.edge)
+           << "\",\"cat\":\"flow\",\"ph\":\"s\",\"id\":" << id
+           << ",\"ts\":" << usec(e.src_time) << ",\"pid\":" << src_pid
+           << ",\"tid\":" << (e.edge == EdgeKind::Conflict ? e.winner : e.txn)
+           << "}";
+      begin_record();
+      out_ << "{\"name\":\"" << edge_kind_name(e.edge)
+           << "\",\"cat\":\"flow\",\"ph\":\"f\",\"bp\":\"e\",\"id\":" << id
+           << ",\"ts\":" << usec(e.time) << ",\"pid\":" << dst_pid
+           << ",\"tid\":" << e.txn << "}";
+      ++edges_;
+      break;
+    }
+    case EventKind::Abort: {
+      const int pid = track_pid(e.home_site);
+      note_pid(pid);
+      begin_record();
+      out_ << "{\"name\":\"abort " << abort_cause_name(e.cause)
+           << "\",\"cat\":\"abort\",\"ph\":\"i\",\"s\":\"t\",\"ts\":"
+           << usec(e.time) << ",\"pid\":" << pid << ",\"tid\":" << e.txn
+           << ",\"args\":{\"cause\":\"" << abort_cause_name(e.cause)
+           << "\",\"winner\":" << e.winner
+           << ",\"winner_site\":" << e.winner_site
+           << ",\"wasted_cpu_us\":" << usec(e.wasted_cpu)
+           << ",\"wasted_io_us\":" << usec(e.wasted_io) << "}}";
+      break;
+    }
+    case EventKind::Completion: {
+      const int pid = track_pid(e.home_site);
+      note_pid(pid);
+      begin_record();
+      out_ << "{\"name\":\"commit\",\"cat\":\"txn\",\"ph\":\"i\",\"s\":\"t\","
+              "\"ts\":"
+           << usec(e.time) << ",\"pid\":" << pid << ",\"tid\":" << e.txn
+           << ",\"args\":{\"runs\":" << e.runs
+           << ",\"response_us\":" << usec(e.response_time)
+           << ",\"wasted_cpu_us\":" << usec(e.wasted_cpu)
+           << ",\"wasted_io_us\":" << usec(e.wasted_io) << "}}";
+      break;
+    }
+    case EventKind::Fault: {
+      const int pid = track_pid(e.site);
+      note_pid(pid);
+      begin_record();
+      out_ << "{\"name\":\"" << (e.up ? "recover" : "crash")
+           << "\",\"cat\":\"fault\",\"ph\":\"i\",\"s\":\"p\",\"ts\":"
+           << usec(e.time) << ",\"pid\":" << pid << ",\"tid\":0}";
+      break;
+    }
+    default:
+      break;
+  }
+}
+
+void PerfettoSink::close() {
+  if (closed_) return;
+  closed_ = true;
+  for (int pid : pids_) {
+    begin_record();
+    out_ << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" << pid
+         << ",\"tid\":0,\"args\":{\"name\":\"";
+    if (pid == 0) {
+      out_ << "central complex";
+    } else {
+      out_ << "site " << (pid - 1);
+    }
+    out_ << "\"}}";
+    begin_record();
+    out_ << "{\"name\":\"process_sort_index\",\"ph\":\"M\",\"pid\":" << pid
+         << ",\"tid\":0,\"args\":{\"sort_index\":" << pid << "}}";
+  }
+  out_ << "\n]}\n";
+  out_.flush();
+}
+
+}  // namespace hls::obs

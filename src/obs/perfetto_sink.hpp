@@ -1,0 +1,61 @@
+// Chrome trace-event / Perfetto JSON exporter for the span tracer.
+//
+// Renders the causal span stream as a Chrome "trace events" JSON document
+// ({"traceEvents":[...]}) loadable by Perfetto UI and chrome://tracing:
+// the central complex and each site are processes (tracks), transactions
+// are threads within them, settled phase segments are B/E duration pairs,
+// and cross-site causality (ship, response, async update, retry, conflict)
+// becomes s/f flow events. Aborts and faults render as instants.
+//
+// Determinism: timestamps are integer microseconds (llround of simulated
+// seconds), flow ids come from a local counter in emission order, and
+// process metadata is written at close() in sorted pid order — the bytes
+// produced depend only on the event sequence, never on wall clock, pointer
+// values or container iteration order.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+#include "obs/sink.hpp"
+
+namespace hls::obs {
+
+class PerfettoSink final : public TraceSink {
+ public:
+  /// Writes the document prefix immediately; events stream as they arrive.
+  /// Call close() (or let the destructor) to append process metadata and the
+  /// closing brackets. The stream must outlive the sink.
+  explicit PerfettoSink(std::ostream& out,
+                       unsigned mask = kSpanEventKinds |
+                                       kind_bit(EventKind::Completion) |
+                                       kind_bit(EventKind::Abort) |
+                                       kind_bit(EventKind::Fault));
+  ~PerfettoSink() override;
+
+  [[nodiscard]] unsigned kind_mask() const override { return mask_; }
+  void on_event(const Event& event) override;
+
+  /// Appends the process-name metadata and closes the JSON document.
+  /// Idempotent; no events may be delivered afterwards.
+  void close();
+
+  [[nodiscard]] std::uint64_t spans_written() const { return spans_; }
+  [[nodiscard]] std::uint64_t edges_written() const { return edges_; }
+
+ private:
+  void begin_record();
+  void note_pid(int pid);
+
+  std::ostream& out_;
+  unsigned mask_;
+  bool first_ = true;
+  bool closed_ = false;
+  std::uint64_t spans_ = 0;
+  std::uint64_t edges_ = 0;
+  std::uint64_t next_flow_id_ = 1;
+  std::vector<int> pids_;  ///< every pid referenced, kept sorted and unique
+};
+
+}  // namespace hls::obs

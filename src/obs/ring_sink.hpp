@@ -15,7 +15,7 @@ namespace hls::obs {
 
 class RingSink final : public TraceSink {
  public:
-  explicit RingSink(std::size_t capacity, unsigned mask = kAllEventKinds)
+  explicit RingSink(std::size_t capacity, unsigned mask = kScalarEventKinds)
       : capacity_(capacity), mask_(mask) {
     HLS_ASSERT(capacity > 0, "RingSink needs a positive capacity");
     buffer_.reserve(capacity);

@@ -156,6 +156,38 @@ TEST(ConfigIo, FaultConfigRoundTripsThroughDescribe) {
   EXPECT_DOUBLE_EQ(parsed->faults.random_horizon, 400.0);
 }
 
+TEST(ConfigIo, SpanSinkAndReportTopKRoundTrip) {
+  SystemConfig cfg;
+  EXPECT_TRUE(apply_config_override(cfg, "obs_span_sink=perfetto:/tmp/t.json"));
+  EXPECT_EQ(cfg.obs_span_sink, "perfetto:/tmp/t.json");
+  EXPECT_TRUE(apply_config_override(cfg, "obs_span_sink=csv:spans.csv"));
+  EXPECT_EQ(cfg.obs_span_sink, "csv:spans.csv");
+  EXPECT_TRUE(apply_config_override(cfg, "obs_span_sink="));  // disable again
+  EXPECT_TRUE(cfg.obs_span_sink.empty());
+  EXPECT_TRUE(apply_config_override(cfg, "report_top_k=9"));
+  EXPECT_EQ(cfg.report_top_k, 9);
+
+  cfg.obs_span_sink = "perfetto:out/trace.json";
+  cfg.report_top_k = 12;
+  std::ostringstream out;
+  describe_config(out, cfg);
+  std::istringstream in(out.str());
+  const auto parsed = parse_config_file(in, SystemConfig{});
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->obs_span_sink, "perfetto:out/trace.json");
+  EXPECT_EQ(parsed->report_top_k, 12);
+}
+
+TEST(ConfigIo, SpanSinkRejectsUnknownSchemeAndNegativeTopK) {
+  SystemConfig cfg;
+  std::string error;
+  EXPECT_FALSE(apply_config_override(cfg, "obs_span_sink=bogus:/x", &error));
+  EXPECT_NE(error.find("perfetto:PATH"), std::string::npos);
+  EXPECT_TRUE(cfg.obs_span_sink.empty());  // untouched by the failure
+  EXPECT_FALSE(apply_config_override(cfg, "report_top_k=-1", &error));
+  EXPECT_NE(error.find("non-negative"), std::string::npos);
+}
+
 TEST(ConfigIo, FaultSiteRangeIsValidatedAfterWholeFile) {
   // num_sites appears after the fault line; validation must still see the
   // final value and reject the out-of-range site.

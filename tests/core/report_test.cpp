@@ -1,0 +1,161 @@
+// Run-report generator: the collector's top-K retention policy and the
+// rendered report's sections, checked on synthetic events and on a real
+// conflict-bearing run.
+#include "core/report.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "hybrid/hybrid_system.hpp"
+#include "routing/basic_strategies.hpp"
+
+namespace hls {
+namespace {
+
+obs::Event span_event(TxnId id, obs::Phase phase, double begin, double end,
+                      int run = 1) {
+  obs::Event e;
+  e.kind = obs::EventKind::Span;
+  e.txn = id;
+  e.span_phase = phase;
+  e.span_begin = begin;
+  e.time = end;
+  e.runs = run;
+  return e;
+}
+
+obs::Event completion_event(TxnId id, double rt) {
+  obs::Event e;
+  e.kind = obs::EventKind::Completion;
+  e.txn = id;
+  e.time = rt;
+  e.response_time = rt;
+  e.runs = 1;
+  return e;
+}
+
+TEST(ReportCollector, KeepsTheKSlowestInDescendingOrder) {
+  ReportCollector collector(3);
+  // Completions arrive in interleaved order; only the three slowest stay.
+  for (TxnId id = 1; id <= 7; ++id) {
+    const double rt = (id % 2 == 0) ? 10.0 * id : 0.1 * id;
+    collector.on_event(completion_event(id, rt));
+  }
+  const auto& slow = collector.slowest();
+  ASSERT_EQ(slow.size(), 3u);
+  EXPECT_EQ(slow[0].id, 6u);  // rt 60
+  EXPECT_EQ(slow[1].id, 4u);  // rt 40
+  EXPECT_EQ(slow[2].id, 2u);  // rt 20
+  EXPECT_GE(slow[0].response_time, slow[1].response_time);
+  EXPECT_GE(slow[1].response_time, slow[2].response_time);
+}
+
+TEST(ReportCollector, RetainsSpanHistoryOnlyForKeptTransactions) {
+  ReportCollector collector(1);
+  collector.on_event(span_event(1, obs::Phase::CpuService, 0.0, 1.0));
+  collector.on_event(span_event(2, obs::Phase::Io, 0.0, 0.5));
+  collector.on_event(completion_event(1, 9.0));
+  collector.on_event(completion_event(2, 1.0));  // faster: evicted
+  const auto& slow = collector.slowest();
+  ASSERT_EQ(slow.size(), 1u);
+  EXPECT_EQ(slow[0].id, 1u);
+  ASSERT_EQ(slow[0].spans.size(), 1u);
+  EXPECT_EQ(slow[0].spans[0].phase, obs::Phase::CpuService);
+  EXPECT_DOUBLE_EQ(slow[0].spans[0].end, 1.0);
+}
+
+TEST(ReportCollector, ZeroTopKRetainsNothing) {
+  ReportCollector collector(0);
+  collector.on_event(completion_event(1, 5.0));
+  EXPECT_TRUE(collector.slowest().empty());
+}
+
+TEST(ReportCollector, SubscribesToSpansAbortsAndCompletions) {
+  ReportCollector collector;
+  const unsigned mask = collector.kind_mask();
+  EXPECT_TRUE(mask & obs::kind_bit(obs::EventKind::Span));
+  EXPECT_TRUE(mask & obs::kind_bit(obs::EventKind::Abort));
+  EXPECT_TRUE(mask & obs::kind_bit(obs::EventKind::Completion));
+  EXPECT_FALSE(mask & obs::kind_bit(obs::EventKind::Sample));
+}
+
+// ---- rendered report on a real run ----
+
+SystemConfig conflict_config() {
+  SystemConfig cfg;
+  cfg.arrival_rate_per_site = 0.0;
+  cfg.call_io_time = 1.0;
+  return cfg;
+}
+
+Transaction custom_txn(TxnId id, TxnClass cls, int site,
+                       std::vector<LockNeed> locks, bool io_per_call) {
+  Transaction txn;
+  txn.id = id;
+  txn.cls = cls;
+  txn.home_site = site;
+  txn.locks = std::move(locks);
+  txn.call_io.assign(txn.locks.size(), io_per_call);
+  return txn;
+}
+
+std::string run_and_render() {
+  const SystemConfig cfg = conflict_config();
+  HybridSystem sys(cfg, std::make_unique<AlwaysLocalStrategy>());
+  ReportCollector collector(2);
+  sys.add_trace_sink(&collector);
+  // The preemption conflict: txn 1 aborts once and reruns.
+  sys.inject_transaction(custom_txn(1, TxnClass::A, 0,
+                                    {{5, LockMode::Exclusive}}, true));
+  sys.inject_transaction(custom_txn(2, TxnClass::B, 0,
+                                    {{5, LockMode::Exclusive}}, false));
+  sys.simulator().run();
+  std::ostringstream out;
+  write_run_report(out, sys.metrics(), &collector);
+  return out.str();
+}
+
+TEST(RunReport, RendersEverySectionForAConflictRun) {
+  const std::string report = run_and_render();
+  EXPECT_NE(report.find("=== run report ==="), std::string::npos);
+  EXPECT_NE(report.find("phase breakdown"), std::string::npos);
+  EXPECT_NE(report.find("abort causes"), std::string::npos);
+  EXPECT_NE(report.find("preempted"), std::string::npos);
+  EXPECT_NE(report.find("with identified winner: 1 of 1"), std::string::npos);
+  EXPECT_NE(report.find("conflict matrix"), std::string::npos);
+  EXPECT_NE(report.find("wasted work"), std::string::npos);
+  EXPECT_NE(report.find("slowest transactions"), std::string::npos);
+  // The victim's span tree shows both attempts and the abort between them.
+  EXPECT_NE(report.find("run 1"), std::string::npos);
+  EXPECT_NE(report.find("run 2"), std::string::npos);
+  EXPECT_NE(report.find("winner txn 2"), std::string::npos);
+}
+
+TEST(RunReport, IsDeterministic) {
+  EXPECT_EQ(run_and_render(), run_and_render());
+}
+
+TEST(RunReport, NullCollectorOmitsTheSlowestSection) {
+  Metrics m;
+  m.completions = 0;
+  std::ostringstream out;
+  write_run_report(out, m, nullptr);
+  const std::string report = out.str();
+  EXPECT_NE(report.find("=== run report ==="), std::string::npos);
+  EXPECT_EQ(report.find("slowest transactions"), std::string::npos);
+}
+
+TEST(RunReport, EmptyRunRendersWithoutSlowEntries) {
+  Metrics m;
+  ReportCollector collector(3);
+  std::ostringstream out;
+  write_run_report(out, m, &collector);
+  EXPECT_NE(out.str().find("(none completed)"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hls

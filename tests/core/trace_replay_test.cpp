@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "core/trace.hpp"
+#include "obs/perfetto_sink.hpp"
 #include "obs/ring_sink.hpp"
 #include "routing/basic_strategies.hpp"
 
@@ -168,6 +169,59 @@ TEST(TraceReplay, FaultedReplayReproducesCompletionRecordsByteForByte) {
   EXPECT_EQ(first, second);
   // The run actually exercised the fault machinery.
   EXPECT_NE(first.find(",central,"), std::string::npos);
+}
+
+TEST(TraceReplay, FaultedReplayUnchangedByPerfettoSpanSink) {
+  // The harshest "observation is free or absent" check: the same faulted
+  // replay as above, but with the full span tracer + Perfetto exporter
+  // attached. Span emission turns on every fine-grained code path in the
+  // tracer, yet the completion records must stay byte-identical, and the
+  // exported trace itself must be byte-identical across runs.
+  SystemConfig cfg = quiet_config();
+  cfg.ship_timeout = 1.5;
+  cfg.ship_backoff = 2.0;
+  cfg.ship_max_retries = 1;
+  cfg.faults.windows.push_back(
+      {FaultKind::CentralOutage, -1, 0.5, 3.0, 1.0, 0.0});
+  cfg.faults.windows.push_back({FaultKind::SiteOutage, 1, 2.0, 2.0, 1.0, 0.0});
+
+  std::ostringstream trace_text;
+  for (int i = 0; i < 40; ++i) {
+    trace_text << 0.2 * i << ' ' << i % 8 << ' ' << (i % 3 == 0 ? 'B' : 'A')
+               << '\n';
+  }
+  const auto trace = parse_trace(trace_text.str(), cfg);
+  ASSERT_TRUE(trace.has_value());
+
+  struct Outputs {
+    std::string completions;
+    std::string perfetto;
+  };
+  auto run_once = [&](bool with_span_sink) {
+    HybridSystem sys(cfg, std::make_unique<AlwaysCentralStrategy>());
+    std::ostringstream out;
+    TraceWriter writer(out);
+    writer.attach(sys);
+    std::ostringstream json;
+    obs::PerfettoSink perfetto(json);
+    if (with_span_sink) {
+      sys.add_trace_sink(&perfetto);
+    }
+    replay_trace(sys, *trace);
+    sys.simulator().run();
+    perfetto.close();
+    EXPECT_EQ(sys.live_transactions(), 0);
+    return Outputs{out.str(), json.str()};
+  };
+
+  const Outputs bare = run_once(false);
+  const Outputs traced = run_once(true);
+  const Outputs traced_again = run_once(true);
+  EXPECT_EQ(bare.completions, traced.completions);
+  EXPECT_EQ(traced.perfetto, traced_again.perfetto);
+  // The faulted run actually produced spans across both tiers.
+  EXPECT_NE(traced.perfetto.find("\"ph\":\"B\""), std::string::npos);
+  EXPECT_NE(traced.perfetto.find("\"ph\":\"s\""), std::string::npos);
 }
 
 TEST(TraceReplay, BurstTraceStressesOneSite) {

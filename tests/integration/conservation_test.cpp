@@ -78,6 +78,44 @@ TEST_P(ConservationTest, HoldsAfterDrain) {
   }
   sys.check_invariants();
 
+  // ---- abort-provenance double entry ----
+  // check_invariants() already HLS_ASSERTs these; restating them as EXPECTs
+  // keeps the conservation laws visible as named test failures.
+  std::uint64_t cause_total = 0;
+  for (int c = 0; c < static_cast<int>(AbortCause::kCount); ++c) {
+    std::uint64_t site_sum = 0;
+    for (int s = 0; s < cfg.num_sites; ++s) {
+      site_sum += sys.site_metrics(s).aborts[c];
+    }
+    EXPECT_EQ(m.aborts[c], site_sum) << "cause " << c;
+    cause_total += m.aborts[c];
+  }
+  EXPECT_EQ(cause_total, m.reruns);
+  EXPECT_EQ(m.conflict_matrix_total(), cause_total);
+  std::uint64_t winner_cells = 0;
+  for (int v = 0; v < m.conflict_sites; ++v) {
+    for (int w = 0; w < m.conflict_sites; ++w) {
+      winner_cells += m.conflict(v, w);
+    }
+  }
+  EXPECT_EQ(winner_cells, m.aborts_with_winner);
+  EXPECT_LE(m.aborts_with_winner, cause_total);
+  // Wasted work: the per-cause ledgers and the victims' home-site tallies
+  // are the same entries summed two ways.
+  double site_wasted_cpu = 0.0;
+  double site_wasted_io = 0.0;
+  for (int s = 0; s < cfg.num_sites; ++s) {
+    site_wasted_cpu += sys.site_metrics(s).wasted_cpu;
+    site_wasted_io += sys.site_metrics(s).wasted_io;
+  }
+  EXPECT_NEAR(site_wasted_cpu, m.wasted_cpu_total(), 1e-6);
+  EXPECT_NEAR(site_wasted_io, m.wasted_io_total(), 1e-6);
+  // Per-transaction wasted totals cover at least the CPU + I/O ledgers
+  // (they also include wasted wait time), one sample per completion.
+  EXPECT_EQ(m.wasted_per_txn.count(), m.completions);
+  EXPECT_GE(m.wasted_per_txn.sum() + 1e-6,
+            m.wasted_cpu_total() + m.wasted_io_total());
+
   // ---- phase-sum identity, aggregated ----
   double phase_total = 0.0;
   for (int p = 0; p < obs::kPhaseCount; ++p) {

@@ -64,6 +64,33 @@ void check_or_print(const char* name, std::uint64_t completions,
   }
 }
 
+/// Per-cause abort pins: the provenance counters are part of the observable
+/// behavior too, so a protocol change that shifts *why* transactions abort
+/// (not just how many) is caught here. Same HLS_REPIN procedure.
+struct GoldenCauses {
+  std::uint64_t by_cause[static_cast<int>(AbortCause::kCount)];
+  std::uint64_t with_winner;
+};
+
+void check_or_print_causes(const char* name, const Metrics& m,
+                           const GoldenCauses& want) {
+  if (repin_mode()) {
+    std::printf("  const GoldenCauses want_causes{{");
+    for (int c = 0; c < static_cast<int>(AbortCause::kCount); ++c) {
+      std::printf("%s%lluu", c ? ", " : "",
+                  static_cast<unsigned long long>(m.aborts[c]));
+    }
+    std::printf("}, %lluu};  // %s\n",
+                static_cast<unsigned long long>(m.aborts_with_winner), name);
+    return;
+  }
+  for (int c = 0; c < static_cast<int>(AbortCause::kCount); ++c) {
+    EXPECT_EQ(m.aborts[c], want.by_cause[c]) << name << " cause " << c;
+  }
+  EXPECT_EQ(m.aborts_with_winner, want.with_winner) << name;
+  EXPECT_EQ(m.conflict_matrix_total(), m.aborts_total()) << name;
+}
+
 TEST(GoldenMetrics, Hybrid) {
   RunOptions opts;
   opts.warmup_seconds = 40.0;
@@ -73,6 +100,8 @@ TEST(GoldenMetrics, Hybrid) {
   const Golden want{3451u, 16u, 3509.8352350586042, 1.017048749654768};
   check_or_print("hybrid/min-avg-nsys", r.metrics.completions,
                  r.metrics.aborts_total(), r.metrics.rt_all.sum(), want);
+  const GoldenCauses want_causes{{2u, 4u, 10u, 0u, 0u, 0u}, 6u};
+  check_or_print_causes("hybrid/min-avg-nsys", r.metrics, want_causes);
   if (!repin_mode()) {
     // The paper's headline composition holds exactly: every completion is
     // in exactly one of the three route/class buckets.
@@ -127,6 +156,8 @@ TEST(GoldenMetrics, HybridWithFaultsAndSampler) {
   const Golden want{3435u, 52u, 4492.9985187539987, 1.3080053911947596};
   check_or_print("hybrid/faults+sampler", r.metrics.completions,
                  r.metrics.aborts_total(), r.metrics.rt_all.sum(), want);
+  const GoldenCauses want_causes{{8u, 4u, 9u, 0u, 25u, 6u}, 12u};
+  check_or_print_causes("hybrid/faults+sampler", r.metrics, want_causes);
   if (!repin_mode()) {
     // One sample per second of the 200 s window (begin_measurement clears
     // the warmup samples; the edge sample at window close may or may not
