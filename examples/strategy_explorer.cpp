@@ -22,7 +22,7 @@
 //                                                (reloadable via --set lines)
 //
 // Strategies are named as in routing/factory.hpp, e.g.:
-//   ./strategy_explorer --tps=30 no-load-sharing static-optimal \
+//   ./strategy_explorer --tps=30 no-load-sharing static-optimal
 //       util-threshold:-0.2 min-average-nsys
 #include <cstdio>
 #include <cstring>

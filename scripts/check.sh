@@ -46,9 +46,18 @@ if [[ "${1:-}" == "--coverage" ]]; then
   echo "check.sh --coverage: passed"
   exit 0
 fi
-cmake -B "$BUILD" -G Ninja >/dev/null
+# Warnings are errors in the gate build, and the compilation database feeds
+# the clang-tidy stage below.
+cmake -B "$BUILD" -G Ninja -DHLS_WERROR=ON \
+  -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
 cmake --build "$BUILD" -j
 ctest --test-dir "$BUILD" -j"$(nproc)" --output-on-failure
+
+# Project lint: layering, determinism, convention, and callback-epoch rules
+# over the live tree (see docs/LINT.md). The binary was built above; a
+# non-zero exit (findings or stale baseline entries) fails the gate.
+"./$BUILD/tools/hlslint"
+echo "lint: hlslint clean over the live tree"
 
 # Determinism smoke: every design point is an independent deterministic
 # simulation and results land in submission-order slots, so a figure bench
@@ -83,7 +92,8 @@ echo "trace smoke: perfetto export schema-valid end to end"
 # closures for reclaimed transactions, exactly where lifetime bugs would
 # hide. Skipped gracefully when the toolchain has no asan runtime.
 ASAN_BUILD="${BUILD}-asan"
-if cmake -B "$ASAN_BUILD" -G Ninja -DHLS_SANITIZE=address >/dev/null 2>&1 &&
+if cmake -B "$ASAN_BUILD" -G Ninja -DHLS_SANITIZE=address -DHLS_WERROR=ON \
+      >/dev/null 2>&1 &&
     cmake --build "$ASAN_BUILD" -j --target abl_fault_tolerance \
       golden_metrics_test conservation_test phase_breakdown_test \
       abort_provenance_test span_trace_test report_test \
@@ -104,10 +114,32 @@ else
   echo "asan: unavailable in this toolchain; skipped"
 fi
 
+# UndefinedBehaviorSanitizer, non-recoverable: any UB (signed overflow,
+# invalid shifts, misaligned/null access, bad enum loads) aborts the test.
+# Runs the pinned-value, property-grid, and core protocol suites — the
+# arithmetic-heavy paths where UB would silently skew results.
+UBSAN_BUILD="${BUILD}-ubsan"
+if cmake -B "$UBSAN_BUILD" -G Ninja -DHLS_SANITIZE=undefined -DHLS_WERROR=ON \
+      >/dev/null 2>&1 &&
+    cmake --build "$UBSAN_BUILD" -j --target golden_metrics_test \
+      conservation_test system_test single_txn_test analytic_model_test \
+      paper_properties_test >/dev/null 2>&1; then
+  "./$UBSAN_BUILD/tests/golden_metrics_test" >/dev/null
+  "./$UBSAN_BUILD/tests/conservation_test" >/dev/null
+  "./$UBSAN_BUILD/tests/system_test" >/dev/null
+  "./$UBSAN_BUILD/tests/single_txn_test" >/dev/null
+  "./$UBSAN_BUILD/tests/analytic_model_test" >/dev/null
+  "./$UBSAN_BUILD/tests/paper_properties_test" >/dev/null
+  echo "ubsan: golden/conservation/system/single_txn/model/properties clean"
+else
+  echo "ubsan: unavailable in this toolchain; skipped"
+fi
+
 # ThreadSanitizer pass over the threaded pieces; skipped gracefully when the
 # toolchain has no tsan runtime.
 TSAN_BUILD="${BUILD}-tsan"
-if cmake -B "$TSAN_BUILD" -G Ninja -DHLS_SANITIZE=thread >/dev/null 2>&1 &&
+if cmake -B "$TSAN_BUILD" -G Ninja -DHLS_SANITIZE=thread -DHLS_WERROR=ON \
+      >/dev/null 2>&1 &&
     cmake --build "$TSAN_BUILD" -j --target task_pool_test sweep_parallel_test \
       >/dev/null 2>&1; then
   "./$TSAN_BUILD/tests/task_pool_test"
@@ -115,6 +147,17 @@ if cmake -B "$TSAN_BUILD" -G Ninja -DHLS_SANITIZE=thread >/dev/null 2>&1 &&
   echo "tsan: task_pool_test + sweep_parallel_test clean"
 else
   echo "tsan: unavailable in this toolchain; skipped"
+fi
+
+# clang-tidy over src/ with the curated .clang-tidy check set, driven by the
+# compilation database exported above. Skipped with a notice when the tool
+# is not on PATH (it is not part of the baked-in toolchain).
+if command -v clang-tidy >/dev/null 2>&1; then
+  find src -name '*.cpp' -print0 |
+    xargs -0 -P "$(nproc)" -n 4 clang-tidy -p "$BUILD" --quiet
+  echo "tidy: clang-tidy clean over src/"
+else
+  echo "tidy: clang-tidy not on PATH; skipped (install LLVM tools to enable)"
 fi
 
 echo "check.sh: all stages passed"

@@ -26,6 +26,12 @@ bool parse_double(const std::string& text, double* out) {
   return true;
 }
 
+/// Boolean config keys are spelled 0/1; an exact zero test is the intended
+/// semantics, not a missing tolerance.
+bool flag_set(double v) {
+  return v != 0.0;  // hlslint:allow(float-eq)
+}
+
 }  // namespace
 
 bool apply_config_override(SystemConfig& cfg, const std::string& assignment,
@@ -140,9 +146,9 @@ bool apply_config_override(SystemConfig& cfg, const std::string& assignment,
   } else if (key == "max_reruns") {
     cfg.max_reruns = static_cast<int>(v);
   } else if (key == "ideal_state_info") {
-    cfg.ideal_state_info = v != 0.0;
+    cfg.ideal_state_info = flag_set(v);
   } else if (key == "geometric_call_count") {
-    cfg.geometric_call_count = v != 0.0;
+    cfg.geometric_call_count = flag_set(v);
   } else if (key == "ship_timeout") {
     if (v < 0.0) {
       return fail(error, "ship_timeout must be non-negative");

@@ -1627,6 +1627,7 @@ void HybridSystem::arm_ship_timeout(Transaction* txn) {
   // Keyed on ship_attempt, not epoch: central-side reruns bump the epoch but
   // the home site's timer must keep covering them; only a reclaim (which
   // bumps ship_attempt) or completion disarms it.
+  // hlslint:allow(callback-epoch) — ship_attempt is the guard here by design.
   sim_.schedule_after(delay, [this, id = txn->id, attempt = txn->ship_attempt] {
     on_ship_timeout(id, attempt);
   });

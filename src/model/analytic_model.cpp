@@ -164,8 +164,10 @@ ModelSolution AnalyticModel::solve(const ModelParams& p) const {
     const double held_loc_rerun = lam_loc * err_l * n_l * gamma_l / 2.0;
     const double exec_l_first = t_exec_l + commit_l;
     const double exec_l_rerun = t_exec_l_rr + commit_l;
+    // Central residuals use the first-run execution only: a central rerun
+    // re-enters the queue as a fresh request, so its holder population is
+    // already counted in rate_cen_req_db's (1 + err_c) factor.
     const double exec_c_first = t_exec_c + commit_c;
-    const double exec_c_rerun = n_l * call_c_rr + commit_c;
 
     const Residual loc_tri_first{ResidualShape::Triangular, exec_l_first};
     const Residual loc_tri_rerun{ResidualShape::Triangular, exec_l_rerun};

@@ -33,7 +33,8 @@ char* append(char* p, const char* s) {
 /// round-trip emits up to 17 digits for accumulated times). Values outside
 /// the simulation's range fall back to shortest round-trip.
 char* append_num(char* p, double v) {
-  if (v == 0.0) {
+  // Exact-zero fast path: formatting dispatch, not a tolerance comparison.
+  if (v == 0.0) {  // hlslint:allow(float-eq)
     *p++ = '0';
     return p;
   }

@@ -1,0 +1,6 @@
+// Bad fixture: non-repo-relative includes (rule: include-style, lines 2, 3).
+#include "helper.hpp"
+#include "../core/driver.hpp"
+namespace fx {
+int use() { return 1; }
+}  // namespace fx

@@ -1,0 +1,16 @@
+// Bad fixture: scheduled lambda capturing txn state with no epoch guard
+// (rule: callback-epoch, line 14).
+namespace fx {
+struct Txn {
+  int id = 0;
+  unsigned epoch = 0;
+};
+struct Sim {
+  template <typename F>
+  void schedule_after(double delay, F f);
+};
+void on_timeout(int id);
+void arm(Sim& sim, Txn* txn) {
+  sim.schedule_after(2.5, [id = txn->id] { on_timeout(id); });
+}
+}  // namespace fx

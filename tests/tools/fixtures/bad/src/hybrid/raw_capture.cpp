@@ -1,0 +1,15 @@
+// Bad fixture: scheduled lambda capturing a raw Transaction*
+// (rule: callback-epoch, line 13).
+namespace fx {
+struct Txn {
+  int id = 0;
+  void step();
+};
+struct Sim {
+  template <typename F>
+  void schedule_after(double delay, F f);
+};
+void arm(Sim& sim, Txn* txn) {
+  sim.schedule_after(1.0, [txn] { txn->step(); });
+}
+}  // namespace fx

@@ -1,0 +1,16 @@
+// Bad fixture: collecting from unordered iteration without sorting
+// (rule: unordered-iter, line 10).
+#include <unordered_map>
+#include <vector>
+namespace fx {
+struct Registry {
+  std::unordered_map<int, int> members;
+  std::vector<int> victims() {
+    std::vector<int> out;
+    for (const auto& entry : members) {
+      out.push_back(entry.first);
+    }
+    return out;
+  }
+};
+}  // namespace fx

@@ -1,0 +1,9 @@
+// Bad fixture: floating-point equality (rule: float-eq, lines 4, 7).
+namespace fx {
+bool converged(double residual, double target) {
+  if (residual == 0.0) {
+    return true;
+  }
+  return target != 1.5;
+}
+}  // namespace fx

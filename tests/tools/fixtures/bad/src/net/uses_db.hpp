@@ -1,0 +1,6 @@
+// Bad fixture: sibling tiers including each other (rule: layer-order, line 3).
+#pragma once
+#include "db/lock_types.hpp"
+namespace fx {
+struct UsesDb {};
+}  // namespace fx

@@ -1,0 +1,14 @@
+// Bad fixture: unordered iteration feeding output (rule: unordered-iter, line 9).
+#include <cstdio>
+#include <string>
+#include <unordered_map>
+namespace fx {
+struct Sink {
+  std::unordered_map<int, double> cells;
+  void dump() {
+    for (const auto& [k, v] : cells) {
+      std::printf("%d,%f\n", k, v);
+    }
+  }
+};
+}  // namespace fx

@@ -1,0 +1,6 @@
+// Bad fixture: include cycle with cycle_b.hpp (rule: layer-cycle).
+#pragma once
+#include "sim/cycle_b.hpp"
+namespace fx {
+struct CycleA {};
+}  // namespace fx

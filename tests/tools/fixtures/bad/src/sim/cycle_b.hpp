@@ -1,0 +1,6 @@
+// Bad fixture: include cycle with cycle_a.hpp (rule: layer-cycle).
+#pragma once
+#include "sim/cycle_a.hpp"
+namespace fx {
+struct CycleB {};
+}  // namespace fx

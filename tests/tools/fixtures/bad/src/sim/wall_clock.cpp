@@ -1,0 +1,9 @@
+// Bad fixture: host clock in simulation code (rule: wall-clock, lines 5, 6).
+#include <chrono>
+namespace fx {
+double host_now() {
+  auto t = std::chrono::steady_clock::now();
+  long s = time(nullptr);
+  return static_cast<double>(t.time_since_epoch().count()) + s;
+}
+}  // namespace fx

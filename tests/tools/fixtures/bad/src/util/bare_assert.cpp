@@ -1,0 +1,7 @@
+// Bad fixture: bare assert() and <cassert> (rule: hls-assert, lines 4 and 7).
+namespace fx {
+void check(int x) {
+  assert(x > 0);
+}
+}  // namespace fx
+#include <cassert>

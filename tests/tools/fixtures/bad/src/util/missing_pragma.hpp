@@ -1,0 +1,6 @@
+// Bad fixture: header without #pragma once (rule: pragma-once, line 1).
+namespace fx {
+struct MissingPragma {
+  int value = 0;
+};
+}  // namespace fx

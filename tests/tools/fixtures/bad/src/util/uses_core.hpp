@@ -1,0 +1,6 @@
+// Bad fixture: util reaching up into core (rule: layer-order, line 3).
+#pragma once
+#include "core/api.hpp"
+namespace fx {
+struct UsesCore {};
+}  // namespace fx

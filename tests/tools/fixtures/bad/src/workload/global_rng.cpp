@@ -1,0 +1,8 @@
+// Bad fixture: ambient RNG (rule: global-rng, lines 2, 5, 6).
+#include <random>
+namespace fx {
+int roll() {
+  std::mt19937 gen(std::random_device{}());
+  return rand() + static_cast<int>(gen());
+}
+}  // namespace fx

@@ -1,0 +1,6 @@
+// Good twin: repo-relative includes from src/.
+#include "core/driver.hpp"
+#include "util/stats.hpp"
+namespace fx {
+int use() { return 1; }
+}  // namespace fx

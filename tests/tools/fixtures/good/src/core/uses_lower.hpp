@@ -1,0 +1,7 @@
+// Good twin: core may include anything below it; acyclic chain.
+#pragma once
+#include "hybrid/chain_top.hpp"
+#include "util/chain_bottom.hpp"
+namespace fx {
+struct UsesLower {};
+}  // namespace fx

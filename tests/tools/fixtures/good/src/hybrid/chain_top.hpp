@@ -1,0 +1,6 @@
+// Good twin: downward include edge, no cycle.
+#pragma once
+#include "util/chain_bottom.hpp"
+namespace fx {
+struct ChainTop {};
+}  // namespace fx

@@ -1,0 +1,20 @@
+// Good twin: scheduled lambda carries (id, epoch) and revalidates via find().
+namespace fx {
+struct Txn {
+  int id = 0;
+  unsigned epoch = 0;
+  void step();
+};
+struct Sim {
+  template <typename F>
+  void schedule_after(double delay, F f);
+};
+Txn* find(int id, unsigned epoch);
+void arm(Sim& sim, Txn* txn) {
+  sim.schedule_after(1.0, [id = txn->id, epoch = txn->epoch] {
+    if (Txn* t = find(id, epoch)) {
+      t->step();
+    }
+  });
+}
+}  // namespace fx

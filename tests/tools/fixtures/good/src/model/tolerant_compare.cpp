@@ -1,0 +1,8 @@
+// Good twin: tolerance comparison instead of floating-point equality.
+#include <cmath>
+namespace fx {
+bool converged(double residual, double tol) {
+  return std::abs(residual) < tol;
+}
+bool exact_ints(int a, int b) { return a == b; }
+}  // namespace fx

@@ -1,0 +1,20 @@
+// Good twin: collect keys from the unordered container, sort, then emit.
+#include <algorithm>
+#include <cstdio>
+#include <unordered_map>
+#include <vector>
+namespace fx {
+struct Sink {
+  std::unordered_map<int, double> cells;
+  void dump() {
+    std::vector<int> keys;
+    for (const auto& entry : cells) {
+      keys.push_back(entry.first);
+    }
+    std::sort(keys.begin(), keys.end());
+    for (int k : keys) {
+      std::printf("%d,%f\n", k, cells.at(k));
+    }
+  }
+};
+}  // namespace fx

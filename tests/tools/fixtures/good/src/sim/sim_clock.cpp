@@ -1,0 +1,8 @@
+// Good twin: simulation code reads the virtual clock, never the host's.
+namespace fx {
+struct Sim {
+  double now() const { return now_; }
+  double now_ = 0.0;
+};
+double runtime(const Sim& sim, double start) { return sim.now() - start; }
+}  // namespace fx

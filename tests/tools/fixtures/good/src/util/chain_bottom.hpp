@@ -1,0 +1,5 @@
+// Good twin: leaf of the include chain.
+#pragma once
+namespace fx {
+struct ChainBottom {};
+}  // namespace fx

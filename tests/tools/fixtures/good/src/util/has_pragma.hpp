@@ -1,0 +1,7 @@
+// Good twin: header with #pragma once.
+#pragma once
+namespace fx {
+struct HasPragma {
+  int value = 0;
+};
+}  // namespace fx

@@ -1,0 +1,10 @@
+// Good twin: invariants via HLS_ASSERT; banned tokens only in comments and
+// strings, where the lexer must not fire: assert(x), rand(), time(NULL).
+#include "util/assert.hpp"
+namespace fx {
+void check(int x) {
+  HLS_ASSERT(x > 0, "x must be positive");
+  const char* doc = "call assert(x) or srand() here";
+  (void)doc;
+}
+}  // namespace fx

@@ -1,0 +1,6 @@
+// Good twin: a lower layer may include a whitelisted header-only leaf type.
+#pragma once
+#include "hybrid/config.hpp"
+namespace fx {
+struct UsesConfig {};
+}  // namespace fx

@@ -1,0 +1,150 @@
+// Baseline and suppression round-trip tests against a synthetic tree in a
+// temp directory: a grandfathered finding is silenced by its baseline entry,
+// resurfaces when the entry is removed, and goes stale when the code is
+// fixed. Allow-comments are exercised the same way.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "hlslint/lint.hpp"
+
+namespace {
+
+namespace fs = std::filesystem;
+
+class HlslintBaseline : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // ctest runs each TEST_F as its own process, concurrently: the tree name
+    // must be unique per test or parallel runs race on the shared TempDir.
+    const ::testing::TestInfo* info =
+        ::testing::UnitTest::GetInstance()->current_test_info();
+    root_ = fs::path(::testing::TempDir()) /
+            (std::string("hlslint_") + info->name());
+    fs::remove_all(root_);
+    fs::create_directories(root_ / "src" / "util");
+    fs::create_directories(root_ / "tools" / "hlslint");
+  }
+  void TearDown() override { fs::remove_all(root_); }
+
+  void write_file(const std::string& rel, const std::string& text) {
+    std::ofstream out(root_ / rel);
+    out << text;
+    ASSERT_TRUE(out.good());
+  }
+
+  hlslint::Options options() const {
+    hlslint::Options opts;
+    opts.root = root_.string();
+    return opts;
+  }
+
+  fs::path root_;
+};
+
+const char kBadSource[] =
+    "namespace fx {\n"
+    "void check(int x) {\n"
+    "  assert(x > 0);\n"
+    "}\n"
+    "}  // namespace fx\n";
+
+TEST_F(HlslintBaseline, RoundTrip) {
+  write_file("src/util/bad.cpp", kBadSource);
+
+  // Dirty tree, no baseline: the finding fires.
+  hlslint::LintResult before = hlslint::lint_tree(options());
+  ASSERT_EQ(before.findings.size(), 1u);
+  EXPECT_EQ(before.findings[0].rule, "hls-assert");
+  EXPECT_EQ(before.findings[0].line, 3);
+
+  // Write the baseline: the same tree is now clean, finding accounted as
+  // baselined, no stale entries.
+  std::vector<std::string> keys = hlslint::compute_baseline_keys(options());
+  ASSERT_EQ(keys.size(), 1u);
+  ASSERT_TRUE(hlslint::write_baseline(
+      (root_ / "tools" / "hlslint" / "baseline.txt").string(), keys));
+  hlslint::LintResult suppressed = hlslint::lint_tree(options());
+  EXPECT_TRUE(suppressed.findings.empty());
+  EXPECT_EQ(suppressed.suppressed_baseline, 1);
+  EXPECT_EQ(suppressed.stale_baseline, 0);
+
+  // Remove the entry: the finding fails the gate again.
+  ASSERT_TRUE(hlslint::write_baseline(
+      (root_ / "tools" / "hlslint" / "baseline.txt").string(), {}));
+  hlslint::LintResult after = hlslint::lint_tree(options());
+  ASSERT_EQ(after.findings.size(), 1u);
+  EXPECT_EQ(after.findings[0].rule, "hls-assert");
+}
+
+TEST_F(HlslintBaseline, FixingTheLineMakesTheEntryStale) {
+  write_file("src/util/bad.cpp", kBadSource);
+  std::vector<std::string> keys = hlslint::compute_baseline_keys(options());
+  ASSERT_TRUE(hlslint::write_baseline(
+      (root_ / "tools" / "hlslint" / "baseline.txt").string(), keys));
+
+  write_file("src/util/bad.cpp",
+             "namespace fx {\n"
+             "void check(int) {}\n"
+             "}  // namespace fx\n");
+  hlslint::LintResult r = hlslint::lint_tree(options());
+  EXPECT_TRUE(r.findings.empty());
+  EXPECT_EQ(r.suppressed_baseline, 0);
+  EXPECT_EQ(r.stale_baseline, 1);  // the entry must now be deleted
+}
+
+TEST_F(HlslintBaseline, BaselineKeySurvivesLineDrift) {
+  // Content-based keys: inserting code above the grandfathered line must not
+  // invalidate the entry.
+  write_file("src/util/bad.cpp", kBadSource);
+  std::vector<std::string> keys = hlslint::compute_baseline_keys(options());
+  ASSERT_TRUE(hlslint::write_baseline(
+      (root_ / "tools" / "hlslint" / "baseline.txt").string(), keys));
+
+  write_file("src/util/bad.cpp",
+             "namespace fx {\n"
+             "int unrelated() { return 7; }\n"
+             "void check(int x) {\n"
+             "  assert(x > 0);\n"
+             "}\n"
+             "}  // namespace fx\n");
+  hlslint::LintResult r = hlslint::lint_tree(options());
+  EXPECT_TRUE(r.findings.empty());
+  EXPECT_EQ(r.suppressed_baseline, 1);
+  EXPECT_EQ(r.stale_baseline, 0);
+}
+
+TEST_F(HlslintBaseline, AllowCommentSuppressesSameAndNextLine) {
+  write_file("src/util/same_line.cpp",
+             "namespace fx {\n"
+             "void check(int x) {\n"
+             "  assert(x > 0);  // hlslint:allow(hls-assert)\n"
+             "}\n"
+             "}  // namespace fx\n");
+  write_file("src/util/next_line.cpp",
+             "namespace fx {\n"
+             "void check(int x) {\n"
+             "  // hlslint:allow(hls-assert) — documented exception\n"
+             "  assert(x > 0);\n"
+             "}\n"
+             "}  // namespace fx\n");
+  hlslint::LintResult r = hlslint::lint_tree(options());
+  EXPECT_TRUE(r.findings.empty());
+  EXPECT_EQ(r.suppressed_allow, 2);
+}
+
+TEST_F(HlslintBaseline, AllowCommentForOtherRuleDoesNotSuppress) {
+  write_file("src/util/wrong_rule.cpp",
+             "namespace fx {\n"
+             "void check(int x) {\n"
+             "  assert(x > 0);  // hlslint:allow(float-eq)\n"
+             "}\n"
+             "}  // namespace fx\n");
+  hlslint::LintResult r = hlslint::lint_tree(options());
+  ASSERT_EQ(r.findings.size(), 1u);
+  EXPECT_EQ(r.findings[0].rule, "hls-assert");
+}
+
+}  // namespace

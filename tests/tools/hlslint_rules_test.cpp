@@ -1,0 +1,130 @@
+// Fixture-based self-test for the hlslint rule engine: every rule has at
+// least one known-bad snippet (exact file:line:rule pinned here) and a
+// known-clean twin. The fixture trees under tests/tools/fixtures/ are data,
+// not compiled code — the lint engine's own tree walk skips any `fixtures`
+// directory so the intentionally-bad files never fail the repo gate.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "hlslint/lint.hpp"
+
+namespace {
+
+hlslint::LintResult lint_fixture(const std::string& tree) {
+  hlslint::Options opts;
+  opts.root = std::string(HLS_FIXTURE_DIR) + "/" + tree;
+  opts.use_baseline = false;
+  return hlslint::lint_tree(opts);
+}
+
+bool has_finding(const hlslint::LintResult& r, const std::string& file,
+                 int line, const std::string& rule) {
+  return std::any_of(r.findings.begin(), r.findings.end(),
+                     [&](const hlslint::Finding& f) {
+                       return f.file == file && f.line == line &&
+                              f.rule == rule;
+                     });
+}
+
+TEST(HlslintRules, BadTreeFindsEveryRule) {
+  hlslint::LintResult r = lint_fixture("bad");
+
+  struct Expected {
+    const char* file;
+    int line;
+    const char* rule;
+  };
+  const std::vector<Expected> expected = {
+      {"src/util/missing_pragma.hpp", 1, "pragma-once"},
+      {"src/util/bare_assert.cpp", 4, "hls-assert"},
+      {"src/util/bare_assert.cpp", 7, "hls-assert"},
+      {"src/sim/wall_clock.cpp", 5, "wall-clock"},
+      {"src/sim/wall_clock.cpp", 6, "wall-clock"},
+      {"src/workload/global_rng.cpp", 2, "global-rng"},
+      {"src/workload/global_rng.cpp", 5, "global-rng"},
+      {"src/workload/global_rng.cpp", 6, "global-rng"},
+      {"src/core/local_include.cpp", 2, "include-style"},
+      {"src/core/local_include.cpp", 3, "include-style"},
+      {"src/model/float_eq.cpp", 4, "float-eq"},
+      {"src/model/float_eq.cpp", 7, "float-eq"},
+      {"src/obs/unordered_emit.cpp", 9, "unordered-iter"},
+      {"src/hybrid/unsorted_collect.cpp", 10, "unordered-iter"},
+      {"src/hybrid/raw_capture.cpp", 13, "callback-epoch"},
+      {"src/hybrid/no_epoch.cpp", 14, "callback-epoch"},
+      {"src/util/uses_core.hpp", 3, "layer-order"},
+      {"src/net/uses_db.hpp", 3, "layer-order"},
+      {"src/sim/cycle_a.hpp", 1, "layer-cycle"},
+  };
+  for (const Expected& e : expected) {
+    EXPECT_TRUE(has_finding(r, e.file, e.line, e.rule))
+        << "missing " << e.file << ":" << e.line << ": " << e.rule;
+  }
+  EXPECT_EQ(r.findings.size(), expected.size())
+      << "unexpected extra findings in the bad fixture tree";
+}
+
+TEST(HlslintRules, GoodTreeIsClean) {
+  hlslint::LintResult r = lint_fixture("good");
+  for (const hlslint::Finding& f : r.findings) {
+    ADD_FAILURE() << "unexpected finding: " << f.file << ":" << f.line << ": "
+                  << f.rule << ": " << f.message;
+  }
+  EXPECT_GT(r.files_scanned, 0);
+}
+
+TEST(HlslintRules, EveryRuleIsExercisedByTheBadTree) {
+  // Guards the fixture suite itself: adding a rule without a bad fixture
+  // should fail here, not silently ship unexercised.
+  hlslint::LintResult r = lint_fixture("bad");
+  for (const auto& [id, desc] : hlslint::rule_catalog()) {
+    (void)desc;
+    EXPECT_TRUE(std::any_of(
+        r.findings.begin(), r.findings.end(),
+        [&](const hlslint::Finding& f) { return f.rule == id; }))
+        << "rule '" << id << "' has no bad fixture";
+  }
+}
+
+TEST(HlslintRules, OnlyAndDisableFilterRules) {
+  hlslint::Options opts;
+  opts.root = std::string(HLS_FIXTURE_DIR) + "/bad";
+  opts.use_baseline = false;
+  opts.only = {"pragma-once"};
+  hlslint::LintResult only = hlslint::lint_tree(opts);
+  ASSERT_EQ(only.findings.size(), 1u);
+  EXPECT_EQ(only.findings[0].rule, "pragma-once");
+
+  opts.only.clear();
+  opts.disabled = {"pragma-once"};
+  hlslint::LintResult disabled = hlslint::lint_tree(opts);
+  EXPECT_TRUE(std::none_of(
+      disabled.findings.begin(), disabled.findings.end(),
+      [](const hlslint::Finding& f) { return f.rule == "pragma-once"; }));
+}
+
+TEST(HlslintRules, LexerBlanksCommentsAndStrings) {
+  hlslint::SourceFile f;
+  f.path = "src/util/x.cpp";
+  hlslint::lex_source(
+      "int a = 1; // srand(7)\n"
+      "const char* s = \"rand()\";\n"
+      "/* time(nullptr) */ int b = 2;\n",
+      f);
+  std::vector<hlslint::Finding> findings;
+  hlslint::check_text_rules(f, findings);
+  for (const hlslint::Finding& fi : findings) {
+    ADD_FAILURE() << fi.rule << " fired on comment/string content at line "
+                  << fi.line;
+  }
+}
+
+TEST(HlslintRules, RuleCatalogMatchesKnownRules) {
+  EXPECT_TRUE(hlslint::known_rule("callback-epoch"));
+  EXPECT_FALSE(hlslint::known_rule("no-such-rule"));
+  EXPECT_EQ(hlslint::rule_catalog().size(), 10u);
+}
+
+}  // namespace

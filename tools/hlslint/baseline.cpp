@@ -1,0 +1,68 @@
+// Baseline file: grandfathers pre-existing findings so the gate can be
+// turned on before every legacy case is fixed. Keys are content-based
+// (`rule|file|<trimmed source line>`) so edits elsewhere in a file do not
+// invalidate them; moving or fixing the offending line retires the entry.
+#include <fstream>
+#include <sstream>
+
+#include "hlslint/lint.hpp"
+
+namespace hlslint {
+
+namespace {
+
+std::string trim(const std::string& s) {
+  std::size_t a = s.find_first_not_of(" \t");
+  if (a == std::string::npos) {
+    return "";
+  }
+  std::size_t b = s.find_last_not_of(" \t\r");
+  return s.substr(a, b - a + 1);
+}
+
+}  // namespace
+
+std::string baseline_key(const Finding& f, const SourceFile* file) {
+  std::string content;
+  if (file != nullptr && f.line >= 1 &&
+      f.line <= static_cast<int>(file->raw.size())) {
+    content = trim(file->raw[static_cast<std::size_t>(f.line - 1)]);
+  }
+  return f.rule + "|" + f.file + "|" + content;
+}
+
+std::multiset<std::string> load_baseline(const std::string& path) {
+  std::multiset<std::string> entries;
+  std::ifstream in(path);
+  if (!in) {
+    return entries;
+  }
+  std::string line;
+  while (std::getline(in, line)) {
+    std::string t = trim(line);
+    if (t.empty() || t[0] == '#') {
+      continue;
+    }
+    entries.insert(t);
+  }
+  return entries;
+}
+
+bool write_baseline(const std::string& path,
+                    const std::vector<std::string>& keys) {
+  std::ofstream out(path);
+  if (!out) {
+    return false;
+  }
+  out << "# hlslint baseline — grandfathered findings, one per line as\n"
+         "# rule|file|<trimmed source line>. Regenerate with\n"
+         "#   ./build/tools/hlslint --write-baseline\n"
+         "# Fixing or moving the offending line retires its entry; stale\n"
+         "# entries are reported so the file only ever shrinks.\n";
+  for (const std::string& k : keys) {
+    out << k << '\n';
+  }
+  return static_cast<bool>(out);
+}
+
+}  // namespace hlslint

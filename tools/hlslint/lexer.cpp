@@ -1,0 +1,205 @@
+// Lexer: blanks comments and string/char-literal bodies so the token rules
+// only ever see code, and harvests `hlslint:allow(...)` suppressions from
+// the comment text it strips.
+#include <cstddef>
+#include <fstream>
+#include <sstream>
+
+#include "hlslint/lint.hpp"
+
+namespace hlslint {
+
+namespace {
+
+/// Extracts rule ids from every `hlslint:allow(a, b)` occurrence in `comment`.
+void parse_allows(const std::string& comment, std::set<std::string>& out) {
+  const std::string tag = "hlslint:allow(";
+  std::size_t pos = 0;
+  while ((pos = comment.find(tag, pos)) != std::string::npos) {
+    std::size_t start = pos + tag.size();
+    std::size_t close = comment.find(')', start);
+    if (close == std::string::npos) {
+      break;
+    }
+    std::string id;
+    for (std::size_t i = start; i <= close; ++i) {
+      char c = i < close ? comment[i] : ',';
+      if (c == ',' || c == ' ') {
+        if (!id.empty()) {
+          out.insert(id);
+          id.clear();
+        }
+      } else {
+        id.push_back(c);
+      }
+    }
+    pos = close + 1;
+  }
+}
+
+}  // namespace
+
+int SourceFile::line_of(std::size_t offset) const {
+  int line = 1;
+  for (std::size_t i = 0; i < offset && i < code_text.size(); ++i) {
+    if (code_text[i] == '\n') {
+      ++line;
+    }
+  }
+  return line;
+}
+
+void lex_source(const std::string& text, SourceFile& out) {
+  enum class State { Code, LineComment, BlockComment, String, Char, RawString };
+  State state = State::Code;
+  std::string raw_delim;  // for raw strings: the `)delim"` terminator
+
+  std::string code_line;
+  std::string comment_line;
+  std::string raw_line;
+  int line_no = 1;
+
+  auto flush_line = [&] {
+    out.raw.push_back(raw_line);
+    out.code.push_back(code_line);
+    std::set<std::string> allows;
+    parse_allows(comment_line, allows);
+    if (!allows.empty()) {
+      out.allows[line_no] = std::move(allows);
+    }
+    raw_line.clear();
+    code_line.clear();
+    comment_line.clear();
+    ++line_no;
+  };
+
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    char c = text[i];
+    char next = i + 1 < text.size() ? text[i + 1] : '\0';
+    if (c == '\n') {
+      if (state == State::LineComment) {
+        state = State::Code;
+      }
+      flush_line();
+      continue;
+    }
+    raw_line.push_back(c);
+    switch (state) {
+      case State::Code:
+        if (c == '/' && next == '/') {
+          state = State::LineComment;
+          code_line.append("  ");
+          raw_line.push_back(next);
+          ++i;
+        } else if (c == '/' && next == '*') {
+          state = State::BlockComment;
+          code_line.append("  ");
+          raw_line.push_back(next);
+          ++i;
+        } else if (c == '"' && i > 0 && text[i - 1] == 'R') {
+          // R"delim( ... )delim" — capture the closing delimiter.
+          state = State::RawString;
+          raw_delim = ")";
+          for (std::size_t j = i + 1; j < text.size() && text[j] != '('; ++j) {
+            raw_delim.push_back(text[j]);
+          }
+          raw_delim.push_back('"');
+          code_line.push_back('"');
+        } else if (c == '"') {
+          state = State::String;
+          code_line.push_back('"');
+        } else if (c == '\'') {
+          state = State::Char;
+          code_line.push_back('\'');
+        } else {
+          code_line.push_back(c);
+        }
+        break;
+      case State::LineComment:
+        comment_line.push_back(c);
+        code_line.push_back(' ');
+        break;
+      case State::BlockComment:
+        if (c == '*' && next == '/') {
+          state = State::Code;
+          code_line.append("  ");
+          raw_line.push_back(next);
+          ++i;
+        } else {
+          comment_line.push_back(c);
+          code_line.push_back(' ');
+        }
+        break;
+      case State::String:
+        if (c == '\\') {
+          code_line.append("  ");
+          if (next != '\0' && next != '\n') {
+            raw_line.push_back(next);
+            ++i;
+          }
+        } else if (c == '"') {
+          state = State::Code;
+          code_line.push_back('"');
+        } else {
+          code_line.push_back(' ');
+        }
+        break;
+      case State::Char:
+        if (c == '\\') {
+          code_line.append("  ");
+          if (next != '\0' && next != '\n') {
+            raw_line.push_back(next);
+            ++i;
+          }
+        } else if (c == '\'') {
+          state = State::Code;
+          code_line.push_back('\'');
+        } else {
+          code_line.push_back(' ');
+        }
+        break;
+      case State::RawString: {
+        // Blank until the `)delim"` terminator.
+        if (c == ')' && text.compare(i, raw_delim.size(), raw_delim) == 0) {
+          for (std::size_t j = 1; j < raw_delim.size(); ++j) {
+            raw_line.push_back(text[i + j]);
+          }
+          code_line.append(raw_delim.size() - 1, ' ');
+          code_line.push_back('"');
+          i += raw_delim.size() - 1;
+          state = State::Code;
+        } else {
+          code_line.push_back(' ');
+        }
+        break;
+      }
+    }
+  }
+  if (!raw_line.empty() || !code_line.empty() || !comment_line.empty()) {
+    flush_line();
+  }
+
+  std::ostringstream joined;
+  for (const std::string& line : out.code) {
+    joined << line << '\n';
+  }
+  out.code_text = joined.str();
+}
+
+std::optional<SourceFile> load_source(const std::string& abs_path,
+                                      const std::string& rel_path) {
+  std::ifstream in(abs_path, std::ios::binary);
+  if (!in) {
+    return std::nullopt;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  SourceFile f;
+  f.path = rel_path;
+  f.is_header = rel_path.size() >= 4 &&
+                rel_path.compare(rel_path.size() - 4, 4, ".hpp") == 0;
+  lex_source(buf.str(), f);
+  return f;
+}
+
+}  // namespace hlslint

@@ -1,0 +1,140 @@
+// hlslint CLI. Exit codes: 0 clean, 1 findings, 2 usage/setup error.
+//
+//   hlslint                      lint the repo (root auto-detected upward)
+//   hlslint --root DIR           lint an explicit tree
+//   hlslint --only a,b           run a subset of rules
+//   hlslint --disable a,b        skip rules
+//   hlslint --no-baseline        ignore the checked-in baseline
+//   hlslint --write-baseline     regenerate tools/hlslint/baseline.txt
+//   hlslint --list-rules         print the rule catalogue
+#include <cstdio>
+#include <filesystem>
+#include <string>
+
+#include "hlslint/lint.hpp"
+
+namespace {
+
+void split_rules(const std::string& arg, std::set<std::string>& out) {
+  std::string id;
+  for (char c : arg + ",") {
+    if (c == ',' || c == ' ') {
+      if (!id.empty()) {
+        out.insert(id);
+        id.clear();
+      }
+    } else {
+      id.push_back(c);
+    }
+  }
+}
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--root DIR] [--baseline FILE] [--no-baseline]\n"
+               "          [--write-baseline] [--only RULES] [--disable RULES]\n"
+               "          [--list-rules]\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  hlslint::Options opts;
+  bool write_baseline_mode = false;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto value = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--root") {
+      const char* v = value();
+      if (v == nullptr) {
+        return usage(argv[0]);
+      }
+      opts.root = v;
+    } else if (arg == "--baseline") {
+      const char* v = value();
+      if (v == nullptr) {
+        return usage(argv[0]);
+      }
+      opts.baseline_path = v;
+    } else if (arg == "--no-baseline") {
+      opts.use_baseline = false;
+    } else if (arg == "--write-baseline") {
+      write_baseline_mode = true;
+    } else if (arg == "--only") {
+      const char* v = value();
+      if (v == nullptr) {
+        return usage(argv[0]);
+      }
+      split_rules(v, opts.only);
+    } else if (arg == "--disable") {
+      const char* v = value();
+      if (v == nullptr) {
+        return usage(argv[0]);
+      }
+      split_rules(v, opts.disabled);
+    } else if (arg == "--list-rules") {
+      for (const auto& [id, desc] : hlslint::rule_catalog()) {
+        std::printf("%-16s %s\n", id.c_str(), desc.c_str());
+      }
+      return 0;
+    } else {
+      return usage(argv[0]);
+    }
+  }
+  for (const std::set<std::string>* rules : {&opts.only, &opts.disabled}) {
+    for (const std::string& r : *rules) {
+      if (!hlslint::known_rule(r)) {
+        std::fprintf(stderr, "hlslint: unknown rule '%s' (--list-rules)\n",
+                     r.c_str());
+        return 2;
+      }
+    }
+  }
+
+  if (opts.root.empty()) {
+    auto root = hlslint::find_repo_root(".");
+    if (!root) {
+      std::fprintf(stderr,
+                   "hlslint: cannot find repo root (CLAUDE.md + src/) above "
+                   "the current directory; pass --root\n");
+      return 2;
+    }
+    opts.root = *root;
+  }
+
+  if (write_baseline_mode) {
+    std::vector<std::string> keys = hlslint::compute_baseline_keys(opts);
+    std::string path =
+        (std::filesystem::path(opts.root) / opts.baseline_path).string();
+    if (!hlslint::write_baseline(path, keys)) {
+      std::fprintf(stderr, "hlslint: cannot write %s\n", path.c_str());
+      return 2;
+    }
+    std::fprintf(stderr, "hlslint: wrote %zu baseline entries to %s\n",
+                 keys.size(), path.c_str());
+    return 0;
+  }
+
+  hlslint::LintResult result = hlslint::lint_tree(opts);
+  for (const hlslint::Finding& f : result.findings) {
+    std::printf("%s:%d: %s: %s\n", f.file.c_str(), f.line, f.rule.c_str(),
+                f.message.c_str());
+  }
+  std::fprintf(stderr,
+               "hlslint: %zu finding(s) over %d files (%d allow-suppressed, "
+               "%d baselined, %d stale baseline entries)\n",
+               result.findings.size(), result.files_scanned,
+               result.suppressed_allow, result.suppressed_baseline,
+               result.stale_baseline);
+  if (result.stale_baseline > 0) {
+    std::fprintf(stderr,
+                 "hlslint: note: stale baseline entries — the offending "
+                 "lines were fixed; shrink %s\n",
+                 opts.baseline_path.c_str());
+  }
+  return result.findings.empty() ? 0 : 1;
+}
