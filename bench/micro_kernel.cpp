@@ -7,10 +7,15 @@
 // throughput (events/second).
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstring>
+#include <iostream>
+
 #include "core/api.hpp"
 #include "db/lock_manager.hpp"
 #include "sim/event_queue.hpp"
 #include "util/random.hpp"
+#include "util/table.hpp"
 
 namespace {
 
@@ -155,6 +160,67 @@ void BM_EndToEndSimulation(benchmark::State& state) {
 }
 BENCHMARK(BM_EndToEndSimulation)->Unit(benchmark::kMillisecond);
 
+// Large-topology scenario: whole-system events/sec at 10/100/1000 sites.
+//
+// The federation arc (ROADMAP item on multi-central / partial replication)
+// needs the kernel to stay fast when the event set is dominated by hundreds
+// of arrival processes, links, and CPUs rather than a handful of hot
+// transactions. Central capacity and lock space scale with the site count so
+// per-site dynamics stay comparable across rows; what changes is the live
+// event population the scheduler and the transaction table must handle.
+// Simulated length honors HLS_TIME_SCALE like the figure benches.
+void run_large_topology() {
+  const double scale = time_scale_from_env();
+  const double sim_seconds = 20.0 * scale;
+  std::printf("================================================================\n");
+  std::printf("micro_kernel large-topology: end-to-end events/sec by site count\n");
+  std::printf("windows: %.2f s simulated per row (HLS_TIME_SCALE to shrink)\n",
+              sim_seconds);
+  std::printf("================================================================\n");
+
+  Table table({"sites", "sim_s", "events", "txns", "wall_s", "events_per_sec"});
+  for (const int sites : {10, 100, 1000}) {
+    SystemConfig cfg;
+    cfg.num_sites = sites;
+    cfg.arrival_rate_per_site = 2.4;
+    cfg.central_mips = 15.0 * sites / 10.0;   // keep central utilization flat
+    cfg.lockspace = 3276u * static_cast<std::uint32_t>(sites);
+    cfg.seed = 20260707;
+    HybridSystem sys(cfg, std::make_unique<StaticProbabilisticStrategy>(0.5, 7));
+    sys.enable_arrivals();
+    const auto t0 = std::chrono::steady_clock::now();
+    sys.run_for(sim_seconds);
+    const auto t1 = std::chrono::steady_clock::now();
+    const double wall = std::chrono::duration<double>(t1 - t0).count();
+    const auto events = sys.simulator().executed_events();
+    table.begin_row();
+    table.add_int(sites);
+    table.add_num(sim_seconds, 2);
+    table.add_int(static_cast<long long>(events));
+    table.add_int(static_cast<long long>(sys.metrics().completions));
+    table.add_num(wall, 3);
+    table.add_num(static_cast<double>(events) / wall, 0);
+  }
+  table.print(std::cout);
+  std::printf("\n");
+  table.print_csv(std::cout);
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  bool large_only = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--large-only") == 0) {
+      large_only = true;
+    }
+  }
+  run_large_topology();
+  if (large_only) {
+    return 0;
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

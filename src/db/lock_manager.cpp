@@ -11,6 +11,52 @@ namespace hls {
 LockManager::LockManager(Simulator& sim, std::string name)
     : sim_(sim), name_(std::move(name)) {}
 
+LockManager::Entry& LockManager::entry_for(LockId lock) {
+  bool inserted = false;
+  std::uint32_t& slot = table_index_.find_or_insert(lock, &inserted);
+  if (inserted) {
+    if (free_entries_.empty()) {
+      slot = static_cast<std::uint32_t>(entry_pool_.size());
+      entry_pool_.emplace_back();
+    } else {
+      slot = free_entries_.back();  // drained empty; capacity retained
+      free_entries_.pop_back();
+    }
+  }
+  return entry_pool_[slot];
+}
+
+LockManager::Entry* LockManager::lookup_entry(LockId lock) {
+  std::uint32_t* slot = table_index_.find(lock);
+  return slot == nullptr ? nullptr : &entry_pool_[*slot];
+}
+
+const LockManager::Entry* LockManager::lookup_entry(LockId lock) const {
+  const std::uint32_t* slot = table_index_.find(lock);
+  return slot == nullptr ? nullptr : &entry_pool_[*slot];
+}
+
+std::vector<LockId>& LockManager::held_for(TxnId txn) {
+  bool inserted = false;
+  std::uint32_t& slot = held_index_.find_or_insert(txn, &inserted);
+  if (inserted) {
+    if (free_held_.empty()) {
+      slot = static_cast<std::uint32_t>(held_pool_.size());
+      held_pool_.emplace_back();
+    } else {
+      slot = free_held_.back();
+      free_held_.pop_back();
+    }
+  }
+  return held_pool_[slot];
+}
+
+void LockManager::drop_held(TxnId txn, std::uint32_t slot) {
+  held_pool_[slot].clear();
+  free_held_.push_back(slot);
+  held_index_.erase(txn);
+}
+
 bool LockManager::grantable(const Entry& entry, TxnId txn, LockMode mode) {
   for (const Holder& h : entry.holders) {
     if (h.txn == txn) {
@@ -27,8 +73,9 @@ LockRequestOutcome LockManager::request(TxnId txn, LockId lock, LockMode mode,
                                         GrantCallback on_grant,
                                         std::vector<TxnId>* cycle_out) {
   HLS_ASSERT(txn != kInvalidTxn, "invalid transaction id");
-  HLS_ASSERT(waiting_on_.count(txn) == 0, "transaction already blocked on a lock");
-  Entry& entry = table_[lock];
+  HLS_ASSERT(waiting_on_.find(txn) == nullptr,
+             "transaction already blocked on a lock");
+  Entry& entry = entry_for(lock);
 
   // Already-held fast path.
   for (Holder& h : entry.holders) {
@@ -53,7 +100,7 @@ LockRequestOutcome LockManager::request(TxnId txn, LockId lock, LockMode mode,
       }
     } else {
       entry.holders.push_back(Holder{txn, mode});
-      held_index_[txn].push_back(lock);
+      held_for(txn).push_back(lock);
       ++holds_total_;
     }
     return LockRequestOutcome::Granted;
@@ -70,55 +117,59 @@ LockRequestOutcome LockManager::request(TxnId txn, LockId lock, LockMode mode,
   }
 
   entry.queue.push_back(Waiter{txn, mode, std::move(on_grant)});
-  waiting_on_[txn] = lock;
+  waiting_on_.find_or_insert(txn) = lock;
   ++waiters_total_;
   return LockRequestOutcome::Queued;
 }
 
 void LockManager::release(TxnId txn, LockId lock) {
-  auto it = table_.find(lock);
-  HLS_ASSERT(it != table_.end(), "releasing a lock with no table entry");
-  erase_holder(it->second, txn);
-  auto held_it = held_index_.find(txn);
-  HLS_ASSERT(held_it != held_index_.end(), "release: txn holds nothing");
-  auto& vec = held_it->second;
+  Entry* entry = lookup_entry(lock);
+  HLS_ASSERT(entry != nullptr, "releasing a lock with no table entry");
+  erase_holder(*entry, txn);
+  std::uint32_t* held_slot = held_index_.find(txn);
+  HLS_ASSERT(held_slot != nullptr, "release: txn holds nothing");
+  const std::uint32_t slot = *held_slot;
+  auto& vec = held_pool_[slot];
   auto pos = std::find(vec.begin(), vec.end(), lock);
   HLS_ASSERT(pos != vec.end(), "release: txn does not hold this lock");
   vec.erase(pos);
   if (vec.empty()) {
-    held_index_.erase(held_it);
+    drop_held(txn, slot);
   }
-  pump_queue(lock, it->second);
+  pump_queue(lock, *entry);
   drop_entry_if_empty(lock);
 }
 
 void LockManager::release_all(TxnId txn) {
   cancel_waits(txn);
-  auto held_it = held_index_.find(txn);
-  if (held_it == held_index_.end()) {
+  std::uint32_t* held_slot = held_index_.find(txn);
+  if (held_slot == nullptr) {
     return;
   }
-  std::vector<LockId> locks = std::move(held_it->second);
-  held_index_.erase(held_it);
-  for (LockId lock : locks) {
-    auto it = table_.find(lock);
-    HLS_ASSERT(it != table_.end(), "held lock missing from table");
-    erase_holder(it->second, txn);
-    pump_queue(lock, it->second);
+  // Copy into the scratch before dropping: pump_queue below may grant locks
+  // to other transactions, growing held_pool_ and rehashing held_index_.
+  const std::uint32_t slot = *held_slot;
+  release_scratch_.assign(held_pool_[slot].begin(), held_pool_[slot].end());
+  drop_held(txn, slot);
+  for (LockId lock : release_scratch_) {
+    Entry* entry = lookup_entry(lock);
+    HLS_ASSERT(entry != nullptr, "held lock missing from table");
+    erase_holder(*entry, txn);
+    pump_queue(lock, *entry);
     drop_entry_if_empty(lock);
   }
 }
 
 std::vector<LockId> LockManager::cancel_waits(TxnId txn) {
   std::vector<LockId> cancelled;
-  auto wait_it = waiting_on_.find(txn);
-  if (wait_it == waiting_on_.end()) {
+  const LockId* waiting = waiting_on_.find(txn);
+  if (waiting == nullptr) {
     return cancelled;
   }
-  const LockId lock = wait_it->second;
-  auto it = table_.find(lock);
-  HLS_ASSERT(it != table_.end(), "waiting on a lock with no table entry");
-  auto& queue = it->second.queue;
+  const LockId lock = *waiting;
+  Entry* entry = lookup_entry(lock);
+  HLS_ASSERT(entry != nullptr, "waiting on a lock with no table entry");
+  auto& queue = entry->queue;
   for (auto q = queue.begin(); q != queue.end();) {
     if (q->txn == txn) {
       q = queue.erase(q);
@@ -128,51 +179,54 @@ std::vector<LockId> LockManager::cancel_waits(TxnId txn) {
       ++q;
     }
   }
-  waiting_on_.erase(wait_it);
+  waiting_on_.erase(txn);
   // Removing a queued request can unblock the head (e.g. an X request that
   // was queued behind the cancelled one).
-  pump_queue(lock, it->second);
+  pump_queue(lock, *entry);
   drop_entry_if_empty(lock);
   return cancelled;
 }
 
 bool LockManager::holds(TxnId txn, LockId lock) const {
-  auto it = held_index_.find(txn);
-  if (it == held_index_.end()) {
+  const std::uint32_t* slot = held_index_.find(txn);
+  if (slot == nullptr) {
     return false;
   }
-  return std::find(it->second.begin(), it->second.end(), lock) != it->second.end();
+  const auto& vec = held_pool_[*slot];
+  return std::find(vec.begin(), vec.end(), lock) != vec.end();
 }
 
-bool LockManager::is_waiting(TxnId txn) const { return waiting_on_.count(txn) != 0; }
+bool LockManager::is_waiting(TxnId txn) const {
+  return waiting_on_.find(txn) != nullptr;
+}
 
 std::optional<LockId> LockManager::waiting_lock(TxnId txn) const {
-  auto it = waiting_on_.find(txn);
-  return it == waiting_on_.end() ? std::nullopt : std::optional<LockId>(it->second);
+  const LockId* lock = waiting_on_.find(txn);
+  return lock == nullptr ? std::nullopt : std::optional<LockId>(*lock);
 }
 
 std::vector<LockManager::HolderInfo> LockManager::holders_of(LockId lock) const {
   std::vector<HolderInfo> out;
-  auto it = table_.find(lock);
-  if (it == table_.end()) {
+  const Entry* entry = lookup_entry(lock);
+  if (entry == nullptr) {
     return out;
   }
-  out.reserve(it->second.holders.size());
-  for (const Holder& h : it->second.holders) {
+  out.reserve(entry->holders.size());
+  for (const Holder& h : entry->holders) {
     out.push_back(HolderInfo{h.txn, h.mode});
   }
   return out;
 }
 
 std::vector<LockId> LockManager::held_locks(TxnId txn) const {
-  auto it = held_index_.find(txn);
-  return it == held_index_.end() ? std::vector<LockId>{} : it->second;
+  const std::uint32_t* slot = held_index_.find(txn);
+  return slot == nullptr ? std::vector<LockId>{} : held_pool_[*slot];
 }
 
 LockManager::GrabResult LockManager::grab_for_authentication(TxnId grabber, LockId lock,
                                                              LockMode mode) {
   GrabResult result;
-  Entry& entry = table_[lock];
+  Entry& entry = entry_for(lock);
   if (entry.coherence != 0) {
     // In-flight asynchronous update: the central copy is stale, refuse.
     drop_entry_if_empty(lock);
@@ -199,14 +253,15 @@ LockManager::GrabResult LockManager::grab_for_authentication(TxnId grabber, Lock
       result.aborted.push_back(victim);
       it = entry.holders.erase(it);
       --holds_total_;
-      auto held_it = held_index_.find(victim);
-      HLS_ASSERT(held_it != held_index_.end(), "preempted holder not in index");
-      auto& vec = held_it->second;
+      std::uint32_t* held_slot = held_index_.find(victim);
+      HLS_ASSERT(held_slot != nullptr, "preempted holder not in index");
+      const std::uint32_t slot = *held_slot;
+      auto& vec = held_pool_[slot];
       auto pos = std::find(vec.begin(), vec.end(), lock);
       HLS_ASSERT(pos != vec.end(), "preempted holder index mismatch");
       vec.erase(pos);
       if (vec.empty()) {
-        held_index_.erase(held_it);
+        drop_held(victim, slot);
       }
     } else {
       ++it;
@@ -215,7 +270,7 @@ LockManager::GrabResult LockManager::grab_for_authentication(TxnId grabber, Lock
 
   if (!grabber_holds) {
     entry.holders.push_back(Holder{grabber, mode});
-    held_index_[grabber].push_back(lock);
+    held_for(grabber).push_back(lock);
     ++holds_total_;
   }
   // A shared grab that evicted an exclusive holder may let queued shared
@@ -225,7 +280,7 @@ LockManager::GrabResult LockManager::grab_for_authentication(TxnId grabber, Lock
 }
 
 void LockManager::increment_coherence(LockId lock) {
-  Entry& entry = table_[lock];
+  Entry& entry = entry_for(lock);
   if (entry.coherence == 0) {
     ++coherence_nonzero_;
   }
@@ -233,19 +288,19 @@ void LockManager::increment_coherence(LockId lock) {
 }
 
 void LockManager::decrement_coherence(LockId lock) {
-  auto it = table_.find(lock);
-  HLS_ASSERT(it != table_.end() && it->second.coherence > 0,
+  Entry* entry = lookup_entry(lock);
+  HLS_ASSERT(entry != nullptr && entry->coherence > 0,
              "coherence count underflow");
-  --it->second.coherence;
-  if (it->second.coherence == 0) {
+  --entry->coherence;
+  if (entry->coherence == 0) {
     --coherence_nonzero_;
     drop_entry_if_empty(lock);
   }
 }
 
 std::uint32_t LockManager::coherence_count(LockId lock) const {
-  auto it = table_.find(lock);
-  return it == table_.end() ? 0 : it->second.coherence;
+  const Entry* entry = lookup_entry(lock);
+  return entry == nullptr ? 0 : entry->coherence;
 }
 
 void LockManager::pump_queue(LockId lock, Entry& entry) {
@@ -264,7 +319,7 @@ void LockManager::pump_queue(LockId lock, Entry& entry) {
     }
     if (!upgraded) {
       entry.holders.push_back(Holder{head.txn, head.mode});
-      held_index_[head.txn].push_back(lock);
+      held_for(head.txn).push_back(lock);
       ++holds_total_;
     }
     waiting_on_.erase(head.txn);
@@ -280,8 +335,8 @@ void LockManager::pump_queue(LockId lock, Entry& entry) {
 }
 
 std::vector<TxnId> LockManager::find_cycle(TxnId waiter, LockId lock) const {
-  auto it = table_.find(lock);
-  if (it == table_.end()) {
+  const Entry* start = lookup_entry(lock);
+  if (start == nullptr) {
     return {};
   }
   // Recursive DFS over the waits-for relation with path tracking. A
@@ -303,16 +358,16 @@ std::vector<TxnId> LockManager::find_cycle(TxnId waiter, LockId lock) const {
         continue;
       }
       visited.push_back(t);
-      auto wait_it = waiting_on_.find(t);
-      if (wait_it == waiting_on_.end()) {
+      const LockId* waits_on = waiting_on_.find(t);
+      if (waits_on == nullptr) {
         continue;  // a holder that is not itself waiting: dead end
       }
-      auto entry_it = table_.find(wait_it->second);
-      if (entry_it == table_.end()) {
+      const Entry* next = lookup_entry(*waits_on);
+      if (next == nullptr) {
         continue;
       }
       path.push_back(t);
-      if (self(self, entry_it->second, t)) {
+      if (self(self, *next, t)) {
         return true;
       }
       path.pop_back();
@@ -320,7 +375,7 @@ std::vector<TxnId> LockManager::find_cycle(TxnId waiter, LockId lock) const {
     return false;
   };
 
-  if (dfs(dfs, it->second, waiter)) {
+  if (dfs(dfs, *start, waiter)) {
     return path;
   }
   return {};
@@ -354,10 +409,17 @@ void LockManager::erase_holder(Entry& entry, TxnId txn) {
 }
 
 void LockManager::drop_entry_if_empty(LockId lock) {
-  auto it = table_.find(lock);
-  if (it != table_.end() && it->second.holders.empty() && it->second.queue.empty() &&
-      it->second.coherence == 0) {
-    table_.erase(it);
+  std::uint32_t* slot = table_index_.find(lock);
+  if (slot == nullptr) {
+    return;
+  }
+  Entry& entry = entry_pool_[*slot];
+  if (entry.holders.empty() && entry.queue.empty() && entry.coherence == 0) {
+    // The drained entry goes back to the pool as-is: its holders vector and
+    // wait deque keep their capacity for the next lock of this entity (or
+    // any other), so steady-state locking allocates nothing.
+    free_entries_.push_back(*slot);
+    table_index_.erase(lock);
   }
 }
 
@@ -365,7 +427,8 @@ void LockManager::check_invariants() const {
   std::size_t holds_count = 0;
   std::size_t waits = 0;
   std::size_t coherent = 0;
-  for (const auto& [lock, entry] : table_) {
+  table_index_.for_each([&](LockId lock, std::uint32_t slot) {
+    const Entry& entry = entry_pool_[slot];
     holds_count += entry.holders.size();
     waits += entry.queue.size();
     if (entry.coherence != 0) {
@@ -384,18 +447,18 @@ void LockManager::check_invariants() const {
       HLS_ASSERT(entry.holders.size() == 1, "exclusive holder is not alone");
     }
     for (const Waiter& w : entry.queue) {
-      auto wit = waiting_on_.find(w.txn);
-      HLS_ASSERT(wit != waiting_on_.end() && wit->second == lock,
+      const LockId* waits_on = waiting_on_.find(w.txn);
+      HLS_ASSERT(waits_on != nullptr && *waits_on == lock,
                  "waiter not registered in waiting_on_");
     }
-  }
+  });
   HLS_ASSERT(holds_count == holds_total_, "holds_total_ out of sync");
   HLS_ASSERT(waits == waiters_total_, "waiters_total_ out of sync");
   HLS_ASSERT(coherent == coherence_nonzero_, "coherence_nonzero_ out of sync");
   std::size_t index_holds = 0;
-  for (const auto& [txn, locks] : held_index_) {
-    index_holds += locks.size();
-  }
+  held_index_.for_each([&](TxnId, std::uint32_t slot) {
+    index_holds += held_pool_[slot].size();
+  });
   HLS_ASSERT(index_holds == holds_total_, "held_index_ out of sync");
 }
 

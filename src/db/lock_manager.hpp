@@ -25,14 +25,14 @@
 #include <cstddef>
 #include <cstdint>
 #include <deque>
-#include <functional>
 #include <optional>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "db/lock_types.hpp"
 #include "sim/simulator.hpp"
+#include "util/flat_map.hpp"
+#include "util/unique_function.hpp"
 
 namespace hls {
 
@@ -45,7 +45,10 @@ enum class LockRequestOutcome : std::uint8_t {
 
 class LockManager {
  public:
-  using GrantCallback = std::function<void()>;
+  /// Move-only: grant continuations run once, and every request() call
+  /// materializes one — std::function here cost a heap node per lock
+  /// request even when the lock was granted synchronously.
+  using GrantCallback = UniqueFunction<void()>;
 
   LockManager(Simulator& sim, std::string name);
 
@@ -180,13 +183,41 @@ class LockManager {
   void erase_holder(Entry& entry, TxnId txn);
   void drop_entry_if_empty(LockId lock);
 
+  /// Find-or-create: the entry for `lock`, recycling a pooled Entry (with
+  /// the capacity of its holders vector and wait deque intact) on creation.
+  /// The reference is stable until the entry is dropped — entries live in
+  /// entry_pool_, which only other entry creations can grow, and no caller
+  /// holds one reference across creating another entry.
+  Entry& entry_for(LockId lock);
+  [[nodiscard]] Entry* lookup_entry(LockId lock);
+  [[nodiscard]] const Entry* lookup_entry(LockId lock) const;
+  /// Find-or-create: the held-lock list for `txn`, pooled like entry_for.
+  std::vector<LockId>& held_for(TxnId txn);
+  /// Returns `txn`'s (empty) held-lock list to the pool.
+  void drop_held(TxnId txn, std::uint32_t slot);
+
+  /// Empty-slot sentinel for the lock-id index: lockspace ids are indices
+  /// into a table of config.lockspace (< 2^32) entities, so the all-ones id
+  /// never names a real lock.
+  static constexpr LockId kNoLockId = 0xFFFFFFFFu;
+
   Simulator& sim_;
   std::string name_;
-  std::unordered_map<LockId, Entry> table_;
-  // txn -> set of held lock ids (vector: txns hold ~10 locks)
-  std::unordered_map<TxnId, std::vector<LockId>> held_index_;
+  // Lock table: open-addressing id index into a pool of recycled entries.
+  // An unordered_map<LockId, Entry> here cost a node allocation (including a
+  // fresh deque) every time an unheld entity was locked and a deallocation
+  // when its entry drained — the dominant term in the event-kernel profile.
+  FlatMap<LockId, std::uint32_t> table_index_{kNoLockId};
+  std::deque<Entry> entry_pool_;  // deque: entry references survive growth
+  std::vector<std::uint32_t> free_entries_;
+  // txn -> set of held lock ids (vector: txns hold ~10 locks), pooled so the
+  // per-txn vector's capacity survives release_all/commit churn.
+  FlatMap<TxnId, std::uint32_t> held_index_{kInvalidTxn};
+  std::vector<std::vector<LockId>> held_pool_;
+  std::vector<std::uint32_t> free_held_;
+  std::vector<LockId> release_scratch_;  // release_all working copy
   // txn -> lock id it is currently blocked on (a txn waits on one lock)
-  std::unordered_map<TxnId, LockId> waiting_on_;
+  FlatMap<TxnId, LockId> waiting_on_{kInvalidTxn};
   std::size_t holds_total_ = 0;
   std::size_t waiters_total_ = 0;
   std::size_t coherence_nonzero_ = 0;

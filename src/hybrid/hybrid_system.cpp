@@ -85,7 +85,35 @@ void HybridSystem::drain() { sim_.run(); }
 
 void HybridSystem::run_for(double seconds) { sim_.run_until(sim_.now() + seconds); }
 
+void HybridSystem::flush_phase_batch() const {
+  PhaseBatch& batch = phase_batch_;
+  if (batch.n == 0) {
+    return;
+  }
+  // Logically const: the staged samples already belong to the accumulators
+  // below; this just materializes them.
+  auto* self = const_cast<HybridSystem*>(this);
+  for (int p = 0; p < obs::kPhaseCount; ++p) {
+    SampleStat& stat = self->metrics_.rt_phase[static_cast<std::size_t>(p)];
+    for (int i = 0; i < batch.n; ++i) {
+      stat.add(batch.value[p][i]);
+    }
+    Histogram& hist = self->metrics_.rt_phase_hist[static_cast<std::size_t>(p)];
+    for (int i = 0; i < batch.n; ++i) {
+      hist.add(batch.value[p][i]);
+    }
+  }
+  for (int i = 0; i < batch.n; ++i) {
+    SiteMetrics& sm = self->site_metrics_[batch.home_site[i]];
+    for (int p = 0; p < obs::kPhaseCount; ++p) {
+      sm.rt_phase[static_cast<std::size_t>(p)].add(batch.value[p][i]);
+    }
+  }
+  batch.n = 0;
+}
+
 void HybridSystem::begin_measurement() {
+  phase_batch_.n = 0;  // staged pre-window completions are out of scope
   metrics_.reset(sim_.now());
   metrics_.init_conflict_matrix(cfg_.num_sites);  // reset() wiped the sizing
   central_.cpu->reset_stats();
@@ -99,6 +127,7 @@ void HybridSystem::begin_measurement() {
 }
 
 void HybridSystem::end_measurement() {
+  flush_phase_batch();
   metrics_.measure_end = sim_.now();
   metrics_.central_utilization = central_.cpu->utilization();
   metrics_.central_avg_queue = central_.cpu->average_queue_length();
@@ -113,7 +142,11 @@ void HybridSystem::end_measurement() {
 }
 
 TxnId HybridSystem::inject(TxnClass cls, int site) {
-  return inject_transaction(factory_.make_of_class(cls, site, sim_.now()));
+  Transaction* t = arena_.checkout();
+  factory_.fill_of_class(*t, cls, site, sim_.now());
+  arena_.commit(t);
+  admit(t);
+  return t->id;
 }
 
 TxnId HybridSystem::inject_transaction(Transaction txn) {
@@ -122,7 +155,10 @@ TxnId HybridSystem::inject_transaction(Transaction txn) {
              "home site out of range");
   const TxnId id = txn.id;
   txn.arrival_time = sim_.now();
-  admit(std::move(txn));
+  Transaction* t = arena_.checkout();
+  *t = std::move(txn);
+  arena_.commit(t);
+  admit(t);
   return id;
 }
 
@@ -130,11 +166,11 @@ TxnId HybridSystem::inject_transaction(Transaction txn) {
 // plumbing
 
 Transaction* HybridSystem::find(TxnId id, std::uint64_t epoch) {
-  auto it = live_.find(id);
-  if (it == live_.end() || it->second->epoch != epoch) {
+  Transaction* txn = arena_.lookup(id);
+  if (txn == nullptr || txn->epoch != epoch) {
     return nullptr;  // completed, or aborted+rerun since the event was armed
   }
-  return it->second.get();
+  return txn;
 }
 
 void HybridSystem::cpu_burst(FcfsResource& cpu, double seconds, Transaction* txn,
@@ -249,16 +285,15 @@ void HybridSystem::set_deadlock_winner(Transaction* requester,
     if (id == requester->id) {
       continue;
     }
-    auto it = live_.find(id);
-    if (it != live_.end()) {
+    if (const Transaction* winner = arena_.lookup(id)) {
       requester->marked_by = id;
-      requester->marked_by_site = it->second->home_site;
+      requester->marked_by_site = winner->home_site;
       return;
     }
   }
 }
 
-void HybridSystem::send_up(int site, std::function<void()> deliver) {
+void HybridSystem::send_up(int site, UniqueFunction<void()> deliver) {
   // Transport always completes; if the central complex is down when the
   // message arrives, it queues in the recovery backlog (preserving arrival
   // order) instead of being processed. No message is ever truly lost.
@@ -271,7 +306,7 @@ void HybridSystem::send_up(int site, std::function<void()> deliver) {
   });
 }
 
-void HybridSystem::send_down(int site, std::function<void()> deliver) {
+void HybridSystem::send_down(int site, UniqueFunction<void()> deliver) {
   // Every central->site message piggybacks the central state as of send
   // time; this is the (delayed) information the dynamic strategies see.
   CentralSnapshot snap;
@@ -283,10 +318,11 @@ void HybridSystem::send_down(int site, std::function<void()> deliver) {
     if (!sites_[site].alive) {
       // Delivered into a crashed site: defer processing (and the snapshot
       // update) until recovery, in arrival order.
-      sites_[site].backlog.push_back([this, site, snap, cb2 = std::move(cb)] {
-        sites_[site].central_view = snap;
-        cb2();
-      });
+      sites_[site].backlog.push_back(
+          [this, site, snap, cb2 = std::move(cb)]() mutable {
+            sites_[site].central_view = snap;
+            cb2();
+          });
       return;
     }
     sites_[site].central_view = snap;
@@ -345,10 +381,11 @@ void HybridSystem::complete(Transaction* txn, SimTime completion_time) {
              "site residency underflow");
 
   for (int p = 0; p < obs::kPhaseCount; ++p) {
-    const double t = txn->phases.acc[p];
-    metrics_.rt_phase[static_cast<std::size_t>(p)].add(t);
-    metrics_.rt_phase_hist[static_cast<std::size_t>(p)].add(t);
-    home_metrics.rt_phase[static_cast<std::size_t>(p)].add(t);
+    phase_batch_.value[p][phase_batch_.n] = txn->phases.acc[p];
+  }
+  phase_batch_.home_site[phase_batch_.n] = txn->home_site;
+  if (++phase_batch_.n == PhaseBatch::kCapacity) {
+    flush_phase_batch();
   }
   metrics_.wasted_per_txn.add(txn->wasted_total());
 
@@ -394,7 +431,7 @@ void HybridSystem::complete(Transaction* txn, SimTime completion_time) {
     event.wasted_io = txn->wasted_io();
     emit_event(event);
   }
-  live_.erase(txn->id);
+  arena_.release(txn->id);
 }
 
 void HybridSystem::prepare_rerun(Transaction* txn, AbortCause cause) {
@@ -501,11 +538,10 @@ Transaction* HybridSystem::choose_deadlock_victim(Transaction* requester,
   // not wait on locks), so force-aborting any candidate is safe.
   Transaction* youngest = requester;
   for (TxnId id : cycle) {
-    auto it = live_.find(id);
-    if (it == live_.end()) {
+    Transaction* t = arena_.lookup(id);
+    if (t == nullptr) {
       continue;
     }
-    Transaction* t = it->second.get();
     if (t->arrival_time > youngest->arrival_time) {
       youngest = t;
     }
@@ -536,13 +572,13 @@ void HybridSystem::on_arrival(int site) {
     ++metrics_.arrivals_rejected;
     return;
   }
-  admit(factory_.make(site, sim_.now()));
+  Transaction* t = arena_.checkout();
+  factory_.fill(*t, site, sim_.now());
+  arena_.commit(t);
+  admit(t);
 }
 
-void HybridSystem::admit(Transaction txn) {
-  auto owned = std::make_unique<Transaction>(std::move(txn));
-  Transaction* t = owned.get();
-  HLS_ASSERT(live_.emplace(t->id, std::move(owned)).second, "duplicate txn id");
+void HybridSystem::admit(Transaction* t) {
   t->phases.begin(t->arrival_time);
 
   SiteState& home = sites_[t->home_site];
@@ -821,11 +857,11 @@ void HybridSystem::central_apply_update(int site,
   // collision (its home site is `site` — batches are per-site).
   for (const UpdateItem& item : items) {
     for (const auto& holder : central_.locks->holders_of(item.id)) {
-      auto it = live_.find(holder.txn);
-      HLS_ASSERT(it != live_.end(), "central lock held by a dead transaction");
-      it->second->marked_abort = true;
-      it->second->marked_by = item.committer;
-      it->second->marked_by_site = site;
+      Transaction* held = arena_.lookup(holder.txn);
+      HLS_ASSERT(held != nullptr, "central lock held by a dead transaction");
+      held->marked_abort = true;
+      held->marked_by = item.committer;
+      held->marked_by_site = site;
       central_.locks->release(holder.txn, item.id);
     }
   }
@@ -1038,15 +1074,15 @@ void HybridSystem::local_process_auth(int site, TxnId txn_id, std::uint64_t epoc
             if (!conflict) {
               continue;
             }
-            auto it = live_.find(holder.txn);
-            const bool preemptible = it != live_.end() &&
-                                     it->second->cls == TxnClass::A &&
-                                     it->second->route == Route::Local;
+            const Transaction* held = arena_.lookup(holder.txn);
+            const bool preemptible = held != nullptr &&
+                                     held->cls == TxnClass::A &&
+                                     held->route == Route::Local;
             if (!preemptible) {
               refuse = true;
-              if (it != live_.end()) {
+              if (held != nullptr) {
                 blocker = holder.txn;
-                blocker_site = it->second->home_site;
+                blocker_site = held->home_site;
               }
               break;
             }
@@ -1063,12 +1099,12 @@ void HybridSystem::local_process_auth(int site, TxnId txn_id, std::uint64_t epoc
             auto grab = lm.grab_for_authentication(txn_id, need.id, need.mode);
             HLS_ASSERT(grab.granted, "auth grab refused after precheck");
             for (TxnId victim : grab.aborted) {
-              auto it = live_.find(victim);
-              HLS_ASSERT(it != live_.end(), "preempted a dead transaction");
-              it->second->marked_abort = true;
+              Transaction* held = arena_.lookup(victim);
+              HLS_ASSERT(held != nullptr, "preempted a dead transaction");
+              held->marked_abort = true;
               // The authenticating transaction preempted this local holder.
-              it->second->marked_by = txn_id;
-              it->second->marked_by_site =
+              held->marked_by = txn_id;
+              held->marked_by_site =
                   requester != nullptr ? requester->home_site : -2;
             }
           }
@@ -1429,13 +1465,13 @@ void HybridSystem::central_crash() {
   }
 
   // Sort the victims so the crash processing order (and therefore every
-  // downstream event) is independent of unordered_map iteration order.
+  // downstream event) is independent of arena index order.
   std::vector<TxnId> victims;
-  for (const auto& entry : live_) {
-    if (entry.second->at_central) {
-      victims.push_back(entry.first);
+  arena_.for_each([&victims](const Transaction& txn) {
+    if (txn.at_central) {
+      victims.push_back(txn.id);
     }
-  }
+  });
   std::sort(victims.begin(), victims.end());
   HLS_ASSERT(static_cast<int>(victims.size()) == central_.resident_txns,
              "central residency disagrees with at_central flags");
@@ -1444,7 +1480,7 @@ void HybridSystem::central_crash() {
   // victim's locks cannot re-awaken another victim through a grant callback
   // carrying a still-valid epoch.
   for (TxnId id : victims) {
-    Transaction* txn = live_.find(id)->second.get();
+    Transaction* txn = arena_.lookup(id);
     txn->at_central = false;
     // Close the open segment at its pending phase; the outage residence
     // until the recovery restart is then charged to Stall.
@@ -1455,7 +1491,7 @@ void HybridSystem::central_crash() {
     central_.recovery_queue.emplace_back(id, txn->epoch);
   }
   for (TxnId id : victims) {
-    Transaction* txn = live_.find(id)->second.get();
+    Transaction* txn = arena_.lookup(id);
     central_.locks->release_all(id);
     release_auth_holds_everywhere(txn);
   }
@@ -1482,10 +1518,10 @@ void HybridSystem::central_recover() {
   // Replay the message backlog in arrival order before restarting any
   // aborted resident: coherence updates and fresh shipped arrivals observe
   // the same FIFO order they would have without the outage.
-  std::vector<std::function<void()>> backlog;
+  std::vector<UniqueFunction<void()>> backlog;
   backlog.swap(central_.backlog);
   metrics_.backlog_replayed += backlog.size();
-  for (std::function<void()>& cb : backlog) {
+  for (UniqueFunction<void()>& cb : backlog) {
     cb();
   }
 
@@ -1525,16 +1561,15 @@ void HybridSystem::site_crash(int site) {
   // queue in the backlog), and remote-call class B rides out the outage the
   // same way: its in-flight messages park until recovery.
   std::vector<TxnId> victims;
-  for (const auto& entry : live_) {
-    const Transaction& txn = *entry.second;
+  arena_.for_each([&victims, site](const Transaction& txn) {
     if (txn.cls == TxnClass::A && txn.route == Route::Local &&
         txn.home_site == site) {
-      victims.push_back(entry.first);
+      victims.push_back(txn.id);
     }
-  }
+  });
   std::sort(victims.begin(), victims.end());
   for (TxnId id : victims) {
-    Transaction* txn = live_.find(id)->second.get();
+    Transaction* txn = arena_.lookup(id);
     span_interrupt(txn, site);
     txn->phases.pending = obs::Phase::Stall;
     prepare_rerun(txn, AbortCause::Crash);
@@ -1565,10 +1600,10 @@ void HybridSystem::site_recover(int site) {
     emit_event(event);
   }
 
-  std::vector<std::function<void()>> backlog;
+  std::vector<UniqueFunction<void()>> backlog;
   backlog.swap(s.backlog);
   metrics_.backlog_replayed += backlog.size();
-  for (std::function<void()>& cb : backlog) {
+  for (UniqueFunction<void()>& cb : backlog) {
     cb();
   }
 
@@ -1634,11 +1669,10 @@ void HybridSystem::arm_ship_timeout(Transaction* txn) {
 }
 
 void HybridSystem::on_ship_timeout(TxnId id, std::uint64_t attempt) {
-  auto it = live_.find(id);
-  if (it == live_.end() || it->second->ship_attempt != attempt) {
+  Transaction* txn = arena_.lookup(id);
+  if (txn == nullptr || txn->ship_attempt != attempt) {
     return;  // completed, or superseded by an earlier reclaim
   }
-  Transaction* txn = it->second.get();
   HLS_ASSERT(txn->route == Route::Central, "ship timeout on a local transaction");
   if (!sites_[txn->home_site].alive) {
     // The failure detector lives at the home site and crashed with it. The
@@ -1705,6 +1739,7 @@ int HybridSystem::local_resident(int site) const {
 
 const SiteMetrics& HybridSystem::site_metrics(int site) const {
   HLS_ASSERT(site >= 0 && site < cfg_.num_sites, "site index out of range");
+  flush_phase_batch();
   return site_metrics_[site];
 }
 
@@ -1728,8 +1763,7 @@ void HybridSystem::check_invariants() const {
   int expect_central = 0;
   std::vector<int> expect_resident(sites_.size(), 0);
   std::vector<int> expect_shipped(sites_.size(), 0);
-  for (const auto& entry : live_) {
-    const Transaction& txn = *entry.second;
+  arena_.for_each([&](const Transaction& txn) {
     if (txn.at_central) {
       ++expect_central;
     }
@@ -1740,7 +1774,7 @@ void HybridSystem::check_invariants() const {
         ++expect_shipped[static_cast<std::size_t>(txn.home_site)];
       }
     }
-  }
+  });
   HLS_ASSERT(central_.resident_txns == expect_central,
              "central residency disagrees with live transaction states");
   for (const SiteState& site : sites_) {
@@ -1850,7 +1884,7 @@ void HybridSystem::take_sample() {
   row.central_cpu_queue = static_cast<int>(central_.cpu->queue_length());
   row.central_resident = central_.resident_txns;
   row.central_up = central_.alive;
-  row.live_txns = static_cast<int>(live_.size());
+  row.live_txns = static_cast<int>(arena_.live_count());
   row.sites.reserve(sites_.size());
   for (const SiteState& site : sites_) {
     obs::SiteSample s;
@@ -1869,13 +1903,13 @@ void HybridSystem::take_sample() {
     ev.time = sim_.now();
     ev.up = central_.alive;
     ev.central_cpu_queue = static_cast<int>(central_.cpu->queue_length());
-    ev.live_txns = static_cast<int>(live_.size());
+    ev.live_txns = static_cast<int>(arena_.live_count());
     emit_event(ev);
   }
 
   // Re-arm only while work remains so drain() terminates: the sampler must
   // never be the event keeping the simulation alive.
-  if (arrivals_enabled_ || !live_.empty()) {
+  if (arrivals_enabled_ || arena_.live_count() > 0) {
     sim_.schedule_after(cfg_.obs_sample_interval, [this] { take_sample(); });
   }
 }

@@ -37,13 +37,13 @@
 
 #include <memory>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "db/lock_manager.hpp"
 #include "hybrid/config.hpp"
 #include "hybrid/metrics.hpp"
 #include "hybrid/transaction.hpp"
+#include "hybrid/txn_arena.hpp"
 #include "net/link.hpp"
 #include "obs/sample.hpp"
 #include "obs/sink.hpp"
@@ -102,8 +102,14 @@ class HybridSystem {
 
   Simulator& simulator() { return sim_; }
   [[nodiscard]] const SystemConfig& config() const { return cfg_; }
-  Metrics& metrics() { return metrics_; }
-  [[nodiscard]] const Metrics& metrics() const { return metrics_; }
+  Metrics& metrics() {
+    flush_phase_batch();
+    return metrics_;
+  }
+  [[nodiscard]] const Metrics& metrics() const {
+    flush_phase_batch();
+    return metrics_;
+  }
   [[nodiscard]] RoutingStrategy& strategy() { return *strategy_; }
 
   [[nodiscard]] const LockManager& central_locks() const { return *central_.locks; }
@@ -116,7 +122,7 @@ class HybridSystem {
   [[nodiscard]] bool central_up() const { return central_.alive; }
   [[nodiscard]] bool site_up(int site) const;
   [[nodiscard]] int live_transactions() const {
-    return static_cast<int>(live_.size());
+    return static_cast<int>(arena_.live_count());
   }
 
   /// Per-site response-time / shipping breakdown (same measurement window
@@ -189,7 +195,7 @@ class HybridSystem {
     // Fault state: while the site's DB is down, inbound deliveries queue in
     // `backlog` and crashed local transactions wait in `recovery_queue`.
     bool alive = true;
-    std::vector<std::function<void()>> backlog;
+    std::vector<UniqueFunction<void()>> backlog;
     std::vector<std::pair<TxnId, std::uint64_t>> recovery_queue;
   };
 
@@ -201,7 +207,7 @@ class HybridSystem {
     // FIFO requirement across an outage — it replays in arrival order at
     // recovery, before any aborted resident restarts.
     bool alive = true;
-    std::vector<std::function<void()>> backlog;
+    std::vector<UniqueFunction<void()>> backlog;
     std::vector<std::pair<TxnId, std::uint64_t>> recovery_queue;
   };
 
@@ -216,8 +222,8 @@ class HybridSystem {
   /// Plain delay; the elapsed time is settled to `phase` (Io or Stall).
   void wait(double seconds, Transaction* txn, obs::Phase phase, int track,
             void (HybridSystem::*next)(Transaction*));
-  void send_up(int site, std::function<void()> deliver);
-  void send_down(int site, std::function<void()> deliver);
+  void send_up(int site, UniqueFunction<void()> deliver);
+  void send_down(int site, UniqueFunction<void()> deliver);
   void complete(Transaction* txn, SimTime completion_time);
   /// Books an abort: provenance (cause, winner from txn->marked_by, wasted
   /// attempt time) into metrics and the abort event, then resets the
@@ -257,7 +263,8 @@ class HybridSystem {
 
   // ---- arrivals / routing ----
   void on_arrival(int site);
-  void admit(Transaction txn);
+  /// Starts an arena-resident transaction (registered via arena_.commit).
+  void admit(Transaction* txn);
 
   // ---- local class A execution ----
   void local_start_run(Transaction* txn);
@@ -342,6 +349,25 @@ class HybridSystem {
   void send_async_update(int site, std::vector<UpdateItem> items);
   void central_apply_update(int site, const std::vector<UpdateItem>& items);
 
+  // ---- struct-of-arrays staging for per-phase completion statistics ----
+  /// The per-phase SampleStat/Histogram adds are the hottest accumulator
+  /// group in complete() (3 * kPhaseCount adds per completion, each touching
+  /// a different cache line). Completions stage their phase vector here and
+  /// the flush replays the samples one accumulator at a time, in completion
+  /// order — so every accumulator sees exactly the add sequence it would
+  /// have seen unbatched and its state (including Welford running moments)
+  /// stays bit-identical.
+  struct PhaseBatch {
+    static constexpr int kCapacity = 256;
+    int n = 0;
+    double value[obs::kPhaseCount][kCapacity];
+    int home_site[kCapacity];
+  };
+  /// Drains phase_batch_ into metrics_ / site_metrics_. Const because the
+  /// staged samples are already logically part of the metrics; flushing only
+  /// materializes them, which is why the read accessors may call it.
+  void flush_phase_batch() const;
+
   SystemConfig cfg_;
   Simulator sim_;
   std::unique_ptr<RoutingStrategy> strategy_;
@@ -351,11 +377,12 @@ class HybridSystem {
   CentralState central_;
   Metrics metrics_;
   std::vector<SiteMetrics> site_metrics_;
+  mutable PhaseBatch phase_batch_;
   CompletionHook completion_hook_;
   std::vector<obs::TraceSink*> sinks_;
   unsigned sink_mask_ = 0;  ///< union of registered sinks' kind masks
   std::vector<obs::SampleRow> series_;
-  std::unordered_map<TxnId, std::unique_ptr<Transaction>> live_;
+  TxnArena arena_;
   bool arrivals_enabled_ = false;
 };
 

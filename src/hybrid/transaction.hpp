@@ -98,6 +98,48 @@ struct Transaction {
   /// Per-phase time burned by aborted attempts, across the retry chain.
   double wasted_phase[obs::kPhaseCount] = {};
 
+  /// Resets every field to its freshly-constructed state while keeping the
+  /// capacity of the access-pattern vectors, so an arena slot can host
+  /// thousands of transactions without per-transaction allocation. Must be
+  /// kept in sync with the field list above.
+  void recycle() {
+    id = kInvalidTxn;
+    cls = TxnClass::A;
+    home_site = 0;
+    locks.clear();
+    call_io.clear();
+    arrival_time = 0.0;
+    route = Route::Local;
+    run_count = 0;
+    call_index = 0;
+    marked_abort = false;
+    active = false;
+    epoch = 0;
+    auth_pending_acks = 0;
+    auth_any_negative = false;
+    auth_sites.clear();
+    ship_retries = 0;
+    ship_attempt = 0;
+    at_central = false;
+    memory_resident = false;
+    marked_by = kInvalidTxn;
+    marked_by_site = -2;
+    auth_blocker = kInvalidTxn;
+    auth_blocker_site = -2;
+    retry_edge_from = -1.0;
+    retry_edge_track = 0;
+    for (int& count : aborts) {
+      count = 0;
+    }
+    phases = obs::PhaseTimeline{};
+    for (double& mark : attempt_mark) {
+      mark = 0.0;
+    }
+    for (double& wasted : wasted_phase) {
+      wasted = 0.0;
+    }
+  }
+
   [[nodiscard]] bool is_rerun() const { return run_count > 0; }
 
   void count_abort(AbortCause cause) { ++aborts[static_cast<int>(cause)]; }

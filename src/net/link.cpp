@@ -35,7 +35,10 @@ void Link::dispatch(Deliver deliver) {
   // FIFO hold-back: never deliver before a previously sent message.
   const SimTime at = std::max(sim_.now() + delay, last_delivery_time_);
   last_delivery_time_ = at;
-  sim_.schedule_at(at, [this, cb = std::move(deliver)]() mutable {
+  flight_.push_back(std::move(deliver));
+  sim_.schedule_at(at, [this] {
+    Deliver cb = std::move(flight_.front());
+    flight_.pop_front();
     ++delivered_;
     cb();
   });

@@ -20,18 +20,22 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
+#include <deque>
 #include <string>
 #include <vector>
 
 #include "sim/simulator.hpp"
 #include "util/random.hpp"
+#include "util/unique_function.hpp"
 
 namespace hls {
 
 class Link {
  public:
-  using Deliver = std::function<void()>;
+  /// Move-only: delivery continuations run once; UniqueFunction keeps the
+  /// protocol engine's captures inline where std::function heap-allocated
+  /// one node per message.
+  using Deliver = UniqueFunction<void()>;
 
   Link(Simulator& sim, double delay_seconds, std::string name);
 
@@ -92,6 +96,11 @@ class Link {
   double loss_prob_ = 0.0;
   std::uint64_t retransmitted_ = 0;
   std::vector<Deliver> held_;  ///< messages sent while down, in send order
+  /// Messages on the wire, in delivery order. Delivery times are monotone
+  /// (FIFO hold-back) and the event queue breaks time ties by schedule
+  /// order, so the front of this queue is always the next delivery — the
+  /// scheduled event needs no capture beyond `this`.
+  std::deque<Deliver> flight_;
   Rng fault_rng_;              ///< consumed only when loss_prob_ > 0
 };
 

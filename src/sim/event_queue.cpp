@@ -1,16 +1,37 @@
 #include "sim/event_queue.hpp"
 
+#include <algorithm>
+#include <array>
+#include <bit>
+#include <cmath>
 #include <utility>
 
 #include "util/assert.hpp"
 
 namespace hls {
 
-bool EventQueue::before(const Entry& a, const Entry& b) {
-  if (a.time != b.time) {
-    return a.time < b.time;
+namespace {
+
+/// Day numbers stay below this so a year scan (`day + nbuckets`) can never
+/// wrap a 64-bit counter.
+constexpr double kMaxDay = 4.6e18;
+
+/// Sentinel for "no qualifying entry found yet" during bucket scans.
+constexpr std::size_t kNone = static_cast<std::size_t>(-1);
+
+}  // namespace
+
+EventQueue::EventQueue() : buckets_(kMinBuckets), bucket_mask_(kMinBuckets - 1) {}
+
+std::uint64_t EventQueue::day_of(SimTime time) const {
+  const double scaled = time * inv_width_;
+  if (!(scaled > 0.0)) {
+    return 0;  // times at or below zero (the sim never rewinds) share day 0
   }
-  return a.seq < b.seq;
+  if (scaled >= kMaxDay) {
+    return static_cast<std::uint64_t>(kMaxDay);
+  }
+  return static_cast<std::uint64_t>(scaled);
 }
 
 std::uint32_t EventQueue::allocate_slot() {
@@ -31,15 +52,31 @@ std::uint32_t EventQueue::allocate_slot() {
 }
 
 void EventQueue::free_slot(std::uint32_t slot) {
-  slots_[slot].state = SlotState::Free;
+  Slot& s = slots_[slot];
+  s.callback = Callback{};
+  s.state = SlotState::Free;
   free_slots_.push_back(slot);
 }
 
 EventId EventQueue::push(SimTime time, Callback callback) {
   const std::uint32_t slot = allocate_slot();
-  heap_.push_back(Entry{time, next_seq_++, slot, std::move(callback)});
-  sift_up(heap_.size() - 1);
+  slots_[slot].callback = std::move(callback);
+  const std::uint64_t day = day_of(time);
+  std::vector<Entry>& bucket = buckets_[day & bucket_mask_];
+  bucket.push_back(Entry{time, next_seq_++, slot});
   ++live_;
+  if (day < cur_day_) {
+    cur_day_ = day;  // push behind the scan floor (non-monotonic callers)
+  }
+  // A strictly earlier time beats the cached min; an equal time loses on
+  // the sequence tiebreak, so the cache stays correct untouched.
+  if (min_valid_ && time < buckets_[min_bucket_][min_pos_].time) {
+    min_bucket_ = day & bucket_mask_;
+    min_pos_ = bucket.size() - 1;
+  }
+  if (live_ > 2 * buckets_.size()) {
+    rebuild(2 * buckets_.size());
+  }
   return encode_id(slot, slots_[slot].generation);
 }
 
@@ -54,88 +91,184 @@ bool EventQueue::cancel(EventId id) {
   if (s.generation != generation || s.state != SlotState::Live) {
     return false;  // already fired, already cancelled, or a reused slot
   }
-  s.state = SlotState::Cancelled;  // entry stays heaped; reaped on pop
+  s.state = SlotState::Cancelled;  // entry stays bucketed; reaped on scan
+  s.callback = Callback{};         // release captures eagerly
   HLS_ASSERT(live_ > 0, "live event count underflow");
   --live_;
+  ++dead_;
+  if (min_valid_ && buckets_[min_bucket_][min_pos_].slot == slot) {
+    min_valid_ = false;
+  }
+  if (dead_ > 64 && dead_ > live_) {
+    rebuild(buckets_.size());  // cancel-heavy phase: purge the corpses
+  }
   return true;
 }
 
 SimTime EventQueue::next_time() {
-  drop_cancelled_top();
-  HLS_ASSERT(!heap_.empty(), "next_time() on empty event queue");
-  return heap_.front().time;
+  HLS_ASSERT(live_ > 0, "next_time() on empty event queue");
+  if (!min_valid_) {
+    locate_min();
+  }
+  return buckets_[min_bucket_][min_pos_].time;
 }
 
 EventQueue::Popped EventQueue::pop() {
-  drop_cancelled_top();
-  HLS_ASSERT(!heap_.empty(), "pop() on empty event queue");
-  Entry top = std::move(heap_.front());
-  heap_.front() = std::move(heap_.back());
-  heap_.pop_back();
-  if (!heap_.empty()) {
-    sift_down(0);
+  HLS_ASSERT(live_ > 0, "pop() on empty event queue");
+  if (!min_valid_) {
+    locate_min();
   }
-  HLS_ASSERT(live_ > 0, "live event count underflow");
+  std::vector<Entry>& bucket = buckets_[min_bucket_];
+  const Entry e = bucket[min_pos_];
+  bucket[min_pos_] = bucket.back();
+  bucket.pop_back();
+  min_valid_ = false;
   --live_;
-  const EventId id = encode_id(top.slot, slots_[top.slot].generation);
-  free_slot(top.slot);
-  return Popped{top.time, id, std::move(top.callback)};
+  cur_day_ = day_of(e.time);
+  const EventId id = encode_id(e.slot, slots_[e.slot].generation);
+  Popped out{e.time, id, std::move(slots_[e.slot].callback)};
+  free_slot(e.slot);
+  if (buckets_.size() > kMinBuckets && live_ < buckets_.size() / 8) {
+    rebuild(std::max(kMinBuckets, std::bit_ceil(2 * live_)));
+  }
+  return out;
 }
 
-void EventQueue::drop_cancelled_top() {
-  // An entry is the sole occupant of its slot while heaped, so the slot
-  // state tells whether the top was cancelled — one array load, no hashing.
-  while (!heap_.empty() &&
-         slots_[heap_.front().slot].state == SlotState::Cancelled) {
-    free_slot(heap_.front().slot);
-    heap_.front() = std::move(heap_.back());
-    heap_.pop_back();
-    if (!heap_.empty()) {
-      sift_down(0);
+void EventQueue::locate_min() {
+  // One calendar year: step day by day from the scan floor. The first day
+  // holding a current-day entry holds the global minimum, because day_of is
+  // monotone in time; within the day the full (time, seq) key decides.
+  const std::size_t nbuckets = buckets_.size();
+  std::uint64_t day = cur_day_;
+  for (std::size_t step = 0; step < nbuckets; ++step, ++day) {
+    std::vector<Entry>& bucket = buckets_[day & bucket_mask_];
+    std::size_t best = kNone;
+    std::size_t i = 0;
+    while (i < bucket.size()) {
+      const Entry& e = bucket[i];
+      if (slots_[e.slot].state == SlotState::Cancelled) {
+        free_slot(e.slot);
+        --dead_;
+        if (best == bucket.size() - 1) {
+          best = i;  // the survivor about to be swapped into position i
+        }
+        bucket[i] = bucket.back();
+        bucket.pop_back();
+        continue;  // re-examine the swapped-in entry
+      }
+      if (day_of(e.time) == day && (best == kNone || before(e, bucket[best]))) {
+        best = i;
+      }
+      ++i;
+    }
+    if (best != kNone) {
+      cur_day_ = day;
+      min_bucket_ = day & bucket_mask_;
+      min_pos_ = best;
+      min_valid_ = true;
+      return;
     }
   }
+
+  // Nothing within a year of the floor: the population is sparse relative
+  // to the year span (a handful of far-apart timers). Direct-search every
+  // bucket for the global minimum and jump the calendar to its day.
+  std::size_t best_bucket = kNone;
+  std::size_t best_pos = 0;
+  for (std::size_t b = 0; b < nbuckets; ++b) {
+    std::vector<Entry>& bucket = buckets_[b];
+    std::size_t i = 0;
+    while (i < bucket.size()) {
+      const Entry& e = bucket[i];
+      if (slots_[e.slot].state == SlotState::Cancelled) {
+        free_slot(e.slot);
+        --dead_;
+        if (best_bucket == b && best_pos == bucket.size() - 1) {
+          best_pos = i;
+        }
+        bucket[i] = bucket.back();
+        bucket.pop_back();
+        continue;
+      }
+      if (best_bucket == kNone || before(e, buckets_[best_bucket][best_pos])) {
+        best_bucket = b;
+        best_pos = i;
+      }
+      ++i;
+    }
+  }
+  HLS_ASSERT(best_bucket != kNone, "locate_min() found no live event");
+  cur_day_ = day_of(buckets_[best_bucket][best_pos].time);
+  min_bucket_ = best_bucket;
+  min_pos_ = best_pos;
+  min_valid_ = true;
 }
 
-// Both sifts move the displaced entry into a hole that bubbles to its final
-// position: one move per level instead of a three-move swap. Entries carry
-// an inline callback buffer, so moves are the dominant heap cost.
+void EventQueue::rebuild(std::size_t nbuckets) {
+  scratch_.clear();
+  SimTime min_t = 0.0;
+  SimTime max_t = 0.0;
+  for (std::vector<Entry>& bucket : buckets_) {
+    for (const Entry& e : bucket) {
+      if (slots_[e.slot].state == SlotState::Cancelled) {
+        free_slot(e.slot);
+        continue;
+      }
+      if (scratch_.empty()) {
+        min_t = max_t = e.time;
+      } else {
+        min_t = std::min(min_t, e.time);
+        max_t = std::max(max_t, e.time);
+      }
+      scratch_.push_back(e);
+    }
+    bucket.clear();
+  }
+  dead_ = 0;
 
-void EventQueue::sift_up(std::size_t i) {
-  if (i == 0) {
-    return;
-  }
-  Entry moving = std::move(heap_[i]);
-  while (i > 0) {
-    const std::size_t parent = (i - 1) / 2;
-    if (!before(moving, heap_[parent])) {
-      break;
+  // Re-estimate the bucket width as twice the typical inter-event gap, from
+  // the median spacing of a sorted sample: the median shrugs off far-future
+  // outliers (fault timers, drain deadlines) that would blow up a
+  // mean-based estimate and leave the whole working set in one bucket.
+  const std::size_t n = scratch_.size();
+  if (n >= 2 && max_t > min_t) {
+    std::array<double, 64> sample;
+    const std::size_t k = std::min<std::size_t>(sample.size(), n);
+    const std::size_t stride = n / k;
+    for (std::size_t i = 0; i < k; ++i) {
+      sample[i] = scratch_[i * stride].time;
     }
-    heap_[i] = std::move(heap_[parent]);
-    i = parent;
+    std::sort(sample.begin(), sample.begin() + static_cast<std::ptrdiff_t>(k));
+    std::array<double, 63> spacing;
+    for (std::size_t i = 0; i + 1 < k; ++i) {
+      spacing[i] = sample[i + 1] - sample[i];
+    }
+    const std::size_t mid = (k - 1) / 2;
+    std::nth_element(spacing.begin(),
+                     spacing.begin() + static_cast<std::ptrdiff_t>(mid),
+                     spacing.begin() + static_cast<std::ptrdiff_t>(k - 1));
+    double est_gap = spacing[mid] * static_cast<double>(k - 1) /
+                     static_cast<double>(n - 1);
+    if (est_gap <= 0.0) {
+      est_gap = (max_t - min_t) / static_cast<double>(n - 1);
+    }
+    double width = 2.0 * est_gap;
+    if (max_t > 0.0 && max_t / width >= kMaxDay) {
+      width = max_t / kMaxDay;  // keep ordinary entries below the day clamp
+    }
+    if (std::isfinite(width) && width > 0.0) {
+      width_ = width;
+      inv_width_ = 1.0 / width_;
+    }
   }
-  heap_[i] = std::move(moving);
-}
 
-void EventQueue::sift_down(std::size_t i) {
-  const std::size_t n = heap_.size();
-  Entry moving = std::move(heap_[i]);
-  for (;;) {
-    const std::size_t left = 2 * i + 1;
-    if (left >= n) {
-      break;
-    }
-    std::size_t child = left;
-    const std::size_t right = left + 1;
-    if (right < n && before(heap_[right], heap_[left])) {
-      child = right;
-    }
-    if (!before(heap_[child], moving)) {
-      break;
-    }
-    heap_[i] = std::move(heap_[child]);
-    i = child;
+  buckets_.assign(nbuckets, {});
+  bucket_mask_ = nbuckets - 1;
+  for (const Entry& e : scratch_) {
+    buckets_[day_of(e.time) & bucket_mask_].push_back(e);
   }
-  heap_[i] = std::move(moving);
+  cur_day_ = scratch_.empty() ? 0 : day_of(min_t);
+  min_valid_ = false;
 }
 
 }  // namespace hls

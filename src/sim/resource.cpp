@@ -37,7 +37,7 @@ void FcfsResource::start_next() {
 void FcfsResource::on_service_complete() {
   HLS_ASSERT(busy_, "completion without a job in service");
   Callback done = std::move(active_completion_);
-  active_completion_ = nullptr;
+  active_completion_ = Callback{};
   busy_ = false;
   ++completed_;
   record_state();

@@ -10,17 +10,20 @@
 
 #include <cstdint>
 #include <deque>
-#include <functional>
 #include <string>
 
 #include "sim/simulator.hpp"
 #include "util/stats.hpp"
+#include "util/unique_function.hpp"
 
 namespace hls {
 
 class FcfsResource {
  public:
-  using Callback = std::function<void()>;
+  /// Move-only: completion continuations capture up to ~56 bytes and run
+  /// once; UniqueFunction keeps them inline where std::function would
+  /// heap-allocate per burst.
+  using Callback = UniqueFunction<void()>;
 
   FcfsResource(Simulator& sim, std::string name);
 

@@ -72,6 +72,15 @@ double Rng::exponential(double rate) {
   return -std::log(1.0 - next_double()) / rate;
 }
 
+void Rng::fill_exponentials(double rate, double* out, std::size_t n) {
+  HLS_ASSERT(rate > 0.0, "exponential requires rate > 0");
+  // Mirrors exponential() exactly — same transform, same draw order — so a
+  // prefetched batch is indistinguishable from n individual calls.
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = -std::log(1.0 - next_double()) / rate;
+  }
+}
+
 bool Rng::bernoulli(double p) { return next_double() < p; }
 
 }  // namespace hls

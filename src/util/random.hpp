@@ -9,6 +9,7 @@
 #pragma once
 
 #include <array>
+#include <cstddef>
 #include <cstdint>
 
 namespace hls {
@@ -53,6 +54,12 @@ class Rng {
 
   /// Exponential with the given rate (mean 1/rate). rate must be > 0.
   double exponential(double rate);
+
+  /// Fills `out[0..n)` with n exponential draws, bit-identical to calling
+  /// exponential(rate) n times. Batch-friendly for callers that consume
+  /// draws from a private stream (e.g. arrival-gap prefetch): the loop body
+  /// stays in registers/L1 instead of paying a call per draw.
+  void fill_exponentials(double rate, double* out, std::size_t n);
 
   /// Bernoulli trial with probability p of returning true.
   bool bernoulli(double p);

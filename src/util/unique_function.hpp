@@ -25,12 +25,14 @@ class UniqueFunction;
 template <typename R, typename... Args>
 class UniqueFunction<R(Args...)> {
  public:
-  /// Inline capture capacity. Sized so the whole wrapper is 64 bytes: the
-  /// simulator's typical captures (this + TxnId + epoch + a small payload)
-  /// fit without touching the heap.
-  static constexpr std::size_t kBufferSize = 40;
+  /// Inline capture capacity. Sized so the protocol engine's continuation
+  /// captures (this + TxnId + epoch + a member-function pointer + a small
+  /// payload, 56 bytes with a 16-byte Itanium-ABI member pointer) fit
+  /// without touching the heap; the whole wrapper is 80 bytes.
+  static constexpr std::size_t kBufferSize = 56;
 
   UniqueFunction() noexcept = default;
+  UniqueFunction(std::nullptr_t) noexcept {}  // NOLINT(google-explicit-constructor): mirrors std::function
 
   template <typename F,
             typename = std::enable_if_t<

@@ -11,7 +11,8 @@ ArrivalProcess::ArrivalProcess(Simulator& sim, Rng rng, double rate)
     : sim_(sim),
       rng_(rng),
       rate_([rate](SimTime) { return rate; }),
-      max_rate_(rate) {
+      max_rate_(rate),
+      constant_rate_(true) {
   HLS_ASSERT(rate >= 0.0, "negative arrival rate");
 }
 
@@ -30,10 +31,32 @@ void ArrivalProcess::start(std::function<void()> on_arrival) {
   }
 }
 
+double ArrivalProcess::next_gap() {
+  if (!constant_rate_) {
+    return rng_.exponential(max_rate_);
+  }
+  // Homogeneous process: prefetch a block of gaps. Bit-identical to the
+  // draw-per-arrival path because this process's private stream is consumed
+  // by nothing else (thinning below short-circuits without a bernoulli).
+  if (gap_pos_ == gap_count_) {
+    rng_.fill_exponentials(max_rate_, gaps_, kGapBatch);
+    gap_pos_ = 0;
+    gap_count_ = kGapBatch;
+  }
+  return gaps_[gap_pos_++];
+}
+
 void ArrivalProcess::schedule_next() {
-  const double gap = rng_.exponential(max_rate_);
+  const double gap = next_gap();
   sim_.schedule_after(gap, [this] {
     if (!running_) {
+      return;
+    }
+    if (constant_rate_) {
+      // lambda(t) == max_rate: thinning accepts every candidate.
+      schedule_next();
+      ++generated_;
+      on_arrival_();
       return;
     }
     // Thinning: accept the candidate with probability rate(t)/max_rate.

@@ -38,6 +38,13 @@ class ArrivalProcess {
 
  private:
   void schedule_next();
+  [[nodiscard]] double next_gap();
+
+  /// Gaps prefetched per refill for the constant-rate fast path. The stream
+  /// is private to this process and a homogeneous process draws nothing but
+  /// gaps, so prefetching reorders no draws: the sequence is bit-identical
+  /// to drawing one exponential per arrival.
+  static constexpr int kGapBatch = 32;
 
   Simulator& sim_;
   Rng rng_;
@@ -45,7 +52,11 @@ class ArrivalProcess {
   double max_rate_;
   std::function<void()> on_arrival_;
   bool running_ = false;
+  bool constant_rate_ = false;  ///< homogeneous: thinning always accepts
   std::uint64_t generated_ = 0;
+  double gaps_[kGapBatch];
+  int gap_pos_ = 0;
+  int gap_count_ = 0;
 };
 
 }  // namespace hls

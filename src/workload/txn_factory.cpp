@@ -9,14 +9,26 @@ TxnFactory::TxnFactory(const SystemConfig& cfg, Rng rng) : cfg_(cfg), rng_(rng) 
 }
 
 Transaction TxnFactory::make(int site, SimTime now) {
-  const TxnClass cls =
-      rng_.bernoulli(cfg_.prob_class_a) ? TxnClass::A : TxnClass::B;
-  return make_of_class(cls, site, now);
+  Transaction txn;
+  fill(txn, site, now);
+  return txn;
 }
 
 Transaction TxnFactory::make_of_class(TxnClass cls, int site, SimTime now) {
-  HLS_ASSERT(site >= 0 && site < cfg_.num_sites, "site index out of range");
   Transaction txn;
+  fill_of_class(txn, cls, site, now);
+  return txn;
+}
+
+void TxnFactory::fill(Transaction& txn, int site, SimTime now) {
+  const TxnClass cls =
+      rng_.bernoulli(cfg_.prob_class_a) ? TxnClass::A : TxnClass::B;
+  fill_of_class(txn, cls, site, now);
+}
+
+void TxnFactory::fill_of_class(Transaction& txn, TxnClass cls, int site,
+                               SimTime now) {
+  HLS_ASSERT(site >= 0 && site < cfg_.num_sites, "site index out of range");
   txn.id = next_id_++;
   txn.cls = cls;
   txn.home_site = site;
@@ -46,7 +58,6 @@ Transaction TxnFactory::make_of_class(TxnClass cls, int site, SimTime now) {
     txn.locks.push_back(LockNeed{id, mode});
     txn.call_io.push_back(rng_.bernoulli(cfg_.prob_call_io));
   }
-  return txn;
 }
 
 }  // namespace hls

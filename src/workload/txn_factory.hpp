@@ -26,6 +26,13 @@ class TxnFactory {
   /// Builds a transaction of a forced class (examples/tests).
   Transaction make_of_class(TxnClass cls, int site, SimTime now);
 
+  /// In-place variants for arena-recycled slots: identical RNG draw order
+  /// and field values to make/make_of_class, but the access pattern is
+  /// written into `txn`'s existing (cleared) vectors, reusing their
+  /// capacity. `txn` must be freshly constructed or recycle()d.
+  void fill(Transaction& txn, int site, SimTime now);
+  void fill_of_class(Transaction& txn, TxnClass cls, int site, SimTime now);
+
   [[nodiscard]] TxnId next_id() const { return next_id_; }
 
  private:

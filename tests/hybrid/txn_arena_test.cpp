@@ -1,0 +1,192 @@
+// TxnArena: pooled live-transaction storage. The critical property is that
+// slot reuse can never resurrect a completed transaction for a stale
+// callback: ids are never reused by the factory, so a stale (TxnId, epoch)
+// pair either misses in the id index or fails the epoch compare — the exact
+// check HybridSystem::find performs.
+#include "hybrid/txn_arena.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <iterator>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "util/random.hpp"
+
+namespace hls {
+namespace {
+
+// Mirrors HybridSystem::find: a scheduled callback's captured (id, epoch)
+// resolves only while that exact attempt is live.
+Transaction* find(const TxnArena& arena, TxnId id, std::uint64_t epoch) {
+  Transaction* txn = arena.lookup(id);
+  if (txn == nullptr || txn->epoch != epoch) {
+    return nullptr;
+  }
+  return txn;
+}
+
+TxnId admit(TxnArena& arena, TxnId id, std::uint64_t epoch = 0) {
+  Transaction* txn = arena.checkout();
+  txn->id = id;
+  txn->epoch = epoch;
+  arena.commit(txn);
+  return id;
+}
+
+TEST(TxnArena, CheckoutCommitLookupRelease) {
+  TxnArena arena;
+  EXPECT_EQ(arena.live_count(), 0u);
+  EXPECT_EQ(arena.lookup(1), nullptr);
+
+  admit(arena, 1);
+  ASSERT_NE(arena.lookup(1), nullptr);
+  EXPECT_EQ(arena.lookup(1)->id, 1u);
+  EXPECT_EQ(arena.live_count(), 1u);
+
+  arena.release(1);
+  EXPECT_EQ(arena.lookup(1), nullptr);
+  EXPECT_EQ(arena.live_count(), 0u);
+}
+
+TEST(TxnArena, ReusedSlotRejectsStaleId) {
+  TxnArena arena;
+  admit(arena, 1);
+  Transaction* first = arena.lookup(1);
+  arena.release(1);
+
+  // Fresh ids only (the factory never reuses one): the recycled slot hosts
+  // txn 2, and the stale id misses even though the storage is the same.
+  admit(arena, 2);
+  Transaction* second = arena.lookup(2);
+  EXPECT_EQ(second, first);  // slot was recycled...
+  EXPECT_EQ(arena.lookup(1), nullptr);  // ...but the old id is gone
+}
+
+TEST(TxnArena, StaleEpochRejectedAfterRerun) {
+  TxnArena arena;
+  admit(arena, 7, /*epoch=*/0);
+  Transaction* txn = arena.lookup(7);
+  ASSERT_NE(txn, nullptr);
+
+  // A callback armed during attempt 0 ...
+  const TxnId stale_id = txn->id;
+  const std::uint64_t stale_epoch = txn->epoch;
+  EXPECT_EQ(find(arena, stale_id, stale_epoch), txn);
+
+  // ... must be dropped once the abort/rerun path bumps the epoch.
+  ++txn->epoch;
+  EXPECT_EQ(find(arena, stale_id, stale_epoch), nullptr);
+  EXPECT_EQ(find(arena, stale_id, stale_epoch + 1), txn);
+}
+
+TEST(TxnArena, SlotReuseStressRejectsEveryStaleCallback) {
+  TxnArena arena;
+  Rng rng(17);
+  // Retired (id, epoch) pairs play the role of stale scheduled callbacks.
+  std::vector<std::pair<TxnId, std::uint64_t>> stale;
+  std::map<TxnId, std::uint64_t> live;  // reference: id -> current epoch
+  TxnId next_id = 1;
+
+  for (int step = 0; step < 20000; ++step) {
+    const double roll = rng.next_double();
+    if (roll < 0.45 || live.empty()) {
+      admit(arena, next_id, 0);
+      live[next_id] = 0;
+      ++next_id;
+    } else if (roll < 0.65) {
+      // Rerun a random live transaction: its pre-bump pair goes stale.
+      auto it = live.begin();
+      std::advance(it, static_cast<long>(rng.next_below(live.size())));
+      Transaction* txn = arena.lookup(it->first);
+      ASSERT_NE(txn, nullptr);
+      stale.emplace_back(txn->id, txn->epoch);
+      ++txn->epoch;
+      ++it->second;
+    } else {
+      // Complete a random live transaction; its slot becomes reusable.
+      auto it = live.begin();
+      std::advance(it, static_cast<long>(rng.next_below(live.size())));
+      stale.emplace_back(it->first, it->second);
+      arena.release(it->first);
+      live.erase(it);
+    }
+    ASSERT_EQ(arena.live_count(), live.size());
+  }
+
+  // Every live pair resolves; every stale pair is rejected.
+  for (const auto& [id, epoch] : live) {
+    Transaction* txn = find(arena, id, epoch);
+    ASSERT_NE(txn, nullptr);
+    EXPECT_EQ(txn->id, id);
+  }
+  for (const auto& [id, epoch] : stale) {
+    EXPECT_EQ(find(arena, id, epoch), nullptr) << "stale id " << id;
+  }
+}
+
+TEST(TxnArena, ForEachVisitsExactlyTheLiveSet) {
+  TxnArena arena;
+  for (TxnId id = 1; id <= 10; ++id) {
+    admit(arena, id);
+  }
+  for (TxnId id = 2; id <= 10; id += 2) {
+    arena.release(id);
+  }
+  std::vector<TxnId> seen;
+  arena.for_each([&](const Transaction& txn) { seen.push_back(txn.id); });
+  std::sort(seen.begin(), seen.end());
+  EXPECT_EQ(seen, (std::vector<TxnId>{1, 3, 5, 7, 9}));
+}
+
+TEST(TxnArena, DrainsToZeroAndStaysReusable) {
+  TxnArena arena;
+  Rng rng(5);
+  // Several admit-all / release-all waves over the same slots: the drained
+  // arena must always return to zero with every id rejected, and keep
+  // working afterwards (the drain obligation for pooled storage).
+  TxnId next_id = 1;
+  for (int wave = 0; wave < 8; ++wave) {
+    std::vector<TxnId> ids;
+    const int n = 1 + static_cast<int>(rng.next_below(200));
+    for (int i = 0; i < n; ++i) {
+      ids.push_back(admit(arena, next_id++));
+    }
+    EXPECT_EQ(arena.live_count(), ids.size());
+    for (const TxnId id : ids) {
+      arena.release(id);
+    }
+    EXPECT_EQ(arena.live_count(), 0u);
+    std::size_t visited = 0;
+    arena.for_each([&](const Transaction&) { ++visited; });
+    EXPECT_EQ(visited, 0u);
+    for (const TxnId id : ids) {
+      EXPECT_EQ(arena.lookup(id), nullptr);
+    }
+  }
+}
+
+TEST(TxnArena, RecycledSlotStartsFromFreshState) {
+  TxnArena arena;
+  admit(arena, 1);
+  Transaction* txn = arena.lookup(1);
+  txn->run_count = 3;
+  txn->epoch = 3;
+  txn->marked_abort = true;
+  txn->locks.push_back({5, LockMode::Exclusive});
+  arena.release(1);
+
+  admit(arena, 2);
+  Transaction* reused = arena.lookup(2);
+  ASSERT_EQ(reused, txn);  // same slot
+  EXPECT_EQ(reused->run_count, 0);
+  EXPECT_EQ(reused->epoch, 0u);
+  EXPECT_FALSE(reused->marked_abort);
+  EXPECT_TRUE(reused->locks.empty());
+}
+
+}  // namespace
+}  // namespace hls

@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cmath>
+#include <cstdint>
 #include <vector>
 
 #include "util/random.hpp"
@@ -239,6 +241,96 @@ TEST(EventQueue, RandomOperationsMatchReferenceModel) {
     }
     ASSERT_EQ(q.size(), reference.size());
   }
+}
+
+// Property: exact (time, seq) pop order through calendar resizes. The
+// phases force both directions of rebuild — a growth burst, a drain to
+// near-empty, a same-timestamp cluster (pure seq tiebreak), and a
+// six-decade time spread that invalidates any previously estimated bucket
+// width. Each pop is checked against the reference minimum, so the firing
+// order must equal the total order the replaced binary heap produced.
+TEST(EventQueue, ResizeStressMatchesHeapOrder) {
+  Rng rng(1234);
+  EventQueue q;
+  struct Ref {
+    double time;
+    std::uint64_t seq;
+    EventId id;
+  };
+  std::vector<Ref> reference;
+  std::uint64_t seq = 0;
+
+  auto push = [&](double t) {
+    reference.push_back({t, seq, q.push(t, [] {})});
+    ++seq;
+  };
+  auto pop_and_check = [&] {
+    const auto popped = q.pop();
+    auto best = std::min_element(
+        reference.begin(), reference.end(), [](const Ref& a, const Ref& b) {
+          return a.time != b.time ? a.time < b.time : a.seq < b.seq;
+        });
+    ASSERT_NE(best, reference.end());
+    ASSERT_DOUBLE_EQ(popped.time, best->time);
+    ASSERT_EQ(popped.id, best->id);  // exact event, not just equal time
+    reference.erase(best);
+  };
+
+  // Phase 1: dense growth burst (rebuilds upward).
+  for (int i = 0; i < 4000; ++i) {
+    push(rng.uniform(0.0, 1.0));
+  }
+  // Phase 2: cancel a third, spread over the whole range.
+  for (std::size_t i = 0; i < 4000; i += 3) {
+    ASSERT_TRUE(q.cancel(reference[i].id));
+  }
+  for (std::size_t i = reference.size(); i-- > 0;) {
+    if (i % 3 == 0) {
+      reference.erase(reference.begin() + static_cast<long>(i));
+    }
+  }
+  // Phase 3: drain to near-empty (shrink rebuilds), checking each pop.
+  while (q.size() > 16) {
+    pop_and_check();
+  }
+  // Phase 4: same-timestamp cluster — pure scheduling-order tiebreak.
+  for (int i = 0; i < 500; ++i) {
+    push(42.0);
+  }
+  // Phase 5: six decades of time spread to break the estimated width.
+  for (int i = 0; i < 500; ++i) {
+    push(rng.uniform(0.0, 1.0) * std::pow(10.0, static_cast<double>(i % 7)));
+  }
+  while (!q.empty()) {
+    pop_and_check();
+  }
+  EXPECT_TRUE(reference.empty());
+  EXPECT_EQ(q.size(), 0u);
+}
+
+// Same-timestamp cluster across a rebuild: the seq tiebreak must survive
+// rebucketing (entries move between buckets but never reorder).
+TEST(EventQueue, SeqOrderSurvivesRebuild) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 100; ++i) {
+    q.push(1.0, [&, i] { order.push_back(i); });
+  }
+  // Force rebuilds by pushing/popping far-apart filler around the cluster.
+  std::vector<EventId> filler;
+  for (int i = 0; i < 2000; ++i) {
+    filler.push_back(q.push(1000.0 + i, [] {}));
+  }
+  for (const EventId id : filler) {
+    ASSERT_TRUE(q.cancel(id));
+  }
+  for (int i = 0; i < 100; ++i) {
+    q.pop().callback();
+  }
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_EQ(order[i], i);
+  }
+  EXPECT_TRUE(q.empty());
 }
 
 }  // namespace
