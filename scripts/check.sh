@@ -76,6 +76,17 @@ echo "determinism smoke: fig_4_2 stdout byte-identical at HLS_JOBS=1 vs 4"
 HLS_TIME_SCALE=0.05 "./$BUILD/bench/abl_fault_tolerance" >/dev/null 2>&1
 echo "fault smoke: abl_fault_tolerance drained every faulted cell"
 
+# Chaos soak: fixed-seed generated episodes (random config x strategy x
+# composed fault schedule) run to drain, twice each, against the full oracle
+# stack — invariants, drain-to-zero, conservation, phase-sum, provenance and
+# dedup double entries, byte-identical replay (docs/CHAOS.md). A failing
+# episode is auto-shrunk to a minimal repro config. HLS_CHAOS_EPISODES
+# overrides the default 100 when iterating.
+chaos_episodes=${HLS_CHAOS_EPISODES:-100}
+HLS_CHAOS_EPISODES=$chaos_episodes "./$BUILD/tools/chaos_soak" \
+  --seed=20260808 --shrink-out="$BUILD/chaos_repro.conf" >/dev/null
+echo "chaos soak: ${chaos_episodes} episodes passed the full oracle stack"
+
 # Span-trace smoke: trace_inspector end to end on its faulted run with the
 # Perfetto exporter attached, then schema-check the JSON (parses, pid/tid/
 # ph/ts present, every B matched by an E). The csv splitter's selftest
@@ -131,9 +142,13 @@ if cmake -B "$ASAN_BUILD" -G Ninja -DHLS_SANITIZE=address -DHLS_WERROR=ON \
       >/dev/null 2>&1 &&
     cmake --build "$ASAN_BUILD" -j --target abl_fault_tolerance \
       golden_metrics_test conservation_test phase_breakdown_test \
-      abort_provenance_test span_trace_test report_test \
+      abort_provenance_test span_trace_test report_test chaos_soak \
       >/dev/null 2>&1; then
   HLS_TIME_SCALE=0.05 "./$ASAN_BUILD/bench/abl_fault_tolerance" >/dev/null
+  # The same fixed-seed soak under asan: chaos episodes walk the dedup /
+  # resequencing / crash-replay paths where lifetime bugs would hide.
+  HLS_CHAOS_EPISODES=$chaos_episodes "./$ASAN_BUILD/tools/chaos_soak" \
+    --seed=20260808 --shrink-out="$ASAN_BUILD/chaos_repro.conf" >/dev/null
   # The pinned-value and conservation-law suites under asan: the pins prove
   # determinism survives instrumentation, and the property grid walks every
   # abort/fault path where lifetime bugs would hide. The provenance and
@@ -144,7 +159,7 @@ if cmake -B "$ASAN_BUILD" -G Ninja -DHLS_SANITIZE=address -DHLS_WERROR=ON \
   "./$ASAN_BUILD/tests/abort_provenance_test" >/dev/null
   "./$ASAN_BUILD/tests/span_trace_test" >/dev/null
   "./$ASAN_BUILD/tests/report_test" >/dev/null
-  echo "asan: abl_fault_tolerance + golden/conservation/phase/provenance suites clean"
+  echo "asan: abl_fault_tolerance + chaos soak + golden/conservation/phase/provenance suites clean"
 else
   echo "asan: unavailable in this toolchain; skipped"
 fi

@@ -1,5 +1,6 @@
 #include "core/config_io.hpp"
 
+#include <cerrno>
 #include <cstdlib>
 #include <istream>
 #include <ostream>
@@ -85,6 +86,26 @@ bool apply_config_override(SystemConfig& cfg, const std::string& assignment,
     cfg.obs_span_sink = value;
     return true;
   }
+  if (key == "chaos_strategy") {
+    // Validated by the chaos harness (routing parse_strategy_spec aborts on
+    // unknown names, so the repro runner surfaces a typo immediately).
+    cfg.chaos_strategy = value;
+    return true;
+  }
+
+  if (key == "seed") {
+    // Parsed as a full 64-bit integer, not through the double path: seeds
+    // above 2^53 (chaos repros use the whole range) must round-trip exactly.
+    errno = 0;
+    char* end = nullptr;
+    const unsigned long long parsed = std::strtoull(value.c_str(), &end, 10);
+    if (value.empty() || end != value.c_str() + value.size() || errno != 0 ||
+        value[0] == '-') {
+      return fail(error, "bad numeric value for seed: " + value);
+    }
+    cfg.seed = static_cast<std::uint64_t>(parsed);
+    return true;
+  }
 
   double v = 0.0;
   if (!parse_double(value, &v)) {
@@ -139,12 +160,20 @@ bool apply_config_override(SystemConfig& cfg, const std::string& assignment,
     cfg.instr_remote_call = v;
   } else if (key == "async_batch_window") {
     cfg.async_batch_window = v;
-  } else if (key == "seed") {
-    cfg.seed = static_cast<std::uint64_t>(v);
   } else if (key == "abort_restart_delay") {
     cfg.abort_restart_delay = v;
   } else if (key == "max_reruns") {
     cfg.max_reruns = static_cast<int>(v);
+  } else if (key == "livelock_backoff_after") {
+    if (v < 0.0) {
+      return fail(error, "livelock_backoff_after must be non-negative");
+    }
+    cfg.livelock_backoff_after = static_cast<int>(v);
+  } else if (key == "livelock_backoff") {
+    if (v < 0.0) {
+      return fail(error, "livelock_backoff must be non-negative");
+    }
+    cfg.livelock_backoff = v;
   } else if (key == "ideal_state_info") {
     cfg.ideal_state_info = flag_set(v);
   } else if (key == "geometric_call_count") {
@@ -180,8 +209,50 @@ bool apply_config_override(SystemConfig& cfg, const std::string& assignment,
     cfg.faults.random_link_outage_mean = v;
   } else if (key == "fault_random_horizon") {
     cfg.faults.random_horizon = v;
+  } else if (key == "fault_dup_prob") {
+    if (v < 0.0 || v >= 1.0) {
+      return fail(error, "fault_dup_prob must be in [0, 1)");
+    }
+    cfg.faults.dup_prob = v;
+  } else if (key == "fault_dup_delay") {
+    if (v < 0.0) {
+      return fail(error, "fault_dup_delay must be non-negative");
+    }
+    cfg.faults.dup_extra = v;
+  } else if (key == "fault_reorder_prob") {
+    if (v < 0.0 || v >= 1.0) {
+      return fail(error, "fault_reorder_prob must be in [0, 1)");
+    }
+    cfg.faults.reorder_prob = v;
+  } else if (key == "fault_reorder_window") {
+    if (v < 0.0) {
+      return fail(error, "fault_reorder_window must be non-negative");
+    }
+    cfg.faults.reorder_window = v;
+  } else if (key == "fault_spike_prob") {
+    if (v < 0.0 || v >= 1.0) {
+      return fail(error, "fault_spike_prob must be in [0, 1)");
+    }
+    cfg.faults.spike_prob = v;
+  } else if (key == "fault_spike_factor") {
+    if (v < 0.0) {
+      return fail(error, "fault_spike_factor must be non-negative");
+    }
+    cfg.faults.spike_factor = v;
+  } else if (key == "ship_jitter") {
+    if (v < 0.0) {
+      return fail(error, "ship_jitter must be non-negative");
+    }
+    cfg.ship_jitter = v;
+  } else if (key == "chaos_run_seconds") {
+    if (v < 0.0) {
+      return fail(error, "chaos_run_seconds must be non-negative");
+    }
+    cfg.chaos_run_seconds = v;
   } else {
-    return fail(error, "unknown config key: " + key);
+    // Quote the whole assignment, not just the key: in a config file the
+    // line number plus the offending text pinpoints the typo immediately.
+    return fail(error, "unknown config key '" + key + "' in '" + assignment + "'");
   }
   return true;
 }
@@ -255,11 +326,14 @@ void describe_config(std::ostream& out, const SystemConfig& cfg) {
   out << "seed=" << cfg.seed << '\n';
   out << "abort_restart_delay=" << cfg.abort_restart_delay << '\n';
   out << "max_reruns=" << cfg.max_reruns << '\n';
+  out << "livelock_backoff_after=" << cfg.livelock_backoff_after << '\n';
+  out << "livelock_backoff=" << cfg.livelock_backoff << '\n';
   out << "ideal_state_info=" << (cfg.ideal_state_info ? 1 : 0) << '\n';
   out << "geometric_call_count=" << (cfg.geometric_call_count ? 1 : 0) << '\n';
   out << "ship_timeout=" << cfg.ship_timeout << '\n';
   out << "ship_backoff=" << cfg.ship_backoff << '\n';
   out << "ship_max_retries=" << cfg.ship_max_retries << '\n';
+  out << "ship_jitter=" << cfg.ship_jitter << '\n';
   out << "obs_sample_interval=" << cfg.obs_sample_interval << '\n';
   out << "obs_span_sink=" << cfg.obs_span_sink << '\n';
   out << "report_top_k=" << cfg.report_top_k << '\n';
@@ -267,6 +341,14 @@ void describe_config(std::ostream& out, const SystemConfig& cfg) {
   out << "fault_random_link_duration=" << cfg.faults.random_link_outage_mean
       << '\n';
   out << "fault_random_horizon=" << cfg.faults.random_horizon << '\n';
+  out << "fault_dup_prob=" << cfg.faults.dup_prob << '\n';
+  out << "fault_dup_delay=" << cfg.faults.dup_extra << '\n';
+  out << "fault_reorder_prob=" << cfg.faults.reorder_prob << '\n';
+  out << "fault_reorder_window=" << cfg.faults.reorder_window << '\n';
+  out << "fault_spike_prob=" << cfg.faults.spike_prob << '\n';
+  out << "fault_spike_factor=" << cfg.faults.spike_factor << '\n';
+  out << "chaos_strategy=" << cfg.chaos_strategy << '\n';
+  out << "chaos_run_seconds=" << cfg.chaos_run_seconds << '\n';
   for (const FaultWindow& window : cfg.faults.windows) {
     out << "fault=" << format_fault_window(window) << '\n';
   }

@@ -12,8 +12,11 @@
 //   async_batch_window deadlock_victim (requester|youngest)
 //   class_b_mode (ship|remote-calls) seed abort_restart_delay max_reruns
 //   ideal_state_info (0|1) geometric_call_count (0|1)
-//   ship_timeout ship_backoff ship_max_retries
+//   ship_timeout ship_backoff ship_max_retries ship_jitter
 //   fault_random_link_rate fault_random_link_duration fault_random_horizon
+//   fault_dup_prob fault_dup_delay fault_reorder_prob fault_reorder_window
+//   fault_spike_prob fault_spike_factor
+//   chaos_strategy chaos_run_seconds (chaos repro envelope; docs/CHAOS.md)
 //   fault=<window> (repeatable, appends; "fault=clear" resets; see
 //   sim/fault_schedule.hpp parse_fault_window for the window grammar)
 //   (local_mips_per_site is programmatic-only: set it in code)

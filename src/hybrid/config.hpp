@@ -100,6 +100,17 @@ struct SystemConfig {
   std::uint64_t seed = 1;
   double abort_restart_delay = 0.0;  ///< optional backoff before a rerun, s
   int max_reruns = 1000;             ///< safety valve against livelock bugs
+  /// Deterministic livelock breaker (docs/PROTOCOL.md): once a transaction
+  /// has rerun more than `livelock_backoff_after` times, every further
+  /// restart stalls an extra
+  /// `livelock_backoff * (run_count - livelock_backoff_after)` seconds on
+  /// top of abort_restart_delay, de-synchronizing mutual-abort limit cycles
+  /// (two transactions deadlocking each other forever on identical re-run
+  /// lock sequences). The threshold sits far above any rerun count the
+  /// paper workloads reach, so runs that do not livelock are untouched.
+  /// livelock_backoff = 0 disables the breaker.
+  int livelock_backoff_after = 20;
+  double livelock_backoff = 0.1;
   bool ideal_state_info = false;     ///< strategies see fresh central state
 
   // ---- fault injection (sim/fault_schedule) ----
@@ -115,6 +126,21 @@ struct SystemConfig {
   double ship_timeout = 0.0;
   double ship_backoff = 2.0;  ///< timeout multiplier per retry (>= 1)
   int ship_max_retries = 2;   ///< reships before the local fallback (>= 0)
+
+  /// Seeded jitter on the ship-timeout backoff: each armed timer's delay is
+  /// scaled by 1 + ship_jitter * U[0,1) from a dedicated stream forked off
+  /// the config seed (de-synchronizes timeout storms). 0 (the default)
+  /// keeps the fixed backoff and forks no stream, so existing figures stay
+  /// byte-identical.
+  double ship_jitter = 0.0;
+
+  // ---- chaos-soak envelope (core/chaos, docs/CHAOS.md) ----
+  /// Strategy spec a chaos episode/repro config runs under
+  /// (routing parse_strategy_spec grammar); empty outside chaos files.
+  std::string chaos_strategy;
+  /// Seconds of open arrivals in a chaos episode before the drain phase;
+  /// 0 outside chaos repro files.
+  double chaos_run_seconds = 0.0;
 
   // ---- observability (obs/) ----
   /// Cadence of the time-series sampler, seconds; 0 (the default) disables
@@ -186,6 +212,8 @@ struct SystemConfig {
     HLS_ASSERT(ship_timeout >= 0, "negative ship timeout");
     HLS_ASSERT(ship_backoff >= 1.0, "ship_backoff must be at least 1");
     HLS_ASSERT(ship_max_retries >= 0, "negative ship retry budget");
+    HLS_ASSERT(ship_jitter >= 0, "negative ship jitter");
+    HLS_ASSERT(chaos_run_seconds >= 0, "negative chaos run window");
     HLS_ASSERT(obs_sample_interval >= 0, "negative sample interval");
     HLS_ASSERT(obs_span_sink.empty() ||
                    obs_span_sink.rfind("perfetto:", 0) == 0 ||

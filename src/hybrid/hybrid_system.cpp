@@ -43,6 +43,14 @@ HybridSystem::HybridSystem(SystemConfig cfg, std::unique_ptr<RoutingStrategy> st
     schedule_fault_transitions();
   }
 
+  // The ship-jitter stream follows the same rule: forked only when enabled.
+  // Fork order off rng_ is part of the determinism contract (tests
+  // reconstruct it): num_sites arrival forks above, the fault-schedule forks
+  // when armed, then this.
+  if (cfg_.ship_jitter > 0.0) {
+    ship_jitter_rng_ = rng_.fork();
+  }
+
   // The time-series sampler follows the same byte-parity rule: with the
   // default interval of 0 no event is ever scheduled. Sampler callbacks only
   // read state, so enabling it never changes Metrics for a given seed.
@@ -297,12 +305,20 @@ void HybridSystem::send_up(int site, UniqueFunction<void()> deliver) {
   // Transport always completes; if the central complex is down when the
   // message arrives, it queues in the recovery backlog (preserving arrival
   // order) instead of being processed. No message is ever truly lost.
-  sites_[site].up->send([this, cb = std::move(deliver)]() mutable {
-    if (!central_.alive) {
-      central_.backlog.push_back(std::move(cb));
-      return;
-    }
-    cb();
+  // The captured sequence number makes processing exactly-once-in-order even
+  // under message-level chaos: deliver_in_order drops duplicates and buffers
+  // early arrivals before the alive check runs, so the backlog too holds
+  // messages in origination order.
+  const std::uint64_t seq = sites_[site].up_seq.next_send++;
+  sites_[site].up->send([this, site, seq, cb = std::move(deliver)]() mutable {
+    deliver_in_order(sites_[site].up_seq, site, seq,
+                     [this, cb2 = std::move(cb)]() mutable {
+                       if (!central_.alive) {
+                         central_.backlog.push_back(std::move(cb2));
+                         return;
+                       }
+                       cb2();
+                     });
   });
 }
 
@@ -314,20 +330,67 @@ void HybridSystem::send_down(int site, UniqueFunction<void()> deliver) {
   snap.cpu_queue = static_cast<int>(central_.cpu->queue_length());
   snap.num_txns = central_.resident_txns;
   snap.locks_held = static_cast<int>(central_.locks->locks_held());
-  sites_[site].down->send([this, site, snap, cb = std::move(deliver)]() mutable {
-    if (!sites_[site].alive) {
-      // Delivered into a crashed site: defer processing (and the snapshot
-      // update) until recovery, in arrival order.
-      sites_[site].backlog.push_back(
-          [this, site, snap, cb2 = std::move(cb)]() mutable {
-            sites_[site].central_view = snap;
-            cb2();
-          });
+  const std::uint64_t seq = sites_[site].down_seq.next_send++;
+  sites_[site].down->send(
+      [this, site, seq, snap, cb = std::move(deliver)]() mutable {
+        deliver_in_order(
+            sites_[site].down_seq, site, seq,
+            [this, site, snap, cb2 = std::move(cb)]() mutable {
+              if (!sites_[site].alive) {
+                // Delivered into a crashed site: defer processing (and the
+                // snapshot update) until recovery, in arrival order.
+                sites_[site].backlog.push_back(
+                    [this, site, snap, cb3 = std::move(cb2)]() mutable {
+                      sites_[site].central_view = snap;
+                      cb3();
+                    });
+                return;
+              }
+              sites_[site].central_view = snap;
+              cb2();
+            });
+      });
+}
+
+void HybridSystem::deliver_in_order(MsgSequencer& q, int site,
+                                    std::uint64_t seq,
+                                    UniqueFunction<void()> process) {
+  if (seq < q.next_deliver) {
+    // Already processed: a duplicate delivery. The handler never runs, so
+    // every protocol step behind a sequence number is exactly-once.
+    ++metrics_.dup_msgs_dropped;
+    ++site_metrics_[site].dup_msgs_dropped;
+    return;
+  }
+  if (seq > q.next_deliver) {
+    // Ahead of a gap: some straggler with a lower sequence number is still
+    // in flight. First arrivals are buffered in sequence order until the
+    // gap fills; duplicates of an already-buffered message are dropped.
+    auto it = std::lower_bound(
+        q.held.begin(), q.held.end(), seq,
+        [](const auto& entry, std::uint64_t s) { return entry.first < s; });
+    if (it != q.held.end() && it->first == seq) {
+      ++metrics_.dup_msgs_dropped;
+      ++site_metrics_[site].dup_msgs_dropped;
       return;
     }
-    sites_[site].central_view = snap;
-    cb();
-  });
+    ++metrics_.msgs_resequenced;
+    ++site_metrics_[site].msgs_resequenced;
+    q.held.emplace(it, seq, std::move(process));
+    return;
+  }
+  ++q.next_deliver;
+  process();
+  // The gap just filled: release buffered successors in sequence order. A
+  // released handler may send new messages but never synchronously delivers
+  // on this same link (deliveries only come from scheduled link events), so
+  // the loop cannot re-enter.
+  while (!q.held.empty() && q.held.front().first == q.next_deliver) {
+    UniqueFunction<void()> next = std::move(q.held.front().second);
+    q.held.erase(q.held.begin());
+    ++q.next_deliver;
+    next();
+  }
 }
 
 void HybridSystem::complete(Transaction* txn, SimTime completion_time) {
@@ -799,8 +862,9 @@ void HybridSystem::local_abort(Transaction* txn, AbortCause cause,
     lm.cancel_waits(txn->id);  // defensive: commit-time aborts never wait
   }
   prepare_rerun(txn, cause);
-  if (cfg_.abort_restart_delay > 0.0) {
-    wait(cfg_.abort_restart_delay, txn, obs::Phase::Stall, txn->home_site,
+  const double restart_delay = restart_delay_for(txn);
+  if (restart_delay > 0.0) {
+    wait(restart_delay, txn, obs::Phase::Stall, txn->home_site,
          &HybridSystem::local_start_run);
   } else {
     local_start_run(txn);
@@ -1201,18 +1265,32 @@ void HybridSystem::central_abort_rerun(Transaction* txn, AbortCause cause,
 }
 
 void HybridSystem::schedule_central_restart(Transaction* txn) {
+  const double restart_delay = restart_delay_for(txn);
   if (is_rfc(*txn)) {
     // The abort outcome travels back to the home site before the rerun.
-    wait(cfg_.comm_delay + cfg_.abort_restart_delay, txn, obs::Phase::Stall,
+    wait(cfg_.comm_delay + restart_delay, txn, obs::Phase::Stall,
          txn->home_site, &HybridSystem::rfc_start_run);
     return;
   }
-  if (cfg_.abort_restart_delay > 0.0) {
-    wait(cfg_.abort_restart_delay, txn, obs::Phase::Stall, obs::kCentralTrack,
+  if (restart_delay > 0.0) {
+    wait(restart_delay, txn, obs::Phase::Stall, obs::kCentralTrack,
          &HybridSystem::central_start_run);
   } else {
     central_start_run(txn);
   }
+}
+
+double HybridSystem::restart_delay_for(const Transaction* txn) const {
+  double delay = cfg_.abort_restart_delay;
+  if (cfg_.livelock_backoff > 0.0 &&
+      txn->run_count > cfg_.livelock_backoff_after) {
+    // Linear growth de-synchronizes mutual-abort cycles: the members carry
+    // different run counts, so their stalls diverge until one of them gets
+    // a clear window to finish. Deterministic — no randomness needed.
+    delay += cfg_.livelock_backoff *
+             static_cast<double>(txn->run_count - cfg_.livelock_backoff_after);
+  }
+  return delay;
 }
 
 // --------------------------------------------------------------------------
@@ -1406,8 +1484,33 @@ void HybridSystem::schedule_fault_transitions() {
     site.up->set_fault_rng(link_rng.fork());
     site.down->set_fault_rng(link_rng.fork());
   }
+  // Steady-state message chaos applies from t = 0; msg_fault windows
+  // override the probabilities while active and their end transitions
+  // restore these values.
+  if (cfg_.faults.message_faults()) {
+    for (int s = 0; s < cfg_.num_sites; ++s) {
+      apply_msg_fault(s, cfg_.faults.dup_prob, cfg_.faults.reorder_prob,
+                      cfg_.faults.spike_prob, cfg_.faults.spike_factor);
+    }
+  }
   for (const FaultTransition& tr : schedule.transitions()) {
     sim_.schedule_at(tr.time, [this, tr] { apply_fault_transition(tr); });
+  }
+}
+
+double HybridSystem::effective_reorder_window() const {
+  return cfg_.faults.reorder_window > 0.0 ? cfg_.faults.reorder_window
+                                          : cfg_.comm_delay;
+}
+
+void HybridSystem::apply_msg_fault(int site, double dup_prob,
+                                   double reorder_prob, double spike_prob,
+                                   double spike_factor) {
+  SiteState& s = sites_[site];
+  for (Link* link : {s.up.get(), s.down.get()}) {
+    link->set_dup(dup_prob, cfg_.faults.dup_extra);
+    link->set_reorder(reorder_prob, effective_reorder_window());
+    link->set_delay_spike(spike_prob, spike_factor);
   }
 }
 
@@ -1443,6 +1546,18 @@ void HybridSystem::apply_fault_transition(const FaultTransition& tr) {
         sites_[s].down->set_delay_factor(tr.begin ? tr.delay_factor : 1.0);
         sites_[s].up->set_loss(tr.begin ? tr.loss_prob : 0.0);
         sites_[s].down->set_loss(tr.begin ? tr.loss_prob : 0.0);
+      }
+      return;
+    case FaultKind::MsgFault:
+      for (int s = lo; s <= hi; ++s) {
+        if (tr.begin) {
+          apply_msg_fault(s, tr.dup_prob, tr.reorder_prob, tr.spike_prob,
+                          tr.spike_factor);
+        } else {
+          // Restore the schedule's steady-state message-fault levels.
+          apply_msg_fault(s, cfg_.faults.dup_prob, cfg_.faults.reorder_prob,
+                          cfg_.faults.spike_prob, cfg_.faults.spike_factor);
+        }
       }
       return;
   }
@@ -1659,6 +1774,11 @@ void HybridSystem::arm_ship_timeout(Transaction* txn) {
   for (int i = 0; i < txn->ship_retries; ++i) {
     delay *= cfg_.ship_backoff;
   }
+  if (cfg_.ship_jitter > 0.0) {
+    // Seeded jitter de-synchronizes timeout storms: each armed timer draws
+    // once from the dedicated stream. Disabled (the default) draws nothing.
+    delay *= 1.0 + cfg_.ship_jitter * ship_jitter_rng_.next_double();
+  }
   // Keyed on ship_attempt, not epoch: central-side reruns bump the epoch but
   // the home site's timer must keep covering them; only a reclaim (which
   // bumps ship_attempt) or completion disarms it.
@@ -1753,6 +1873,19 @@ bool HybridSystem::site_up(int site) const {
   return sites_[site].alive;
 }
 
+HybridSystem::LinkFaultTotals HybridSystem::link_fault_totals() const {
+  LinkFaultTotals totals;
+  for (const SiteState& site : sites_) {
+    for (const Link* link : {site.up.get(), site.down.get()}) {
+      totals.retransmitted += link->messages_retransmitted();
+      totals.duplicated += link->messages_duplicated();
+      totals.reordered += link->messages_reordered();
+      totals.delay_spikes += link->delay_spikes();
+    }
+  }
+  return totals;
+}
+
 void HybridSystem::check_invariants() const {
   central_.locks->check_invariants();
   HLS_ASSERT(central_.resident_txns >= 0, "negative central residency");
@@ -1788,6 +1921,20 @@ void HybridSystem::check_invariants() const {
       HLS_ASSERT(site.backlog.empty() && site.recovery_queue.empty(),
                  "live site has unreplayed backlog or recovery queue");
     }
+    // Sequencer sanity: a resequencing buffer can only hold messages while
+    // the gap message is still on the wire, so an idle link direction must
+    // have an empty buffer and a fully caught-up cursor.
+    HLS_ASSERT(site.up_seq.next_deliver <= site.up_seq.next_send &&
+                   site.down_seq.next_deliver <= site.down_seq.next_send,
+               "message sequencer delivered more than was sent");
+    if (site.up->messages_in_flight() == 0) {
+      HLS_ASSERT(site.up_seq.held.empty(),
+                 "idle up link left messages in the resequencing buffer");
+    }
+    if (site.down->messages_in_flight() == 0) {
+      HLS_ASSERT(site.down_seq.held.empty(),
+                 "idle down link left messages in the resequencing buffer");
+    }
   }
   if (central_.alive) {
     HLS_ASSERT(central_.backlog.empty() && central_.recovery_queue.empty(),
@@ -1810,6 +1957,16 @@ void HybridSystem::check_invariants() const {
              "global ship_retries disagrees with sum over sites");
   HLS_ASSERT(metrics_.ship_fallbacks == site_fallbacks,
              "global ship_fallbacks disagrees with sum over sites");
+  std::uint64_t site_dup_drops = 0;
+  std::uint64_t site_resequenced = 0;
+  for (const SiteMetrics& sm : site_metrics_) {
+    site_dup_drops += sm.dup_msgs_dropped;
+    site_resequenced += sm.msgs_resequenced;
+  }
+  HLS_ASSERT(metrics_.dup_msgs_dropped == site_dup_drops,
+             "global dup_msgs_dropped disagrees with sum over sites");
+  HLS_ASSERT(metrics_.msgs_resequenced == site_resequenced,
+             "global msgs_resequenced disagrees with sum over sites");
 
   // Abort provenance is double-entry bookkeeping too. Per cause: the global
   // tally equals the sum of the victims' home-site tallies; overall: every

@@ -125,6 +125,16 @@ class HybridSystem {
     return static_cast<int>(arena_.live_count());
   }
 
+  /// Aggregated link-level fault counters over both directions of every
+  /// site's link (chaos oracles, fault-tolerance bench sweeps).
+  struct LinkFaultTotals {
+    std::uint64_t retransmitted = 0;
+    std::uint64_t duplicated = 0;
+    std::uint64_t reordered = 0;
+    std::uint64_t delay_spikes = 0;
+  };
+  [[nodiscard]] LinkFaultTotals link_fault_totals() const;
+
   /// Per-site response-time / shipping breakdown (same measurement window
   /// as metrics()).
   [[nodiscard]] const SiteMetrics& site_metrics(int site) const;
@@ -177,6 +187,21 @@ class HybridSystem {
     int locks_held = 0;
   };
 
+  /// Per-link-direction sequence numbering (docs/PROTOCOL.md "Message
+  /// sequence numbers and handler idempotence"). Every protocol message
+  /// carries the sender's next sequence number; the receiver processes
+  /// messages strictly in sequence, dropping duplicates and buffering
+  /// early arrivals until the gap fills. With a FIFO link this is pure
+  /// bookkeeping (two counter increments per message, no buffering), so
+  /// fault-free runs stay byte-identical; under message-level chaos it is
+  /// what makes the handlers idempotent.
+  struct MsgSequencer {
+    std::uint64_t next_send = 0;
+    std::uint64_t next_deliver = 0;
+    /// Early arrivals (seq > next_deliver), sorted by sequence number.
+    std::vector<std::pair<std::uint64_t, UniqueFunction<void()>>> held;
+  };
+
   struct SiteState {
     int index = 0;
     std::unique_ptr<FcfsResource> cpu;
@@ -189,6 +214,8 @@ class HybridSystem {
     double last_local_rt = 0.0;
     double last_shipped_rt = 0.0;
     CentralSnapshot central_view;  ///< last central state learned from messages
+    MsgSequencer up_seq;    ///< sequences site -> central messages
+    MsgSequencer down_seq;  ///< sequences central -> site messages
     // Asynchronous-update batching (config::async_batch_window > 0).
     std::vector<UpdateItem> pending_updates;
     bool flush_armed = false;
@@ -224,11 +251,21 @@ class HybridSystem {
             void (HybridSystem::*next)(Transaction*));
   void send_up(int site, UniqueFunction<void()> deliver);
   void send_down(int site, UniqueFunction<void()> deliver);
+  /// Receiver half of the sequence-number protocol: runs `process` when
+  /// `seq` is next in `q`'s order, drops it as a duplicate when already
+  /// processed/buffered, or buffers it ahead of a gap. `site` attributes
+  /// the dedup/resequence counters.
+  void deliver_in_order(MsgSequencer& q, int site, std::uint64_t seq,
+                        UniqueFunction<void()> process);
   void complete(Transaction* txn, SimTime completion_time);
   /// Books an abort: provenance (cause, winner from txn->marked_by, wasted
   /// attempt time) into metrics and the abort event, then resets the
   /// transaction's execution state for the next attempt.
   void prepare_rerun(Transaction* txn, AbortCause cause);
+  /// Stall before the next attempt: abort_restart_delay plus the livelock
+  /// breaker's growing backoff once run_count passes the configured
+  /// threshold (call after prepare_rerun bumped run_count).
+  [[nodiscard]] double restart_delay_for(const Transaction* txn) const;
 
   // ---- span tracer (all no-ops unless a sink subscribed to Span/Edge) ----
   /// Emits one phase span [begin, end] on `track` for `txn`.
@@ -321,6 +358,13 @@ class HybridSystem {
   /// schedule is non-empty, so fault-free runs fork no extra RNG streams).
   void schedule_fault_transitions();
   void apply_fault_transition(const FaultTransition& tr);
+  /// Installs message-level fault knobs on both directions of `site`'s link
+  /// (msg_fault window begin, or restore of the steady-state values).
+  void apply_msg_fault(int site, double dup_prob, double reorder_prob,
+                       double spike_prob, double spike_factor);
+  /// Straggler displacement bound: the configured reorder window, or one
+  /// link delay when unset.
+  [[nodiscard]] double effective_reorder_window() const;
   void central_crash();
   void central_recover();
   void site_crash(int site);
@@ -373,6 +417,7 @@ class HybridSystem {
   std::unique_ptr<RoutingStrategy> strategy_;
   TxnFactory factory_;
   Rng rng_;
+  Rng ship_jitter_rng_;  ///< forked only when cfg_.ship_jitter > 0
   std::vector<SiteState> sites_;
   CentralState central_;
   Metrics metrics_;

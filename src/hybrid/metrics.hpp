@@ -62,6 +62,12 @@ struct SiteMetrics {
   std::uint64_t ship_retries = 0;
   std::uint64_t ship_fallbacks = 0;
 
+  // ---- message-level chaos defenses, attributed to the link's site ----
+  // Same double-entry rule: check_invariants() asserts global == sum over
+  // sites for both.
+  std::uint64_t dup_msgs_dropped = 0;  ///< duplicate deliveries rejected
+  std::uint64_t msgs_resequenced = 0;  ///< out-of-order deliveries buffered
+
   // ---- abort provenance, attributed to the victim's home site ----
   // check_invariants() asserts the per-cause sums over sites equal the
   // global Metrics::aborts array entry for entry.
@@ -203,6 +209,14 @@ struct Metrics {
   std::uint64_t site_recoveries = 0;
   std::uint64_t backlog_replayed = 0;   ///< messages replayed at recovery
   std::uint64_t arrivals_rejected = 0;  ///< arrivals at a crashed site
+
+  // ---- message-level chaos defenses (zero without message faults) ----
+  /// Deliveries whose per-link sequence number was already processed or
+  /// already buffered (duplicate-delivery chaos); the handler never ran.
+  std::uint64_t dup_msgs_dropped = 0;
+  /// Deliveries that arrived ahead of a sequence gap (reordering chaos) and
+  /// were buffered until the gap filled; handlers ran in sequence order.
+  std::uint64_t msgs_resequenced = 0;
 
   // ---- window ----
   double measure_start = 0.0;

@@ -38,6 +38,15 @@ bool window_ok(const FaultWindow& w, int num_sites, std::string* error) {
       return fail(error, "link_degrade loss probability must be in [0, 1)");
     }
   }
+  if (w.kind == FaultKind::MsgFault) {
+    if (w.dup_prob < 0.0 || w.dup_prob >= 1.0 || w.reorder_prob < 0.0 ||
+        w.reorder_prob >= 1.0 || w.spike_prob < 0.0 || w.spike_prob >= 1.0) {
+      return fail(error, "msg_fault probabilities must be in [0, 1)");
+    }
+    if (w.spike_factor < 0.0) {
+      return fail(error, "msg_fault spike factor must be non-negative");
+    }
+  }
   return true;
 }
 
@@ -81,6 +90,18 @@ bool parse_site(const std::string& text, int* out, std::string* error) {
 
 }  // namespace
 
+bool FaultScheduleConfig::message_faults() const {
+  if (dup_prob > 0.0 || reorder_prob > 0.0 || spike_prob > 0.0) {
+    return true;
+  }
+  for (const FaultWindow& w : windows) {
+    if (w.kind == FaultKind::MsgFault) {
+      return true;
+    }
+  }
+  return false;
+}
+
 bool FaultScheduleConfig::validate(int num_sites, std::string* error) const {
   for (const FaultWindow& w : windows) {
     if (!window_ok(w, num_sites, error)) {
@@ -97,6 +118,17 @@ bool FaultScheduleConfig::validate(int num_sites, std::string* error) const {
                 "random link outages need a positive mean duration "
                 "(fault_random_link_duration)");
   }
+  if (dup_prob < 0.0 || dup_prob >= 1.0 || reorder_prob < 0.0 ||
+      reorder_prob >= 1.0 || spike_prob < 0.0 || spike_prob >= 1.0) {
+    return fail(error,
+                "steady message-fault probabilities (fault_dup_prob, "
+                "fault_reorder_prob, fault_spike_prob) must be in [0, 1)");
+  }
+  if (dup_extra < 0.0 || reorder_window < 0.0 || spike_factor < 0.0) {
+    return fail(error,
+                "message-fault delays (fault_dup_delay, fault_reorder_window, "
+                "fault_spike_factor) must be non-negative");
+  }
   return true;
 }
 
@@ -110,6 +142,10 @@ FaultSchedule::FaultSchedule(const FaultScheduleConfig& cfg, int num_sites,
     begin.begin = true;
     begin.delay_factor = w.delay_factor;
     begin.loss_prob = w.loss_prob;
+    begin.dup_prob = w.dup_prob;
+    begin.reorder_prob = w.reorder_prob;
+    begin.spike_prob = w.spike_prob;
+    begin.spike_factor = w.spike_factor;
     transitions_.push_back(begin);
 
     FaultTransition end = begin;
@@ -162,6 +198,8 @@ const char* fault_kind_name(FaultKind kind) {
       return "link_outage";
     case FaultKind::LinkDegrade:
       return "link_degrade";
+    case FaultKind::MsgFault:
+      return "msg_fault";
   }
   return "unknown";
 }
@@ -214,10 +252,29 @@ bool parse_fault_window(const std::string& text, FaultWindow* out,
         !parse_number(parts[5], &w.loss_prob)) {
       return fail(error, "bad link_degrade numbers in '" + text + "'");
     }
+  } else if (kind == "msg_fault") {
+    if (parts.size() != 8) {
+      return fail(error,
+                  "msg_fault takes <site|all>:<start>:<duration>:<dup_prob>:"
+                  "<reorder_prob>:<spike_prob>:<spike_factor>, got '" +
+                      text + "'");
+    }
+    w.kind = FaultKind::MsgFault;
+    if (!parse_site(parts[1], &w.site, error)) {
+      return false;
+    }
+    if (!parse_number(parts[2], &w.start) ||
+        !parse_number(parts[3], &w.duration) ||
+        !parse_number(parts[4], &w.dup_prob) ||
+        !parse_number(parts[5], &w.reorder_prob) ||
+        !parse_number(parts[6], &w.spike_prob) ||
+        !parse_number(parts[7], &w.spike_factor)) {
+      return fail(error, "bad msg_fault numbers in '" + text + "'");
+    }
   } else {
-    return fail(error,
-                "unknown fault kind '" + kind +
-                    "' (central_outage|site_outage|link_outage|link_degrade)");
+    return fail(error, "unknown fault kind '" + kind +
+                           "' (central_outage|site_outage|link_outage|"
+                           "link_degrade|msg_fault)");
   }
 
   // Window-local range checks run here so config files get a clear message
@@ -244,6 +301,10 @@ std::string format_fault_window(const FaultWindow& w) {
   out << w.start << ':' << w.duration;
   if (w.kind == FaultKind::LinkDegrade) {
     out << ':' << w.delay_factor << ':' << w.loss_prob;
+  }
+  if (w.kind == FaultKind::MsgFault) {
+    out << ':' << w.dup_prob << ':' << w.reorder_prob << ':' << w.spike_prob
+        << ':' << w.spike_factor;
   }
   return out.str();
 }

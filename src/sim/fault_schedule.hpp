@@ -23,6 +23,7 @@ enum class FaultKind : std::uint8_t {
   SiteOutage,     ///< a site's DB crashes; local txns abort, deliveries defer
   LinkOutage,     ///< both directions of a site's link hold traffic
   LinkDegrade,    ///< delay multiplier and/or retransmission loss on a link
+  MsgFault,       ///< message-level chaos: duplicates, reordering, delay spikes
 };
 
 /// One contiguous fault window [start, start + duration).
@@ -33,6 +34,13 @@ struct FaultWindow {
   double duration = 0.0;
   double delay_factor = 1.0;  ///< LinkDegrade: multiplier on the link delay
   double loss_prob = 0.0;     ///< LinkDegrade: per-message loss (retransmitted)
+  // MsgFault knobs (per-message probabilities while the window is active;
+  // the duplicate extra delay and reorder window come from the schedule's
+  // steady-state fields below):
+  double dup_prob = 0.0;      ///< MsgFault: duplicate-delivery probability
+  double reorder_prob = 0.0;  ///< MsgFault: straggler (reorder) probability
+  double spike_prob = 0.0;    ///< MsgFault: delay-spike probability
+  double spike_factor = 1.0;  ///< MsgFault: delay multiplier for a spiked message
 };
 
 /// Config-level description: explicit windows plus optional random link
@@ -47,12 +55,29 @@ struct FaultScheduleConfig {
   double random_link_outage_mean = 0.0;
   double random_horizon = 0.0;
 
+  // Steady-state message-level chaos, applied to every link for the whole
+  // run (msg_fault windows override the probabilities while active and
+  // restore these at the window end). dup_extra is the duplicate's delay
+  // after the primary delivery; reorder_window bounds how far a straggler
+  // slips (0 = one link delay).
+  double dup_prob = 0.0;
+  double dup_extra = 0.0;
+  double reorder_prob = 0.0;
+  double reorder_window = 0.0;
+  double spike_prob = 0.0;
+  double spike_factor = 1.0;
+
+  /// True when any steady-state or windowed message-level fault is active
+  /// somewhere in the schedule.
+  [[nodiscard]] bool message_faults() const;
+
   /// True when the schedule injects nothing; HybridSystem then skips all
   /// fault machinery (including the RNG forks) so fault-free runs are
   /// byte-identical to builds without this subsystem.
   [[nodiscard]] bool empty() const {
     return windows.empty() &&
-           (random_link_outage_rate <= 0.0 || random_horizon <= 0.0);
+           (random_link_outage_rate <= 0.0 || random_horizon <= 0.0) &&
+           dup_prob <= 0.0 && reorder_prob <= 0.0 && spike_prob <= 0.0;
   }
 
   /// User-facing validation (config files): returns false and fills `error`
@@ -68,6 +93,10 @@ struct FaultTransition {
   bool begin = true;
   double delay_factor = 1.0;
   double loss_prob = 0.0;
+  double dup_prob = 0.0;      ///< MsgFault begin: window probabilities
+  double reorder_prob = 0.0;
+  double spike_prob = 0.0;
+  double spike_factor = 1.0;
 };
 
 /// Expands a FaultScheduleConfig into a deterministic, time-sorted transition
@@ -94,6 +123,8 @@ class FaultSchedule {
 ///   site_outage:<site|all>:<start>:<duration>
 ///   link_outage:<site|all>:<start>:<duration>
 ///   link_degrade:<site|all>:<start>:<duration>:<delay_factor>:<loss_prob>
+///   msg_fault:<site|all>:<start>:<duration>:<dup_prob>:<reorder_prob>
+///            :<spike_prob>:<spike_factor>
 /// Returns false and fills `error` (user-facing message) on malformed input.
 [[nodiscard]] bool parse_fault_window(const std::string& text, FaultWindow* out,
                                       std::string* error = nullptr);

@@ -200,5 +200,104 @@ TEST(ConfigIo, FaultSiteRangeIsValidatedAfterWholeFile) {
   EXPECT_TRUE(parse_config_file(ok, SystemConfig{}).has_value());
 }
 
+TEST(ConfigIo, MessageChaosAndJitterKeysRoundTrip) {
+  SystemConfig cfg;
+  cfg.faults.dup_prob = 0.25;
+  cfg.faults.dup_extra = 0.04;
+  cfg.faults.reorder_prob = 0.3;
+  cfg.faults.reorder_window = 0.45;
+  cfg.faults.spike_prob = 0.1;
+  cfg.faults.spike_factor = 3.5;
+  cfg.ship_jitter = 0.2;
+  cfg.chaos_strategy = "failsafe@2.5:queue-length";
+  cfg.chaos_run_seconds = 12.5;
+  cfg.faults.windows.push_back(
+      {FaultKind::MsgFault, 2, 1.0, 2.0, 1.0, 0.0, 0.5, 0.4, 0.3, 6.0});
+
+  std::ostringstream out;
+  describe_config(out, cfg);
+  std::istringstream in(out.str());
+  const auto parsed = parse_config_file(in, SystemConfig{});
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_DOUBLE_EQ(parsed->faults.dup_prob, 0.25);
+  EXPECT_DOUBLE_EQ(parsed->faults.dup_extra, 0.04);
+  EXPECT_DOUBLE_EQ(parsed->faults.reorder_prob, 0.3);
+  EXPECT_DOUBLE_EQ(parsed->faults.reorder_window, 0.45);
+  EXPECT_DOUBLE_EQ(parsed->faults.spike_prob, 0.1);
+  EXPECT_DOUBLE_EQ(parsed->faults.spike_factor, 3.5);
+  EXPECT_DOUBLE_EQ(parsed->ship_jitter, 0.2);
+  EXPECT_EQ(parsed->chaos_strategy, "failsafe@2.5:queue-length");
+  EXPECT_DOUBLE_EQ(parsed->chaos_run_seconds, 12.5);
+  ASSERT_EQ(parsed->faults.windows.size(), 1u);
+  EXPECT_EQ(parsed->faults.windows[0].kind, FaultKind::MsgFault);
+  EXPECT_DOUBLE_EQ(parsed->faults.windows[0].dup_prob, 0.5);
+  EXPECT_DOUBLE_EQ(parsed->faults.windows[0].reorder_prob, 0.4);
+  EXPECT_DOUBLE_EQ(parsed->faults.windows[0].spike_prob, 0.3);
+  EXPECT_DOUBLE_EQ(parsed->faults.windows[0].spike_factor, 6.0);
+}
+
+TEST(ConfigIo, MessageChaosKeysRejectBadValues) {
+  SystemConfig cfg;
+  std::string error;
+  EXPECT_FALSE(apply_config_override(cfg, "fault_dup_prob=1.0", &error));
+  EXPECT_NE(error.find("fault_dup_prob"), std::string::npos);
+  EXPECT_FALSE(apply_config_override(cfg, "fault_dup_delay=-0.1", &error));
+  EXPECT_FALSE(apply_config_override(cfg, "fault_reorder_prob=-0.2", &error));
+  EXPECT_FALSE(apply_config_override(cfg, "fault_reorder_window=-1", &error));
+  EXPECT_FALSE(apply_config_override(cfg, "fault_spike_prob=2", &error));
+  EXPECT_FALSE(apply_config_override(cfg, "fault_spike_factor=-3", &error));
+  EXPECT_FALSE(apply_config_override(cfg, "ship_jitter=-0.5", &error));
+  EXPECT_FALSE(apply_config_override(cfg, "chaos_run_seconds=-1", &error));
+  // Failed overrides leave the config untouched.
+  EXPECT_DOUBLE_EQ(cfg.faults.dup_prob, 0.0);
+  EXPECT_DOUBLE_EQ(cfg.ship_jitter, 0.0);
+}
+
+TEST(ConfigIo, UnknownKeyErrorQuotesTheOffendingLine) {
+  SystemConfig cfg;
+  std::string error;
+  EXPECT_FALSE(apply_config_override(cfg, "fault_dup_probe=0.3", &error));
+  EXPECT_NE(error.find("'fault_dup_probe'"), std::string::npos);
+  EXPECT_NE(error.find("'fault_dup_probe=0.3'"), std::string::npos);
+}
+
+TEST(ConfigIo, SeedRoundTripsFullSixtyFourBits) {
+  // Chaos repros draw seeds from the whole 64-bit range; the parser must not
+  // route them through a double (2^53 mantissa) on the way back in.
+  SystemConfig cfg;
+  cfg.seed = 5057277406479545829ULL;  // > 2^62, not representable in double
+  std::ostringstream out;
+  describe_config(out, cfg);
+  std::istringstream in(out.str());
+  const auto parsed = parse_config_file(in, SystemConfig{});
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->seed, 5057277406479545829ULL);
+
+  std::string error;
+  EXPECT_FALSE(apply_config_override(cfg, "seed=abc", &error));
+  EXPECT_FALSE(apply_config_override(cfg, "seed=-3", &error));
+  EXPECT_EQ(cfg.seed, 5057277406479545829ULL);
+}
+
+TEST(ConfigIo, LivelockBreakerKeysRoundTripAndValidate) {
+  SystemConfig cfg;
+  cfg.livelock_backoff_after = 7;
+  cfg.livelock_backoff = 0.25;
+  std::ostringstream out;
+  describe_config(out, cfg);
+  std::istringstream in(out.str());
+  const auto parsed = parse_config_file(in, SystemConfig{});
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->livelock_backoff_after, 7);
+  EXPECT_DOUBLE_EQ(parsed->livelock_backoff, 0.25);
+
+  std::string error;
+  EXPECT_FALSE(
+      apply_config_override(cfg, "livelock_backoff_after=-1", &error));
+  EXPECT_FALSE(apply_config_override(cfg, "livelock_backoff=-0.5", &error));
+  EXPECT_EQ(cfg.livelock_backoff_after, 7);
+  EXPECT_DOUBLE_EQ(cfg.livelock_backoff, 0.25);
+}
+
 }  // namespace
 }  // namespace hls

@@ -2,6 +2,8 @@
 // youngest-on-cycle).
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "hybrid/hybrid_system.hpp"
 #include "model/params.hpp"
 #include "routing/basic_strategies.hpp"
@@ -125,6 +127,96 @@ TEST(DeadlockPolicy, CentralDeadlocksHonourThePolicy) {
   EXPECT_EQ(sys.metrics().completions, 2u);
   EXPECT_GE(sys.metrics().aborts[static_cast<int>(AbortCause::Deadlock)], 1u);
   EXPECT_EQ(sys.central_locks().locks_held(), 0u);
+}
+
+// ---- livelock breaker ----
+//
+// restart_delay_for adds livelock_backoff * (run_count -
+// livelock_backoff_after) to every restart once run_count passes the
+// threshold. Pinned by exact equivalence: the victim of a single deadlock
+// carries run_count 1, so with threshold 0 its one stall must equal a plain
+// abort_restart_delay of the same magnitude — the two whole schedules are
+// identical to 1e-9 — and with threshold 1 the breaker must be perfectly
+// inert. The cumulative (growing) behavior is pinned by the chaos repro
+// regression in tests/core/chaos_test.cpp.
+
+double deadlock_pair_rt_sum(const SystemConfig& cfg) {
+  HybridSystem sys(cfg, std::make_unique<AlwaysLocalStrategy>());
+  sys.inject_transaction(two_lock_txn(1, 0, 5, 6));
+  sys.inject_transaction(two_lock_txn(2, 0, 6, 5));
+  sys.simulator().run();
+  EXPECT_EQ(sys.metrics().completions, 2u);
+  EXPECT_GE(sys.metrics().aborts[static_cast<int>(AbortCause::Deadlock)], 1u);
+  sys.check_invariants();
+  return sys.metrics().rt_all.sum();
+}
+
+TEST(LivelockBreaker, PastThresholdStallsExactlyLikeAbortRestartDelay) {
+  SystemConfig plain = quiet_config(DeadlockVictim::Requester);
+  plain.abort_restart_delay = 0.37;
+  plain.livelock_backoff = 0.0;
+
+  SystemConfig breaker = quiet_config(DeadlockVictim::Requester);
+  breaker.livelock_backoff_after = 0;  // every rerun is past the threshold
+  breaker.livelock_backoff = 0.37;     // x (run_count - 0) = 0.37 on run 1
+
+  const double rt_plain = deadlock_pair_rt_sum(plain);
+  const double rt_breaker = deadlock_pair_rt_sum(breaker);
+  EXPECT_NEAR(rt_breaker, rt_plain, 1e-9);
+
+  // Sanity: the stall is real — dropping it changes the schedule.
+  SystemConfig none = quiet_config(DeadlockVictim::Requester);
+  none.livelock_backoff = 0.0;
+  EXPECT_GT(std::abs(deadlock_pair_rt_sum(none) - rt_plain), 1e-3);
+}
+
+TEST(LivelockBreaker, BelowThresholdIsPerfectlyInert) {
+  SystemConfig none = quiet_config(DeadlockVictim::Requester);
+  none.livelock_backoff = 0.0;
+
+  // Threshold 1: the victim's run_count of 1 is not > 1, so no stall.
+  SystemConfig below = quiet_config(DeadlockVictim::Requester);
+  below.livelock_backoff_after = 1;
+  below.livelock_backoff = 0.37;
+
+  // Defaults (threshold 20) are equally untouched in non-pathological runs.
+  const SystemConfig defaults = quiet_config(DeadlockVictim::Requester);
+
+  const double rt_none = deadlock_pair_rt_sum(none);
+  EXPECT_NEAR(deadlock_pair_rt_sum(below), rt_none, 1e-9);
+  EXPECT_NEAR(deadlock_pair_rt_sum(defaults), rt_none, 1e-9);
+}
+
+TEST(LivelockBreaker, CentralRestartPathHonoursTheBackoff) {
+  // Same equivalence through central_abort_rerun / schedule_central_restart:
+  // a class B deadlock at the central complex (requester victim).
+  auto class_b = [](TxnId id, int site, LockId a, LockId b) {
+    Transaction txn;
+    txn.id = id;
+    txn.cls = TxnClass::B;
+    txn.home_site = site;
+    txn.locks = {{a, LockMode::Exclusive}, {b, LockMode::Exclusive}};
+    txn.call_io = {true, true};
+    return txn;
+  };
+  auto rt_sum = [&class_b](const SystemConfig& cfg) {
+    HybridSystem sys(cfg, std::make_unique<AlwaysLocalStrategy>());
+    sys.inject_transaction(class_b(1, 0, 100, 200));
+    sys.inject_transaction(class_b(2, 1, 200, 100));
+    sys.simulator().run();
+    EXPECT_EQ(sys.metrics().completions, 2u);
+    EXPECT_GE(sys.metrics().aborts[static_cast<int>(AbortCause::Deadlock)],
+              1u);
+    sys.check_invariants();
+    return sys.metrics().rt_all.sum();
+  };
+  SystemConfig plain = quiet_config(DeadlockVictim::Requester);
+  plain.abort_restart_delay = 0.41;
+  plain.livelock_backoff = 0.0;
+  SystemConfig breaker = quiet_config(DeadlockVictim::Requester);
+  breaker.livelock_backoff_after = 0;
+  breaker.livelock_backoff = 0.41;
+  EXPECT_NEAR(rt_sum(breaker), rt_sum(plain), 1e-9);
 }
 
 TEST(FindCycle, ReportsMembersInOrder) {

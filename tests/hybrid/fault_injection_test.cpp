@@ -12,6 +12,7 @@
 #include "hybrid/hybrid_system.hpp"
 #include "routing/basic_strategies.hpp"
 #include "routing/failure_aware.hpp"
+#include "util/random.hpp"
 
 namespace hls {
 namespace {
@@ -73,6 +74,50 @@ TEST(FaultInjection, ShipTimeoutLadderFallsBackToLocalExactTiming) {
   EXPECT_EQ(sys.metrics().central_recoveries, 1u);
   EXPECT_EQ(sys.metrics().backlog_replayed, 4u);
   EXPECT_EQ(sys.local_locks(0).coherence_count(5), 0u);  // update acknowledged
+  EXPECT_EQ(sys.live_transactions(), 0);
+  sys.check_invariants();
+}
+
+TEST(FaultInjection, ShipTimeoutJitterLadderExactTiming) {
+  SystemConfig cfg = quiet_config();
+  cfg.seed = 3;
+  cfg.ship_timeout = 1.0;
+  cfg.ship_backoff = 2.0;
+  cfg.ship_max_retries = 1;
+  cfg.ship_jitter = 0.5;
+  cfg.faults.windows.push_back({FaultKind::CentralOutage, -1, 0.0, 100.0, 1.0, 0.0});
+  HybridSystem sys(cfg, std::make_unique<AlwaysCentralStrategy>());
+
+  // Replica of the dedicated jitter stream, reconstructed with the
+  // constructor's documented fork order: num_sites arrival forks off the
+  // root, the two fault-schedule forks (the schedule is non-empty), then
+  // the jitter fork. Each armed timer draws exactly once.
+  Rng root(cfg.seed ^ 0xA5A5A5A5A5A5A5A5ULL);
+  for (int s = 0; s < cfg.num_sites; ++s) {
+    (void)root.fork();  // per-site arrival process
+  }
+  (void)root.fork();  // FaultSchedule expansion
+  (void)root.fork();  // link fault-stream parent
+  Rng jitter = root.fork();
+  const double u0 = jitter.next_double();
+  const double u1 = jitter.next_double();
+
+  sys.inject_transaction(
+      custom_txn(1, TxnClass::A, 0, {{5, LockMode::Exclusive}}));
+  sys.simulator().run();
+
+  // Timer i sleeps ship_timeout * backoff^i * (1 + jitter * u_i): the first
+  // timeout lands at t1, the retry's at t1 + 2 * (1 + 0.5 * u1), which
+  // exhausts the budget and falls back to the local rerun behind the 0.005 s
+  // hold-expiry burst — the fixed-backoff ladder shifted by the two draws.
+  const double t1 = 1.0 * (1.0 + 0.5 * u0);
+  const double t2 = t1 + 2.0 * (1.0 + 0.5 * u1);
+  ASSERT_EQ(sys.metrics().completions, 1u);
+  EXPECT_EQ(sys.metrics().ship_timeouts, 2u);
+  EXPECT_EQ(sys.metrics().ship_retries, 1u);
+  EXPECT_EQ(sys.metrics().ship_fallbacks, 1u);
+  EXPECT_EQ(sys.metrics().completions_local_a, 1u);
+  EXPECT_NEAR(sys.metrics().rt_local_a.mean(), t2 + 0.005 + kLocalXCost, 1e-9);
   EXPECT_EQ(sys.live_transactions(), 0);
   sys.check_invariants();
 }

@@ -32,6 +32,7 @@ struct GridPoint {
   std::uint64_t seed;
   StrategyKind strategy;
   bool faulted;
+  bool chaos;  ///< steady message-level chaos plus a msg_fault window
 };
 
 SystemConfig grid_config(const GridPoint& gp) {
@@ -45,6 +46,16 @@ SystemConfig grid_config(const GridPoint& gp) {
         {FaultKind::CentralOutage, -1, 10.0, 6.0, 1.0, 0.0});
     cfg.faults.windows.push_back(
         {FaultKind::SiteOutage, 1, 25.0, 5.0, 1.0, 0.0});
+  }
+  if (gp.chaos) {
+    cfg.faults.dup_prob = 0.15;
+    cfg.faults.dup_extra = 0.05;
+    cfg.faults.reorder_prob = 0.15;
+    cfg.faults.reorder_window = 0.3;
+    cfg.faults.spike_prob = 0.1;
+    cfg.faults.spike_factor = 3.0;
+    cfg.faults.windows.push_back(
+        {FaultKind::MsgFault, -1, 12.0, 8.0, 1.0, 0.0, 0.45, 0.45, 0.2, 5.0});
   }
   return cfg;
 }
@@ -77,6 +88,31 @@ TEST_P(ConservationTest, HoldsAfterDrain) {
     EXPECT_EQ(m.arrivals_rejected, 0u);
   }
   sys.check_invariants();
+
+  // ---- message-chaos double entry ----
+  // Every link-level duplication is rejected exactly once by the handlers'
+  // sequence-number dedup, resequencing only happens when the links actually
+  // inverted deliveries, and the per-site counters sum to the global books.
+  const HybridSystem::LinkFaultTotals lf = sys.link_fault_totals();
+  EXPECT_EQ(m.dup_msgs_dropped, lf.duplicated);
+  if (lf.reordered == 0) {
+    EXPECT_EQ(m.msgs_resequenced, 0u);
+  }
+  std::uint64_t dup_sum = 0;
+  std::uint64_t reseq_sum = 0;
+  for (int s = 0; s < cfg.num_sites; ++s) {
+    dup_sum += sys.site_metrics(s).dup_msgs_dropped;
+    reseq_sum += sys.site_metrics(s).msgs_resequenced;
+  }
+  EXPECT_EQ(dup_sum, m.dup_msgs_dropped);
+  EXPECT_EQ(reseq_sum, m.msgs_resequenced);
+  if (gp.chaos) {
+    EXPECT_GT(lf.duplicated, 0u);
+    EXPECT_GT(m.msgs_resequenced, 0u);
+  } else {
+    EXPECT_EQ(m.dup_msgs_dropped, 0u);
+    EXPECT_EQ(m.msgs_resequenced, 0u);
+  }
 
   // ---- abort-provenance double entry ----
   // check_invariants() already HLS_ASSERTs these; restating them as EXPECTs
@@ -157,13 +193,16 @@ TEST_P(ConservationTest, HoldsAfterDrain) {
 INSTANTIATE_TEST_SUITE_P(
     Grid, ConservationTest,
     ::testing::Values(
-        GridPoint{1, StrategyKind::NoLoadSharing, false},
-        GridPoint{1, StrategyKind::MinAverageNsys, false},
-        GridPoint{1, StrategyKind::StaticProbability, false},
-        GridPoint{7, StrategyKind::MinAverageNsys, false},
-        GridPoint{7, StrategyKind::MinAverageNsys, true},
-        GridPoint{42, StrategyKind::StaticProbability, true},
-        GridPoint{42, StrategyKind::QueueLength, true}));
+        GridPoint{1, StrategyKind::NoLoadSharing, false, false},
+        GridPoint{1, StrategyKind::MinAverageNsys, false, false},
+        GridPoint{1, StrategyKind::StaticProbability, false, false},
+        GridPoint{7, StrategyKind::MinAverageNsys, false, false},
+        GridPoint{7, StrategyKind::MinAverageNsys, true, false},
+        GridPoint{42, StrategyKind::StaticProbability, true, false},
+        GridPoint{42, StrategyKind::QueueLength, true, false},
+        GridPoint{11, StrategyKind::MinAverageNsys, false, true},
+        GridPoint{11, StrategyKind::StaticProbability, true, true},
+        GridPoint{42, StrategyKind::QueueLength, true, true}));
 
 }  // namespace
 }  // namespace hls

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdint>
+#include <utility>
 #include <vector>
 
 namespace hls {
@@ -189,6 +192,163 @@ TEST(Link, LossRetransmitsDeterministicallyAndKeepsOrder) {
   EXPECT_GT(first_retx, 0u);  // p = 0.5 over 40 messages: ~40 losses expected
   EXPECT_EQ(first_retx, second_retx);
   EXPECT_EQ(first_times, second_times);  // bit-identical at the same seed
+}
+
+TEST(Link, DuplicateDeliveryFiresTwiceAtExactTimes) {
+  // Reference-model check: replay the fault stream beside the link and
+  // predict every delivery instant. With only set_dup armed, dispatch draws
+  // exactly one bernoulli per message; a duplicated message delivers at the
+  // FIFO time and again dup_extra later, and still advances the FIFO floor.
+  Simulator sim;
+  Link link(sim, 0.2, "l");
+  link.set_fault_rng(Rng(42));
+  link.set_dup(0.5, 0.03);
+  std::vector<double> deliveries;
+  for (int i = 0; i < 20; ++i) {
+    sim.schedule_at(0.5 * i, [&] { link.send([&] { deliveries.push_back(sim.now()); }); });
+  }
+  sim.run();
+
+  Rng replica(42);
+  std::vector<double> expected;
+  std::uint64_t dup_count = 0;
+  for (int i = 0; i < 20; ++i) {
+    const double at = 0.5 * i + 0.2;  // spaced sends: the FIFO floor never binds
+    expected.push_back(at);
+    if (replica.bernoulli(0.5)) {
+      ++dup_count;
+      expected.push_back(at + 0.03);
+    }
+  }
+  EXPECT_GT(dup_count, 0u);
+  EXPECT_EQ(link.messages_duplicated(), dup_count);
+  // The callback ran once per primary + once per duplicate copy; delivered_
+  // counts primaries only (conservation of sent vs delivered).
+  EXPECT_EQ(link.messages_delivered(), 20u);
+  ASSERT_EQ(deliveries.size(), expected.size());
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_NEAR(deliveries[i], expected[i], 1e-9) << "delivery " << i;
+  }
+}
+
+TEST(Link, ReorderStragglerSlipsByExactUniformDrawAndCanBeOvertaken) {
+  // Draw order with only set_reorder armed: one bernoulli per message, plus
+  // one uniform(0, window) for a straggler. A straggler leaves the FIFO
+  // floor untouched, so later traffic may overtake it.
+  Simulator sim;
+  Link link(sim, 0.2, "l");
+  link.set_fault_rng(Rng(7));
+  link.set_reorder(0.5, 0.4);
+  std::vector<std::pair<int, double>> deliveries;
+  for (int i = 0; i < 20; ++i) {
+    sim.schedule_at(0.05 * i, [&, i] {
+      link.send([&, i] { deliveries.emplace_back(i, sim.now()); });
+    });
+  }
+  sim.run();
+
+  Rng replica(7);
+  std::vector<std::pair<int, double>> expected;
+  double fifo_floor = 0.0;
+  std::uint64_t straggled = 0;
+  for (int i = 0; i < 20; ++i) {
+    const double fifo_at = std::max(0.05 * i + 0.2, fifo_floor);
+    if (replica.bernoulli(0.5)) {
+      ++straggled;
+      expected.emplace_back(i, fifo_at + replica.uniform(0.0, 0.4));
+    } else {
+      fifo_floor = fifo_at;
+      expected.emplace_back(i, fifo_at);
+    }
+  }
+  EXPECT_GT(straggled, 0u);
+  EXPECT_EQ(link.messages_reordered(), straggled);
+  // Actual deliveries arrive in time order; sort the model's send-order list
+  // the same way (stable: simultaneous deliveries keep schedule order).
+  std::stable_sort(expected.begin(), expected.end(),
+                   [](const auto& a, const auto& b) { return a.second < b.second; });
+  ASSERT_EQ(deliveries.size(), expected.size());
+  bool any_overtake = false;
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(deliveries[i].first, expected[i].first) << "position " << i;
+    EXPECT_NEAR(deliveries[i].second, expected[i].second, 1e-9);
+    if (i > 0 && deliveries[i].first < deliveries[i - 1].first) {
+      any_overtake = true;
+    }
+  }
+  EXPECT_TRUE(any_overtake);  // seed 7 produces at least one real inversion
+}
+
+TEST(Link, DelaySpikeMultipliesAndStillHoldsFifoOrder) {
+  // A spiked message keeps its place in the FIFO stream: the inflated delay
+  // raises the floor and back-to-back traffic queues behind it.
+  Simulator sim;
+  Link link(sim, 0.2, "l");
+  link.set_fault_rng(Rng(11));
+  link.set_delay_spike(0.5, 4.0);
+  std::vector<std::pair<int, double>> deliveries;
+  for (int i = 0; i < 12; ++i) {
+    sim.schedule_at(0.05 * i, [&, i] {
+      link.send([&, i] { deliveries.emplace_back(i, sim.now()); });
+    });
+  }
+  sim.run();
+
+  Rng replica(11);
+  double fifo_floor = 0.0;
+  std::uint64_t spiked = 0;
+  ASSERT_EQ(deliveries.size(), 12u);
+  for (int i = 0; i < 12; ++i) {
+    double delay = 0.2;
+    if (replica.bernoulli(0.5)) {
+      ++spiked;
+      delay *= 4.0;
+    }
+    fifo_floor = std::max(0.05 * i + delay, fifo_floor);
+    EXPECT_EQ(deliveries[static_cast<std::size_t>(i)].first, i);
+    EXPECT_NEAR(deliveries[static_cast<std::size_t>(i)].second, fifo_floor, 1e-9);
+  }
+  EXPECT_GT(spiked, 0u);
+  EXPECT_EQ(link.delay_spikes(), spiked);
+}
+
+struct FaultCounters {
+  std::uint64_t retransmitted = 0;
+  std::uint64_t duplicated = 0;
+  std::uint64_t reordered = 0;
+  std::uint64_t delay_spikes = 0;
+};
+
+TEST(Link, ComposedChaosIsDeterministicAtTheSameSeed) {
+  auto run_once = [](std::vector<double>* times, FaultCounters* counts) {
+    Simulator sim;
+    Link link(sim, 0.1, "l");
+    link.set_fault_rng(Rng(1234));
+    link.set_loss(0.2);
+    link.set_dup(0.3, 0.02);
+    link.set_reorder(0.3, 0.25);
+    link.set_delay_spike(0.2, 3.0);
+    for (int i = 0; i < 60; ++i) {
+      sim.schedule_at(0.02 * i, [&] {
+        link.send([&] { times->push_back(sim.now()); });
+      });
+    }
+    sim.run();
+    *counts = {link.messages_retransmitted(), link.messages_duplicated(),
+               link.messages_reordered(), link.delay_spikes()};
+  };
+  std::vector<double> first, second;
+  FaultCounters c1, c2;
+  run_once(&first, &c1);
+  run_once(&second, &c2);
+  EXPECT_GT(c1.duplicated, 0u);
+  EXPECT_GT(c1.reordered, 0u);
+  EXPECT_GT(c1.delay_spikes, 0u);
+  EXPECT_EQ(c1.retransmitted, c2.retransmitted);
+  EXPECT_EQ(c1.duplicated, c2.duplicated);
+  EXPECT_EQ(c1.reordered, c2.reordered);
+  EXPECT_EQ(c1.delay_spikes, c2.delay_spikes);
+  EXPECT_EQ(first, second);  // bit-identical chaos at the same seed
 }
 
 TEST(Link, ManyMessagesArriveInOrderUnderSimultaneousSends) {
