@@ -7,18 +7,19 @@
 # Values come from the benches' csv rows, so the snapshot is deterministic:
 # same binary + seed + scale => byte-identical JSON.
 #
-# Usage: scripts/bench_snapshot.sh [N]      (default N=5, this PR's number)
+# Usage: scripts/bench_snapshot.sh [N]      (default N=6, this PR's number)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BUILD=${BUILD_DIR:-build}
-N=${1:-5}
+N=${1:-6}
 SCALE=${HLS_TIME_SCALE:-0.05}
 OUT="BENCH_${N}.json"
 
 cmake -B "$BUILD" -G Ninja >/dev/null
 cmake --build "$BUILD" -j --target fig_4_1_response_time tbl_abort_statistics \
-  tbl_abort_provenance obs_overhead micro_kernel >/dev/null
+  tbl_abort_provenance obs_overhead micro_kernel abl_adaptive_routing \
+  >/dev/null
 
 tmp=$(mktemp -d)
 trap 'rm -f "$tmp"/*.out; rmdir "$tmp"' EXIT
@@ -27,6 +28,7 @@ HLS_TIME_SCALE=$SCALE "./$BUILD/bench/fig_4_1_response_time" >"$tmp/fig41.out"
 HLS_TIME_SCALE=$SCALE "./$BUILD/bench/tbl_abort_statistics" >"$tmp/aborts.out"
 HLS_TIME_SCALE=$SCALE "./$BUILD/bench/tbl_abort_provenance" >"$tmp/prov.out"
 HLS_TIME_SCALE=$SCALE "./$BUILD/bench/obs_overhead" >"$tmp/obs.out"
+HLS_TIME_SCALE=$SCALE "./$BUILD/bench/abl_adaptive_routing" >"$tmp/adapt.out"
 # Large-topology kernel throughput runs at full scale: at the snapshot
 # HLS_TIME_SCALE the walls are sub-millisecond and the rate is pure noise.
 HLS_TIME_SCALE=1 "./$BUILD/bench/micro_kernel" --large-only >"$tmp/kernel.out"
@@ -81,6 +83,17 @@ grab(f"{tmpdir}/prov.out", "tbl_abort_provenance",
 grab(f"{tmpdir}/obs.out", "obs_overhead",
      ["cpu_s", "overhead_pct", "events_or_rows"])
 
+# Adaptive ablation: one entry per strategy row (the last row of the block
+# would record only the final static cell), keyed by the strategy column.
+for header, rows in csv_blocks(f"{tmpdir}/adapt.out"):
+    if "rt_a_mean" not in header:
+        continue
+    for row in rows:
+        strategy = row[header.index("strategy")]
+        for col in ("rt_a_mean", "ship_frac", "decisions", "final_F"):
+            value = row[header.index(col)]
+            out[f"abl_adaptive_routing.{strategy}.{col}"] = float(value)
+
 # micro_kernel large topology: one entry per row (10/100/1000 sites), keyed
 # by the sites column. The event/txn counts are deterministic fingerprints;
 # events_per_sec is wall-clock (machine-dependent, tracked for trend only).
@@ -95,7 +108,7 @@ for header, rows in csv_blocks(f"{tmpdir}/kernel.out"):
 out["_meta"] = {"snapshot": int(n), "time_scale": float(scale),
                 "benches": ["fig_4_1_response_time", "tbl_abort_statistics",
                             "tbl_abort_provenance", "obs_overhead",
-                            "micro_kernel"]}
+                            "abl_adaptive_routing", "micro_kernel"]}
 
 import json
 print(json.dumps(out, indent=2, sort_keys=True))

@@ -76,6 +76,12 @@ echo "determinism smoke: fig_4_2 stdout byte-identical at HLS_JOBS=1 vs 4"
 HLS_TIME_SCALE=0.05 "./$BUILD/bench/abl_fault_tolerance" >/dev/null 2>&1
 echo "fault smoke: abl_fault_tolerance drained every faulted cell"
 
+# Adaptive-routing gate: the non-stationary ablation self-checks that the
+# abort-provenance controller's class-A response time is no worse than the
+# best hand-picked static threshold, and that every cell drains to zero.
+HLS_TIME_SCALE=0.05 "./$BUILD/bench/abl_adaptive_routing" >/dev/null 2>&1
+echo "adaptive gate: abl_adaptive_routing beat the best static F and drained"
+
 # Chaos soak: fixed-seed generated episodes (random config x strategy x
 # composed fault schedule) run to drain, twice each, against the full oracle
 # stack — invariants, drain-to-zero, conservation, phase-sum, provenance and
@@ -86,6 +92,14 @@ chaos_episodes=${HLS_CHAOS_EPISODES:-100}
 HLS_CHAOS_EPISODES=$chaos_episodes "./$BUILD/tools/chaos_soak" \
   --seed=20260808 --shrink-out="$BUILD/chaos_repro.conf" >/dev/null
 echo "chaos soak: ${chaos_episodes} episodes passed the full oracle stack"
+
+# The same soak with every episode forced onto the adaptive controller, so
+# its review epochs, backoff and collision-policy flips run under the full
+# chaos oracle stack (drain, conservation, byte-identical replay).
+HLS_CHAOS_EPISODES=$chaos_episodes "./$BUILD/tools/chaos_soak" \
+  --seed=20260808 --strategy=adapt:min-average-nsys \
+  --shrink-out="$BUILD/chaos_repro_adapt.conf" >/dev/null
+echo "chaos soak: ${chaos_episodes} adapt:-forced episodes passed"
 
 # Span-trace smoke: trace_inspector end to end on its faulted run with the
 # Perfetto exporter attached, then schema-check the JSON (parses, pid/tid/
@@ -143,8 +157,10 @@ if cmake -B "$ASAN_BUILD" -G Ninja -DHLS_SANITIZE=address -DHLS_WERROR=ON \
     cmake --build "$ASAN_BUILD" -j --target abl_fault_tolerance \
       golden_metrics_test conservation_test phase_breakdown_test \
       abort_provenance_test span_trace_test report_test chaos_soak \
+      adaptive_test adaptive_controller_test abl_adaptive_routing \
       >/dev/null 2>&1; then
   HLS_TIME_SCALE=0.05 "./$ASAN_BUILD/bench/abl_fault_tolerance" >/dev/null
+  HLS_TIME_SCALE=0.05 "./$ASAN_BUILD/bench/abl_adaptive_routing" >/dev/null
   # The same fixed-seed soak under asan: chaos episodes walk the dedup /
   # resequencing / crash-replay paths where lifetime bugs would hide.
   HLS_CHAOS_EPISODES=$chaos_episodes "./$ASAN_BUILD/tools/chaos_soak" \
@@ -159,7 +175,11 @@ if cmake -B "$ASAN_BUILD" -G Ninja -DHLS_SANITIZE=address -DHLS_WERROR=ON \
   "./$ASAN_BUILD/tests/abort_provenance_test" >/dev/null
   "./$ASAN_BUILD/tests/span_trace_test" >/dev/null
   "./$ASAN_BUILD/tests/report_test" >/dev/null
-  echo "asan: abl_fault_tolerance + chaos soak + golden/conservation/phase/provenance suites clean"
+  # The adaptive-controller suites: review epochs mutate routing state from
+  # inside the event loop, the exact place a lifetime bug would hide.
+  "./$ASAN_BUILD/tests/adaptive_test" >/dev/null
+  "./$ASAN_BUILD/tests/adaptive_controller_test" >/dev/null
+  echo "asan: abl_fault_tolerance + adaptive gate + chaos soak + golden/conservation/phase/provenance/adaptive suites clean"
 else
   echo "asan: unavailable in this toolchain; skipped"
 fi

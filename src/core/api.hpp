@@ -18,6 +18,7 @@
 #include "model/analytic_model.hpp"   // IWYU pragma: export
 #include "model/dynamic_estimator.hpp"  // IWYU pragma: export
 #include "model/static_optimizer.hpp"   // IWYU pragma: export
+#include "routing/adaptive.hpp"   // IWYU pragma: export
 #include "routing/analytic_strategies.hpp"  // IWYU pragma: export
 #include "routing/basic_strategies.hpp"     // IWYU pragma: export
 #include "routing/factory.hpp"    // IWYU pragma: export

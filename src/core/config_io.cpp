@@ -249,6 +249,26 @@ bool apply_config_override(SystemConfig& cfg, const std::string& assignment,
       return fail(error, "chaos_run_seconds must be non-negative");
     }
     cfg.chaos_run_seconds = v;
+  } else if (key == "adapt_interval") {
+    if (v < 0.0) {
+      return fail(error, "adapt_interval must be non-negative");
+    }
+    cfg.adapt_interval = v;
+  } else if (key == "adapt_threshold_step") {
+    if (v < 0.0) {
+      return fail(error, "adapt_threshold_step must be non-negative");
+    }
+    cfg.adapt_threshold_step = v;
+  } else if (key == "adapt_refusal_frac") {
+    if (v < 0.0 || v > 1.0) {
+      return fail(error, "adapt_refusal_frac must be in [0, 1]");
+    }
+    cfg.adapt_refusal_frac = v;
+  } else if (key == "adapt_hot_conflicts") {
+    if (v < 1.0) {
+      return fail(error, "adapt_hot_conflicts must be at least 1");
+    }
+    cfg.adapt_hot_conflicts = static_cast<int>(v);
   } else {
     // Quote the whole assignment, not just the key: in a config file the
     // line number plus the offending text pinpoints the typo immediately.
@@ -349,6 +369,10 @@ void describe_config(std::ostream& out, const SystemConfig& cfg) {
   out << "fault_spike_factor=" << cfg.faults.spike_factor << '\n';
   out << "chaos_strategy=" << cfg.chaos_strategy << '\n';
   out << "chaos_run_seconds=" << cfg.chaos_run_seconds << '\n';
+  out << "adapt_interval=" << cfg.adapt_interval << '\n';
+  out << "adapt_threshold_step=" << cfg.adapt_threshold_step << '\n';
+  out << "adapt_refusal_frac=" << cfg.adapt_refusal_frac << '\n';
+  out << "adapt_hot_conflicts=" << cfg.adapt_hot_conflicts << '\n';
   for (const FaultWindow& window : cfg.faults.windows) {
     out << "fault=" << format_fault_window(window) << '\n';
   }

@@ -58,6 +58,9 @@ RunResult run_simulation(const SystemConfig& config,
   system.end_measurement();
   result.metrics = system.metrics();
   result.series = system.take_series();
+  if (const AdaptiveController* controller = system.controller()) {
+    result.controller_decisions = controller->decisions();
+  }
   if (perfetto != nullptr) {
     perfetto->close();
   }

@@ -33,6 +33,10 @@ struct RunResult {
   /// Time series from the measurement window; empty unless the config sets
   /// obs_sample_interval > 0 (see obs/sample.hpp for the CSV writer).
   std::vector<obs::SampleRow> series;
+  /// Decision log of the adaptive controller (routing/adaptive.hpp), warmup
+  /// included; empty unless the strategy is an `adapt:` spec with a positive
+  /// review interval. Rendered by core/report's controller section.
+  std::vector<ControllerDecision> controller_decisions;
 };
 
 /// Builds the strategy from `spec` (running the static optimization when the

@@ -185,10 +185,33 @@ void slowest_section(std::ostream& out, const ReportCollector& collector) {
   }
 }
 
+void controller_section(std::ostream& out,
+                        const std::vector<ControllerDecision>& decisions) {
+  out << "controller decisions (adaptive routing)\n";
+  if (decisions.empty()) {
+    out << "  (none)\n";
+    return;
+  }
+  for (const ControllerDecision& d : decisions) {
+    out << "  t=" << std::fixed << std::setprecision(3) << d.time << "  "
+        << std::left << std::setw(15) << controller_decision_kind_name(d.kind)
+        << std::right;
+    if (d.site >= 0) {
+      out << "site " << d.site << "  ";
+    }
+    if (d.kind == ControllerDecision::Kind::ThresholdStep) {
+      out << std::setprecision(3) << d.old_value << " -> " << d.new_value
+          << "  ";
+    }
+    out << d.evidence << "\n";
+  }
+}
+
 }  // namespace
 
 void write_run_report(std::ostream& out, const Metrics& metrics,
-                      const ReportCollector* collector) {
+                      const ReportCollector* collector,
+                      const std::vector<ControllerDecision>* decisions) {
   out << "=== run report ===\n";
   out << std::fixed << std::setprecision(3);
   out << "window: [" << metrics.measure_start << ", " << metrics.measure_end
@@ -205,6 +228,10 @@ void write_run_report(std::ostream& out, const Metrics& metrics,
   conflict_matrix(out, metrics);
   out << "\n";
   wasted_totals(out, metrics);
+  if (decisions != nullptr) {
+    out << "\n";
+    controller_section(out, *decisions);
+  }
   if (collector != nullptr) {
     out << "\n";
     slowest_section(out, *collector);

@@ -16,6 +16,7 @@
 #include "hybrid/metrics.hpp"
 #include "obs/event.hpp"
 #include "obs/sink.hpp"
+#include "routing/adaptive.hpp"
 
 namespace hls {
 
@@ -82,8 +83,12 @@ class ReportCollector final : public obs::TraceSink {
 };
 
 /// Renders the report. `collector` may be null: the slowest-K section is
-/// then omitted (metrics alone cannot reconstruct span trees).
+/// then omitted (metrics alone cannot reconstruct span trees). `decisions`
+/// may also be null: the controller-decision section (each adaptive-routing
+/// decision with its triggering evidence; RunResult::controller_decisions)
+/// is then omitted.
 void write_run_report(std::ostream& out, const Metrics& metrics,
-                      const ReportCollector* collector = nullptr);
+                      const ReportCollector* collector = nullptr,
+                      const std::vector<ControllerDecision>* decisions = nullptr);
 
 }  // namespace hls

@@ -142,6 +142,23 @@ struct SystemConfig {
   /// 0 outside chaos repro files.
   double chaos_run_seconds = 0.0;
 
+  // ---- adaptive routing controller (routing/adaptive, docs/PROTOCOL.md) ----
+  /// Review-epoch cadence of the adaptive controller, seconds; 0 (the
+  /// default) disables it entirely — no review event is ever scheduled and
+  /// every site keeps the optimistic-abort collision policy, so the event
+  /// sequence stays bit-identical to a build without the controller. Only
+  /// consulted when the installed strategy actually carries a controller
+  /// (an `adapt:` spec); an `adapt@<interval>:` spec overrides this key.
+  double adapt_interval = 0.0;
+  /// Hill-climb step per review epoch for the tunable ship threshold.
+  double adapt_threshold_step = 0.05;
+  /// Epoch fraction of wasted work attributed to authentication refusals
+  /// above which the controller backs off shipping (released at half).
+  double adapt_refusal_frac = 0.5;
+  /// Per-epoch abort count in one victim x winner conflict-matrix cell that
+  /// counts as "hot" for the per-site lock-wait flip.
+  int adapt_hot_conflicts = 8;
+
   // ---- observability (obs/) ----
   /// Cadence of the time-series sampler, seconds; 0 (the default) disables
   /// it entirely — no event is ever scheduled, keeping the event sequence
@@ -214,6 +231,11 @@ struct SystemConfig {
     HLS_ASSERT(ship_max_retries >= 0, "negative ship retry budget");
     HLS_ASSERT(ship_jitter >= 0, "negative ship jitter");
     HLS_ASSERT(chaos_run_seconds >= 0, "negative chaos run window");
+    HLS_ASSERT(adapt_interval >= 0, "negative adapt interval");
+    HLS_ASSERT(adapt_threshold_step >= 0, "negative adapt threshold step");
+    HLS_ASSERT(adapt_refusal_frac >= 0 && adapt_refusal_frac <= 1,
+               "adapt_refusal_frac out of range");
+    HLS_ASSERT(adapt_hot_conflicts >= 1, "adapt_hot_conflicts must be >= 1");
     HLS_ASSERT(obs_sample_interval >= 0, "negative sample interval");
     HLS_ASSERT(obs_span_sink.empty() ||
                    obs_span_sink.rfind("perfetto:", 0) == 0 ||

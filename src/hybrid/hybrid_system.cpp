@@ -57,6 +57,29 @@ HybridSystem::HybridSystem(SystemConfig cfg, std::unique_ptr<RoutingStrategy> st
   if (cfg_.obs_sample_interval > 0.0) {
     sim_.schedule_at(cfg_.obs_sample_interval, [this] { take_sample(); });
   }
+
+  // The adaptive-routing controller follows the same byte-parity rule: it
+  // exists only when the installed strategy carries one (an `adapt:` spec),
+  // and its review chain is scheduled only for a positive cadence — spec
+  // override first, config key otherwise. With the default adapt_interval
+  // of 0 no review event is scheduled, no controller state is rebound, and
+  // collision_policy() reads the strategy's standing per-site policies (all
+  // optimistic-abort unless a test pre-flipped them), so default runs stay
+  // bit-identical to a build without the controller.
+  controller_ = strategy_->controller();
+  if (controller_ != nullptr) {
+    adapt_interval_ = controller_->interval_override() > 0.0
+                          ? controller_->interval_override()
+                          : cfg_.adapt_interval;
+    if (adapt_interval_ > 0.0) {
+      ControllerParams params;
+      params.threshold_step = cfg_.adapt_threshold_step;
+      params.refusal_frac = cfg_.adapt_refusal_frac;
+      params.hot_conflicts = static_cast<std::uint64_t>(cfg_.adapt_hot_conflicts);
+      controller_->bind(cfg_.num_sites, params);
+      sim_.schedule_at(adapt_interval_, [this] { controller_review(); });
+    }
+  }
 }
 
 HybridSystem::~HybridSystem() = default;
@@ -1139,9 +1162,15 @@ void HybridSystem::local_process_auth(int site, TxnId txn_id, std::uint64_t epoc
               continue;
             }
             const Transaction* held = arena_.lookup(holder.txn);
-            const bool preemptible = held != nullptr &&
-                                     held->cls == TxnClass::A &&
-                                     held->route == Route::Local;
+            // Under the controller's lock-wait collision policy the site
+            // treats even local class-A holders as non-preemptible: the
+            // refusal names the holder as blocker and the central
+            // transaction reruns, deferring to the holder instead of
+            // killing it (docs/PROTOCOL.md, adaptive controller section).
+            const bool preemptible =
+                held != nullptr && held->cls == TxnClass::A &&
+                held->route == Route::Local &&
+                collision_policy(site) == CollisionPolicy::OptimisticAbort;
             if (!preemptible) {
               refuse = true;
               if (held != nullptr) {
@@ -2068,6 +2097,32 @@ void HybridSystem::take_sample() {
   // never be the event keeping the simulation alive.
   if (arrivals_enabled_ || arena_.live_count() > 0) {
     sim_.schedule_after(cfg_.obs_sample_interval, [this] { take_sample(); });
+  }
+}
+
+ControllerFeed HybridSystem::make_controller_feed() const {
+  ControllerFeed feed;
+  feed.now = sim_.now();
+  feed.num_sites = cfg_.num_sites;
+  feed.completions_local_a = metrics_.completions_local_a;
+  feed.completions_shipped_a = metrics_.completions_shipped_a;
+  feed.rt_local_a_sum = metrics_.rt_local_a.sum();
+  feed.rt_shipped_a_sum = metrics_.rt_shipped_a.sum();
+  for (int c = 0; c < static_cast<int>(AbortCause::kCount); ++c) {
+    feed.aborts_by_cause[c] = metrics_.aborts[c];
+    feed.wasted_cpu_by_cause[c] = metrics_.wasted_cpu_by_cause[c];
+    feed.wasted_io_by_cause[c] = metrics_.wasted_io_by_cause[c];
+  }
+  feed.conflict_matrix = metrics_.conflict_matrix;
+  return feed;
+}
+
+void HybridSystem::controller_review() {
+  controller_->on_review(make_controller_feed());
+  // Same re-arm rule as the sampler: the controller must never be the event
+  // keeping the simulation alive, or drain() would spin forever.
+  if (arrivals_enabled_ || arena_.live_count() > 0) {
+    sim_.schedule_after(adapt_interval_, [this] { controller_review(); });
   }
 }
 

@@ -47,6 +47,7 @@
 #include "net/link.hpp"
 #include "obs/sample.hpp"
 #include "obs/sink.hpp"
+#include "routing/adaptive.hpp"
 #include "routing/strategy.hpp"
 #include "sim/resource.hpp"
 #include "sim/simulator.hpp"
@@ -111,6 +112,24 @@ class HybridSystem {
     return metrics_;
   }
   [[nodiscard]] RoutingStrategy& strategy() { return *strategy_; }
+
+  /// The installed strategy's adaptive controller, or nullptr when the
+  /// strategy doesn't carry one (every non-`adapt:` spec).
+  [[nodiscard]] const AdaptiveController* controller() const {
+    return controller_;
+  }
+
+  /// Collision policy in force at `site` for a central authentication
+  /// hitting a local class-A lock holder: the controller's per-site choice,
+  /// or optimistic-abort (the paper's behaviour) without a controller.
+  [[nodiscard]] CollisionPolicy collision_policy(int site) const {
+    return controller_ != nullptr ? controller_->site_policy(site)
+                                  : CollisionPolicy::OptimisticAbort;
+  }
+
+  /// Plain-data snapshot of the provenance + class-A latency sensors the
+  /// controller reviews (exposed for controller unit tests).
+  [[nodiscard]] ControllerFeed make_controller_feed() const;
 
   [[nodiscard]] const LockManager& central_locks() const { return *central_.locks; }
   [[nodiscard]] const LockManager& local_locks(int site) const;
@@ -386,6 +405,11 @@ class HybridSystem {
   /// (so drain() still terminates with sampling enabled).
   void take_sample();
 
+  /// Runs one controller review epoch (feed snapshot -> on_review) and
+  /// re-arms the chain while work remains, mirroring take_sample so drain()
+  /// still terminates with the controller active.
+  void controller_review();
+
   // ---- asynchronous update propagation ----
   /// Entry point from local commit: ships immediately, or appends to the
   /// site's batch and arms the flush timer when batching is configured.
@@ -428,6 +452,8 @@ class HybridSystem {
   unsigned sink_mask_ = 0;  ///< union of registered sinks' kind masks
   std::vector<obs::SampleRow> series_;
   TxnArena arena_;
+  AdaptiveController* controller_ = nullptr;  ///< borrowed from strategy_
+  double adapt_interval_ = 0.0;  ///< resolved review cadence; 0 = inert
   bool arrivals_enabled_ = false;
 };
 

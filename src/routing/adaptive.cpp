@@ -1,0 +1,293 @@
+#include "routing/adaptive.hpp"
+
+#include <cmath>
+#include <cstdarg>
+#include <cstdint>
+#include <cstdio>
+
+#include "util/assert.hpp"
+
+namespace hls {
+namespace {
+
+std::string format_evidence(const char* fmt, ...) {
+  char buf[192];
+  va_list args;
+  va_start(args, fmt);
+  std::vsnprintf(buf, sizeof buf, fmt, args);
+  va_end(args);
+  return buf;
+}
+
+}  // namespace
+
+const char* controller_decision_kind_name(ControllerDecision::Kind kind) {
+  switch (kind) {
+    case ControllerDecision::Kind::ThresholdStep: return "threshold-step";
+    case ControllerDecision::Kind::BackoffOn: return "backoff-on";
+    case ControllerDecision::Kind::BackoffOff: return "backoff-off";
+    case ControllerDecision::Kind::LockWaitOn: return "lockwait-on";
+    case ControllerDecision::Kind::LockWaitOff: return "lockwait-off";
+  }
+  return "?";
+}
+
+AdaptiveControllerStrategy::AdaptiveControllerStrategy(
+    std::unique_ptr<RoutingStrategy> base, double interval_override)
+    : base_(std::move(base)), interval_override_(interval_override) {
+  HLS_ASSERT(base_ != nullptr, "adaptive wrapper needs a base strategy");
+}
+
+Route AdaptiveControllerStrategy::decide(const Transaction& txn,
+                                         const SystemStateView& view) {
+  // Lever (b): while refusal wasted-work dominates, keep everything home.
+  if (backoff_) return Route::Local;
+  return base_->decide(txn, view);
+}
+
+std::string AdaptiveControllerStrategy::name() const {
+  return "adapt(" + base_->name() + ")";
+}
+
+void AdaptiveControllerStrategy::bind(int num_sites,
+                                      const ControllerParams& params) {
+  HLS_ASSERT(num_sites > 0, "adaptive controller bound without sites");
+  params_ = params;
+  bound_ = true;
+  has_prev_ = false;
+  prev_ = ControllerFeed{};
+  std::size_t buckets = 1;
+  if (params_.threshold_step > 0.0 &&
+      params_.threshold_max > params_.threshold_min) {
+    buckets = static_cast<std::size_t>(
+                  std::llround((params_.threshold_max - params_.threshold_min) /
+                               params_.threshold_step)) +
+              1;
+  }
+  bucket_rt_.assign(buckets, 0.0);
+  bucket_visits_.assign(buckets, 0);
+  backoff_ = false;
+  site_policies_.assign(static_cast<std::size_t>(num_sites),
+                        CollisionPolicy::OptimisticAbort);
+  hot_streak_.assign(static_cast<std::size_t>(num_sites), 0);
+  cool_streak_.assign(static_cast<std::size_t>(num_sites), 0);
+  decisions_.clear();
+  review_times_.clear();
+}
+
+void AdaptiveControllerStrategy::on_review(const ControllerFeed& feed) {
+  HLS_ASSERT(bound_, "adaptive controller reviewed before bind()");
+  review_times_.push_back(feed.now);
+  if (!has_prev_) {
+    // First review only establishes the baseline.
+    prev_ = feed;
+    has_prev_ = true;
+    return;
+  }
+  if (feed.completions_a() < prev_.completions_a() ||
+      feed.aborts_total() < prev_.aborts_total()) {
+    // A new measurement window reset the cumulative books; re-baseline
+    // without deciding anything off the bogus negative deltas.
+    prev_ = feed;
+    return;
+  }
+  review_backoff(feed);
+  review_threshold(feed);
+  review_collision_policies(feed);
+  prev_ = feed;
+}
+
+CollisionPolicy AdaptiveControllerStrategy::site_policy(int site) const {
+  const auto idx = static_cast<std::size_t>(site);
+  return site >= 0 && idx < site_policies_.size()
+             ? site_policies_[idx]
+             : CollisionPolicy::OptimisticAbort;
+}
+
+void AdaptiveControllerStrategy::review_threshold(const ControllerFeed& feed) {
+  TunableThreshold* tunable = base_->tunable_threshold();
+  if (tunable == nullptr || backoff_ || bucket_rt_.size() < 2) return;
+  const std::uint64_t epoch_n = feed.completions_a() - prev_.completions_a();
+  if (epoch_n < params_.min_epoch_completions) return;
+  const std::uint64_t shipped_n =
+      feed.completions_shipped_a - prev_.completions_shipped_a;
+  const double epoch_rt = (feed.rt_a_sum() - prev_.rt_a_sum()) /
+                          static_cast<double>(epoch_n);
+
+  const double old_threshold = tunable->threshold();
+  const std::int64_t last = static_cast<std::int64_t>(bucket_rt_.size()) - 1;
+  std::int64_t idx = std::llround((old_threshold - params_.threshold_min) /
+                                  params_.threshold_step);
+  if (idx < 0) idx = 0;
+  if (idx > last) idx = last;
+  const auto i = static_cast<std::size_t>(idx);
+
+  if (shipped_n == 0) {
+    // The epoch exercised no shipping (an outage veto, or F parked above
+    // the ship region), so the observation says nothing about this bucket.
+    // Leave the estimates alone; probe an untried lower bucket if one
+    // remains, otherwise hold where we are.
+    if (idx > 0 && bucket_visits_[i - 1] == 0) {
+      const double next = params_.threshold_min +
+                          static_cast<double>(idx - 1) * params_.threshold_step;
+      record(ControllerDecision::Kind::ThresholdStep, feed.now, -1,
+             old_threshold, next,
+             format_evidence(
+                 "no shipped class-A completions in epoch (n=%llu); probing "
+                 "F=%.2f",
+                 static_cast<unsigned long long>(epoch_n), next));
+      tunable->set_threshold(next);
+    }
+    return;
+  }
+
+  // Fold this epoch's observation into the estimate for the bucket the
+  // system just ran at. The EWMA lets revisits both average out epoch noise
+  // and track the load as it shifts between scenario phases.
+  bucket_rt_[i] = bucket_visits_[i] == 0 ? epoch_rt
+                                         : 0.5 * bucket_rt_[i] + 0.5 * epoch_rt;
+  ++bucket_visits_[i];
+
+  // Move one step per epoch: keep exploring downward (toward shipping —
+  // the direction the paper's fig 4.4 optima lie) while untried buckets
+  // remain, then settle on whichever visited neighbor's estimated class-A
+  // response time beats the current bucket's. Ties hold still, so the
+  // lever parks once estimates level out.
+  std::int64_t target = idx;
+  std::string evidence;
+  if (idx > 0 && bucket_visits_[i - 1] == 0) {
+    target = idx - 1;
+    evidence = format_evidence(
+        "exploring unvisited F=%.2f (epoch class-A rt %.6f at F=%.2f, n=%llu)",
+        params_.threshold_min + static_cast<double>(target) * params_.threshold_step,
+        epoch_rt, old_threshold, static_cast<unsigned long long>(epoch_n));
+  } else {
+    double best = bucket_rt_[i];
+    if (idx > 0 && bucket_visits_[i - 1] > 0 && bucket_rt_[i - 1] < best) {
+      best = bucket_rt_[i - 1];
+      target = idx - 1;
+    }
+    if (idx < last && bucket_visits_[i + 1] > 0 && bucket_rt_[i + 1] < best) {
+      target = idx + 1;
+    }
+    if (target != idx) {
+      evidence = format_evidence(
+          "estimated class-A rt %.6f at F=%.2f beats %.6f at F=%.2f "
+          "(epoch n=%llu)",
+          bucket_rt_[static_cast<std::size_t>(target)],
+          params_.threshold_min + static_cast<double>(target) * params_.threshold_step,
+          bucket_rt_[i], old_threshold,
+          static_cast<unsigned long long>(epoch_n));
+    }
+  }
+  if (target == idx) return;
+  const double next =
+      params_.threshold_min + static_cast<double>(target) * params_.threshold_step;
+  record(ControllerDecision::Kind::ThresholdStep, feed.now, -1, old_threshold,
+         next, std::move(evidence));
+  tunable->set_threshold(next);
+}
+
+void AdaptiveControllerStrategy::review_backoff(const ControllerFeed& feed) {
+  const int refused = static_cast<int>(AbortCause::AuthRefused);
+  const std::uint64_t epoch_refusals =
+      feed.aborts_by_cause[refused] - prev_.aborts_by_cause[refused];
+  const double epoch_refusal_waste =
+      (feed.wasted_cpu_by_cause[refused] + feed.wasted_io_by_cause[refused]) -
+      (prev_.wasted_cpu_by_cause[refused] + prev_.wasted_io_by_cause[refused]);
+  const double epoch_waste = feed.wasted_total() - prev_.wasted_total();
+  if (!backoff_) {
+    if (epoch_refusals >= params_.refusal_floor && epoch_waste > 0.0 &&
+        epoch_refusal_waste > params_.refusal_frac * epoch_waste) {
+      backoff_ = true;
+      record(ControllerDecision::Kind::BackoffOn, feed.now, -1, 0.0, 1.0,
+             format_evidence(
+                 "auth-refused wasted %.4fs of %.4fs epoch wasted work "
+                 "(%llu refusals)",
+                 epoch_refusal_waste, epoch_waste,
+                 static_cast<unsigned long long>(epoch_refusals)));
+    }
+    return;
+  }
+  // Release with hysteresis at half the trigger fraction so the controller
+  // doesn't chatter around the boundary.
+  if (epoch_refusals == 0 || epoch_waste <= 0.0 ||
+      epoch_refusal_waste <= 0.5 * params_.refusal_frac * epoch_waste) {
+    backoff_ = false;
+    record(ControllerDecision::Kind::BackoffOff, feed.now, -1, 1.0, 0.0,
+           format_evidence(
+               "auth-refused wasted %.4fs of %.4fs epoch wasted work "
+               "(%llu refusals)",
+               epoch_refusal_waste, epoch_waste,
+               static_cast<unsigned long long>(epoch_refusals)));
+  }
+}
+
+void AdaptiveControllerStrategy::review_collision_policies(
+    const ControllerFeed& feed) {
+  const int n = static_cast<int>(site_policies_.size());
+  if (feed.num_sites < n) return;  // matrix not yet sized; nothing to read
+  for (int victim = 0; victim < n; ++victim) {
+    std::uint64_t hottest = 0;
+    int hottest_winner = -1;
+    for (int winner = 0; winner <= feed.num_sites; ++winner) {
+      const std::uint64_t delta =
+          feed.conflict(victim, winner) - prev_.conflict(victim, winner);
+      if (delta > hottest) {
+        hottest = delta;
+        hottest_winner = winner;
+      }
+    }
+    const auto v = static_cast<std::size_t>(victim);
+    if (hottest >= params_.hot_conflicts) {
+      ++hot_streak_[v];
+      cool_streak_[v] = 0;
+    } else {
+      hot_streak_[v] = 0;
+      if (2 * hottest < params_.hot_conflicts) {
+        ++cool_streak_[v];
+      } else {
+        cool_streak_[v] = 0;
+      }
+    }
+    const std::string winner_label =
+        hottest_winner < 0 ? std::string("none")
+        : hottest_winner == feed.num_sites
+            ? std::string("central")
+            : "site " + std::to_string(hottest_winner);
+    if (site_policies_[v] == CollisionPolicy::OptimisticAbort &&
+        hot_streak_[v] >= 2) {
+      site_policies_[v] = CollisionPolicy::LockWait;
+      record(ControllerDecision::Kind::LockWaitOn, feed.now, victim, 0.0, 1.0,
+             format_evidence(
+                 "hot victim x winner pair (site %d x %s) +%llu aborts/epoch "
+                 "for 2 consecutive epochs",
+                 victim, winner_label.c_str(),
+                 static_cast<unsigned long long>(hottest)));
+    } else if (site_policies_[v] == CollisionPolicy::LockWait &&
+               cool_streak_[v] >= 2) {
+      site_policies_[v] = CollisionPolicy::OptimisticAbort;
+      record(ControllerDecision::Kind::LockWaitOff, feed.now, victim, 1.0, 0.0,
+             format_evidence(
+                 "hottest victim x winner pair cooled to +%llu aborts/epoch "
+                 "for 2 consecutive epochs",
+                 static_cast<unsigned long long>(hottest)));
+    }
+  }
+}
+
+void AdaptiveControllerStrategy::record(ControllerDecision::Kind kind,
+                                        double time, int site,
+                                        double old_value, double new_value,
+                                        std::string evidence) {
+  ControllerDecision d;
+  d.time = time;
+  d.kind = kind;
+  d.site = site;
+  d.old_value = old_value;
+  d.new_value = new_value;
+  d.evidence = std::move(evidence);
+  decisions_.push_back(std::move(d));
+}
+
+}  // namespace hls

@@ -1,0 +1,225 @@
+// Closed-loop adaptive routing controller (ROADMAP item 4).
+//
+// AdaptiveControllerStrategy wraps any base RoutingStrategy and, on a
+// deterministic sim-time review epoch, consumes the abort-provenance
+// sensors PR 4 built (typed abort causes, victim x winner conflict matrix,
+// wasted-work ledgers) plus the class-A response-time books to re-tune
+// itself with three levers:
+//
+//   (a) hill-climb the ship threshold of a TunableThreshold base strategy
+//       on observed class-A response time, automating the fig 4.4 hand
+//       sweep: F is quantized to the threshold_step grid over
+//       [threshold_min, threshold_max], each data epoch folds the epoch's
+//       class-A mean response into a per-bucket estimate (EWMA, so noise
+//       averages out across revisits and the estimate tracks load shifts),
+//       and the controller moves one step per epoch — first exploring
+//       unvisited neighbors (lower F first, the direction the paper's
+//       optima lie), then settling on the neighbor with the best estimate;
+//   (b) back off shipping entirely while authentication-refusal wasted
+//       work dominates the epoch's wasted-work ledger (released with
+//       hysteresis at half the trigger fraction);
+//   (c) flip a site's local<->central collision policy from
+//       optimistic-abort to lock-wait while the conflict matrix shows a
+//       sustained hot victim x winner pair, and back once it cools.
+//
+// Every decision is a pure function of the ControllerFeed sequence the
+// system hands in, so runs replay bit-identically; with adapt_interval=0
+// the system never schedules a review and the wrapper is inert (it only
+// forwards decide() to its base).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "routing/strategy.hpp"
+
+namespace hls {
+
+/// Per-site policy for the collision between a local lock holder and an
+/// incoming central authentication request (docs/PROTOCOL.md, "Who aborts
+/// whom"). OptimisticAbort is the paper's behaviour: preempt a local
+/// class-A holder in favour of the central request. LockWait makes local
+/// class-A holders non-preemptible at that site: the authentication is
+/// refused with the holder named as blocker and the central transaction
+/// reruns, deferring to the holder instead of killing it.
+enum class CollisionPolicy : std::uint8_t { OptimisticAbort, LockWait };
+
+/// Tuning knobs for the controller, resolved from SystemConfig's adapt_*
+/// keys when the system binds the controller at construction.
+struct ControllerParams {
+  double threshold_step = 0.05;    ///< hill-climb step per review epoch
+  double threshold_min = -0.5;     ///< clamp for lever (a)
+  double threshold_max = 0.5;      ///< clamp for lever (a)
+  double refusal_frac = 0.5;       ///< lever (b) trigger: epoch refusal share
+  std::uint64_t refusal_floor = 4; ///< lever (b) minimum refusals per epoch
+  std::uint64_t hot_conflicts = 8; ///< lever (c) per-epoch hot-cell count
+  std::uint64_t min_epoch_completions = 10;  ///< lever (a) data floor
+};
+
+/// Plain-data snapshot of the provenance + latency sensors, copied out of
+/// Metrics by HybridSystem at each review epoch. All counters are
+/// cumulative since the current measurement window opened; the controller
+/// re-baselines automatically when they regress (a new window reset them).
+/// Kept free of hybrid-layer includes so routing stays below hybrid.
+struct ControllerFeed {
+  double now = 0.0;
+  int num_sites = 0;
+  std::uint64_t completions_local_a = 0;
+  std::uint64_t completions_shipped_a = 0;
+  double rt_local_a_sum = 0.0;
+  double rt_shipped_a_sum = 0.0;
+  std::uint64_t aborts_by_cause[static_cast<int>(AbortCause::kCount)] = {};
+  double wasted_cpu_by_cause[static_cast<int>(AbortCause::kCount)] = {};
+  double wasted_io_by_cause[static_cast<int>(AbortCause::kCount)] = {};
+  /// Victim x winner abort counts, row-major num_sites x (num_sites + 1);
+  /// column num_sites is the central winner column (mirrors
+  /// Metrics::conflict_matrix).
+  std::vector<std::uint64_t> conflict_matrix;
+
+  [[nodiscard]] std::uint64_t conflict(int victim_site, int winner) const {
+    const std::size_t idx = static_cast<std::size_t>(victim_site) *
+                                static_cast<std::size_t>(num_sites + 1) +
+                            static_cast<std::size_t>(winner);
+    return idx < conflict_matrix.size() ? conflict_matrix[idx] : 0;
+  }
+  [[nodiscard]] std::uint64_t completions_a() const {
+    return completions_local_a + completions_shipped_a;
+  }
+  [[nodiscard]] double rt_a_sum() const {
+    return rt_local_a_sum + rt_shipped_a_sum;
+  }
+  [[nodiscard]] std::uint64_t aborts_total() const {
+    std::uint64_t total = 0;
+    for (std::uint64_t n : aborts_by_cause) total += n;
+    return total;
+  }
+  [[nodiscard]] double wasted_total() const {
+    double total = 0.0;
+    for (int c = 0; c < static_cast<int>(AbortCause::kCount); ++c) {
+      total += wasted_cpu_by_cause[c] + wasted_io_by_cause[c];
+    }
+    return total;
+  }
+};
+
+/// One controller decision, recorded with the evidence that triggered it.
+/// Surfaced through RunResult and the run report (core/report).
+struct ControllerDecision {
+  enum class Kind : std::uint8_t {
+    ThresholdStep,  ///< lever (a): ship threshold moved old_value -> new_value
+    BackoffOn,      ///< lever (b): shipping suspended
+    BackoffOff,     ///< lever (b): shipping resumed
+    LockWaitOn,     ///< lever (c): site flipped to lock-wait
+    LockWaitOff,    ///< lever (c): site flipped back to optimistic-abort
+  };
+  double time = 0.0;
+  Kind kind = Kind::ThresholdStep;
+  int site = -1;  ///< lever (c) target site; -1 for system-wide decisions
+  double old_value = 0.0;
+  double new_value = 0.0;
+  std::string evidence;  ///< human-readable triggering evidence
+};
+
+/// Stable short name for report/CSV output ("threshold-step", ...).
+[[nodiscard]] const char* controller_decision_kind_name(
+    ControllerDecision::Kind kind);
+
+/// Review-epoch interface HybridSystem drives. Discovered through
+/// RoutingStrategy::controller(); wrappers forward it.
+class AdaptiveController {
+ public:
+  virtual ~AdaptiveController() = default;
+
+  /// Spec-level interval override (`adapt@<interval>:`); 0 means "use the
+  /// config's adapt_interval".
+  [[nodiscard]] virtual double interval_override() const = 0;
+
+  /// Called once by the system before the first review. Resets all
+  /// controller state (baselines, policies, decision log).
+  virtual void bind(int num_sites, const ControllerParams& params) = 0;
+
+  /// One review epoch: consume the feed, possibly record decisions and
+  /// mutate the wrapped strategy / per-site policies. Must be a pure
+  /// function of the feed sequence since bind().
+  virtual void on_review(const ControllerFeed& feed) = 0;
+
+  /// Current collision policy at `site` (lever (c)).
+  [[nodiscard]] virtual CollisionPolicy site_policy(int site) const = 0;
+
+  [[nodiscard]] virtual const std::vector<ControllerDecision>& decisions()
+      const = 0;
+  /// Sim times at which on_review ran, in order (exact-timing tests).
+  [[nodiscard]] virtual const std::vector<double>& review_times() const = 0;
+};
+
+/// The tentpole strategy: wraps a base strategy and implements all three
+/// levers. decide() forwards to the base unless lever (b) is holding
+/// shipping back, in which case everything stays local.
+class AdaptiveControllerStrategy final : public RoutingStrategy,
+                                         public AdaptiveController {
+ public:
+  explicit AdaptiveControllerStrategy(std::unique_ptr<RoutingStrategy> base,
+                                      double interval_override = 0.0);
+
+  // RoutingStrategy
+  Route decide(const Transaction& txn, const SystemStateView& view) override;
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] AdaptiveController* controller() override { return this; }
+  [[nodiscard]] TunableThreshold* tunable_threshold() override {
+    return base_->tunable_threshold();
+  }
+
+  // AdaptiveController
+  [[nodiscard]] double interval_override() const override {
+    return interval_override_;
+  }
+  void bind(int num_sites, const ControllerParams& params) override;
+  void on_review(const ControllerFeed& feed) override;
+  [[nodiscard]] CollisionPolicy site_policy(int site) const override;
+  [[nodiscard]] const std::vector<ControllerDecision>& decisions()
+      const override {
+    return decisions_;
+  }
+  [[nodiscard]] const std::vector<double>& review_times() const override {
+    return review_times_;
+  }
+
+  [[nodiscard]] const RoutingStrategy& inner() const { return *base_; }
+  [[nodiscard]] bool ship_backoff_active() const { return backoff_; }
+
+ private:
+  void review_threshold(const ControllerFeed& feed);
+  void review_backoff(const ControllerFeed& feed);
+  void review_collision_policies(const ControllerFeed& feed);
+  void record(ControllerDecision::Kind kind, double time, int site,
+              double old_value, double new_value, std::string evidence);
+
+  std::unique_ptr<RoutingStrategy> base_;
+  double interval_override_ = 0.0;
+  ControllerParams params_;
+  bool bound_ = false;
+
+  // Epoch baselines: the previous review's cumulative feed.
+  ControllerFeed prev_;
+  bool has_prev_ = false;
+
+  // Lever (a): per-bucket epoch-RT estimates over the quantized F grid
+  // (bucket i holds F = threshold_min + i * threshold_step).
+  std::vector<double> bucket_rt_;
+  std::vector<int> bucket_visits_;
+
+  // Lever (b).
+  bool backoff_ = false;
+
+  // Lever (c).
+  std::vector<CollisionPolicy> site_policies_;
+  std::vector<int> hot_streak_;
+  std::vector<int> cool_streak_;
+
+  std::vector<ControllerDecision> decisions_;
+  std::vector<double> review_times_;
+};
+
+}  // namespace hls

@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "model/static_optimizer.hpp"
+#include "routing/adaptive.hpp"
 #include "routing/analytic_strategies.hpp"
 #include "routing/basic_strategies.hpp"
 #include "routing/failure_aware.hpp"
@@ -52,6 +53,10 @@ std::unique_ptr<RoutingStrategy> make_strategy(const StrategySpec& spec,
                                                const ModelParams& base,
                                                std::uint64_t seed) {
   std::unique_ptr<RoutingStrategy> strategy = make_base_strategy(spec, base, seed);
+  if (spec.adaptive) {
+    strategy = std::make_unique<AdaptiveControllerStrategy>(
+        std::move(strategy), spec.adapt_interval_override);
+  }
   if (spec.failure_aware) {
     strategy = std::make_unique<FailureAwareStrategy>(std::move(strategy),
                                                       spec.failsafe_max_info_age);
@@ -67,13 +72,30 @@ StrategySpec parse_strategy_spec(const std::string& text) {
     double max_info_age = 0.0;
     const std::string head = text.substr(0, colon);
     if (head.size() > 8) {
-      HLS_ASSERT(head[8] == '@', "unknown strategy name");
+      HLS_ASSERT(head[8] == '@',
+                 ("unknown strategy spec '" + text + "'").c_str());
       max_info_age = std::stod(head.substr(9));
       HLS_ASSERT(max_info_age >= 0.0, "negative failsafe staleness limit");
     }
     StrategySpec spec = parse_strategy_spec(text.substr(colon + 1));
     spec.failure_aware = true;
     spec.failsafe_max_info_age = max_info_age;
+    return spec;
+  }
+  if (text.rfind("adapt:", 0) == 0 || text.rfind("adapt@", 0) == 0) {
+    // "adapt:<inner>" or "adapt@<interval>:<inner>".
+    const auto colon = text.find(':');
+    HLS_ASSERT(colon != std::string::npos,
+               ("strategy spec '" + text + "' needs an inner strategy").c_str());
+    double interval = 0.0;
+    const std::string head = text.substr(0, colon);
+    if (head.size() > 5) {
+      interval = std::stod(head.substr(6));
+      HLS_ASSERT(interval > 0.0, "adapt interval override must be positive");
+    }
+    StrategySpec spec = parse_strategy_spec(text.substr(colon + 1));
+    spec.adaptive = true;
+    spec.adapt_interval_override = interval;
     return spec;
   }
   const auto colon = text.find(':');
@@ -105,7 +127,8 @@ StrategySpec parse_strategy_spec(const std::string& text) {
   } else if (head == "min-average-nsys") {
     spec.kind = StrategyKind::MinAverageNsys;
   } else {
-    HLS_ASSERT(false, "unknown strategy name");
+    // Echo the offending token verbatim, like config_io's unknown-key lines.
+    HLS_ASSERT(false, ("unknown strategy spec '" + text + "'").c_str());
   }
   return spec;
 }

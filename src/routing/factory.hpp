@@ -35,6 +35,12 @@ struct StrategySpec {
   bool failure_aware = false;
   /// Staleness limit for the wrapper, seconds; 0 = reachability signal only.
   double failsafe_max_info_age = 0.0;
+  /// Wrap the strategy in AdaptiveControllerStrategy (closed-loop re-tuning
+  /// on the review epoch; routing/adaptive.hpp).
+  bool adaptive = false;
+  /// Spec-level review interval override, seconds; 0 = use the config's
+  /// adapt_interval key.
+  double adapt_interval_override = 0.0;
 };
 
 /// Builds a strategy. `base` supplies the model parameters for the analytic
@@ -49,7 +55,11 @@ struct StrategySpec {
 /// "min-average-nsys", "always-central". A "failsafe:" or
 /// "failsafe@<max_info_age>:" prefix wraps the inner strategy in
 /// FailureAwareStrategy (e.g. "failsafe:min-average-nsys",
-/// "failsafe@2.5:queue-length"). Aborts on unknown names.
+/// "failsafe@2.5:queue-length"); an "adapt:" or "adapt@<interval>:" prefix
+/// wraps it in AdaptiveControllerStrategy (e.g. "adapt:util-threshold:0",
+/// "adapt@1.5:failsafe:min-average-nsys"). Wrap order is always base ->
+/// adapt -> failsafe regardless of prefix order. Aborts on unknown names,
+/// quoting the offending token.
 [[nodiscard]] StrategySpec parse_strategy_spec(const std::string& text);
 
 /// All strategy kinds in presentation order with display labels.

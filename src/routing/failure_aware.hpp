@@ -51,6 +51,15 @@ class FailureAwareStrategy final : public RoutingStrategy {
 
   [[nodiscard]] const RoutingStrategy& inner() const { return *inner_; }
 
+  // Forward the adaptive surfaces so `failsafe:adapt:...` (and the reverse
+  // nesting) keep the controller and tunable threshold discoverable.
+  [[nodiscard]] AdaptiveController* controller() override {
+    return inner_->controller();
+  }
+  [[nodiscard]] TunableThreshold* tunable_threshold() override {
+    return inner_->tunable_threshold();
+  }
+
  private:
   std::unique_ptr<RoutingStrategy> inner_;
   double max_info_age_;  ///< seconds; 0 = reachability signal only

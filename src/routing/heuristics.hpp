@@ -27,13 +27,16 @@ class QueueLengthStrategy final : public RoutingStrategy {
   [[nodiscard]] std::string name() const override { return "queue-length"; }
 };
 
-class ThresholdUtilizationStrategy final : public RoutingStrategy {
+class ThresholdUtilizationStrategy final : public RoutingStrategy,
+                                           public TunableThreshold {
  public:
   explicit ThresholdUtilizationStrategy(double threshold);
 
   Route decide(const Transaction&, const SystemStateView& view) override;
   [[nodiscard]] std::string name() const override;
-  [[nodiscard]] double threshold() const { return threshold_; }
+  [[nodiscard]] double threshold() const override { return threshold_; }
+  void set_threshold(double threshold) override { threshold_ = threshold; }
+  [[nodiscard]] TunableThreshold* tunable_threshold() override { return this; }
 
  private:
   double threshold_;

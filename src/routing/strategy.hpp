@@ -63,6 +63,18 @@ struct SystemStateView {
   const obs::SampleRow* last_sample = nullptr;
 };
 
+class AdaptiveController;  // routing/adaptive.hpp: review-epoch interface
+
+/// Mutable ship-threshold surface. Implemented by strategies whose routing
+/// rule hinges on a single tunable threshold (ThresholdUtilizationStrategy)
+/// so the adaptive controller can hill-climb it at run time.
+class TunableThreshold {
+ public:
+  virtual ~TunableThreshold() = default;
+  [[nodiscard]] virtual double threshold() const = 0;
+  virtual void set_threshold(double threshold) = 0;
+};
+
 class RoutingStrategy {
  public:
   virtual ~RoutingStrategy() = default;
@@ -73,6 +85,15 @@ class RoutingStrategy {
 
   /// Stable identifier used in experiment output.
   [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Adaptive-controller surface when this strategy (or a wrapped inner
+  /// one) re-tunes itself on the system's review epoch; nullptr otherwise.
+  /// Wrappers forward both hooks to their inner strategy.
+  [[nodiscard]] virtual AdaptiveController* controller() { return nullptr; }
+  /// Tunable ship-threshold surface, when the strategy has one.
+  [[nodiscard]] virtual TunableThreshold* tunable_threshold() {
+    return nullptr;
+  }
 };
 
 }  // namespace hls

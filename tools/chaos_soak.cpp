@@ -6,11 +6,17 @@
 // like any soft oracle failure — delta-debugged down to a minimal repro
 // config that this same tool can re-run with --repro=FILE.
 //
-//   chaos_soak [--seed=N] [--episodes=N] [--repro=FILE]
+//   chaos_soak [--seed=N] [--episodes=N] [--strategy=SPEC] [--repro=FILE]
 //              [--shrink-out=FILE] [--no-fork]
 //
 // Episode count precedence: --episodes flag, then the HLS_CHAOS_EPISODES
 // environment variable, then 100. Exit status 0 = every episode passed.
+//
+// --strategy=SPEC forces every generated episode onto one routing spec
+// (full factory grammar, wrappers included) instead of the generator's
+// strategy pool — used by scripts/check.sh to soak the adaptive controller
+// under message-level chaos. Adaptive specs get adapt_interval=1.0 when the
+// generated config left it at 0, so the controller actually reviews.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -20,6 +26,7 @@
 #include <vector>
 
 #include "core/chaos.hpp"
+#include "routing/factory.hpp"
 
 #if defined(__unix__) || defined(__APPLE__)
 #include <fcntl.h>
@@ -36,14 +43,15 @@ struct Options {
   std::uint64_t seed = 20260808;
   int episodes = 100;
   std::string repro_path;
+  std::string strategy;  ///< forced routing spec; empty = generator's pool
   std::string shrink_out = "chaos_repro.conf";
   bool use_fork = HLS_CHAOS_HAVE_FORK != 0;
 };
 
 void usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s [--seed=N] [--episodes=N] [--repro=FILE]\n"
-               "          [--shrink-out=FILE] [--no-fork]\n",
+               "usage: %s [--seed=N] [--episodes=N] [--strategy=SPEC]\n"
+               "          [--repro=FILE] [--shrink-out=FILE] [--no-fork]\n",
                argv0);
 }
 
@@ -63,6 +71,12 @@ bool parse_args(int argc, char** argv, Options* opt) {
       if (opt->episodes <= 0) {
         std::fprintf(stderr, "chaos_soak: bad --episodes value '%s'\n",
                      arg.c_str());
+        return false;
+      }
+    } else if (arg.rfind("--strategy=", 0) == 0) {
+      opt->strategy = arg.substr(11);
+      if (opt->strategy.empty()) {
+        std::fprintf(stderr, "chaos_soak: empty --strategy value\n");
         return false;
       }
     } else if (arg.rfind("--repro=", 0) == 0) {
@@ -196,7 +210,16 @@ int run_repro(const Options& opt) {
 
 int run_soak(const Options& opt) {
   for (int i = 0; i < opt.episodes; ++i) {
-    const hls::ChaosEpisode episode = hls::make_chaos_episode(opt.seed, i);
+    hls::ChaosEpisode episode = hls::make_chaos_episode(opt.seed, i);
+    if (!opt.strategy.empty()) {
+      // Force the episode onto the requested spec; the repro envelope and
+      // the shrinker inherit it, so a failure still round-trips --repro.
+      episode.config.chaos_strategy = opt.strategy;
+      episode.strategy = hls::parse_strategy_spec(opt.strategy);
+      if (episode.strategy.adaptive && episode.config.adapt_interval <= 0.0) {
+        episode.config.adapt_interval = 1.0;
+      }
+    }
     // Printed before the run so an abort mid-episode is attributable.
     std::printf("episode %3d/%d: %s\n", i + 1, opt.episodes,
                 hls::describe_chaos_episode(episode).c_str());
