@@ -7,13 +7,17 @@
 # Values come from the benches' csv rows, so the snapshot is deterministic:
 # same binary + seed + scale => byte-identical JSON.
 #
-# Usage: scripts/bench_snapshot.sh [N]      (default N=6, this PR's number)
+# Usage: scripts/bench_snapshot.sh [N]      (default N=7, this PR's number)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BUILD=${BUILD_DIR:-build}
-N=${1:-6}
+N=${1:-7}
 SCALE=${HLS_TIME_SCALE:-0.05}
+# Provenance recorded into _meta: the commit the snapshot was built from and
+# the HLS_JOBS the benches ran under (0 = unset, i.e. each bench's default).
+GIT_SHA=$(git rev-parse --short HEAD 2>/dev/null || echo unknown)
+JOBS=${HLS_JOBS:-0}
 OUT="BENCH_${N}.json"
 
 cmake -B "$BUILD" -G Ninja >/dev/null
@@ -33,10 +37,10 @@ HLS_TIME_SCALE=$SCALE "./$BUILD/bench/abl_adaptive_routing" >"$tmp/adapt.out"
 # HLS_TIME_SCALE the walls are sub-millisecond and the rate is pure noise.
 HLS_TIME_SCALE=1 "./$BUILD/bench/micro_kernel" --large-only >"$tmp/kernel.out"
 
-python3 - "$tmp" "$SCALE" "$N" <<'EOF' >"$OUT"
+python3 - "$tmp" "$SCALE" "$N" "$GIT_SHA" "$JOBS" <<'EOF' >"$OUT"
 import sys
 
-tmpdir, scale, n = sys.argv[1], sys.argv[2], sys.argv[3]
+tmpdir, scale, n, git_sha, jobs = sys.argv[1:6]
 
 def csv_blocks(path):
     """Yields (header, rows) per csv block in a bench output file."""
@@ -106,6 +110,7 @@ for header, rows in csv_blocks(f"{tmpdir}/kernel.out"):
             out[f"micro_kernel.{sites}.{col}"] = float(row[header.index(col)])
 
 out["_meta"] = {"snapshot": int(n), "time_scale": float(scale),
+                "git_sha": git_sha, "hls_jobs": int(jobs),
                 "benches": ["fig_4_1_response_time", "tbl_abort_statistics",
                             "tbl_abort_provenance", "obs_overhead",
                             "abl_adaptive_routing", "micro_kernel"]}

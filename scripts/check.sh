@@ -113,9 +113,28 @@ rm -f "$trace_json"
 python3 scripts/extract_csv.py --selftest
 echo "trace smoke: perfetto export schema-valid end to end"
 
+# Run-artifact gate: generate the canonical artifact at the baseline's
+# pinned time scale under two HLS_JOBS values (must be byte-identical),
+# schema- and identity-check it (validate_artifact.py), self-diff to zero
+# deltas, then gate against the committed baseline. After an intended
+# metrics change, re-pin with:
+#   HLS_TIME_SCALE=0.05 ./build/tools/hlsreport gen scripts/artifact_baseline.json
+art_a=$(mktemp) && art_b=$(mktemp)
+HLS_TIME_SCALE=0.05 HLS_JOBS=1 "./$BUILD/tools/hlsreport" gen "$art_a" >/dev/null
+HLS_TIME_SCALE=0.05 HLS_JOBS=4 "./$BUILD/tools/hlsreport" gen "$art_b" >/dev/null
+cmp "$art_a" "$art_b"
+python3 scripts/validate_artifact.py "$art_a"
+"./$BUILD/tools/hlsreport" diff "$art_a" "$art_a" --gate >/dev/null
+"./$BUILD/tools/hlsreport" diff scripts/artifact_baseline.json "$art_a" --gate
+rm -f "$art_a" "$art_b"
+echo "artifact gate: canonical artifact valid, HLS_JOBS-invariant, matches baseline"
+
 # Snapshot completeness: the newest committed BENCH_<N>.json must contain
 # data keys for every bench its own _meta.benches lists, so a snapshot
-# regenerated by a script that silently dropped a bench cannot merge.
+# regenerated by a script that silently dropped a bench cannot merge. The
+# newest snapshot must also carry full provenance (git_sha, time_scale,
+# hls_jobs) so a measured regression can be traced to the commit and
+# environment that produced the baseline numbers.
 python3 - <<'EOF'
 import glob, json, sys
 
@@ -124,14 +143,19 @@ if not snaps:
     sys.exit("snapshot: no BENCH_*.json at the repo root")
 path = max(snaps, key=lambda p: json.load(open(p)).get("_meta", {}).get("snapshot", -1))
 data = json.load(open(path))
-benches = data.get("_meta", {}).get("benches", [])
+meta = data.get("_meta", {})
+benches = meta.get("benches", [])
 if not benches:
     sys.exit(f"snapshot: {path} has no _meta.benches list")
 prefixes = {k.split(".")[0] for k in data if k != "_meta"}
 missing = [b for b in benches if not any(b.startswith(p) for p in prefixes)]
 if missing:
     sys.exit(f"snapshot: {path} lists benches with no data keys: {missing}")
-print(f"snapshot: {path} covers all {len(benches)} _meta benches")
+missing_meta = [k for k in ("git_sha", "time_scale", "hls_jobs") if k not in meta]
+if missing_meta:
+    sys.exit(f"snapshot: {path} _meta is missing provenance keys: {missing_meta}")
+print(f"snapshot: {path} covers all {len(benches)} _meta benches "
+      f"(git_sha {meta['git_sha']}, scale {meta['time_scale']})")
 EOF
 
 # Release perf smoke: the event kernel must sustain a conservative floor on

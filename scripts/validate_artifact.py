@@ -1,0 +1,153 @@
+#!/usr/bin/env python3
+"""Schema + accounting check for hybridls run artifacts (core/artifact.hpp).
+
+Validates the canonical JSON run artifact that `hlsreport gen` (or any run
+with config obs_artifact=PATH) writes:
+
+  * schema tag is hls-run-artifact-v1 and run provenance keys are present;
+  * the registry has the five kind groups, every entry carries a unit, and
+    names inside each group are unique and sorted (a canonicality witness);
+  * double-entry cross-checks: global completions equal the sum of the
+    local_a/shipped_a/class_b splits; per-cause abort counters summed over
+    sites equal the global counters; per-site class A arrival/ship counters
+    sum to the global ones;
+  * phase-sum identity: the per-phase stat sums add up to rt.all's sum
+    (every completion charges its full response time to phases);
+  * stat sanity: count == rt.all count for every phase stat, min <= mean <=
+    max whenever count > 0.
+
+Usage:
+    scripts/validate_artifact.py artifact.json
+Exits 0 with a one-line summary on success; non-zero with a diagnostic on
+the first violation.
+"""
+
+import json
+import math
+import sys
+
+SCHEMA = "hls-run-artifact-v1"
+GROUPS = ["counters", "gauges", "histograms", "stats", "time_weighted"]
+ABORT_CAUSES = [
+    "preempted", "invalidated", "auth_refused", "deadlock", "ship_timeout",
+    "crash",
+]
+PHASES = [
+    "ready_queue", "cpu_service", "io", "network", "lock_wait", "auth",
+    "commit", "stall",
+]
+REL_TOL = 1e-9
+
+
+def fail(message):
+    print(f"validate_artifact: {message}", file=sys.stderr)
+    return 1
+
+
+def close(a, b):
+    return math.isclose(a, b, rel_tol=REL_TOL, abs_tol=1e-12)
+
+
+def main():
+    if len(sys.argv) != 2:
+        return fail("usage: validate_artifact.py artifact.json")
+    with open(sys.argv[1]) as f:
+        try:
+            doc = json.load(f)
+        except json.JSONDecodeError as e:
+            return fail(f"not valid JSON: {e}")
+
+    if doc.get("schema") != SCHEMA:
+        return fail(f"schema is {doc.get('schema')!r}, expected {SCHEMA!r}")
+    run = doc.get("run")
+    if not isinstance(run, dict):
+        return fail("run object missing")
+    for key in ("seed", "num_sites", "strategy", "window_seconds"):
+        if key not in run:
+            return fail(f"run.{key} missing")
+
+    registry = doc.get("registry")
+    if not isinstance(registry, dict):
+        return fail("registry object missing")
+    for group in GROUPS:
+        entries = registry.get(group)
+        if not isinstance(entries, dict):
+            return fail(f"registry.{group} missing or not an object")
+        names = list(entries)
+        if names != sorted(names):
+            return fail(f"registry.{group} names are not sorted")
+        for name, entry in entries.items():
+            if not isinstance(entry.get("unit"), str) or not entry["unit"]:
+                return fail(f"registry.{group}.{name} has no unit")
+
+    counters = registry["counters"]
+    stats = registry["stats"]
+
+    def counter(name):
+        entry = counters.get(name)
+        if entry is None:
+            raise KeyError(name)
+        return entry["value"]
+
+    num_sites = int(run["num_sites"])
+    try:
+        # Completion split double entry.
+        total = counter("txn.completions")
+        split = (counter("txn.completions.local_a") +
+                 counter("txn.completions.shipped_a") +
+                 counter("txn.completions.class_b"))
+        if total != split:
+            return fail(f"completions {total} != split sum {split}")
+
+        # Per-site double entries: abort causes, class A arrivals, ships.
+        for cause in ABORT_CAUSES:
+            site_sum = sum(
+                counter(f"site{s}.aborts.{cause}") for s in range(num_sites))
+            if counter(f"aborts.{cause}") != site_sum:
+                return fail(
+                    f"aborts.{cause} {counter(f'aborts.{cause}')} != "
+                    f"site sum {site_sum}")
+        for name in ("txn.arrivals.class_a", "txn.shipped.class_a"):
+            site_sum = sum(
+                counter(f"site{s}.{name}") for s in range(num_sites))
+            if counter(name) != site_sum:
+                return fail(f"{name} {counter(name)} != site sum {site_sum}")
+    except KeyError as e:
+        return fail(f"expected counter missing: {e}")
+
+    rt_all = stats.get("rt.all")
+    if rt_all is None:
+        return fail("stats rt.all missing")
+
+    # Phase-sum identity: every completion's response time is fully charged
+    # to phases, so the phase sums add up to rt.all's sum.
+    phase_sum = 0.0
+    for phase in PHASES:
+        entry = stats.get(f"phase.{phase}")
+        if entry is None:
+            return fail(f"stats phase.{phase} missing")
+        if entry["count"] != rt_all["count"]:
+            return fail(
+                f"phase.{phase} count {entry['count']} != rt.all count "
+                f"{rt_all['count']}")
+        phase_sum += entry["sum"]
+    if not close(phase_sum, rt_all["sum"]):
+        return fail(
+            f"phase sums {phase_sum} != rt.all sum {rt_all['sum']}")
+
+    # Stat sanity over every exported stat.
+    for name, entry in stats.items():
+        if entry["count"] > 0 and not (
+                entry["min"] <= entry["mean"] + 1e-12 and
+                entry["mean"] <= entry["max"] + 1e-12):
+            return fail(f"stats.{name}: min/mean/max out of order: {entry}")
+
+    n = sum(len(registry[g]) for g in GROUPS)
+    print(f"validate_artifact: {sys.argv[1]} ok "
+          f"({n} metrics, {num_sites} sites, phase-sum and double-entry "
+          f"identities hold)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -16,7 +16,7 @@ diagnostic on the first violation.
 import json
 import sys
 
-ALLOWED_PH = {"B", "E", "i", "s", "f", "M"}
+ALLOWED_PH = {"B", "E", "i", "s", "f", "M", "C"}
 
 
 def fail(message):
@@ -50,6 +50,10 @@ def main():
             return fail(f"event {index} ts missing or not an integer: {ev}")
         if not isinstance(ev["pid"], int) or not isinstance(ev["tid"], int):
             return fail(f"event {index} pid/tid not integers: {ev}")
+        if ph == "C":
+            value = ev.get("args", {}).get("value")
+            if not isinstance(value, (int, float)):
+                return fail(f"event {index}: C without numeric args.value: {ev}")
         counts[ph] = counts.get(ph, 0) + 1
 
         key = (ev["pid"], ev["tid"])

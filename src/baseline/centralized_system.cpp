@@ -1,5 +1,6 @@
 #include "baseline/centralized_system.hpp"
 
+#include "obs/registry.hpp"
 #include "util/assert.hpp"
 
 namespace hls {
@@ -167,6 +168,33 @@ void CentralizedSystem::abort_rerun(Transaction* txn) {
   txn->call_index = 0;
   HLS_ASSERT(txn->run_count <= cfg_.max_reruns, "centralized baseline livelock");
   start_run(txn);
+}
+
+void CentralizedSystem::export_registry(obs::Registry& reg) const {
+  const BaselineMetrics& m = metrics_;
+  const obs::Registry::Scope root = reg.root();
+  root.counter("txn.arrivals", m.arrivals, "txns");
+  root.counter("txn.completions", m.completions, "txns");
+  root.counter("aborts.deadlock", m.deadlock_aborts);
+  root.gauge("txn.live", static_cast<double>(live_.size()), "txns");
+  root.gauge("window.seconds", m.measure_end - m.measure_start, "s");
+  root.stat("rt.all", m.rt_all, "s");
+  root.stat("rt.class_a", m.rt_class_a, "s");
+  root.stat("rt.class_b", m.rt_class_b, "s");
+
+  const obs::Registry::Scope central = reg.central();
+  central.time_weighted("cpu.util", cpu_->utilization(),
+                        cpu_->busy() ? 1.0 : 0.0, "fraction");
+  central.time_weighted("cpu.queue", cpu_->average_queue_length(),
+                        static_cast<double>(cpu_->queue_length()), "jobs");
+  central.counter("cpu.bursts", cpu_->completed_bursts(), "bursts");
+  central.gauge("cpu.busy_seconds", cpu_->busy_seconds(), "s");
+  central.gauge("cpu.sojourn_seconds", cpu_->sojourn_seconds(), "s");
+  central.gauge("locks.held", static_cast<double>(locks_->locks_held()),
+                "locks");
+  central.gauge("locks.waiters", static_cast<double>(locks_->waiters()),
+                "txns");
+  central.counter("locks.deadlocks", locks_->deadlocks_detected(), "cycles");
 }
 
 }  // namespace hls

@@ -28,6 +28,10 @@
 
 namespace hls {
 
+namespace obs {
+class Registry;
+}
+
 class CentralizedSystem {
  public:
   /// Reuses the hybrid SystemConfig: central_mips sizes the single CPU,
@@ -55,6 +59,11 @@ class CentralizedSystem {
     return static_cast<int>(live_.size());
   }
   [[nodiscard]] const LockManager& locks() const { return *locks_; }
+
+  /// Exports the run's metrics into `reg` under the baseline subset of the
+  /// stable names in docs/OBSERVABILITY.md (rt.* stats, txn.* counters, and
+  /// a central.* resource scope). Read-only; callable any time.
+  void export_registry(obs::Registry& reg) const;
 
  private:
   Transaction* find(TxnId id, std::uint64_t epoch);

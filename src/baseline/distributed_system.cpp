@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/registry.hpp"
 #include "util/assert.hpp"
 
 namespace hls {
@@ -355,6 +356,38 @@ void DistributedSystem::abort_rerun(Transaction* txn, bool timed_out) {
       start_run(t);
     }
   });
+}
+
+void DistributedSystem::export_registry(obs::Registry& reg) const {
+  const BaselineMetrics& m = metrics_;
+  const obs::Registry::Scope root = reg.root();
+  root.counter("txn.arrivals", m.arrivals, "txns");
+  root.counter("txn.completions", m.completions, "txns");
+  root.counter("msg.remote_calls", m.remote_calls, "calls");
+  root.counter("aborts.deadlock", m.deadlock_aborts);
+  root.counter("aborts.lock_timeout", m.timeout_aborts);
+  root.gauge("txn.live", static_cast<double>(live_.size()), "txns");
+  root.gauge("window.seconds", m.measure_end - m.measure_start, "s");
+  root.stat("rt.all", m.rt_all, "s");
+  root.stat("rt.class_a", m.rt_class_a, "s");
+  root.stat("rt.class_b", m.rt_class_b, "s");
+
+  for (int s = 0; s < cfg_.num_sites; ++s) {
+    const Site& site = sites_[static_cast<std::size_t>(s)];
+    const obs::Registry::Scope sc = reg.site(s);
+    sc.time_weighted("cpu.util", site.cpu->utilization(),
+                     site.cpu->busy() ? 1.0 : 0.0, "fraction");
+    sc.time_weighted("cpu.queue", site.cpu->average_queue_length(),
+                     static_cast<double>(site.cpu->queue_length()), "jobs");
+    sc.counter("cpu.bursts", site.cpu->completed_bursts(), "bursts");
+    sc.gauge("cpu.busy_seconds", site.cpu->busy_seconds(), "s");
+    sc.gauge("cpu.sojourn_seconds", site.cpu->sojourn_seconds(), "s");
+    sc.gauge("locks.held", static_cast<double>(site.locks->locks_held()),
+             "locks");
+    sc.gauge("locks.waiters", static_cast<double>(site.locks->waiters()),
+             "txns");
+    sc.counter("locks.deadlocks", site.locks->deadlocks_detected(), "cycles");
+  }
 }
 
 }  // namespace hls

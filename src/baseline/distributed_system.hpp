@@ -44,6 +44,10 @@
 
 namespace hls {
 
+namespace obs {
+class Registry;
+}
+
 /// Extra knobs for the distributed baseline, on top of SystemConfig.
 struct DistributedOptions {
   double lock_timeout = 5.0;        ///< cross-site lock-wait timeout, s
@@ -74,6 +78,11 @@ class DistributedSystem {
   }
   [[nodiscard]] const LockManager& site_locks(int site) const;
   [[nodiscard]] double site_utilization(int site) const;
+
+  /// Exports the run's metrics into `reg` under the baseline subset of the
+  /// stable names in docs/OBSERVABILITY.md (rt.* stats, txn.* counters, and
+  /// a site<k>.* resource scope per site). Read-only; callable any time.
+  void export_registry(obs::Registry& reg) const;
 
  private:
   struct Site {

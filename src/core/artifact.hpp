@@ -1,0 +1,33 @@
+// Canonical run artifact: the JSON document serialized next to a RunResult.
+//
+// Layout (docs/OBSERVABILITY.md "Run artifact"):
+//
+//   {"schema":"hls-run-artifact-v1",
+//    "run":{...provenance: strategy, seed, sites, window...},
+//    "registry":{...obs::Registry::write_json...}}
+//
+// Canonical bytes: keys are emitted in a fixed order, numbers in shortest
+// round-trip form, and the registry serialization is order-independent, so
+// same-seed runs produce byte-identical artifacts across reruns, HLS_JOBS
+// values and machines. scripts/validate_artifact.py checks the schema and
+// the cross-metric accounting identities; tools/hlsreport diffs two
+// artifacts and gates regressions.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+namespace hls {
+
+struct RunResult;
+
+inline constexpr const char* kRunArtifactSchema = "hls-run-artifact-v1";
+
+/// Serializes `result` (provenance + metric registry) as canonical JSON.
+void write_run_artifact(std::ostream& out, const RunResult& result);
+
+/// Writes the artifact to `path`; asserts the file opens (a bad artifact
+/// path in a config is a setup bug, not a runtime condition to handle).
+void write_run_artifact_file(const std::string& path, const RunResult& result);
+
+}  // namespace hls

@@ -86,6 +86,12 @@ bool apply_config_override(SystemConfig& cfg, const std::string& assignment,
     cfg.obs_span_sink = value;
     return true;
   }
+  if (key == "obs_artifact") {
+    // Any path (or empty to disable); existence is checked when the driver
+    // opens it, not at parse time.
+    cfg.obs_artifact = value;
+    return true;
+  }
   if (key == "chaos_strategy") {
     // Validated by the chaos harness (routing parse_strategy_spec aborts on
     // unknown names, so the repro runner surfaces a typo immediately).
@@ -203,6 +209,13 @@ bool apply_config_override(SystemConfig& cfg, const std::string& assignment,
       return fail(error, "report_top_k must be non-negative");
     }
     cfg.report_top_k = static_cast<int>(v);
+  } else if (key == "obs_resource_telemetry") {
+    cfg.obs_resource_telemetry = flag_set(v);
+  } else if (key == "obs_heat_buckets") {
+    if (v < 0.0) {
+      return fail(error, "obs_heat_buckets must be non-negative");
+    }
+    cfg.obs_heat_buckets = static_cast<int>(v);
   } else if (key == "fault_random_link_rate") {
     cfg.faults.random_link_outage_rate = v;
   } else if (key == "fault_random_link_duration") {
@@ -357,6 +370,10 @@ void describe_config(std::ostream& out, const SystemConfig& cfg) {
   out << "obs_sample_interval=" << cfg.obs_sample_interval << '\n';
   out << "obs_span_sink=" << cfg.obs_span_sink << '\n';
   out << "report_top_k=" << cfg.report_top_k << '\n';
+  out << "obs_resource_telemetry=" << (cfg.obs_resource_telemetry ? 1 : 0)
+      << '\n';
+  out << "obs_heat_buckets=" << cfg.obs_heat_buckets << '\n';
+  out << "obs_artifact=" << cfg.obs_artifact << '\n';
   out << "fault_random_link_rate=" << cfg.faults.random_link_outage_rate << '\n';
   out << "fault_random_link_duration=" << cfg.faults.random_link_outage_mean
       << '\n';

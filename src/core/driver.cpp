@@ -4,6 +4,7 @@
 #include <fstream>
 #include <memory>
 
+#include "core/artifact.hpp"
 #include "model/static_optimizer.hpp"
 #include "obs/csv_sink.hpp"
 #include "obs/perfetto_sink.hpp"
@@ -60,6 +61,10 @@ RunResult run_simulation(const SystemConfig& config,
   result.series = system.take_series();
   if (const AdaptiveController* controller = system.controller()) {
     result.controller_decisions = controller->decisions();
+  }
+  system.export_registry(result.registry);
+  if (!config.obs_artifact.empty()) {
+    write_run_artifact_file(config.obs_artifact, result);
   }
   if (perfetto != nullptr) {
     perfetto->close();

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "hybrid/hybrid_system.hpp"
+#include "obs/registry.hpp"
 #include "obs/sample.hpp"
 #include "obs/sink.hpp"
 #include "routing/factory.hpp"
@@ -37,6 +38,11 @@ struct RunResult {
   /// included; empty unless the strategy is an `adapt:` spec with a positive
   /// review interval. Rendered by core/report's controller section.
   std::vector<ControllerDecision> controller_decisions;
+  /// Every metric the run accumulated, under the stable names documented in
+  /// docs/OBSERVABILITY.md; always populated (the export is a read-only
+  /// post-run pass). Serialized by core/artifact.hpp when the config sets
+  /// obs_artifact.
+  obs::Registry registry;
 };
 
 /// Builds the strategy from `spec` (running the static optimization when the

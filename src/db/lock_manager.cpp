@@ -75,6 +75,7 @@ LockRequestOutcome LockManager::request(TxnId txn, LockId lock, LockMode mode,
   HLS_ASSERT(txn != kInvalidTxn, "invalid transaction id");
   HLS_ASSERT(waiting_on_.find(txn) == nullptr,
              "transaction already blocked on a lock");
+  note_access(lock);
   Entry& entry = entry_for(lock);
 
   // Already-held fast path.
@@ -119,6 +120,7 @@ LockRequestOutcome LockManager::request(TxnId txn, LockId lock, LockMode mode,
   entry.queue.push_back(Waiter{txn, mode, std::move(on_grant)});
   waiting_on_.find_or_insert(txn) = lock;
   ++waiters_total_;
+  note_waiters();
   return LockRequestOutcome::Queued;
 }
 
@@ -180,6 +182,7 @@ std::vector<LockId> LockManager::cancel_waits(TxnId txn) {
     }
   }
   waiting_on_.erase(txn);
+  note_waiters();
   // Removing a queued request can unblock the head (e.g. an X request that
   // was queued behind the cancelled one).
   pump_queue(lock, *entry);
@@ -226,6 +229,7 @@ std::vector<LockId> LockManager::held_locks(TxnId txn) const {
 LockManager::GrabResult LockManager::grab_for_authentication(TxnId grabber, LockId lock,
                                                              LockMode mode) {
   GrabResult result;
+  note_access(lock);
   Entry& entry = entry_for(lock);
   if (entry.coherence != 0) {
     // In-flight asynchronous update: the central copy is stale, refuse.
@@ -324,6 +328,7 @@ void LockManager::pump_queue(LockId lock, Entry& entry) {
     }
     waiting_on_.erase(head.txn);
     --waiters_total_;
+    note_waiters();
     GrantCallback cb = std::move(head.on_grant);
     entry.queue.pop_front();
     if (cb) {
@@ -460,6 +465,33 @@ void LockManager::check_invariants() const {
     index_holds += held_pool_[slot].size();
   });
   HLS_ASSERT(index_holds == holds_total_, "held_index_ out of sync");
+  if (wait_telemetry_) {
+    // Exact: the gauge mirrors an integer counter. hlslint:allow(float-eq)
+    HLS_ASSERT(wait_tw_.current() == static_cast<double>(waiters_total_),
+               "wait-queue gauge out of sync with waiters_total_");
+  }
+}
+
+void LockManager::enable_wait_telemetry(double now) {
+  wait_telemetry_ = true;
+  wait_tw_.reset(now);
+  wait_tw_.set(now, static_cast<double>(waiters_total_));
+}
+
+void LockManager::enable_heat(int buckets, std::uint32_t lockspace) {
+  HLS_ASSERT(buckets > 0, "enable_heat needs at least one bucket");
+  HLS_ASSERT(lockspace > 0, "enable_heat needs a non-empty lock space");
+  heat_lockspace_ = lockspace;
+  heat_.assign(static_cast<std::size_t>(buckets), 0);
+}
+
+void LockManager::reset_telemetry(double now) {
+  if (wait_telemetry_) {
+    wait_tw_.reset(now);  // reset keeps the current signal value
+  }
+  if (!heat_.empty()) {
+    std::fill(heat_.begin(), heat_.end(), 0);
+  }
 }
 
 }  // namespace hls

@@ -32,6 +32,7 @@
 #include "db/lock_types.hpp"
 #include "sim/simulator.hpp"
 #include "util/flat_map.hpp"
+#include "util/stats.hpp"
 #include "util/unique_function.hpp"
 
 namespace hls {
@@ -143,6 +144,32 @@ class LockManager {
   [[nodiscard]] std::uint64_t deadlocks_detected() const { return deadlocks_; }
   [[nodiscard]] const std::string& name() const { return name_; }
 
+  // ---- per-resource telemetry (off unless armed; docs/OBSERVABILITY.md) ----
+
+  /// Arms the time-weighted wait-queue gauge from `now` on. Telemetry is
+  /// pure state writes on the existing mutation paths: no events are ever
+  /// scheduled, so arming it cannot perturb the simulation.
+  void enable_wait_telemetry(double now);
+
+  /// Arms per-bucket access-heat counters: ids in [0, lockspace) fold into
+  /// `buckets` equal-width buckets, and every request() /
+  /// grab_for_authentication() access increments its bucket.
+  void enable_heat(int buckets, std::uint32_t lockspace);
+
+  /// Restarts the telemetry window at `now` (warmup discard). Heat counters
+  /// restart at zero; the wait gauge keeps its current value.
+  void reset_telemetry(double now);
+
+  [[nodiscard]] bool wait_telemetry_enabled() const { return wait_telemetry_; }
+
+  /// Time-averaged wait-queue length since enable/reset (0 when unarmed).
+  [[nodiscard]] double average_waiters(double now) const {
+    return wait_telemetry_ ? wait_tw_.average(now) : 0.0;
+  }
+
+  /// Access-heat counters, one per bucket (empty when unarmed).
+  [[nodiscard]] const std::vector<std::uint64_t>& heat() const { return heat_; }
+
   /// DFS over the waits-for relation: if blocking `waiter` on `lock` would
   /// close a cycle back to `waiter`, returns the cycle's members (waiter
   /// first, then the chain of transactions it would transitively wait on);
@@ -188,6 +215,26 @@ class LockManager {
   /// The reference is stable until the entry is dropped — entries live in
   /// entry_pool_, which only other entry creations can grow, and no caller
   /// holds one reference across creating another entry.
+  /// Mirrors waiters_total_ into the time-weighted gauge; call after every
+  /// mutation of the counter. A single branch when telemetry is off.
+  void note_waiters() {
+    if (wait_telemetry_) {
+      wait_tw_.set(sim_.now(), static_cast<double>(waiters_total_));
+    }
+  }
+
+  /// Tallies one access of `lock` into its heat bucket (no-op when unarmed).
+  void note_access(LockId lock) {
+    if (!heat_.empty()) {
+      std::size_t bucket = static_cast<std::size_t>(
+          static_cast<std::uint64_t>(lock) * heat_.size() / heat_lockspace_);
+      if (bucket >= heat_.size()) {
+        bucket = heat_.size() - 1;
+      }
+      ++heat_[bucket];
+    }
+  }
+
   Entry& entry_for(LockId lock);
   [[nodiscard]] Entry* lookup_entry(LockId lock);
   [[nodiscard]] const Entry* lookup_entry(LockId lock) const;
@@ -222,6 +269,10 @@ class LockManager {
   std::size_t waiters_total_ = 0;
   std::size_t coherence_nonzero_ = 0;
   std::uint64_t deadlocks_ = 0;
+  bool wait_telemetry_ = false;
+  TimeWeightedStat wait_tw_;
+  std::uint64_t heat_lockspace_ = 1;
+  std::vector<std::uint64_t> heat_;
 };
 
 }  // namespace hls

@@ -174,6 +174,26 @@ struct SystemConfig {
   /// Span trees listed in the run report's slowest-transactions section.
   int report_top_k = 5;
 
+  /// Per-resource continuous telemetry: time-weighted IO-device occupancy,
+  /// lock-manager wait-queue lengths, and link in-flight message counts,
+  /// surfaced in the sampler series, Perfetto counter tracks, and the
+  /// registry export. Off by default — when false no gauge is maintained,
+  /// and enabling it only adds state writes (no events, no RNG forks), so
+  /// the event sequence and metrics stay bit-identical either way.
+  bool obs_resource_telemetry = false;
+
+  /// Lock-access heat counters: the lock space is folded into this many
+  /// equal-width buckets per lock manager and every request/authentication
+  /// access increments its bucket. 0 (the default) keeps the counters
+  /// entirely absent; like the gauges above, enabling them never perturbs
+  /// the simulation.
+  int obs_heat_buckets = 0;
+
+  /// When non-empty, `run_simulation` serializes the metric registry as a
+  /// canonical JSON run artifact at this path (schema in
+  /// docs/OBSERVABILITY.md; diffed and gated by tools/hlsreport).
+  std::string obs_artifact;
+
   /// Lock ids mastered by site s: [s*partition, (s+1)*partition).
   [[nodiscard]] std::uint32_t partition_size() const {
     return lockspace / static_cast<std::uint32_t>(num_sites);
@@ -242,6 +262,7 @@ struct SystemConfig {
                    obs_span_sink.rfind("csv:", 0) == 0,
                "obs_span_sink must be empty, perfetto:PATH, or csv:PATH");
     HLS_ASSERT(report_top_k >= 0, "negative report_top_k");
+    HLS_ASSERT(obs_heat_buckets >= 0, "negative obs_heat_buckets");
     HLS_ASSERT(faults.validate(num_sites), "invalid fault schedule");
   }
 };

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <utility>
 
+#include "obs/registry.hpp"
 #include "util/assert.hpp"
 #include "util/logging.hpp"
 
@@ -56,6 +57,29 @@ HybridSystem::HybridSystem(SystemConfig cfg, std::unique_ptr<RoutingStrategy> st
   // read state, so enabling it never changes Metrics for a given seed.
   if (cfg_.obs_sample_interval > 0.0) {
     sim_.schedule_at(cfg_.obs_sample_interval, [this] { take_sample(); });
+  }
+
+  // Per-resource telemetry and lock-access heat counters are pure state
+  // writes on paths that already run — no events, no RNG forks — so arming
+  // them keeps the event sequence and Metrics bit-identical; leaving them
+  // off (the default) keeps even the state writes absent.
+  resource_telemetry_ = cfg_.obs_resource_telemetry;
+  if (resource_telemetry_) {
+    const double now = sim_.now();
+    central_.locks->enable_wait_telemetry(now);
+    central_.io_tw.set(now, 0.0);
+    for (SiteState& site : sites_) {
+      site.locks->enable_wait_telemetry(now);
+      site.up->enable_flight_telemetry(now);
+      site.down->enable_flight_telemetry(now);
+      site.io_tw.set(now, 0.0);
+    }
+  }
+  if (cfg_.obs_heat_buckets > 0) {
+    central_.locks->enable_heat(cfg_.obs_heat_buckets, cfg_.lockspace);
+    for (SiteState& site : sites_) {
+      site.locks->enable_heat(cfg_.obs_heat_buckets, cfg_.lockspace);
+    }
   }
 
   // The adaptive-routing controller follows the same byte-parity rule: it
@@ -155,6 +179,17 @@ void HybridSystem::begin_measurement() {
     sm = SiteMetrics{};
   }
   series_.clear();  // the time series covers the measurement window only
+  if (resource_telemetry_ || cfg_.obs_heat_buckets > 0) {
+    const double now = sim_.now();
+    central_.locks->reset_telemetry(now);
+    central_.io_tw.reset(now);
+    for (SiteState& site : sites_) {
+      site.locks->reset_telemetry(now);
+      site.up->reset_telemetry(now);
+      site.down->reset_telemetry(now);
+      site.io_tw.reset(now);
+    }
+  }
 }
 
 void HybridSystem::end_measurement() {
@@ -220,13 +255,47 @@ void HybridSystem::cpu_burst(FcfsResource& cpu, double seconds, Transaction* txn
 void HybridSystem::wait(double seconds, Transaction* txn, obs::Phase phase,
                         int track, void (HybridSystem::*next)(Transaction*)) {
   txn->phases.pending = phase;
+  // IO-occupancy gauge: increment at schedule, decrement unconditionally in
+  // the callback (before the epoch check, so the pairing is exact even when
+  // the transaction aborted or completed while the IO was in flight).
+  const bool io_gauge = resource_telemetry_ && phase == obs::Phase::Io;
+  if (io_gauge) {
+    note_io(track, +1);
+  }
   sim_.schedule_after(seconds, [this, phase, track, id = txn->id,
-                                epoch = txn->epoch, next] {
+                                epoch = txn->epoch, next, io_gauge] {
+    if (io_gauge) {
+      note_io(track, -1);
+    }
     if (Transaction* t = find(id, epoch)) {
       span_settle(t, phase, sim_.now(), track);
       (this->*next)(t);
     }
   });
+}
+
+void HybridSystem::note_io(int track, int delta) {
+  int* count = nullptr;
+  TimeWeightedStat* tw = nullptr;
+  if (track == obs::kCentralTrack) {
+    count = &central_.io_in_flight;
+    tw = &central_.io_tw;
+  } else {
+    SiteState& site = sites_[static_cast<std::size_t>(track)];
+    count = &site.io_in_flight;
+    tw = &site.io_tw;
+  }
+  *count += delta;
+  HLS_ASSERT(*count >= 0, "IO-occupancy gauge went negative");
+  tw->set(sim_.now(), static_cast<double>(*count));
+}
+
+int HybridSystem::io_in_flight(int track) const {
+  if (track == obs::kCentralTrack) {
+    return central_.io_in_flight;
+  }
+  HLS_ASSERT(track >= 0 && track < cfg_.num_sites, "track out of range");
+  return sites_[static_cast<std::size_t>(track)].io_in_flight;
 }
 
 // --------------------------------------------------------------------------
@@ -2071,6 +2140,11 @@ void HybridSystem::take_sample() {
   row.central_resident = central_.resident_txns;
   row.central_up = central_.alive;
   row.live_txns = static_cast<int>(arena_.live_count());
+  row.extended = resource_telemetry_;
+  if (row.extended) {
+    row.central_lock_waiters = static_cast<int>(central_.locks->waiters());
+    row.central_io_in_flight = central_.io_in_flight;
+  }
   row.sites.reserve(sites_.size());
   for (const SiteState& site : sites_) {
     obs::SiteSample s;
@@ -2079,6 +2153,12 @@ void HybridSystem::take_sample() {
     s.resident = site.resident_txns;
     s.shipped_in_flight = site.shipped_in_flight;
     s.up = site.alive;
+    if (row.extended) {
+      s.lock_waiters = static_cast<int>(site.locks->waiters());
+      s.link_in_flight = static_cast<int>(site.up->messages_in_flight() +
+                                          site.down->messages_in_flight());
+      s.io_in_flight = site.io_in_flight;
+    }
     row.sites.push_back(s);
   }
   series_.push_back(std::move(row));
@@ -2090,6 +2170,7 @@ void HybridSystem::take_sample() {
     ev.up = central_.alive;
     ev.central_cpu_queue = static_cast<int>(central_.cpu->queue_length());
     ev.live_txns = static_cast<int>(arena_.live_count());
+    ev.sample = &series_.back();  // full row; valid for the emission only
     emit_event(ev);
   }
 
@@ -2097,6 +2178,173 @@ void HybridSystem::take_sample() {
   // never be the event keeping the simulation alive.
   if (arrivals_enabled_ || arena_.live_count() > 0) {
     sim_.schedule_after(cfg_.obs_sample_interval, [this] { take_sample(); });
+  }
+}
+
+namespace {
+
+constexpr int cause_idx(AbortCause c) { return static_cast<int>(c); }
+constexpr int kCauseCount = static_cast<int>(AbortCause::kCount);
+
+/// Registers the six per-cause abort counters under `sc` with the stable
+/// literal names matching obs::abort_cause_name.
+void export_abort_counters(const obs::Registry::Scope& sc,
+                           const std::uint64_t (&aborts)[kCauseCount]) {
+  sc.counter("aborts.preempted", aborts[cause_idx(AbortCause::LocalPreempted)]);
+  sc.counter("aborts.invalidated",
+             aborts[cause_idx(AbortCause::CentralInvalidated)]);
+  sc.counter("aborts.auth_refused", aborts[cause_idx(AbortCause::AuthRefused)]);
+  sc.counter("aborts.deadlock", aborts[cause_idx(AbortCause::Deadlock)]);
+  sc.counter("aborts.ship_timeout", aborts[cause_idx(AbortCause::ShipTimeout)]);
+  sc.counter("aborts.crash", aborts[cause_idx(AbortCause::Crash)]);
+}
+
+/// CPU + lock-manager entries shared by the central scope and every site
+/// scope: utilization/queue time averages, the Little's-law ledgers, lock
+/// occupancy, and — when armed — the wait-queue gauge and heat buckets.
+void export_resource(const obs::Registry::Scope& sc, const FcfsResource& cpu,
+                     const LockManager& locks, bool telemetry, int io_count,
+                     const TimeWeightedStat& io_tw, double now) {
+  sc.time_weighted("cpu.util", cpu.utilization(), cpu.busy() ? 1.0 : 0.0,
+                   "fraction");
+  sc.time_weighted("cpu.queue", cpu.average_queue_length(),
+                   static_cast<double>(cpu.queue_length()), "jobs");
+  sc.counter("cpu.bursts", cpu.completed_bursts(), "bursts");
+  sc.gauge("cpu.busy_seconds", cpu.busy_seconds(), "s");
+  sc.gauge("cpu.sojourn_seconds", cpu.sojourn_seconds(), "s");
+  sc.gauge("locks.held", static_cast<double>(locks.locks_held()), "locks");
+  sc.gauge("locks.waiters", static_cast<double>(locks.waiters()), "txns");
+  sc.counter("locks.deadlocks", locks.deadlocks_detected(), "cycles");
+  if (locks.wait_telemetry_enabled()) {
+    sc.time_weighted("locks.wait_queue", locks.average_waiters(now),
+                     static_cast<double>(locks.waiters()), "txns");
+  }
+  if (telemetry) {
+    sc.time_weighted("io.in_flight", io_tw.average(now),
+                     static_cast<double>(io_count), "ops");
+  }
+  const std::vector<std::uint64_t>& heat = locks.heat();
+  for (std::size_t b = 0; b < heat.size(); ++b) {
+    sc.bucket_counter("locks.heat", b, heat[b], "accesses");
+  }
+}
+
+}  // namespace
+
+void HybridSystem::export_registry(obs::Registry& reg) const {
+  const Metrics& m = metrics();  // flushes the staged phase batch
+  const double now = sim_.now();
+  const obs::Registry::Scope root = reg.root();
+
+  // ---- transaction flow counters ----
+  root.counter("txn.arrivals.class_a", m.arrivals_class_a, "txns");
+  root.counter("txn.arrivals.class_b", m.arrivals_class_b, "txns");
+  root.counter("txn.shipped.class_a", m.shipped_class_a, "txns");
+  root.counter("txn.completions", m.completions, "txns");
+  root.counter("txn.completions.local_a", m.completions_local_a, "txns");
+  root.counter("txn.completions.shipped_a", m.completions_shipped_a, "txns");
+  root.counter("txn.completions.class_b", m.completions_class_b, "txns");
+  root.counter("txn.reruns", m.reruns, "runs");
+  root.gauge("txn.live", static_cast<double>(arena_.live_count()), "txns");
+  root.gauge("txn.max_reruns_seen", static_cast<double>(m.max_reruns_seen),
+             "runs");
+
+  // ---- abort provenance ----
+  export_abort_counters(root, m.aborts);
+  root.counter("aborts.with_winner", m.aborts_with_winner, "txns");
+  root.gauge("wasted.cpu.total", m.wasted_cpu_total(), "s");
+  root.gauge("wasted.io.total", m.wasted_io_total(), "s");
+  root.stat("wasted.per_txn", m.wasted_per_txn, "s");
+
+  // ---- protocol message counters ----
+  root.counter("msg.async_updates_sent", m.async_updates_sent, "msgs");
+  root.counter("auth.rounds", m.auth_rounds, "rounds");
+  root.counter("auth.negative_acks", m.auth_negative_acks, "acks");
+
+  // ---- fault handling / message-level chaos defenses ----
+  root.counter("fault.ship_timeouts", m.ship_timeouts);
+  root.counter("fault.ship_retries", m.ship_retries);
+  root.counter("fault.ship_fallbacks", m.ship_fallbacks);
+  root.counter("fault.central_crashes", m.central_crashes);
+  root.counter("fault.central_recoveries", m.central_recoveries);
+  root.counter("fault.site_crashes", m.site_crashes);
+  root.counter("fault.site_recoveries", m.site_recoveries);
+  root.counter("fault.backlog_replayed", m.backlog_replayed, "msgs");
+  root.counter("fault.arrivals_rejected", m.arrivals_rejected, "txns");
+  root.counter("chaos.dup_msgs_dropped", m.dup_msgs_dropped, "msgs");
+  root.counter("chaos.msgs_resequenced", m.msgs_resequenced, "msgs");
+
+  // ---- response-time statistics ----
+  root.stat("rt.all", m.rt_all, "s");
+  root.stat("rt.local_a", m.rt_local_a, "s");
+  root.stat("rt.shipped_a", m.rt_shipped_a, "s");
+  root.stat("rt.class_b", m.rt_class_b, "s");
+  root.stat("rt.first_try", m.rt_first_try, "s");
+  root.stat("rt.rerun", m.rt_rerun, "s");
+  root.histogram("rt.histogram", m.rt_histogram, "s");
+
+  // ---- phase decomposition (one stat per obs::Phase) ----
+  const PhaseStats& ph = m.rt_phase;
+  root.stat("phase.ready_queue",
+            ph[static_cast<std::size_t>(obs::Phase::ReadyQueue)], "s");
+  root.stat("phase.cpu_service",
+            ph[static_cast<std::size_t>(obs::Phase::CpuService)], "s");
+  root.stat("phase.io", ph[static_cast<std::size_t>(obs::Phase::Io)], "s");
+  root.stat("phase.network", ph[static_cast<std::size_t>(obs::Phase::Network)],
+            "s");
+  root.stat("phase.lock_wait",
+            ph[static_cast<std::size_t>(obs::Phase::LockWait)], "s");
+  root.stat("phase.auth", ph[static_cast<std::size_t>(obs::Phase::Auth)], "s");
+  root.stat("phase.commit", ph[static_cast<std::size_t>(obs::Phase::Commit)],
+            "s");
+  root.stat("phase.stall", ph[static_cast<std::size_t>(obs::Phase::Stall)],
+            "s");
+
+  // ---- measurement window ----
+  root.gauge("window.seconds", m.window_seconds(), "s");
+
+  // ---- central complex ----
+  const obs::Registry::Scope central = reg.central();
+  export_resource(central, *central_.cpu, *central_.locks, resource_telemetry_,
+                  central_.io_in_flight, central_.io_tw, now);
+  central.gauge("txn.resident", static_cast<double>(central_.resident_txns),
+                "txns");
+
+  // ---- per-site breakdowns ----
+  for (int s = 0; s < cfg_.num_sites; ++s) {
+    const SiteState& site = sites_[static_cast<std::size_t>(s)];
+    const SiteMetrics& sm = site_metrics_[static_cast<std::size_t>(s)];
+    const obs::Registry::Scope sc = reg.site(s);
+    export_resource(sc, *site.cpu, *site.locks, resource_telemetry_,
+                    site.io_in_flight, site.io_tw, now);
+    sc.stat("rt.local_a", sm.rt_local_a, "s");
+    sc.stat("rt.shipped_a", sm.rt_shipped_a, "s");
+    sc.counter("txn.arrivals.class_a", sm.arrivals_class_a, "txns");
+    sc.counter("txn.shipped.class_a", sm.shipped_class_a, "txns");
+    sc.gauge("txn.resident", static_cast<double>(site.resident_txns), "txns");
+    sc.gauge("txn.shipped_in_flight",
+             static_cast<double>(site.shipped_in_flight), "txns");
+    export_abort_counters(sc, sm.aborts);
+    sc.gauge("wasted.cpu", sm.wasted_cpu, "s");
+    sc.gauge("wasted.io", sm.wasted_io, "s");
+    sc.counter("fault.ship_timeouts", sm.ship_timeouts);
+    sc.counter("fault.ship_retries", sm.ship_retries);
+    sc.counter("fault.ship_fallbacks", sm.ship_fallbacks);
+    sc.counter("chaos.dup_msgs_dropped", sm.dup_msgs_dropped, "msgs");
+    sc.counter("chaos.msgs_resequenced", sm.msgs_resequenced, "msgs");
+    sc.counter("link.up.sent", site.up->messages_sent(), "msgs");
+    sc.counter("link.up.delivered", site.up->messages_delivered(), "msgs");
+    sc.counter("link.down.sent", site.down->messages_sent(), "msgs");
+    sc.counter("link.down.delivered", site.down->messages_delivered(), "msgs");
+    if (resource_telemetry_) {
+      sc.time_weighted("link.up.in_flight", site.up->average_in_flight(now),
+                       static_cast<double>(site.up->messages_in_flight()),
+                       "msgs");
+      sc.time_weighted("link.down.in_flight",
+                       site.down->average_in_flight(now),
+                       static_cast<double>(site.down->messages_in_flight()),
+                       "msgs");
+    }
   }
 }
 

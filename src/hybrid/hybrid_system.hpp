@@ -57,6 +57,10 @@
 
 namespace hls {
 
+namespace obs {
+class Registry;
+}
+
 class HybridSystem {
  public:
   HybridSystem(SystemConfig cfg, std::unique_ptr<RoutingStrategy> strategy);
@@ -184,6 +188,17 @@ class HybridSystem {
     return std::move(series_);
   }
 
+  /// Exports every metric the run accumulated — counters, response-time
+  /// stats, histograms, per-site and central resource telemetry, and (when
+  /// armed) lock-access heat buckets — into `reg` under the stable names
+  /// documented in docs/OBSERVABILITY.md. Read-only; callable any time.
+  void export_registry(obs::Registry& reg) const;
+
+  /// IO operations currently in progress on `track` (site index, or
+  /// obs::kCentralTrack). Maintained only when obs_resource_telemetry is
+  /// set; 0 otherwise.
+  [[nodiscard]] int io_in_flight(int track) const;
+
   /// Builds the state view a class A arrival at `site` would see right now
   /// (exposed for strategy unit tests).
   [[nodiscard]] SystemStateView make_state_view(int site) const;
@@ -243,6 +258,9 @@ class HybridSystem {
     bool alive = true;
     std::vector<UniqueFunction<void()>> backlog;
     std::vector<std::pair<TxnId, std::uint64_t>> recovery_queue;
+    // Per-resource telemetry (maintained only when obs_resource_telemetry).
+    int io_in_flight = 0;
+    TimeWeightedStat io_tw;
   };
 
   struct CentralState {
@@ -255,6 +273,9 @@ class HybridSystem {
     bool alive = true;
     std::vector<UniqueFunction<void()>> backlog;
     std::vector<std::pair<TxnId, std::uint64_t>> recovery_queue;
+    // Per-resource telemetry (maintained only when obs_resource_telemetry).
+    int io_in_flight = 0;
+    TimeWeightedStat io_tw;
   };
 
   // ---- plumbing ----
@@ -400,6 +421,9 @@ class HybridSystem {
   [[nodiscard]] bool obs_wants(obs::EventKind kind) const {
     return (sink_mask_ & obs::kind_bit(kind)) != 0;
   }
+  /// Adjusts the IO-occupancy gauge for `track` by `delta`. A single branch
+  /// when obs_resource_telemetry is off.
+  void note_io(int track, int delta);
   void emit_event(const obs::Event& event);
   /// Takes one time-series row and re-arms the sampler while work remains
   /// (so drain() still terminates with sampling enabled).
@@ -455,6 +479,9 @@ class HybridSystem {
   AdaptiveController* controller_ = nullptr;  ///< borrowed from strategy_
   double adapt_interval_ = 0.0;  ///< resolved review cadence; 0 = inert
   bool arrivals_enabled_ = false;
+  /// cfg_.obs_resource_telemetry, cached: gates every gauge update on the
+  /// hot paths with a single branch.
+  bool resource_telemetry_ = false;
 };
 
 }  // namespace hls

@@ -15,6 +15,7 @@ Link::Link(Simulator& sim, double delay_seconds, std::string name)
 
 void Link::send(Deliver deliver) {
   ++sent_;
+  note_flight();
   if (!up_) {
     held_.push_back(std::move(deliver));
     return;
@@ -57,6 +58,7 @@ void Link::dispatch(Deliver deliver) {
       Deliver cb = std::move(flight_.front());
       flight_.pop_front();
       ++delivered_;
+      note_flight();
       cb();
     });
     return;
@@ -78,6 +80,7 @@ void Link::dispatch(Deliver deliver) {
   auto shared = std::make_shared<Deliver>(std::move(deliver));
   sim_.schedule_at(at, [this, shared] {
     ++delivered_;
+    note_flight();
     (*shared)();
   });
   if (dup) {
@@ -141,6 +144,18 @@ void Link::set_delay_spike(double prob, double factor) {
   HLS_ASSERT(factor >= 0.0, "delay-spike factor must be non-negative");
   spike_prob_ = prob;
   spike_factor_ = factor;
+}
+
+void Link::enable_flight_telemetry(double now) {
+  flight_telemetry_ = true;
+  flight_tw_.reset(now);
+  flight_tw_.set(now, static_cast<double>(sent_ - delivered_));
+}
+
+void Link::reset_telemetry(double now) {
+  if (flight_telemetry_) {
+    flight_tw_.reset(now);  // reset keeps the current signal value
+  }
 }
 
 }  // namespace hls

@@ -43,6 +43,7 @@
 
 #include "sim/simulator.hpp"
 #include "util/random.hpp"
+#include "util/stats.hpp"
 #include "util/unique_function.hpp"
 
 namespace hls {
@@ -126,7 +127,32 @@ class Link {
   [[nodiscard]] std::uint64_t delay_spikes() const { return spiked_; }
   [[nodiscard]] const std::string& name() const { return name_; }
 
+  // ---- per-resource telemetry (off unless armed; docs/OBSERVABILITY.md) ----
+
+  /// Arms the time-weighted in-flight gauge (tracks messages_in_flight(),
+  /// held messages included) from `now` on. Pure state writes: no events
+  /// are ever scheduled, so arming it cannot perturb the simulation.
+  void enable_flight_telemetry(double now);
+
+  /// Restarts the telemetry window at `now` (warmup discard).
+  void reset_telemetry(double now);
+
+  [[nodiscard]] bool flight_telemetry_enabled() const { return flight_telemetry_; }
+
+  /// Time-averaged in-flight message count since enable/reset (0 unarmed).
+  [[nodiscard]] double average_in_flight(double now) const {
+    return flight_telemetry_ ? flight_tw_.average(now) : 0.0;
+  }
+
  private:
+  /// Mirrors messages_in_flight() into the time-weighted gauge; call after
+  /// every sent_/delivered_ mutation. A single branch when telemetry is off.
+  void note_flight() {
+    if (flight_telemetry_) {
+      flight_tw_.set(sim_.now(), static_cast<double>(sent_ - delivered_));
+    }
+  }
+
   /// Schedules a message for delivery (loss/degrade applied, FIFO held back).
   void dispatch(Deliver deliver);
 
@@ -159,6 +185,8 @@ class Link {
   /// standalone events carrying their own continuation.
   std::deque<Deliver> flight_;
   Rng fault_rng_;              ///< consumed only when a fault probability > 0
+  bool flight_telemetry_ = false;
+  TimeWeightedStat flight_tw_;
 };
 
 }  // namespace hls

@@ -12,6 +12,8 @@
 
 namespace hls::obs {
 
+struct SampleRow;
+
 enum class EventKind : std::uint8_t {
   Completion,  ///< a transaction committed (phase breakdown attached)
   Abort,       ///< a transaction aborted and will rerun
@@ -132,6 +134,10 @@ struct Event {
   // ---- Sample (summary; the full row lives in the sampler series) ----
   int central_cpu_queue = 0;
   int live_txns = 0;
+  /// The full sampler row behind this Sample event, valid only for the
+  /// duration of the on_event call (it points into the live series). Counter
+  /// exporters (PerfettoSink) read the per-resource gauges from here.
+  const SampleRow* sample = nullptr;
 };
 
 }  // namespace hls::obs

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <ostream>
 
+#include "obs/sample.hpp"
+
 namespace hls::obs {
 
 namespace {
@@ -102,6 +104,34 @@ void PerfettoSink::on_event(const Event& e) {
            << ",\"wasted_io_us\":" << usec(e.wasted_io) << "}}";
       break;
     }
+    case EventKind::Sample: {
+      // Counter tracks ('C' records) next to the span tracks: the CPU queue
+      // and live-transaction gauges always, the per-resource gauges when the
+      // run carried obs_resource_telemetry. Values come from the full
+      // sampler row (valid for the duration of this call).
+      if (e.sample == nullptr) break;
+      const SampleRow& row = *e.sample;
+      const long long ts = usec(e.time);
+      counter("cpu_queue", ts, track_pid(kCentralTrack), row.central_cpu_queue);
+      counter("live_txns", ts, track_pid(kCentralTrack), row.live_txns);
+      if (row.extended) {
+        counter("lock_waiters", ts, track_pid(kCentralTrack),
+                row.central_lock_waiters);
+        counter("io_in_flight", ts, track_pid(kCentralTrack),
+                row.central_io_in_flight);
+      }
+      for (std::size_t s = 0; s < row.sites.size(); ++s) {
+        const SiteSample& site = row.sites[s];
+        const int pid = track_pid(static_cast<int>(s));
+        counter("cpu_queue", ts, pid, site.cpu_queue);
+        if (row.extended) {
+          counter("lock_waiters", ts, pid, site.lock_waiters);
+          counter("link_in_flight", ts, pid, site.link_in_flight);
+          counter("io_in_flight", ts, pid, site.io_in_flight);
+        }
+      }
+      break;
+    }
     case EventKind::Fault: {
       const int pid = track_pid(e.site);
       note_pid(pid);
@@ -114,6 +144,16 @@ void PerfettoSink::on_event(const Event& e) {
     default:
       break;
   }
+}
+
+void PerfettoSink::counter(const char* name, long long ts, int pid,
+                           long long value) {
+  note_pid(pid);
+  begin_record();
+  out_ << "{\"name\":\"" << name << "\",\"cat\":\"counter\",\"ph\":\"C\",\"ts\":"
+       << ts << ",\"pid\":" << pid << ",\"tid\":0,\"args\":{\"value\":" << value
+       << "}}";
+  ++counters_;
 }
 
 void PerfettoSink::close() {

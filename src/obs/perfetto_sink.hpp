@@ -31,7 +31,8 @@ class PerfettoSink final : public TraceSink {
                        unsigned mask = kSpanEventKinds |
                                        kind_bit(EventKind::Completion) |
                                        kind_bit(EventKind::Abort) |
-                                       kind_bit(EventKind::Fault));
+                                       kind_bit(EventKind::Fault) |
+                                       kind_bit(EventKind::Sample));
   ~PerfettoSink() override;
 
   [[nodiscard]] unsigned kind_mask() const override { return mask_; }
@@ -43,10 +44,12 @@ class PerfettoSink final : public TraceSink {
 
   [[nodiscard]] std::uint64_t spans_written() const { return spans_; }
   [[nodiscard]] std::uint64_t edges_written() const { return edges_; }
+  [[nodiscard]] std::uint64_t counters_written() const { return counters_; }
 
  private:
   void begin_record();
   void note_pid(int pid);
+  void counter(const char* name, long long ts, int pid, long long value);
 
   std::ostream& out_;
   unsigned mask_;
@@ -54,6 +57,7 @@ class PerfettoSink final : public TraceSink {
   bool closed_ = false;
   std::uint64_t spans_ = 0;
   std::uint64_t edges_ = 0;
+  std::uint64_t counters_ = 0;
   std::uint64_t next_flow_id_ = 1;
   std::vector<int> pids_;  ///< every pid referenced, kept sorted and unique
 };

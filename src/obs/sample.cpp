@@ -6,21 +6,36 @@ namespace hls::obs {
 
 void write_series_csv(std::ostream& out, const std::vector<SampleRow>& rows) {
   const std::size_t num_sites = rows.empty() ? 0 : rows.front().sites.size();
+  const bool extended = !rows.empty() && rows.front().extended;
   out << "csv,time,central_util,central_queue,central_resident,central_up,"
          "live_txns";
+  if (extended) {
+    out << ",central_lock_waiters,central_io";
+  }
   for (std::size_t s = 0; s < num_sites; ++s) {
     out << ",site" << s << "_util,site" << s << "_queue,site" << s
         << "_resident,site" << s << "_shipped,site" << s << "_up";
+    if (extended) {
+      out << ",site" << s << "_lock_waiters,site" << s << "_link,site" << s
+          << "_io";
+    }
   }
   out << '\n';
   for (const SampleRow& row : rows) {
     out << "csv," << row.time << ',' << row.central_utilization << ','
         << row.central_cpu_queue << ',' << row.central_resident << ','
         << (row.central_up ? 1 : 0) << ',' << row.live_txns;
+    if (extended) {
+      out << ',' << row.central_lock_waiters << ',' << row.central_io_in_flight;
+    }
     for (const SiteSample& site : row.sites) {
       out << ',' << site.utilization << ',' << site.cpu_queue << ','
           << site.resident << ',' << site.shipped_in_flight << ','
           << (site.up ? 1 : 0);
+      if (extended) {
+        out << ',' << site.lock_waiters << ',' << site.link_in_flight << ','
+            << site.io_in_flight;
+      }
     }
     out << '\n';
   }

@@ -6,6 +6,12 @@
 // outage state. The series is what adaptive routing would tune off
 // (SystemStateView::last_sample points at the newest row) and what
 // write_series_csv renders as `csv,`-prefixed output for plotting.
+//
+// With SystemConfig::obs_resource_telemetry set, each row additionally
+// carries the per-resource gauges (lock-manager wait queues, link in-flight
+// messages, IO-device occupancy) and `extended` is true, which adds the
+// matching columns to write_series_csv and Perfetto counter tracks to
+// PerfettoSink. Default-off rows render exactly the historical columns.
 #pragma once
 
 #include <iosfwd>
@@ -19,6 +25,10 @@ struct SiteSample {
   int resident = 0;           ///< class A txns executing locally
   int shipped_in_flight = 0;  ///< class A txns from here now at central
   bool up = true;
+  // ---- extended per-resource gauges (zero unless row.extended) ----
+  int lock_waiters = 0;    ///< blocked requests at this site's lock manager
+  int link_in_flight = 0;  ///< messages in flight on this site's links, both ways
+  int io_in_flight = 0;    ///< IO operations in progress at this site
 };
 
 struct SampleRow {
@@ -28,12 +38,18 @@ struct SampleRow {
   int central_resident = 0;
   bool central_up = true;
   int live_txns = 0;  ///< transactions in flight anywhere in the system
+  // ---- extended per-resource gauges (zero unless extended) ----
+  int central_lock_waiters = 0;
+  int central_io_in_flight = 0;
+  bool extended = false;  ///< obs_resource_telemetry was on for this run
   std::vector<SiteSample> sites;
 };
 
 /// Emits the series as `csv,`-prefixed rows (one header, one row per
 /// sample) in the same convention the benches use for machine-readable
 /// output. Per-site columns are flattened as site<k>_util / site<k>_queue.
+/// Rows with `extended` set grow the per-resource gauge columns; plain rows
+/// render byte-identically to the pre-telemetry format.
 void write_series_csv(std::ostream& out, const std::vector<SampleRow>& rows);
 
 }  // namespace hls::obs

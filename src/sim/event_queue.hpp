@@ -123,7 +123,8 @@ class EventQueue {
 
   std::vector<Slot> slots_;
   std::vector<std::uint32_t> free_slots_;
-  std::vector<Entry> scratch_;  // rebuild staging, kept to reuse capacity
+  std::vector<Entry> scratch_;        // rebuild staging, kept to reuse capacity
+  std::vector<double> times_scratch_;  // width estimation staging, ditto
   std::uint64_t next_seq_ = 0;
   std::size_t live_ = 0;
   std::size_t dead_ = 0;  // cancelled entries still bucketed

@@ -13,7 +13,7 @@ FcfsResource::FcfsResource(Simulator& sim, std::string name)
 
 void FcfsResource::submit(double service_time, Callback on_complete) {
   HLS_ASSERT(service_time >= 0.0, "negative CPU service time");
-  queue_.push_back(Job{service_time, std::move(on_complete)});
+  queue_.push_back(Job{service_time, std::move(on_complete), sim_.now()});
   record_state();
   if (!busy_) {
     start_next();
@@ -30,6 +30,8 @@ void FcfsResource::start_next() {
   queue_.pop_front();
   busy_ = true;
   active_completion_ = std::move(job.on_complete);
+  active_service_ = job.service_time;
+  active_submitted_ = job.submitted;
   record_state();
   sim_.schedule_after(job.service_time, [this] { on_service_complete(); });
 }
@@ -40,6 +42,8 @@ void FcfsResource::on_service_complete() {
   active_completion_ = Callback{};
   busy_ = false;
   ++completed_;
+  busy_seconds_ += active_service_;
+  sojourn_seconds_ += sim_.now() - active_submitted_;
   record_state();
   start_next();
   // Invoke the completion after dequeuing the next job so that work the
@@ -64,6 +68,8 @@ void FcfsResource::reset_stats() {
   busy_stat_.reset(sim_.now());
   queue_stat_.reset(sim_.now());
   completed_ = 0;
+  busy_seconds_ = 0.0;
+  sojourn_seconds_ = 0.0;
 }
 
 }  // namespace hls

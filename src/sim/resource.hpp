@@ -51,6 +51,18 @@ class FcfsResource {
 
   [[nodiscard]] std::uint64_t completed_bursts() const { return completed_; }
 
+  /// Service seconds of completed bursts since the last stats reset. At any
+  /// instant with no burst in service this equals ∫busy dt, which is the
+  /// Little's-law identity `utilization() * window == busy_seconds()` that
+  /// conservation_test asserts after a drain.
+  [[nodiscard]] double busy_seconds() const { return busy_seconds_; }
+
+  /// Summed submit→completion spans of completed bursts since the last
+  /// stats reset: the other Little's-law ledger,
+  /// `average_queue_length() * window == sojourn_seconds()` once the queue
+  /// is empty (each burst contributes its full span to ∫queue_length dt).
+  [[nodiscard]] double sojourn_seconds() const { return sojourn_seconds_; }
+
   /// Restarts utilization/queue statistics at the current simulation time
   /// (used to discard warmup).
   void reset_stats();
@@ -59,6 +71,7 @@ class FcfsResource {
   struct Job {
     double service_time;
     Callback on_complete;
+    double submitted;
   };
 
   void start_next();
@@ -70,7 +83,11 @@ class FcfsResource {
   std::deque<Job> queue_;
   bool busy_ = false;
   Callback active_completion_;
+  double active_service_ = 0.0;
+  double active_submitted_ = 0.0;
   std::uint64_t completed_ = 0;
+  double busy_seconds_ = 0.0;
+  double sojourn_seconds_ = 0.0;
   TimeWeightedStat busy_stat_;
   TimeWeightedStat queue_stat_;
 };

@@ -47,36 +47,6 @@ void SampleStat::merge(const SampleStat& other) {
   max_ = std::max(max_, other.max_);
 }
 
-void TimeWeightedStat::set(double t, double v) {
-  if (!started_) {
-    start_ = t;
-    last_t_ = t;
-    value_ = v;
-    started_ = true;
-    return;
-  }
-  HLS_ASSERT(t >= last_t_, "TimeWeightedStat updates must be in time order");
-  area_ += value_ * (t - last_t_);
-  last_t_ = t;
-  value_ = v;
-}
-
-void TimeWeightedStat::reset(double t) {
-  start_ = t;
-  last_t_ = t;
-  area_ = 0.0;
-  started_ = true;
-}
-
-double TimeWeightedStat::average(double t) const {
-  if (!started_ || t <= start_) {
-    return value_;
-  }
-  HLS_ASSERT(t >= last_t_, "average() time precedes last update");
-  const double area = area_ + value_ * (t - last_t_);
-  return area / (t - start_);
-}
-
 Histogram::Histogram(double bin_width, std::size_t num_bins)
     : bin_width_(bin_width), bins_(num_bins, 0) {
   HLS_ASSERT(bin_width > 0.0, "histogram bin width must be positive");

@@ -16,6 +16,8 @@
 #include <limits>
 #include <vector>
 
+#include "util/assert.hpp"
+
 namespace hls {
 
 /// Mean / variance / extrema over a stream of double observations.
@@ -50,16 +52,44 @@ class SampleStat {
 /// signal changes; the value persists until the next change.
 class TimeWeightedStat {
  public:
+  // set() sits on the per-transition path of every resource ledger and
+  // per-resource gauge, so all three methods are defined inline: the body
+  // is a handful of flops and an out-of-line call costs as much again.
+
   /// Records that the signal takes value `v` from time `t` onward.
   /// Times must be non-decreasing.
-  void set(double t, double v);
+  void set(double t, double v) {
+    if (!started_) {
+      start_ = t;
+      last_t_ = t;
+      value_ = v;
+      started_ = true;
+      return;
+    }
+    HLS_ASSERT(t >= last_t_, "TimeWeightedStat updates must be in time order");
+    area_ += value_ * (t - last_t_);
+    last_t_ = t;
+    value_ = v;
+  }
 
   /// Discards accumulated area and restarts the average at time `t`,
   /// keeping the current signal value.
-  void reset(double t);
+  void reset(double t) {
+    start_ = t;
+    last_t_ = t;
+    area_ = 0.0;
+    started_ = true;
+  }
 
   /// Time-average over [start, t]; requires t >= last update time.
-  [[nodiscard]] double average(double t) const;
+  [[nodiscard]] double average(double t) const {
+    if (!started_ || t <= start_) {
+      return value_;
+    }
+    HLS_ASSERT(t >= last_t_, "average() time precedes last update");
+    const double area = area_ + value_ * (t - last_t_);
+    return area / (t - start_);
+  }
 
   [[nodiscard]] double current() const { return value_; }
 

@@ -1,0 +1,104 @@
+// Run-artifact tests: schema bytes, determinism (same seed => byte-identical
+// serialization), registry population on every run (observation enabled or
+// not), and the obs_artifact config hook writing the file from run_simulation.
+#include "core/artifact.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "core/driver.hpp"
+#include "obs/registry.hpp"
+#include "routing/basic_strategies.hpp"
+
+namespace hls {
+namespace {
+
+SystemConfig quick_config() {
+  SystemConfig cfg;
+  cfg.arrival_rate_per_site = 1.5;
+  cfg.seed = 7;
+  return cfg;
+}
+
+RunOptions quick_options() {
+  RunOptions o;
+  o.warmup_seconds = 10.0;
+  o.measure_seconds = 60.0;
+  return o;
+}
+
+std::string artifact_of(const RunResult& r) {
+  std::ostringstream out;
+  write_run_artifact(out, r);
+  return out.str();
+}
+
+TEST(Artifact, RegistryAlwaysPopulatedAndSchemaTagged) {
+  const RunResult r = run_simulation(quick_config(),
+                                     {StrategyKind::MinAverageNsys, 0.0},
+                                     quick_options());
+  // The export pass runs unconditionally (it is read-only, post-run), so
+  // the registry is populated even with every obs feature off.
+  EXPECT_GT(r.registry.size(), 50u);
+  ASSERT_NE(r.registry.find("txn.completions"), nullptr);
+  EXPECT_EQ(r.registry.find("txn.completions")->count, r.metrics.completions);
+
+  const std::string doc = artifact_of(r);
+  EXPECT_EQ(doc.rfind("{\"schema\":\"hls-run-artifact-v1\",\"run\":{", 0), 0u);
+  EXPECT_NE(doc.find("\"strategy\":\"min-average-nsys\""), std::string::npos);
+  EXPECT_NE(doc.find("\"seed\":7"), std::string::npos);
+  EXPECT_NE(doc.find("\"registry\":{\"counters\":{"), std::string::npos);
+  EXPECT_EQ(doc.back(), '\n');
+}
+
+TEST(Artifact, SameSeedSerializesByteIdentical) {
+  const RunResult a = run_simulation(quick_config(),
+                                     {StrategyKind::MinAverageNsys, 0.0},
+                                     quick_options());
+  const RunResult b = run_simulation(quick_config(),
+                                     {StrategyKind::MinAverageNsys, 0.0},
+                                     quick_options());
+  EXPECT_EQ(artifact_of(a), artifact_of(b));
+}
+
+TEST(Artifact, TelemetryAddsMetricsWithoutPerturbingTheRest) {
+  SystemConfig plain = quick_config();
+  SystemConfig armed = quick_config();
+  armed.obs_resource_telemetry = true;
+  armed.obs_heat_buckets = 8;
+  const RunResult p = run_simulation(plain, {StrategyKind::MinAverageNsys, 0.0},
+                                     quick_options());
+  const RunResult a = run_simulation(armed, {StrategyKind::MinAverageNsys, 0.0},
+                                     quick_options());
+  // Telemetry is pure state writes: the simulated metrics are bit-identical,
+  // and the armed run's registry is a strict superset.
+  EXPECT_EQ(p.metrics.completions, a.metrics.completions);
+  EXPECT_EQ(p.metrics.rt_all.sum(), a.metrics.rt_all.sum());
+  EXPECT_GT(a.registry.size(), p.registry.size());
+  EXPECT_EQ(p.registry.find("central.locks.heat.0"), nullptr);
+  EXPECT_NE(a.registry.find("central.locks.heat.0"), nullptr);
+  EXPECT_NE(a.registry.find("central.io.in_flight"), nullptr);
+  EXPECT_NE(a.registry.find("central.locks.wait_queue"), nullptr);
+}
+
+TEST(Artifact, ObsArtifactConfigWritesTheFile) {
+  const std::string path = testing::TempDir() + "hls_artifact_test.json";
+  SystemConfig cfg = quick_config();
+  cfg.obs_artifact = path;
+  const RunResult r = run_simulation(cfg, {StrategyKind::MinAverageNsys, 0.0},
+                                     quick_options());
+  std::ifstream in(path);
+  ASSERT_TRUE(in.is_open());
+  std::ostringstream file_bytes;
+  file_bytes << in.rdbuf();
+  EXPECT_EQ(file_bytes.str(), artifact_of(r));
+  in.close();
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace hls

@@ -178,6 +178,41 @@ TEST(ConfigIo, SpanSinkAndReportTopKRoundTrip) {
   EXPECT_EQ(parsed->report_top_k, 12);
 }
 
+TEST(ConfigIo, RegistryTelemetryKeysRoundTrip) {
+  SystemConfig cfg;
+  EXPECT_TRUE(apply_config_override(cfg, "obs_resource_telemetry=1"));
+  EXPECT_TRUE(cfg.obs_resource_telemetry);
+  EXPECT_TRUE(apply_config_override(cfg, "obs_heat_buckets=48"));
+  EXPECT_EQ(cfg.obs_heat_buckets, 48);
+  EXPECT_TRUE(apply_config_override(cfg, "obs_artifact=out/run.json"));
+  EXPECT_EQ(cfg.obs_artifact, "out/run.json");
+  EXPECT_TRUE(apply_config_override(cfg, "obs_artifact="));  // disable again
+  EXPECT_TRUE(cfg.obs_artifact.empty());
+
+  std::string error;
+  EXPECT_FALSE(apply_config_override(cfg, "obs_heat_buckets=-4", &error));
+  EXPECT_NE(error.find("non-negative"), std::string::npos);
+  EXPECT_EQ(cfg.obs_heat_buckets, 48);  // untouched by the failure
+
+  cfg.obs_resource_telemetry = true;
+  cfg.obs_heat_buckets = 16;
+  cfg.obs_artifact = "artifacts/a.json";
+  std::ostringstream out;
+  describe_config(out, cfg);
+  std::istringstream in(out.str());
+  const auto parsed = parse_config_file(in, SystemConfig{});
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_TRUE(parsed->obs_resource_telemetry);
+  EXPECT_EQ(parsed->obs_heat_buckets, 16);
+  EXPECT_EQ(parsed->obs_artifact, "artifacts/a.json");
+
+  // Defaults: observation is absent unless asked for.
+  const SystemConfig fresh;
+  EXPECT_FALSE(fresh.obs_resource_telemetry);
+  EXPECT_EQ(fresh.obs_heat_buckets, 0);
+  EXPECT_TRUE(fresh.obs_artifact.empty());
+}
+
 TEST(ConfigIo, SpanSinkRejectsUnknownSchemeAndNegativeTopK) {
   SystemConfig cfg;
   std::string error;

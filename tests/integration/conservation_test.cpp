@@ -42,6 +42,11 @@ SystemConfig grid_config(const GridPoint& gp) {
   cfg.seed = gp.seed;
   cfg.arrival_rate_per_site = 1.6;
   cfg.obs_sample_interval = 0.25;
+  // Per-resource telemetry + heat counters armed across the whole grid:
+  // pure state writes on paths that already run, so every conservation law
+  // (and the metrics themselves) must hold bit-identically either way.
+  cfg.obs_resource_telemetry = true;
+  cfg.obs_heat_buckets = 16;
   // Consulted only by `adapt:` specs; inert for every other strategy.
   cfg.adapt_interval = 2.0;
   if (gp.faulted) {
@@ -205,6 +210,59 @@ TEST_P(ConservationTest, HoldsAfterDrain) {
     EXPECT_NEAR(series[i].time - series[i - 1].time, cfg.obs_sample_interval, 1e-9);
   }
   EXPECT_LE(series.back().time, t_end + 1e-9);
+
+  // ---- per-resource Little's law (exact, per CPU) ----
+  // No measurement reset ran, so both ledgers cover [0, t_end] and — with
+  // every queue empty after the drain — the time-averaged signals equal the
+  // completed-burst ledgers exactly (up to float reassociation): ∫busy dt ==
+  // Σ service, ∫queue_length dt == Σ (completion - submit).
+  const auto expect_little = [t_end](const FcfsResource& cpu) {
+    EXPECT_EQ(cpu.queue_length(), 0u) << cpu.name();
+    EXPECT_NEAR(cpu.utilization() * t_end, cpu.busy_seconds(),
+                1e-9 * (1.0 + cpu.busy_seconds()))
+        << cpu.name();
+    EXPECT_NEAR(cpu.average_queue_length() * t_end, cpu.sojourn_seconds(),
+                1e-9 * (1.0 + cpu.sojourn_seconds()))
+        << cpu.name();
+  };
+  expect_little(sys.central_cpu());
+  for (int s = 0; s < cfg.num_sites; ++s) {
+    expect_little(sys.local_cpu(s));
+  }
+
+  // ---- telemetry gauges drain to zero ----
+  // The wait-queue, in-flight-message and IO-occupancy gauges mirror
+  // integer populations, so a drained system must read exactly zero on all
+  // of them (a leak here means a gauge update was skipped on some path).
+  EXPECT_EQ(sys.central_locks().waiters(), 0u);
+  EXPECT_TRUE(sys.central_locks().wait_telemetry_enabled());
+  EXPECT_EQ(sys.io_in_flight(obs::kCentralTrack), 0);
+  for (int s = 0; s < cfg.num_sites; ++s) {
+    EXPECT_EQ(sys.local_locks(s).waiters(), 0u) << "site " << s;
+    EXPECT_TRUE(sys.local_locks(s).wait_telemetry_enabled()) << "site " << s;
+    EXPECT_EQ(sys.io_in_flight(s), 0) << "site " << s;
+  }
+  // The extended sampler rows carried those gauges; the last row taken
+  // before the drain finished must already exist and be extended.
+  EXPECT_TRUE(series.back().extended);
+
+  // ---- lock-heat sanity ----
+  // Heat buckets count lock-table accesses (requests + authentication
+  // grabs): with completions in every grid cell, some bucket somewhere is
+  // hot, and every bucket is finite and attributable.
+  std::uint64_t heat_total = 0;
+  for (std::uint64_t h : sys.central_locks().heat()) {
+    heat_total += h;
+  }
+  for (int s = 0; s < cfg.num_sites; ++s) {
+    EXPECT_EQ(sys.local_locks(s).heat().size(),
+              static_cast<std::size_t>(cfg.obs_heat_buckets))
+        << "site " << s;
+    for (std::uint64_t h : sys.local_locks(s).heat()) {
+      heat_total += h;
+    }
+  }
+  EXPECT_GT(heat_total, 0u);
 }
 
 // Every factory-constructible spec appears at least once: all eleven base

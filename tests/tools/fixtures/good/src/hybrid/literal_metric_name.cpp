@@ -1,0 +1,11 @@
+// Clean twin of composed_metric_name.cpp: every registration passes a
+// string-literal stable name; per-site prefixes and bucket suffixes come
+// from the sanctioned Scope helpers inside the registry.
+#include "obs/registry.hpp"
+
+void export_site(hls::obs::Registry& reg, int site) {
+  const hls::obs::Registry::Scope sc = reg.site(site);
+  sc.counter("txn.arrivals", 1);
+  sc.bucket_counter("locks.heat", 3, 7);
+  reg.gauge("window.seconds", 2.0, "s");
+}

@@ -57,6 +57,8 @@ TEST(HlslintRules, BadTreeFindsEveryRule) {
       {"src/util/uses_core.hpp", 3, "layer-order"},
       {"src/net/uses_db.hpp", 3, "layer-order"},
       {"src/sim/cycle_a.hpp", 1, "layer-cycle"},
+      {"src/hybrid/composed_metric_name.cpp", 9, "registry-name"},
+      {"src/hybrid/composed_metric_name.cpp", 10, "registry-name"},
   };
   for (const Expected& e : expected) {
     EXPECT_TRUE(has_finding(r, e.file, e.line, e.rule))
@@ -124,7 +126,7 @@ TEST(HlslintRules, LexerBlanksCommentsAndStrings) {
 TEST(HlslintRules, RuleCatalogMatchesKnownRules) {
   EXPECT_TRUE(hlslint::known_rule("callback-epoch"));
   EXPECT_FALSE(hlslint::known_rule("no-such-rule"));
-  EXPECT_EQ(hlslint::rule_catalog().size(), 10u);
+  EXPECT_EQ(hlslint::rule_catalog().size(), 11u);
 }
 
 }  // namespace

@@ -128,6 +128,96 @@ TEST(TimeWeightedStat, CurrentReflectsLastSet) {
   EXPECT_DOUBLE_EQ(t.current(), 7.0);
 }
 
+TEST(TimeWeightedStat, ZeroWidthWindowReturnsCurrentValue) {
+  TimeWeightedStat t;
+  t.set(3.0, 4.0);
+  // average over [3, 3] is 0/0; the contract is "current signal value",
+  // both before any time passes and right after a reset.
+  EXPECT_DOUBLE_EQ(t.average(3.0), 4.0);
+  t.set(5.0, 9.0);
+  t.reset(5.0);
+  EXPECT_DOUBLE_EQ(t.average(5.0), 9.0);
+}
+
+TEST(TimeWeightedStat, ZeroWidthSegmentsContributeNothing) {
+  TimeWeightedStat t;
+  t.set(0.0, 1.0);
+  // A burst of same-instant transitions (e.g. several queue events in one
+  // simulation timestamp) must leave only the final value standing.
+  t.set(2.0, 100.0);
+  t.set(2.0, -50.0);
+  t.set(2.0, 3.0);
+  // 2s at 1, then 2s at 3 -> average 2.
+  EXPECT_DOUBLE_EQ(t.average(4.0), 2.0);
+  EXPECT_DOUBLE_EQ(t.current(), 3.0);
+}
+
+TEST(TimeWeightedStat, RedundantUpdatesAreIdentity) {
+  TimeWeightedStat a;
+  TimeWeightedStat b;
+  a.set(0.0, 2.0);
+  b.set(0.0, 2.0);
+  b.set(1.0, 2.0);  // re-asserting the same value must not change anything
+  b.set(2.5, 2.0);
+  a.set(4.0, 5.0);
+  b.set(4.0, 5.0);
+  EXPECT_DOUBLE_EQ(a.average(6.0), b.average(6.0));
+}
+
+TEST(TimeWeightedStat, ResetMatchesFreshStatSeededWithCurrentValue) {
+  // Property behind begin_measurement(): resetting mid-run is equivalent to
+  // starting a fresh stat whose signal opens at the live value.
+  TimeWeightedStat warm;
+  warm.set(0.0, 8.0);
+  warm.set(7.0, 3.0);
+  warm.reset(10.0);
+  warm.set(12.0, 6.0);
+
+  TimeWeightedStat fresh;
+  fresh.set(10.0, 3.0);  // the value live at reset time
+  fresh.set(12.0, 6.0);
+
+  EXPECT_DOUBLE_EQ(warm.average(15.0), fresh.average(15.0));
+  EXPECT_DOUBLE_EQ(warm.current(), fresh.current());
+}
+
+TEST(TimeWeightedStat, DrainToZeroAverageStopsGrowing) {
+  // Gauge drains to zero: past the drain instant the area is frozen, so the
+  // average decays as 1/t toward zero rather than picking up new mass.
+  TimeWeightedStat t;
+  t.set(0.0, 4.0);
+  t.set(10.0, 0.0);
+  EXPECT_DOUBLE_EQ(t.average(10.0), 4.0);
+  EXPECT_DOUBLE_EQ(t.average(20.0), 2.0);
+  EXPECT_DOUBLE_EQ(t.average(40.0), 1.0);
+  EXPECT_DOUBLE_EQ(t.current(), 0.0);
+}
+
+TEST(TimeWeightedStat, RandomPiecewiseSignalMatchesManualIntegral) {
+  Rng rng(20260808);
+  for (int trial = 0; trial < 50; ++trial) {
+    TimeWeightedStat t;
+    double now = 0.0;
+    double value = 0.0;
+    double area = 0.0;
+    t.set(0.0, 0.0);
+    for (int i = 0; i < 40; ++i) {
+      const double dt = rng.uniform(0.0, 2.0);
+      const double next = rng.uniform(-5.0, 5.0);
+      area += value * dt;
+      now += dt;
+      value = next;
+      t.set(now, next);
+    }
+    const double tail = rng.uniform(0.0, 3.0);
+    area += value * tail;
+    now += tail;
+    if (now > 0.0) {
+      EXPECT_NEAR(t.average(now), area / now, 1e-12 * (1.0 + std::abs(area)));
+    }
+  }
+}
+
 TEST(Histogram, CountsAndBins) {
   Histogram h(1.0, 10);
   h.add(0.5);

@@ -35,6 +35,9 @@ const std::vector<std::pair<std::string, std::string>>& rule_catalog() {
       {"callback-epoch",
        "scheduled lambdas capturing txn state carry (TxnId, epoch) and "
        "revalidate via find()"},
+      {"registry-name",
+       "obs::Registry registrations pass string-literal stable names; only "
+       "the registry composes prefixes and bucket suffixes"},
   };
   return kRules;
 }

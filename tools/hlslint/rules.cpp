@@ -524,6 +524,61 @@ void rule_callback_epoch(const SourceFile& f, std::vector<Finding>& out) {
   }
 }
 
+// ---- rule: registry-name -------------------------------------------------
+
+/// True if `f` includes obs/registry.hpp (checked against `raw` because the
+/// lexer blanks the include path's string body).
+bool includes_registry(const SourceFile& f) {
+  for (std::size_t i = 0; i < f.code.size(); ++i) {
+    std::string t = trim(f.code[i]);
+    if (starts_with(t, "#include") &&
+        f.raw[i].find("obs/registry.hpp") != std::string::npos) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void rule_registry_name(const SourceFile& f, std::vector<Finding>& out) {
+  // The registry itself is the one sanctioned composer of metric names (the
+  // Scope prefixes and bucket_counter's ".<bucket>" suffix live there).
+  if (starts_with(f.path, "src/obs/registry.")) {
+    return;
+  }
+  if (!includes_registry(f)) {
+    return;
+  }
+  static const std::vector<std::string> kMethods = {
+      "counter(",   "gauge(",     "stat(",
+      "histogram(", "time_weighted(", "bucket_counter(",
+  };
+  const std::string& text = f.code_text;
+  for (const std::string& method : kMethods) {
+    std::size_t pos = 0;
+    while ((pos = find_token(text, method, pos)) != std::string::npos) {
+      const std::size_t call_pos = pos;
+      pos += method.size();
+      // Member calls only: `reg.counter(`, `scope->stat(`. A free function
+      // or declaration with the same tail is not a registration site.
+      if (call_pos == 0 ||
+          (text[call_pos - 1] != '.' && text[call_pos - 1] != '>')) {
+        continue;
+      }
+      std::size_t arg = call_pos + method.size();
+      while (arg < text.size() && (text[arg] == ' ' || text[arg] == '\n')) {
+        ++arg;
+      }
+      if (arg < text.size() && text[arg] == '"') {
+        continue;  // string-literal stable name
+      }
+      add(out, f, f.line_of(call_pos), "registry-name",
+          "obs::Registry registration must pass a string-literal stable name; "
+          "the sanctioned composed parts are the Scope prefixes and "
+          "bucket_counter's bucket suffix, both produced inside the registry");
+    }
+  }
+}
+
 }  // namespace
 
 void check_text_rules(const SourceFile& f, std::vector<Finding>& out) {
@@ -535,6 +590,7 @@ void check_text_rules(const SourceFile& f, std::vector<Finding>& out) {
   rule_float_eq(f, out);
   rule_unordered_iter(f, out);
   rule_callback_epoch(f, out);
+  rule_registry_name(f, out);
 }
 
 }  // namespace hlslint
