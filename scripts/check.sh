@@ -46,19 +46,52 @@ if [[ "${1:-}" == "--coverage" ]]; then
   echo "check.sh --coverage: passed"
   exit 0
 fi
+# Per-stage wall-time report: mark <name> closes the currently-open stage
+# and opens <name>; the table prints before the final verdict so a slow gate
+# stage is visible at a glance instead of buried in the total.
+STAGE_NAMES=()
+STAGE_TIMES=()
+_stage_open=""
+_stage_t0=0
+now_ms() { date +%s%3N; }
+mark() {
+  local t
+  t=$(now_ms)
+  if [[ -n "$_stage_open" ]]; then
+    STAGE_NAMES+=("$_stage_open")
+    STAGE_TIMES+=($((t - _stage_t0)))
+  fi
+  _stage_open="${1:-}"
+  _stage_t0=$t
+}
+
+mark build
 # Warnings are errors in the gate build, and the compilation database feeds
 # the clang-tidy stage below.
 cmake -B "$BUILD" -G Ninja -DHLS_WERROR=ON \
   -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
 cmake --build "$BUILD" -j
+
+mark test
 ctest --test-dir "$BUILD" -j"$(nproc)" --output-on-failure
 
-# Project lint: layering, determinism, convention, and callback-epoch rules
-# over the live tree (see docs/LINT.md). The binary was built above; a
-# non-zero exit (findings or stale baseline entries) fails the gate.
+mark lint
+# Project lint: layering, determinism, convention, callback-epoch and the
+# cross-artifact contract rules over the live tree (see docs/LINT.md). The
+# binary was built above; a non-zero exit (findings or stale baseline
+# entries) fails the gate. The stage carries a runtime budget: the linter
+# rebuilds the whole repo model per run, so a pathological slowdown there
+# would quietly dominate every pre-merge check.
+lint_t0=$(now_ms)
 "./$BUILD/tools/hlslint"
-echo "lint: hlslint clean over the live tree"
+lint_ms=$(( $(now_ms) - lint_t0 ))
+if (( lint_ms > 5000 )); then
+  echo "lint: hlslint took ${lint_ms} ms, over the 5 s stage budget" >&2
+  exit 1
+fi
+echo "lint: hlslint clean over the live tree (${lint_ms} ms, budget 5000)"
 
+mark determinism
 # Determinism smoke: every design point is an independent deterministic
 # simulation and results land in submission-order slots, so a figure bench
 # must emit byte-identical stdout at any HLS_JOBS value.
@@ -70,18 +103,21 @@ HLS_TIME_SCALE=$scale HLS_JOBS=4 "./$BUILD/bench/fig_4_2_dynamic_schemes" >"$b" 
 diff -u "$a" "$b"
 echo "determinism smoke: fig_4_2 stdout byte-identical at HLS_JOBS=1 vs 4"
 
+mark fault-smoke
 # Fault-tolerance smoke: a quick outage-sweep run of the fault-injection
 # ablation. The bench itself verifies that every faulted cell drains to zero
 # residency/locks after arrivals stop and exits non-zero otherwise.
 HLS_TIME_SCALE=0.05 "./$BUILD/bench/abl_fault_tolerance" >/dev/null 2>&1
 echo "fault smoke: abl_fault_tolerance drained every faulted cell"
 
+mark adaptive
 # Adaptive-routing gate: the non-stationary ablation self-checks that the
 # abort-provenance controller's class-A response time is no worse than the
 # best hand-picked static threshold, and that every cell drains to zero.
 HLS_TIME_SCALE=0.05 "./$BUILD/bench/abl_adaptive_routing" >/dev/null 2>&1
 echo "adaptive gate: abl_adaptive_routing beat the best static F and drained"
 
+mark chaos
 # Chaos soak: fixed-seed generated episodes (random config x strategy x
 # composed fault schedule) run to drain, twice each, against the full oracle
 # stack — invariants, drain-to-zero, conservation, phase-sum, provenance and
@@ -101,6 +137,7 @@ HLS_CHAOS_EPISODES=$chaos_episodes "./$BUILD/tools/chaos_soak" \
   --shrink-out="$BUILD/chaos_repro_adapt.conf" >/dev/null
 echo "chaos soak: ${chaos_episodes} adapt:-forced episodes passed"
 
+mark trace
 # Span-trace smoke: trace_inspector end to end on its faulted run with the
 # Perfetto exporter attached, then schema-check the JSON (parses, pid/tid/
 # ph/ts present, every B matched by an E). The csv splitter's selftest
@@ -113,6 +150,7 @@ rm -f "$trace_json"
 python3 scripts/extract_csv.py --selftest
 echo "trace smoke: perfetto export schema-valid end to end"
 
+mark artifact
 # Run-artifact gate: generate the canonical artifact at the baseline's
 # pinned time scale under two HLS_JOBS values (must be byte-identical),
 # schema- and identity-check it (validate_artifact.py), self-diff to zero
@@ -129,6 +167,7 @@ python3 scripts/validate_artifact.py "$art_a"
 rm -f "$art_a" "$art_b"
 echo "artifact gate: canonical artifact valid, HLS_JOBS-invariant, matches baseline"
 
+mark snapshot
 # Snapshot completeness: the newest committed BENCH_<N>.json must contain
 # data keys for every bench its own _meta.benches lists, so a snapshot
 # regenerated by a script that silently dropped a bench cannot merge. The
@@ -158,6 +197,7 @@ print(f"snapshot: {path} covers all {len(benches)} _meta benches "
       f"(git_sha {meta['git_sha']}, scale {meta['time_scale']})")
 EOF
 
+mark perf
 # Release perf smoke: the event kernel must sustain a conservative floor on
 # the 100-site large-topology scenario (~2.5M events/s on a 1-CPU dev box at
 # RelWithDebInfo; the floor absorbs slow CI machines while still catching an
@@ -172,6 +212,7 @@ if [ "$rate" -lt "$floor" ]; then
 fi
 echo "perf smoke: micro_kernel 100-site ${rate} events/s (floor ${floor})"
 
+mark asan
 # Same smoke under AddressSanitizer: the crash/recovery paths juggle queued
 # closures for reclaimed transactions, exactly where lifetime bugs would
 # hide. Skipped gracefully when the toolchain has no asan runtime.
@@ -208,6 +249,7 @@ else
   echo "asan: unavailable in this toolchain; skipped"
 fi
 
+mark ubsan
 # UndefinedBehaviorSanitizer, non-recoverable: any UB (signed overflow,
 # invalid shifts, misaligned/null access, bad enum loads) aborts the test.
 # Runs the pinned-value, property-grid, and core protocol suites — the
@@ -229,6 +271,7 @@ else
   echo "ubsan: unavailable in this toolchain; skipped"
 fi
 
+mark tsan
 # ThreadSanitizer pass over the threaded pieces; skipped gracefully when the
 # toolchain has no tsan runtime.
 TSAN_BUILD="${BUILD}-tsan"
@@ -243,6 +286,7 @@ else
   echo "tsan: unavailable in this toolchain; skipped"
 fi
 
+mark tidy
 # clang-tidy over src/ with the curated .clang-tidy check set, driven by the
 # compilation database exported above. Skipped with a notice when the tool
 # is not on PATH (it is not part of the baked-in toolchain).
@@ -254,4 +298,9 @@ else
   echo "tidy: clang-tidy not on PATH; skipped (install LLVM tools to enable)"
 fi
 
+mark ""  # close the last stage
+echo "stage wall times:"
+for i in "${!STAGE_NAMES[@]}"; do
+  printf '  %-12s %7d ms\n' "${STAGE_NAMES[$i]}" "${STAGE_TIMES[$i]}"
+done
 echo "check.sh: all stages passed"

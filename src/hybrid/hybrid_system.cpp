@@ -31,8 +31,8 @@ HybridSystem::HybridSystem(SystemConfig cfg, std::unique_ptr<RoutingStrategy> st
     site.locks = std::make_unique<LockManager>(sim_, tag + "-locks");
     site.up = std::make_unique<Link>(sim_, cfg_.comm_delay, tag + "-up");
     site.down = std::make_unique<Link>(sim_, cfg_.comm_delay, tag + "-down");
-    site.arrivals = std::make_unique<ArrivalProcess>(sim_, rng_.fork(),
-                                                     cfg_.arrival_rate_per_site);
+    site.arrivals = std::make_unique<ArrivalProcess>(
+        sim_, rng_.fork("hybrid.site-arrivals"), cfg_.arrival_rate_per_site);
   }
 
   metrics_.init_conflict_matrix(cfg_.num_sites);
@@ -49,7 +49,7 @@ HybridSystem::HybridSystem(SystemConfig cfg, std::unique_ptr<RoutingStrategy> st
   // reconstruct it): num_sites arrival forks above, the fault-schedule forks
   // when armed, then this.
   if (cfg_.ship_jitter > 0.0) {
-    ship_jitter_rng_ = rng_.fork();
+    ship_jitter_rng_ = rng_.fork("hybrid.ship-jitter");
   }
 
   // The time-series sampler follows the same byte-parity rule: with the
@@ -124,7 +124,8 @@ void HybridSystem::set_arrival_rate_function(int site, RateFunction rate,
   HLS_ASSERT(!arrivals_enabled_, "cannot replace a running arrival process");
   HLS_ASSERT(site >= 0 && site < cfg_.num_sites, "site index out of range");
   sites_[site].arrivals =
-      std::make_unique<ArrivalProcess>(sim_, rng_.fork(), std::move(rate), max_rate);
+      std::make_unique<ArrivalProcess>(
+      sim_, rng_.fork("hybrid.arrival-rate-fn"), std::move(rate), max_rate);
 }
 
 void HybridSystem::stop_arrivals() {
@@ -1576,11 +1577,12 @@ void HybridSystem::rfc_central_commit(Transaction* txn) {
 //     cleanup lands before any retry's new authentication round.
 
 void HybridSystem::schedule_fault_transitions() {
-  const FaultSchedule schedule(cfg_.faults, cfg_.num_sites, rng_.fork());
-  Rng link_rng = rng_.fork();
+  const FaultSchedule schedule(cfg_.faults, cfg_.num_sites,
+                               rng_.fork("hybrid.fault-schedule"));
+  Rng link_rng = rng_.fork("hybrid.link-faults");
   for (SiteState& site : sites_) {
-    site.up->set_fault_rng(link_rng.fork());
-    site.down->set_fault_rng(link_rng.fork());
+    site.up->set_fault_rng(link_rng.fork("hybrid.link-up"));
+    site.down->set_fault_rng(link_rng.fork("hybrid.link-down"));
   }
   // Steady-state message chaos applies from t = 0; msg_fault windows
   // override the probabilities while active and their end transitions
@@ -2038,6 +2040,20 @@ void HybridSystem::check_invariants() const {
     HLS_ASSERT(central_.backlog.empty() && central_.recovery_queue.empty(),
                "live central complex has unreplayed backlog or recovery queue");
   }
+
+  // Class-A traffic counters are double-entry bookkeeping too: every
+  // arrival and every ship is attributed to its home site at the same
+  // instant the global tally moves.
+  std::uint64_t site_arrivals_a = 0;
+  std::uint64_t site_shipped_a = 0;
+  for (const SiteMetrics& sm : site_metrics_) {
+    site_arrivals_a += sm.arrivals_class_a;
+    site_shipped_a += sm.shipped_class_a;
+  }
+  HLS_ASSERT(metrics_.arrivals_class_a == site_arrivals_a,
+             "global arrivals_class_a disagrees with sum over sites");
+  HLS_ASSERT(metrics_.shipped_class_a == site_shipped_a,
+             "global shipped_class_a disagrees with sum over sites");
 
   // Fault counters are double-entry bookkeeping: the global tally and the
   // per-home-site attribution must agree exactly.

@@ -37,6 +37,15 @@ class Rng {
   /// from this stream's output, so child streams do not overlap in practice.
   Rng fork();
 
+  /// Forks with a documentation-only stream label: the label names the
+  /// stream for review and for lint (fork-label-unique, which requires the
+  /// labels to be distinct across src/) but never perturbs the draws —
+  /// fork("x") and fork() yield byte-identical streams.
+  Rng fork(const char* label) {
+    (void)label;
+    return fork();
+  }
+
   /// Uniform 64-bit word.
   std::uint64_t next_u64();
 

@@ -22,7 +22,7 @@ std::string json_of(const obs::Registry& reg) {
 
 TEST(Registry, KindsRoundTripThroughEntries) {
   obs::Registry reg;
-  reg.counter("txn.completions", 42);
+  reg.counter("demo.completions", 42);
   reg.gauge("window.seconds", 12.5, "s");
   SampleStat s;
   s.add(1.0);
@@ -35,7 +35,7 @@ TEST(Registry, KindsRoundTripThroughEntries) {
   reg.histogram("rt.histogram", h, "s");
 
   EXPECT_EQ(reg.size(), 5u);
-  const obs::MetricEntry* c = reg.find("txn.completions");
+  const obs::MetricEntry* c = reg.find("demo.completions");
   ASSERT_NE(c, nullptr);
   EXPECT_EQ(c->kind, obs::MetricKind::Counter);
   EXPECT_EQ(c->count, 42u);
@@ -68,22 +68,22 @@ TEST(Registry, KindsRoundTripThroughEntries) {
 
 TEST(Registry, ScopesComposeTheOnlySanctionedPrefixes) {
   obs::Registry reg;
-  reg.root().counter("txn.arrivals", 1);
-  reg.central().counter("txn.arrivals", 2);
-  reg.site(0).counter("txn.arrivals", 3);
-  reg.site(12).counter("txn.arrivals", 4);
-  EXPECT_EQ(reg.find("txn.arrivals")->count, 1u);
-  EXPECT_EQ(reg.find("central.txn.arrivals")->count, 2u);
-  EXPECT_EQ(reg.find("site0.txn.arrivals")->count, 3u);
-  EXPECT_EQ(reg.find("site12.txn.arrivals")->count, 4u);
+  reg.root().counter("demo.arrivals", 1);
+  reg.central().counter("demo.arrivals", 2);
+  reg.site(0).counter("demo.arrivals", 3);
+  reg.site(12).counter("demo.arrivals", 4);
+  EXPECT_EQ(reg.find("demo.arrivals")->count, 1u);
+  EXPECT_EQ(reg.find("central.demo.arrivals")->count, 2u);
+  EXPECT_EQ(reg.find("site0.demo.arrivals")->count, 3u);
+  EXPECT_EQ(reg.find("site12.demo.arrivals")->count, 4u);
 }
 
 TEST(Registry, BucketCounterComposesIndexSuffix) {
   obs::Registry reg;
   const obs::Registry::Scope sc = reg.site(3);
-  sc.bucket_counter("locks.heat", 0, 7);
+  sc.bucket_counter("demo.heat", 0, 7);
   sc.bucket_counter("locks.heat", 15, 9, "accesses");
-  EXPECT_EQ(reg.find("site3.locks.heat.0")->count, 7u);
+  EXPECT_EQ(reg.find("site3.demo.heat.0")->count, 7u);
   const obs::MetricEntry* e = reg.find("site3.locks.heat.15");
   ASSERT_NE(e, nullptr);
   EXPECT_EQ(e->count, 9u);
@@ -92,8 +92,8 @@ TEST(Registry, BucketCounterComposesIndexSuffix) {
 
 TEST(RegistryDeathTest, DuplicateNameIsALibraryBug) {
   obs::Registry reg;
-  reg.counter("txn.completions", 1);
-  EXPECT_DEATH(reg.counter("txn.completions", 2), "duplicate metric name");
+  reg.counter("demo.completions", 1);
+  EXPECT_DEATH(reg.counter("demo.completions", 2), "duplicate metric name");
 }
 
 TEST(Registry, CanonicalJsonBytes) {

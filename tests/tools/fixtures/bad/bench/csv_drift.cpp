@@ -1,0 +1,15 @@
+// Bad fixture: csv schema drift (rule: bench-csv-schema) — a row narrower
+// than its header (line 9), a row with no header at all (line 10), and a
+// Table row chain missing a column (line 12).
+#include <cstdio>
+#include "util/table.hpp"
+namespace {
+void emit(double x) {
+  std::printf("\ncsv,drift,rate,value\n");
+  std::printf("csv,drift,%.2f\n", x);
+  std::printf("csv,orphan,%d\n", 7);
+  hls::Table t({"rate", "value"});
+  t.begin_row().add_num(x);
+  t.print();
+}
+}  // namespace

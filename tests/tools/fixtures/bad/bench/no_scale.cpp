@@ -1,0 +1,7 @@
+// Bad fixture: a bench main() that never consults HLS_TIME_SCALE
+// (rule: bench-time-scale, line 5).
+int run_everything();
+
+int main() {
+  return run_everything();
+}

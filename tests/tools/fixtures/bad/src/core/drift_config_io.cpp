@@ -1,0 +1,26 @@
+// Bad fixture: config_io drift against drift_config.hpp (rule:
+// config-roundtrip) — a parsed key that is never serialized (line 10), a
+// parsed+serialized key missing from the docs (line 12), and a serialized
+// key with no parse case (line 21).
+#include "hybrid/drift_config.hpp"
+
+namespace fx {
+
+bool apply_config_override(SystemConfig& c, const char* key, double v) {
+  if (key == "unserialized_key") {
+    c.unserialized_key = v;
+  } else if (key == "undocumented_key") {
+    c.undocumented_key = v;
+  } else if (key == "documented_key") {
+    c.documented_key = v;
+  }
+  return true;
+}
+
+void describe_config(const SystemConfig& c, Stream& out) {
+  out << "orphan_key=" << 0;
+  out << "documented_key=" << c.documented_key;
+  out << "undocumented_key=" << c.undocumented_key;
+}
+
+}  // namespace fx

@@ -1,0 +1,11 @@
+#pragma once
+// Bad fixture: SystemConfig field with no apply_config_override parse case
+// (rule: config-roundtrip, line 6).
+namespace fx {
+struct SystemConfig {
+  double unparsed_key = 2.5;
+  double documented_key = 1.5;
+  double unserialized_key = 3.5;
+  double undocumented_key = 4.5;
+};
+}  // namespace fx

@@ -1,0 +1,21 @@
+#pragma once
+// Bad fixture: per-site counter with a global twin but no check_invariants
+// recount (rule: counter-double-entry, line 8).
+#include <cstdint>
+namespace fx {
+struct SiteMetrics {
+  std::uint64_t recounted = 0;
+  std::uint64_t missing_recount = 0;
+};
+struct Metrics {
+  std::uint64_t recounted = 0;
+  std::uint64_t missing_recount = 0;
+};
+inline void check_invariants(const Metrics& m, const SiteMetrics* sm, int n) {
+  std::uint64_t sum = 0;
+  for (int s = 0; s < n; ++s) {
+    sum += sm[s].recounted;
+  }
+  HLS_ASSERT(m.recounted == sum, "recounted double entry broke");
+}
+}  // namespace fx

@@ -1,0 +1,16 @@
+// Bad fixture: raw Transaction* captured by a lambda bound to a name before
+// being scheduled — v1 only saw inline lambdas (rule: callback-epoch,
+// line 14, anchored on the schedule call).
+namespace fx {
+struct Txn {
+  void step();
+};
+struct Sim {
+  template <typename F>
+  void schedule_after(double delay, F f);
+};
+void arm(Sim& sim, Txn* txn) {
+  auto cb = [txn] { txn->step(); };
+  sim.schedule_after(1.0, cb);
+}
+}  // namespace fx

@@ -1,0 +1,20 @@
+// Bad fixture: the vector collected from unordered iteration is never the
+// one sorted — v1 accepted any later sort( in the function (rule:
+// unordered-iter, line 13).
+#include <algorithm>
+#include <unordered_map>
+#include <vector>
+namespace fx {
+struct Ledger {
+  std::unordered_map<int, int> entries;
+  std::vector<int> decoys;
+  std::vector<int> keys() {
+    std::vector<int> out;
+    for (const auto& entry : entries) {
+      out.push_back(entry.first);
+    }
+    std::sort(decoys.begin(), decoys.end());
+    return out;
+  }
+};
+}  // namespace fx

@@ -1,0 +1,9 @@
+// Bad fixture: one instrument name registered under two unit tags
+// (rule: registry-unit, line 7).
+#include "obs/registry.hpp"
+namespace fx {
+void export_metrics(Registry& reg, unsigned long v) {
+  reg.counter("demo.widgets", v, "txns");
+  reg.counter("demo.widgets", v, "count");
+}
+}  // namespace fx

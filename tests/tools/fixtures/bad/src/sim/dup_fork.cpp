@@ -1,0 +1,11 @@
+// Bad fixture: duplicate fork label (line 8) and an unlabeled fork in src/
+// (line 9) — rule: fork-label-unique.
+#include "util/random.hpp"
+namespace fx {
+struct Rng;
+void arm(Rng& rng) {
+  auto a = rng.fork("stream.alpha");
+  auto b = rng.fork("stream.alpha");
+  auto c = rng.fork();
+}
+}  // namespace fx

@@ -1,0 +1,19 @@
+// Good twin: the parse case, the serialize line and the docs mention all
+// exist for the one scalar key (config-roundtrip).
+#include "hybrid/clean_config.hpp"
+
+namespace fx {
+
+bool apply_config_override(SystemConfig& c, const char* key, double v) {
+  if (key == "tuned_key") {
+    c.tuned_key = v;
+    return true;
+  }
+  return false;
+}
+
+void describe_config(const SystemConfig& c, Stream& out) {
+  out << "tuned_key=" << c.tuned_key;
+}
+
+}  // namespace fx

@@ -1,0 +1,13 @@
+#pragma once
+// Good twin: every scalar SystemConfig field round-trips (config-roundtrip).
+// Vector and nested *Config members are exempt — they are configured through
+// their own scalar keys.
+#include <vector>
+namespace fx {
+struct FaultScheduleConfig {};
+struct SystemConfig {
+  double tuned_key = 1.5;
+  std::vector<double> per_site_override;
+  FaultScheduleConfig faults;
+};
+}  // namespace fx

@@ -1,0 +1,19 @@
+#pragma once
+// Good twin: the per-site counter's global twin is recounted in
+// check_invariants (counter-double-entry).
+#include <cstdint>
+namespace fx {
+struct SiteMetrics {
+  std::uint64_t recounted = 0;
+};
+struct Metrics {
+  std::uint64_t recounted = 0;
+};
+inline void check_invariants(const Metrics& m, const SiteMetrics* sm, int n) {
+  std::uint64_t sum = 0;
+  for (int s = 0; s < n; ++s) {
+    sum += sm[s].recounted;
+  }
+  HLS_ASSERT(m.recounted == sum, "recounted double entry broke");
+}
+}  // namespace fx

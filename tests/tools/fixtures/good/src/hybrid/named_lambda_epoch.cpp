@@ -1,0 +1,22 @@
+// Good twin: a named callback carries (id, epoch) and revalidates via
+// find() before touching transaction state (callback-epoch).
+namespace fx {
+struct Txn {
+  int id = 0;
+  unsigned epoch = 0;
+  void step();
+};
+struct Sim {
+  template <typename F>
+  void schedule_after(double delay, F f);
+};
+Txn* find(int id, unsigned epoch);
+void arm(Sim& sim, Txn* txn) {
+  auto cb = [id = txn->id, epoch = txn->epoch] {
+    if (Txn* t = find(id, epoch)) {
+      t->step();
+    }
+  };
+  sim.schedule_after(1.0, cb);
+}
+}  // namespace fx

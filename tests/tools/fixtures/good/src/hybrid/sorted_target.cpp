@@ -1,0 +1,18 @@
+// Good twin: the sort names the vector the unordered loop filled
+// (unordered-iter).
+#include <algorithm>
+#include <unordered_map>
+#include <vector>
+namespace fx {
+struct Ledger {
+  std::unordered_map<int, int> entries;
+  std::vector<int> keys() {
+    std::vector<int> out;
+    for (const auto& entry : entries) {
+      out.push_back(entry.first);
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+  }
+};
+}  // namespace fx

@@ -1,0 +1,10 @@
+// Good twin: repeated registrations of a name agree on the unit
+// (registry-unit).
+#include "obs/registry.hpp"
+namespace fx {
+void export_metrics(Registry& reg, unsigned long v) {
+  reg.counter("demo.widgets", v, "txns");
+  reg.counter("demo.widgets", v, "txns");
+  reg.counter("demo.events", v);
+}
+}  // namespace fx

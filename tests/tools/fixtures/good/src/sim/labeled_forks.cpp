@@ -1,0 +1,10 @@
+// Good twin: every fork carries a label and the labels are distinct
+// (fork-label-unique).
+#include "util/random.hpp"
+namespace fx {
+struct Rng;
+void arm(Rng& rng) {
+  auto a = rng.fork("stream.alpha");
+  auto b = rng.fork("stream.beta");
+}
+}  // namespace fx

@@ -1,0 +1,311 @@
+// Injected-drift self-tests for the semantic-model rules, plus the JSON
+// output round trip. Each drift test builds a scratch tree in a temp dir
+// that lints clean, then re-injects the exact drift the rule exists to
+// catch — deleting a config_io serialize line, deleting a check_invariants
+// recount, duplicating a fork label — and asserts the lint produces exactly
+// the expected finding, nothing more. The baseline test closes the loop for
+// the new rule ids: model-rule findings must grandfather and resurface like
+// any text-rule finding.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "hlslint/lint.hpp"
+
+namespace {
+
+namespace fs = std::filesystem;
+
+class HlslintModel : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // ctest runs each TEST_F as its own process, concurrently: the tree name
+    // must be unique per test or parallel runs race on the shared TempDir.
+    const ::testing::TestInfo* info =
+        ::testing::UnitTest::GetInstance()->current_test_info();
+    root_ = fs::path(::testing::TempDir()) /
+            (std::string("hlslint_model_") + info->name());
+    fs::remove_all(root_);
+  }
+  void TearDown() override { fs::remove_all(root_); }
+
+  void write_file(const std::string& rel, const std::string& text) {
+    fs::path p = root_ / rel;
+    fs::create_directories(p.parent_path());
+    std::ofstream out(p);
+    out << text;
+    ASSERT_TRUE(out.good());
+  }
+
+  hlslint::Options options() const {
+    hlslint::Options opts;
+    opts.root = root_.string();
+    opts.use_baseline = false;
+    return opts;
+  }
+
+  fs::path root_;
+};
+
+// ---- scratch-tree sources -------------------------------------------------
+
+const char kConfigHpp[] =
+    "#pragma once\n"
+    "// Scratch config: both scalar fields must round-trip.\n"
+    "namespace fx {\n"
+    "struct SystemConfig {\n"
+    "  double alpha = 1.5;\n"
+    "  double beta = 0.25;\n"
+    "};\n"
+    "}  // namespace fx\n";
+
+const char kConfigIoClean[] =
+    "// Scratch config io: parse and serialize both keys.\n"
+    "#include \"hybrid/config.hpp\"\n"
+    "namespace fx {\n"
+    "bool apply_config_override(SystemConfig& c, const char* key, double v) {\n"
+    "  if (key == \"alpha\") {\n"
+    "    c.alpha = v;\n"
+    "    return true;\n"
+    "  }\n"
+    "  if (key == \"beta\") {\n"  // line 9: the beta parse case
+    "    c.beta = v;\n"
+    "    return true;\n"
+    "  }\n"
+    "  return false;\n"
+    "}\n"
+    "void describe_config(const SystemConfig& c, Stream& out) {\n"
+    "  out << \"alpha=\" << c.alpha;\n"
+    "  out << \"beta=\" << c.beta;\n"
+    "}\n"
+    "}  // namespace fx\n";
+
+// Same file with the `beta=` serialize line deleted: the described run
+// would silently drop beta on replay.
+const char kConfigIoDrift[] =
+    "// Scratch config io: parse and serialize both keys.\n"
+    "#include \"hybrid/config.hpp\"\n"
+    "namespace fx {\n"
+    "bool apply_config_override(SystemConfig& c, const char* key, double v) {\n"
+    "  if (key == \"alpha\") {\n"
+    "    c.alpha = v;\n"
+    "    return true;\n"
+    "  }\n"
+    "  if (key == \"beta\") {\n"  // line 9: the beta parse case
+    "    c.beta = v;\n"
+    "    return true;\n"
+    "  }\n"
+    "  return false;\n"
+    "}\n"
+    "void describe_config(const SystemConfig& c, Stream& out) {\n"
+    "  out << \"alpha=\" << c.alpha;\n"
+    "}\n"
+    "}  // namespace fx\n";
+
+const char kMetricsClean[] =
+    "#pragma once\n"
+    "// Scratch metrics: both per-site counters recounted in\n"
+    "// check_invariants.\n"
+    "#include <cstdint>\n"
+    "namespace fx {\n"
+    "struct SiteMetrics {\n"
+    "  std::uint64_t commits = 0;\n"
+    "  std::uint64_t aborts = 0;\n"  // line 8: the aborts counter
+    "};\n"
+    "struct Metrics {\n"
+    "  std::uint64_t commits = 0;\n"
+    "  std::uint64_t aborts = 0;\n"
+    "};\n"
+    "inline void check_invariants(const Metrics& m, const SiteMetrics* sm,\n"
+    "                             int n) {\n"
+    "  std::uint64_t commit_sum = 0;\n"
+    "  std::uint64_t abort_sum = 0;\n"
+    "  for (int s = 0; s < n; ++s) {\n"
+    "    commit_sum += sm[s].commits;\n"
+    "    abort_sum += sm[s].aborts;\n"
+    "  }\n"
+    "  HLS_ASSERT(m.commits == commit_sum, \"commit double entry broke\");\n"
+    "  HLS_ASSERT(m.aborts == abort_sum, \"abort double entry broke\");\n"
+    "}\n"
+    "}  // namespace fx\n";
+
+// Same header with the aborts recount (and its assert) deleted.
+const char kMetricsDrift[] =
+    "#pragma once\n"
+    "// Scratch metrics: both per-site counters recounted in\n"
+    "// check_invariants.\n"
+    "#include <cstdint>\n"
+    "namespace fx {\n"
+    "struct SiteMetrics {\n"
+    "  std::uint64_t commits = 0;\n"
+    "  std::uint64_t aborts = 0;\n"  // line 8: the aborts counter
+    "};\n"
+    "struct Metrics {\n"
+    "  std::uint64_t commits = 0;\n"
+    "  std::uint64_t aborts = 0;\n"
+    "};\n"
+    "inline void check_invariants(const Metrics& m, const SiteMetrics* sm,\n"
+    "                             int n) {\n"
+    "  std::uint64_t commit_sum = 0;\n"
+    "  for (int s = 0; s < n; ++s) {\n"
+    "    commit_sum += sm[s].commits;\n"
+    "  }\n"
+    "  HLS_ASSERT(m.commits == commit_sum, \"commit double entry broke\");\n"
+    "}\n"
+    "}  // namespace fx\n";
+
+const char kForksClean[] =
+    "// Scratch fork labels: two streams, two distinct labels.\n"
+    "#include \"util/random.hpp\"\n"
+    "namespace fx {\n"
+    "struct Rng;\n"
+    "void arm(Rng& rng) {\n"
+    "  auto a = rng.fork(\"stream.alpha\");\n"
+    "  auto b = rng.fork(\"stream.beta\");\n"
+    "}\n"
+    "}  // namespace fx\n";
+
+// Same file with the second label edited to collide with the first.
+const char kForksDrift[] =
+    "// Scratch fork labels: two streams, two distinct labels.\n"
+    "#include \"util/random.hpp\"\n"
+    "namespace fx {\n"
+    "struct Rng;\n"
+    "void arm(Rng& rng) {\n"
+    "  auto a = rng.fork(\"stream.alpha\");\n"
+    "  auto b = rng.fork(\"stream.alpha\");\n"  // line 7: the duplicate
+    "}\n"
+    "}  // namespace fx\n";
+
+// ---- injected-drift self-tests -------------------------------------------
+
+TEST_F(HlslintModel, DeletingASerializeLineIsCaught) {
+  write_file("src/hybrid/config.hpp", kConfigHpp);
+  write_file("src/core/config_io.cpp", kConfigIoClean);
+  hlslint::LintResult before = hlslint::lint_tree(options());
+  ASSERT_TRUE(before.findings.empty())
+      << before.findings[0].file << ":" << before.findings[0].line << ": "
+      << before.findings[0].rule << ": " << before.findings[0].message;
+
+  write_file("src/core/config_io.cpp", kConfigIoDrift);
+  hlslint::LintResult after = hlslint::lint_tree(options());
+  ASSERT_EQ(after.findings.size(), 1u);
+  EXPECT_EQ(after.findings[0].rule, "config-roundtrip");
+  EXPECT_EQ(after.findings[0].file, "src/core/config_io.cpp");
+  EXPECT_EQ(after.findings[0].line, 9);  // the now-orphaned beta parse case
+  EXPECT_NE(after.findings[0].message.find("never serialized"),
+            std::string::npos)
+      << after.findings[0].message;
+}
+
+TEST_F(HlslintModel, DeletingARecountIsCaught) {
+  write_file("src/hybrid/metrics.hpp", kMetricsClean);
+  hlslint::LintResult before = hlslint::lint_tree(options());
+  ASSERT_TRUE(before.findings.empty())
+      << before.findings[0].file << ":" << before.findings[0].line << ": "
+      << before.findings[0].rule << ": " << before.findings[0].message;
+
+  write_file("src/hybrid/metrics.hpp", kMetricsDrift);
+  hlslint::LintResult after = hlslint::lint_tree(options());
+  ASSERT_EQ(after.findings.size(), 1u);
+  EXPECT_EQ(after.findings[0].rule, "counter-double-entry");
+  EXPECT_EQ(after.findings[0].file, "src/hybrid/metrics.hpp");
+  EXPECT_EQ(after.findings[0].line, 8);  // the per-site aborts declaration
+  EXPECT_NE(after.findings[0].message.find("aborts"), std::string::npos);
+}
+
+TEST_F(HlslintModel, DuplicatingAForkLabelIsCaught) {
+  write_file("src/sim/streams.cpp", kForksClean);
+  hlslint::LintResult before = hlslint::lint_tree(options());
+  ASSERT_TRUE(before.findings.empty())
+      << before.findings[0].file << ":" << before.findings[0].line << ": "
+      << before.findings[0].rule << ": " << before.findings[0].message;
+
+  write_file("src/sim/streams.cpp", kForksDrift);
+  hlslint::LintResult after = hlslint::lint_tree(options());
+  ASSERT_EQ(after.findings.size(), 1u);
+  EXPECT_EQ(after.findings[0].rule, "fork-label-unique");
+  EXPECT_EQ(after.findings[0].file, "src/sim/streams.cpp");
+  EXPECT_EQ(after.findings[0].line, 7);  // the second, colliding fork
+  EXPECT_NE(after.findings[0].message.find("duplicate fork label"),
+            std::string::npos);
+}
+
+// ---- baseline round trip for the model rules -----------------------------
+
+TEST_F(HlslintModel, ModelRuleFindingsRoundTripThroughBaseline) {
+  // All three drifts in one tree: three findings across three new rule ids.
+  write_file("src/hybrid/config.hpp", kConfigHpp);
+  write_file("src/core/config_io.cpp", kConfigIoDrift);
+  write_file("src/hybrid/metrics.hpp", kMetricsDrift);
+  write_file("src/sim/streams.cpp", kForksDrift);
+
+  hlslint::Options opts = options();
+  opts.use_baseline = true;
+  hlslint::LintResult before = hlslint::lint_tree(opts);
+  ASSERT_EQ(before.findings.size(), 3u);
+
+  std::vector<std::string> keys = hlslint::compute_baseline_keys(opts);
+  ASSERT_EQ(keys.size(), 3u);
+  fs::create_directories(root_ / "tools" / "hlslint");
+  ASSERT_TRUE(hlslint::write_baseline(
+      (root_ / "tools" / "hlslint" / "baseline.txt").string(), keys));
+  hlslint::LintResult suppressed = hlslint::lint_tree(opts);
+  EXPECT_TRUE(suppressed.findings.empty());
+  EXPECT_EQ(suppressed.suppressed_baseline, 3);
+  EXPECT_EQ(suppressed.stale_baseline, 0);
+
+  // Fixing one drift (restoring the fork label) makes exactly its entry
+  // stale; the other two stay grandfathered.
+  write_file("src/sim/streams.cpp", kForksClean);
+  hlslint::LintResult fixed = hlslint::lint_tree(opts);
+  EXPECT_TRUE(fixed.findings.empty());
+  EXPECT_EQ(fixed.suppressed_baseline, 2);
+  EXPECT_EQ(fixed.stale_baseline, 1);
+}
+
+// ---- JSON output ----------------------------------------------------------
+
+TEST(HlslintJson, RoundTripIsIdentity) {
+  std::vector<hlslint::Finding> in = {
+      {"src/a.cpp", 3, "hls-assert", "plain message"},
+      {"src/b.hpp", 41, "config-roundtrip",
+       "config key 'x' has no `key == \"x\"` parse case"},
+      {"bench/c.cpp", 7, "bench-csv-schema",
+       "quotes \" backslash \\ newline \n tab \t return \r control \x01"},
+  };
+  std::string json = hlslint::findings_to_json(in);
+  std::vector<hlslint::Finding> out;
+  ASSERT_TRUE(hlslint::parse_findings_json(json, out));
+  ASSERT_EQ(out.size(), in.size());
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    EXPECT_EQ(out[i].file, in[i].file);
+    EXPECT_EQ(out[i].line, in[i].line);
+    EXPECT_EQ(out[i].rule, in[i].rule);
+    EXPECT_EQ(out[i].message, in[i].message);
+  }
+}
+
+TEST(HlslintJson, EmptyFindingsRoundTrip) {
+  std::string json = hlslint::findings_to_json({});
+  std::vector<hlslint::Finding> out = {{"x", 1, "y", "z"}};
+  ASSERT_TRUE(hlslint::parse_findings_json(json, out));
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(HlslintJson, ParserRejectsOtherShapes) {
+  std::vector<hlslint::Finding> out;
+  EXPECT_FALSE(hlslint::parse_findings_json("{}", out));
+  EXPECT_FALSE(hlslint::parse_findings_json("[]", out));
+  EXPECT_FALSE(hlslint::parse_findings_json("{\"results\": []}", out));
+  // Unknown member: not this schema.
+  EXPECT_FALSE(hlslint::parse_findings_json(
+      "{\"findings\": [{\"rule\": \"r\", \"file\": \"f\", \"line\": 1, "
+      "\"message\": \"m\", \"extra\": 0}]}",
+      out));
+}
+
+}  // namespace

@@ -59,6 +59,21 @@ TEST(HlslintRules, BadTreeFindsEveryRule) {
       {"src/sim/cycle_a.hpp", 1, "layer-cycle"},
       {"src/hybrid/composed_metric_name.cpp", 9, "registry-name"},
       {"src/hybrid/composed_metric_name.cpp", 10, "registry-name"},
+      // v2 semantic-model rules and the dataflow-backed rule upgrades.
+      {"src/hybrid/drift_config.hpp", 6, "config-roundtrip"},
+      {"src/core/drift_config_io.cpp", 10, "config-roundtrip"},
+      {"src/core/drift_config_io.cpp", 12, "config-roundtrip"},
+      {"src/core/drift_config_io.cpp", 21, "config-roundtrip"},
+      {"src/hybrid/drift_metrics.hpp", 8, "counter-double-entry"},
+      {"src/sim/dup_fork.cpp", 8, "fork-label-unique"},
+      {"src/sim/dup_fork.cpp", 9, "fork-label-unique"},
+      {"src/obs/unit_drift.cpp", 7, "registry-unit"},
+      {"bench/csv_drift.cpp", 9, "bench-csv-schema"},
+      {"bench/csv_drift.cpp", 10, "bench-csv-schema"},
+      {"bench/csv_drift.cpp", 12, "bench-csv-schema"},
+      {"bench/no_scale.cpp", 5, "bench-time-scale"},
+      {"src/hybrid/named_lambda.cpp", 14, "callback-epoch"},
+      {"src/hybrid/wrong_sort.cpp", 13, "unordered-iter"},
   };
   for (const Expected& e : expected) {
     EXPECT_TRUE(has_finding(r, e.file, e.line, e.rule))
@@ -126,7 +141,9 @@ TEST(HlslintRules, LexerBlanksCommentsAndStrings) {
 TEST(HlslintRules, RuleCatalogMatchesKnownRules) {
   EXPECT_TRUE(hlslint::known_rule("callback-epoch"));
   EXPECT_FALSE(hlslint::known_rule("no-such-rule"));
-  EXPECT_EQ(hlslint::rule_catalog().size(), 11u);
+  EXPECT_TRUE(hlslint::known_rule("config-roundtrip"));
+  EXPECT_TRUE(hlslint::known_rule("bench-csv-schema"));
+  EXPECT_EQ(hlslint::rule_catalog().size(), 17u);
 }
 
 }  // namespace

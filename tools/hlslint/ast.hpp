@@ -1,0 +1,111 @@
+// AST-lite layer: the structural step between the lexer and the repo model.
+//
+// Still dependency-free (no libclang): everything here works on the blanked
+// `SourceFile::code_text`, recovering only what the cross-artifact rules
+// need — balanced-bracket spans, function definitions with their body
+// extents, struct/class bodies with depth-1 member declarations, member
+// call sites with argument slicing, and string-literal values recovered
+// from the raw text (the lexer blanks literal bodies; columns are
+// preserved, so a literal's value can be read back from `raw`).
+//
+// The extraction is heuristic but conservative: anything that does not
+// match a recognized shape is skipped, never guessed at. parse_check()
+// reports the one class of input the layer cannot survive — unbalanced
+// brackets — and the whole-tree parser smoke test asserts it holds for
+// every file in the repo.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "hlslint/lint.hpp"
+
+namespace hlslint::ast {
+
+/// A string literal recovered from the raw text. `offset` indexes the
+/// opening quote in `code_text`; `value` is the body as written (escape
+/// sequences are not decoded — keys, labels and metric names are plain).
+struct StringLit {
+  int line = 0;  // 1-based
+  std::size_t offset = 0;
+  std::string value;
+};
+
+/// One function (or method) definition: the identifier chain as written
+/// before the parameter list, the parameter-list text, and the body span
+/// [body_open, body_close] in code_text (offsets of '{' and its match).
+struct Function {
+  std::string name;  ///< e.g. "check_invariants" or "HybridSystem::run_for"
+  int line = 0;      ///< 1-based line of the name
+  std::string params;
+  std::size_t body_open = 0;
+  std::size_t body_close = 0;
+};
+
+/// One struct/class definition with its body span.
+struct Record {
+  std::string name;
+  int line = 0;
+  std::size_t body_open = 0;
+  std::size_t body_close = 0;
+};
+
+/// A data-member declaration at depth 1 of a record body. `is_array` marks
+/// `T name[...]` declarations; the type keeps template arguments verbatim.
+struct Field {
+  std::string type;
+  std::string name;
+  bool is_array = false;
+  int line = 0;
+};
+
+/// A member-call site `recv.method(args)` / `recv->method(args)`:
+/// `name_pos` indexes the method name, [open, close] the parentheses.
+struct Call {
+  std::size_t name_pos = 0;
+  std::size_t open = 0;
+  std::size_t close = 0;
+};
+
+/// Offset of the bracket matching `text[open_pos]` (one of ( [ { <), or
+/// npos when the text is unbalanced.
+std::size_t match_forward(const std::string& text, std::size_t open_pos,
+                          char open, char close);
+
+/// All string literals in the file, in document order.
+std::vector<StringLit> string_literals(const SourceFile& f);
+
+/// Function definitions in the file, in document order. Control statements
+/// (if/for/while/switch/catch) and lambdas are excluded; declarations
+/// without bodies are not functions.
+std::vector<Function> functions(const SourceFile& f);
+
+/// struct/class definitions with bodies, in document order.
+std::vector<Record> records(const SourceFile& f);
+
+/// Depth-1 data members of `r` (methods, nested types, access specifiers,
+/// using-declarations and static members are skipped).
+std::vector<Field> record_fields(const SourceFile& f, const Record& r);
+
+/// Member-call sites of `method` in `text` (offsets relative to `text`).
+/// Only `.method(` / `->method(` shapes match, never free functions or
+/// qualified `::method(` definitions/calls.
+std::vector<Call> member_calls(const std::string& text,
+                               const std::string& method);
+
+/// Splits an argument-list body (text between a call's parens) at
+/// top-level commas; arguments are trimmed. Empty input yields no args.
+std::vector<std::string> split_args(const std::string& args);
+
+/// Quoted-include directives as (1-based line, include path) — the
+/// AST-side twin of the lexer-path extraction in graph.cpp; the parser
+/// smoke test asserts both sides count the same edges.
+std::vector<std::pair<int, std::string>> includes(const SourceFile& f);
+
+/// Structural sanity: every ( [ { in code_text is balanced. Returns true
+/// when the file parses; otherwise fills `error` with the first imbalance.
+bool parse_check(const SourceFile& f, std::string* error);
+
+}  // namespace hlslint::ast

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "hlslint/lint.hpp"
+#include "hlslint/model.hpp"
 
 namespace hlslint {
 
@@ -38,6 +39,24 @@ const std::vector<std::pair<std::string, std::string>>& rule_catalog() {
       {"registry-name",
        "obs::Registry registrations pass string-literal stable names; only "
        "the registry composes prefixes and bucket suffixes"},
+      {"config-roundtrip",
+       "every scalar SystemConfig field has a parse case, a describe_config "
+       "serialize line, and a Markdown mention (config_io round trip)"},
+      {"counter-double-entry",
+       "per-site counters with a same-named global twin in Metrics are "
+       "recounted (sum==global) in check_invariants"},
+      {"fork-label-unique",
+       "Rng::fork call sites in src/ carry a stream label, unique across "
+       "the tree (duplicate labels silently correlate streams)"},
+      {"registry-unit",
+       "an instrument name carries the same unit tag at every registration "
+       "site"},
+      {"bench-csv-schema",
+       "csv, header arity matches row arity, for printf literals and "
+       "literal-header Table builds"},
+      {"bench-time-scale",
+       "every bench main() honors HLS_TIME_SCALE via bench::scaled_options "
+       "or time_scale_from_env"},
   };
   return kRules;
 }
@@ -108,6 +127,8 @@ std::vector<Finding> raw_findings(const std::vector<SourceFile>& files,
     check_text_rules(f, findings);
   }
   check_layering(files, findings);
+  RepoModel model = build_model(files, opts.root);
+  check_model_rules(model, files, findings);
 
   auto enabled = [&](const std::string& rule) {
     if (!opts.only.empty() && !opts.only.count(rule)) {

@@ -1,0 +1,252 @@
+// JSON output for CI / hlsreport-style consumers. The schema is stable:
+//
+//   {"findings": [{"rule": "...", "file": "...", "line": N,
+//                  "message": "..."}, ...]}
+//
+// Serialization escapes the minimal JSON set; the parser accepts exactly
+// this shape (any object member order) so the round-trip test can assert
+// findings -> json -> findings is the identity.
+#include <cctype>
+#include <cstdio>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "hlslint/lint.hpp"
+
+namespace hlslint {
+
+namespace {
+
+void append_escaped(std::ostringstream& out, const std::string& s) {
+  out << '"';
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out << "\\\"";
+        break;
+      case '\\':
+        out << "\\\\";
+        break;
+      case '\n':
+        out << "\\n";
+        break;
+      case '\t':
+        out << "\\t";
+        break;
+      case '\r':
+        out << "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out << buf;
+        } else {
+          out << c;
+        }
+    }
+  }
+  out << '"';
+}
+
+/// Minimal recursive-descent reader for the findings schema.
+struct Reader {
+  const std::string& text;
+  std::size_t pos = 0;
+
+  void skip_ws() {
+    while (pos < text.size() &&
+           std::isspace(static_cast<unsigned char>(text[pos])) != 0) {
+      ++pos;
+    }
+  }
+
+  bool expect(char c) {
+    skip_ws();
+    if (pos < text.size() && text[pos] == c) {
+      ++pos;
+      return true;
+    }
+    return false;
+  }
+
+  bool peek(char c) {
+    skip_ws();
+    return pos < text.size() && text[pos] == c;
+  }
+
+  bool read_string(std::string& out) {
+    if (!expect('"')) {
+      return false;
+    }
+    out.clear();
+    while (pos < text.size()) {
+      char c = text[pos++];
+      if (c == '"') {
+        return true;
+      }
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (pos >= text.size()) {
+        return false;
+      }
+      char esc = text[pos++];
+      switch (esc) {
+        case '"':
+          out.push_back('"');
+          break;
+        case '\\':
+          out.push_back('\\');
+          break;
+        case '/':
+          out.push_back('/');
+          break;
+        case 'n':
+          out.push_back('\n');
+          break;
+        case 't':
+          out.push_back('\t');
+          break;
+        case 'r':
+          out.push_back('\r');
+          break;
+        case 'u': {
+          if (pos + 4 > text.size()) {
+            return false;
+          }
+          unsigned int code = 0;
+          for (int i = 0; i < 4; ++i) {
+            char h = text[pos++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') {
+              code += static_cast<unsigned int>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              code += static_cast<unsigned int>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              code += static_cast<unsigned int>(h - 'A' + 10);
+            } else {
+              return false;
+            }
+          }
+          // Only the control-character range is ever emitted by our writer.
+          out.push_back(static_cast<char>(code));
+          break;
+        }
+        default:
+          return false;
+      }
+    }
+    return false;
+  }
+
+  bool read_int(int& out) {
+    skip_ws();
+    bool neg = false;
+    if (pos < text.size() && text[pos] == '-') {
+      neg = true;
+      ++pos;
+    }
+    bool any = false;
+    long v = 0;
+    while (pos < text.size() && text[pos] >= '0' && text[pos] <= '9') {
+      v = v * 10 + (text[pos] - '0');
+      ++pos;
+      any = true;
+    }
+    if (!any) {
+      return false;
+    }
+    out = static_cast<int>(neg ? -v : v);
+    return true;
+  }
+
+  bool read_finding(Finding& f) {
+    if (!expect('{')) {
+      return false;
+    }
+    bool first = true;
+    while (!peek('}')) {
+      if (!first && !expect(',')) {
+        return false;
+      }
+      first = false;
+      std::string key;
+      if (!read_string(key) || !expect(':')) {
+        return false;
+      }
+      if (key == "rule") {
+        if (!read_string(f.rule)) {
+          return false;
+        }
+      } else if (key == "file") {
+        if (!read_string(f.file)) {
+          return false;
+        }
+      } else if (key == "message") {
+        if (!read_string(f.message)) {
+          return false;
+        }
+      } else if (key == "line") {
+        if (!read_int(f.line)) {
+          return false;
+        }
+      } else {
+        return false;  // unknown member: not this schema
+      }
+    }
+    return expect('}');
+  }
+};
+
+}  // namespace
+
+std::string findings_to_json(const std::vector<Finding>& findings) {
+  std::ostringstream out;
+  out << "{\"findings\": [";
+  bool first = true;
+  for (const Finding& f : findings) {
+    if (!first) {
+      out << ", ";
+    }
+    first = false;
+    out << "{\"rule\": ";
+    append_escaped(out, f.rule);
+    out << ", \"file\": ";
+    append_escaped(out, f.file);
+    out << ", \"line\": " << f.line << ", \"message\": ";
+    append_escaped(out, f.message);
+    out << "}";
+  }
+  out << "]}\n";
+  return out.str();
+}
+
+bool parse_findings_json(const std::string& json,
+                         std::vector<Finding>& out) {
+  Reader r{json};
+  if (!r.expect('{')) {
+    return false;
+  }
+  std::string key;
+  if (!r.read_string(key) || key != "findings" || !r.expect(':') ||
+      !r.expect('[')) {
+    return false;
+  }
+  out.clear();
+  while (!r.peek(']')) {
+    if (!out.empty() && !r.expect(',')) {
+      return false;
+    }
+    Finding f;
+    if (!r.read_finding(f)) {
+      return false;
+    }
+    out.push_back(std::move(f));
+  }
+  return r.expect(']') && r.expect('}');
+}
+
+}  // namespace hlslint

@@ -90,6 +90,12 @@ int layer_rank(const std::string& rel_path);
 /// Headers includable from any layer: verified header-only leaf types.
 const std::set<std::string>& header_only_whitelist();
 
+/// Quoted-include directives as (1-based line, include path), extracted the
+/// v1 lexer way (line scan over `code`/`raw`). The parser smoke test
+/// compares this against the AST-lite extraction edge for edge.
+std::vector<std::pair<int, std::string>> lexer_quoted_includes(
+    const SourceFile& f);
+
 /// Include-graph rules: layer-order on every `#include "..."` edge within
 /// src/, cycle detection over the file-level graph, and the constraint that
 /// whitelisted headers stay header-only (no sibling .cpp).
@@ -110,6 +116,16 @@ std::multiset<std::string> load_baseline(const std::string& path);
 /// Writes `keys` sorted, one per line, with a header comment.
 bool write_baseline(const std::string& path,
                     const std::vector<std::string>& keys);
+
+// ---- json.cpp ------------------------------------------------------------
+
+/// Serializes findings as the stable CI schema:
+/// `{"findings": [{"rule", "file", "line", "message"}, ...]}`.
+std::string findings_to_json(const std::vector<Finding>& findings);
+
+/// Parses the schema emitted by findings_to_json (member order free).
+/// Returns false on any shape mismatch; `out` is then unspecified.
+bool parse_findings_json(const std::string& json, std::vector<Finding>& out);
 
 // ---- engine.cpp ----------------------------------------------------------
 

@@ -7,6 +7,7 @@
 //   hlslint --no-baseline        ignore the checked-in baseline
 //   hlslint --write-baseline     regenerate tools/hlslint/baseline.txt
 //   hlslint --list-rules         print the rule catalogue
+//   hlslint --format=json        findings as {"findings": [...]} on stdout
 #include <cstdio>
 #include <filesystem>
 #include <string>
@@ -33,7 +34,7 @@ int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--root DIR] [--baseline FILE] [--no-baseline]\n"
                "          [--write-baseline] [--only RULES] [--disable RULES]\n"
-               "          [--list-rules]\n",
+               "          [--list-rules] [--format=text|json]\n",
                argv0);
   return 2;
 }
@@ -43,6 +44,7 @@ int usage(const char* argv0) {
 int main(int argc, char** argv) {
   hlslint::Options opts;
   bool write_baseline_mode = false;
+  bool json_output = false;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     auto value = [&]() -> const char* {
@@ -76,6 +78,16 @@ int main(int argc, char** argv) {
         return usage(argv[0]);
       }
       split_rules(v, opts.disabled);
+    } else if (arg == "--format=text") {
+      json_output = false;
+    } else if (arg == "--format=json") {
+      json_output = true;
+    } else if (arg == "--format") {
+      const char* v = value();
+      if (v == nullptr || (std::string(v) != "text" && std::string(v) != "json")) {
+        return usage(argv[0]);
+      }
+      json_output = std::string(v) == "json";
     } else if (arg == "--list-rules") {
       for (const auto& [id, desc] : hlslint::rule_catalog()) {
         std::printf("%-16s %s\n", id.c_str(), desc.c_str());
@@ -120,9 +132,14 @@ int main(int argc, char** argv) {
   }
 
   hlslint::LintResult result = hlslint::lint_tree(opts);
-  for (const hlslint::Finding& f : result.findings) {
-    std::printf("%s:%d: %s: %s\n", f.file.c_str(), f.line, f.rule.c_str(),
-                f.message.c_str());
+  if (json_output) {
+    std::string json = hlslint::findings_to_json(result.findings);
+    std::fwrite(json.data(), 1, json.size(), stdout);
+  } else {
+    for (const hlslint::Finding& f : result.findings) {
+      std::printf("%s:%d: %s: %s\n", f.file.c_str(), f.line, f.rule.c_str(),
+                  f.message.c_str());
+    }
   }
   std::fprintf(stderr,
                "hlslint: %zu finding(s) over %d files (%d allow-suppressed, "

@@ -1,0 +1,129 @@
+// Semantic repo model: the cross-artifact facts the contract rules check,
+// assembled in one pass over the scanned files (plus the Markdown docs,
+// which are read here but never linted).
+//
+// Each section is extracted structurally via the AST-lite layer
+// (tools/hlslint/ast.hpp) and records where every fact came from, so a
+// rule can anchor its finding on the declaration that needs fixing:
+//
+//   * SystemConfig fields, config_io parse keys (`key == "x"`) and
+//     serialize keys (`out << "x="`), plus the concatenated docs text;
+//   * SiteMetrics / Metrics counter fields and the bodies of every
+//     check_invariants() overload (the double-entry ledger);
+//   * Rng::fork(...) call sites with their label literals;
+//   * obs::Registry registration sites with (name, unit);
+//   * "csv,"-prefixed format literals and literal-header Table builds in
+//     bench files;
+//   * the include-graph edge count, for the parser smoke test.
+//
+// A section is only meaningful when its anchor artifacts exist in the
+// scanned tree (fixture trees model a subset); each rule checks the
+// corresponding `has_*` gate before firing.
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "hlslint/lint.hpp"
+
+namespace hlslint {
+
+/// Where a modeled fact was extracted from.
+struct ModelSite {
+  std::string file;
+  int line = 0;
+};
+
+struct ConfigFieldModel {
+  std::string name;
+  std::string type;
+  ModelSite site;
+};
+
+struct CounterFieldModel {
+  std::string name;
+  ModelSite site;
+};
+
+struct ForkSiteModel {
+  std::string label;  // empty when the call passes no string literal
+  bool labeled = false;
+  ModelSite site;
+};
+
+struct RegistrationModel {
+  std::string name;
+  std::string unit;
+  ModelSite site;
+};
+
+struct CsvLiteralModel {
+  std::string text;  // full literal, starting "csv,"
+  ModelSite site;
+};
+
+/// A Table built from a brace list of string-literal headers, together with
+/// the add_cell/add_num/add_int count of every single-statement
+/// `name.begin_row()....;` chain on that variable in the same function.
+struct TableBuildModel {
+  std::string variable;
+  int header_count = 0;
+  ModelSite site;
+  struct RowChain {
+    int cells = 0;
+    ModelSite site;
+  };
+  std::vector<RowChain> rows;
+};
+
+struct RepoModel {
+  // ---- config round trip ----
+  bool has_config_struct = false;
+  bool has_config_io = false;
+  std::vector<ConfigFieldModel> config_fields;         // SystemConfig members
+  std::map<std::string, ModelSite> parse_keys;         // apply_config_override
+  std::map<std::string, ModelSite> serialize_keys;     // describe_config
+  std::string docs_text;  // all *.md under <root> and <root>/docs
+
+  // ---- counter double entry ----
+  bool has_metrics_pair = false;    // both SiteMetrics and Metrics found
+  bool has_invariants = false;      // at least one check_invariants body
+  std::vector<CounterFieldModel> site_counters;  // counter-typed SiteMetrics
+  std::set<std::string> global_counters;         // counter-typed Metrics
+  std::string invariants_text;      // concatenated check_invariants bodies
+
+  // ---- RNG stream labels ----
+  std::vector<ForkSiteModel> forks;
+
+  // ---- registry instruments ----
+  std::vector<RegistrationModel> registrations;
+
+  // ---- bench CSV schemas ----
+  std::vector<CsvLiteralModel> csv_literals;
+  std::vector<TableBuildModel> table_builds;
+
+  // ---- include graph (parser smoke) ----
+  int include_edges = 0;
+
+  /// True when `word` occurs in the docs text delimited by non-identifier
+  /// characters (so `seed` does not match `reseed`).
+  [[nodiscard]] bool documented(const std::string& word) const;
+};
+
+/// Assembles the model from the scanned files. `root` locates the Markdown
+/// docs (<root>/*.md and <root>/docs/*.md); pass "" to skip docs loading
+/// (synthetic in-memory trees).
+RepoModel build_model(const std::vector<SourceFile>& files,
+                      const std::string& root);
+
+/// Cross-artifact contract rules over the model (config-roundtrip,
+/// counter-double-entry, fork-label-unique, registry-unit,
+/// bench-csv-schema, bench-time-scale). `files` supplies the per-file
+/// context the bench rules need.
+void check_model_rules(const RepoModel& model,
+                       const std::vector<SourceFile>& files,
+                       std::vector<Finding>& out);
+
+}  // namespace hlslint

@@ -6,6 +6,7 @@
 // literal bodies are already blanked — a banned token quoted in a diagnostic
 // string (or in this file's own rule tables) never fires.
 #include <cstddef>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -349,6 +350,28 @@ bool body_feeds_output(const std::string& body) {
   return false;
 }
 
+/// The receiver identifier of the first `X.push_back(` / `X.emplace_back(`
+/// in a loop body — the vector whose later sort the rule must verify.
+std::string collect_target(const std::string& body) {
+  std::size_t best = std::string::npos;
+  for (const std::string& call : {std::string(".push_back("),
+                                  std::string(".emplace_back(")}) {
+    std::size_t p = body.find(call);
+    if (p != std::string::npos && p < best) {
+      best = p;
+    }
+  }
+  if (best == std::string::npos) {
+    return "";
+  }
+  std::size_t end = best;
+  std::size_t start = end;
+  while (start > 0 && ident_char(body[start - 1])) {
+    --start;
+  }
+  return body.substr(start, end - start);
+}
+
 void rule_unordered_iter(const SourceFile& f, std::vector<Finding>& out) {
   if (!starts_with(f.path, "src/")) {
     return;
@@ -425,40 +448,167 @@ void rule_unordered_iter(const SourceFile& f, std::vector<Finding>& out) {
       add(out, f, line, "unordered-iter",
           "iteration over std::unordered_* feeds ordered output; collect "
           "keys, sort, then emit");
-    } else if (body.find("push_back(") != std::string::npos ||
-               body.find("emplace_back(") != std::string::npos) {
-      // Collect idiom: fine only if the collected vector is sorted before
-      // the enclosing function ends.
-      int fn_depth = 0;
-      std::size_t scan = body_end + 1;  // start past the loop's closing brace
-      std::size_t fn_end = text.size();
-      for (; scan < text.size(); ++scan) {
-        if (text[scan] == '{') {
-          ++fn_depth;
-        } else if (text[scan] == '}') {
-          if (--fn_depth < 0) {
-            fn_end = scan;
-            break;
-          }
+      continue;
+    }
+    // Collect idiom: fine only if the vector the loop appends to is itself
+    // sorted before the enclosing function ends. v1 accepted any `sort(`
+    // after the loop; now the sort's arguments must name that vector.
+    std::string target = collect_target(body);
+    if (target.empty()) {
+      continue;
+    }
+    int fn_depth = 0;
+    std::size_t scan = body_end + 1;  // start past the loop's closing brace
+    std::size_t fn_end = text.size();
+    for (; scan < text.size(); ++scan) {
+      if (text[scan] == '{') {
+        ++fn_depth;
+      } else if (text[scan] == '}') {
+        if (--fn_depth < 0) {
+          fn_end = scan;
+          break;
         }
       }
-      if (text.substr(body_end, fn_end - body_end).find("sort(") ==
-          std::string::npos) {
-        add(out, f, line, "unordered-iter",
-            "values collected from std::unordered_* iteration are never "
-            "sorted; downstream order depends on hashing");
+    }
+    std::string after = text.substr(body_end, fn_end - body_end);
+    bool sorted = false;
+    std::size_t s = 0;
+    while ((s = after.find("sort(", s)) != std::string::npos) {
+      std::size_t close_s = match_bracket(after, s + 4, '(', ')');
+      if (close_s == std::string::npos) {
+        break;
       }
+      std::string args = after.substr(s + 5, close_s - s - 5);
+      if (find_token(args, target) != std::string::npos) {
+        sorted = true;
+        break;
+      }
+      s = close_s;
+    }
+    if (!sorted) {
+      add(out, f, line, "unordered-iter",
+          "vector '" + target +
+              "' collected from std::unordered_* iteration is never "
+              "sorted in this function; downstream order depends on hashing");
     }
   }
 }
 
 // ---- rule: callback-epoch ------------------------------------------------
 
+/// A lambda's capture list and body, however the lambda reached the
+/// schedule call (written inline or bound to a local name first).
+struct LambdaText {
+  std::string captures;
+  std::string body;
+};
+
+/// Applies the epoch-capture contract to one lambda feeding a schedule
+/// call anchored at `line`.
+void analyze_scheduled_lambda(const SourceFile& f, const LambdaText& lam,
+                              int line, std::vector<Finding>& out) {
+  bool body_revalidates = find_token(lam.body, "find(") != std::string::npos;
+  bool captures_epoch =
+      find_token(lam.captures, "epoch") != std::string::npos;
+
+  // Raw pointer capture: a bare `txn` token not part of `txn->...`.
+  std::size_t t = 0;
+  bool raw_txn = false;
+  while ((t = find_token(lam.captures, "txn", t)) != std::string::npos) {
+    std::size_t after = t + 3;
+    bool member = after + 1 < lam.captures.size() &&
+                  lam.captures[after] == '-' && lam.captures[after + 1] == '>';
+    if (!member &&
+        (after >= lam.captures.size() || !ident_char(lam.captures[after]))) {
+      raw_txn = true;
+    }
+    t = after;
+  }
+  bool id_from_txn = lam.captures.find("txn->") != std::string::npos;
+
+  if (raw_txn && !body_revalidates) {
+    add(out, f, line, "callback-epoch",
+        "scheduled lambda captures a raw Transaction*; capture "
+        "(id = txn->id, epoch = txn->epoch) and revalidate via find()");
+  } else if (!raw_txn && id_from_txn && !captures_epoch && !body_revalidates) {
+    add(out, f, line, "callback-epoch",
+        "scheduled lambda captures transaction state without an epoch; "
+        "the callback can fire after a rerun reuses the id");
+  }
+}
+
+/// Parses the lambda whose capture list opens at `text[lb]`. Returns false
+/// when the brackets do not form a lambda shape.
+bool parse_lambda_at(const std::string& text, std::size_t lb,
+                     LambdaText& out) {
+  std::size_t rb = match_bracket(text, lb, '[', ']');
+  if (rb == std::string::npos) {
+    return false;
+  }
+  std::size_t brace = text.find('{', rb);
+  if (brace == std::string::npos) {
+    return false;
+  }
+  std::size_t body_end = match_bracket(text, brace, '{', '}');
+  if (body_end == std::string::npos) {
+    return false;
+  }
+  out.captures = text.substr(lb + 1, rb - lb - 1);
+  out.body = text.substr(brace, body_end - brace);
+  return true;
+}
+
+/// Lambdas bound to local names (`auto cb = [...](...) {...};`) anywhere in
+/// the file. Keyed by name so schedule calls passing `cb` / `std::move(cb)`
+/// resolve to the lambda's captures — v1 only analyzed inline lambdas,
+/// leaving named callbacks a false-negative window.
+std::map<std::string, LambdaText> named_lambdas(const std::string& text) {
+  std::map<std::string, LambdaText> named;
+  std::size_t pos = 0;
+  while ((pos = find_token(text, "auto", pos)) != std::string::npos) {
+    std::size_t p = pos + 4;
+    while (p < text.size() && (text[p] == ' ' || text[p] == '\n')) {
+      ++p;
+    }
+    std::size_t name_start = p;
+    while (p < text.size() && ident_char(text[p])) {
+      ++p;
+    }
+    if (p == name_start) {
+      pos += 4;
+      continue;
+    }
+    std::string name = text.substr(name_start, p - name_start);
+    while (p < text.size() && (text[p] == ' ' || text[p] == '\n')) {
+      ++p;
+    }
+    if (p >= text.size() || text[p] != '=') {
+      pos += 4;
+      continue;
+    }
+    ++p;
+    while (p < text.size() && (text[p] == ' ' || text[p] == '\n')) {
+      ++p;
+    }
+    if (p >= text.size() || text[p] != '[') {
+      pos += 4;
+      continue;
+    }
+    LambdaText lam;
+    if (parse_lambda_at(text, p, lam)) {
+      named.emplace(std::move(name), std::move(lam));
+    }
+    pos += 4;
+  }
+  return named;
+}
+
 void rule_callback_epoch(const SourceFile& f, std::vector<Finding>& out) {
   if (!starts_with(f.path, "src/")) {
     return;
   }
   const std::string& text = f.code_text;
+  std::map<std::string, LambdaText> named = named_lambdas(text);
   for (const std::string& call : {std::string("schedule_after("),
                                   std::string("schedule_at(")}) {
     std::size_t pos = 0;
@@ -470,55 +620,25 @@ void rule_callback_epoch(const SourceFile& f, std::vector<Finding>& out) {
       if (close == std::string::npos) {
         continue;
       }
-      // First '[' inside the call is taken as the lambda's capture list.
-      std::size_t lb = text.find('[', paren);
-      if (lb == std::string::npos || lb > close) {
-        continue;
-      }
-      std::size_t rb = match_bracket(text, lb, '[', ']');
-      if (rb == std::string::npos) {
-        continue;
-      }
-      std::string captures = text.substr(lb + 1, rb - lb - 1);
-      std::size_t brace = text.find('{', rb);
-      if (brace == std::string::npos) {
-        continue;
-      }
-      std::size_t body_end = match_bracket(text, brace, '{', '}');
-      if (body_end == std::string::npos) {
-        continue;
-      }
-      std::string body = text.substr(brace, body_end - brace);
-      // Anchor the finding on the schedule call, not the lambda's '[' (which
+      // Anchor findings on the schedule call, not the lambda's '[' (which
       // often lands on a continuation line).
       int line = f.line_of(call_pos);
-
-      bool body_revalidates = find_token(body, "find(") != std::string::npos;
-      bool captures_epoch = find_token(captures, "epoch") != std::string::npos;
-
-      // Raw pointer capture: a bare `txn` token not part of `txn->...`.
-      std::size_t t = 0;
-      bool raw_txn = false;
-      while ((t = find_token(captures, "txn", t)) != std::string::npos) {
-        std::size_t after = t + 3;
-        bool member = after + 1 < captures.size() && captures[after] == '-' &&
-                      captures[after + 1] == '>';
-        if (!member && (after >= captures.size() || !ident_char(captures[after]))) {
-          raw_txn = true;
-        }
-        t = after;
+      // First '[' inside the call is taken as an inline lambda's captures.
+      std::size_t lb = text.find('[', paren);
+      LambdaText lam;
+      if (lb != std::string::npos && lb < close &&
+          parse_lambda_at(text, lb, lam)) {
+        analyze_scheduled_lambda(f, lam, line, out);
+        continue;
       }
-      bool id_from_txn = captures.find("txn->") != std::string::npos;
-
-      if (raw_txn && !body_revalidates) {
-        add(out, f, line, "callback-epoch",
-            "scheduled lambda captures a raw Transaction*; capture "
-            "(id = txn->id, epoch = txn->epoch) and revalidate via find()");
-      } else if (!raw_txn && id_from_txn && !captures_epoch &&
-                 !body_revalidates) {
-        add(out, f, line, "callback-epoch",
-            "scheduled lambda captures transaction state without an epoch; "
-            "the callback can fire after a rerun reuses the id");
+      // No inline lambda: resolve identifiers in the argument list against
+      // the named lambdas of this file (`cb`, `std::move(cb)`).
+      std::string args = text.substr(paren + 1, close - paren - 1);
+      for (const auto& [name, bound] : named) {
+        if (find_token(args, name) != std::string::npos) {
+          analyze_scheduled_lambda(f, bound, line, out);
+          break;
+        }
       }
     }
   }
